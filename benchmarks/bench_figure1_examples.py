@@ -1,0 +1,50 @@
+"""Figure 1 — example hard/easy matches and non-matches.
+
+Samples the most extreme pairs from the 80%-corner-case test set: the most
+dissimilar positive (hard match), most similar positive (easy match), most
+similar negative (hard non-match) and most dissimilar negative (easy
+non-match), mirroring the figure's four quadrants.
+"""
+
+from repro.core.dimensions import CornerCaseRatio, UnseenRatio
+from repro.similarity import jaccard_similarity
+
+
+def _extreme_pairs(dataset):
+    scored = [
+        (jaccard_similarity(pair.offer_a.title, pair.offer_b.title), pair)
+        for pair in dataset.pairs
+    ]
+    positives = sorted(
+        (item for item in scored if item[1].label == 1), key=lambda x: x[0]
+    )
+    negatives = sorted(
+        (item for item in scored if item[1].label == 0), key=lambda x: x[0]
+    )
+    return {
+        "hard match (dissimilar offers, same product)": positives[0],
+        "easy match (similar offers, same product)": positives[-1],
+        "hard non-match (similar offers, different products)": negatives[-1],
+        "easy non-match (dissimilar offers, different products)": negatives[0],
+    }
+
+
+def test_figure1_example_pairs(benchmark, wdc_benchmark):
+    dataset = wdc_benchmark.test_sets[(CornerCaseRatio.CC80, UnseenRatio.SEEN)]
+    quadrants = benchmark.pedantic(
+        _extreme_pairs, args=(dataset,), rounds=1, iterations=1
+    )
+
+    print("\n=== Figure 1: example matching and non-matching offer pairs ===")
+    for caption, (similarity, pair) in quadrants.items():
+        print(f"\n[{caption}]  (title Jaccard = {similarity:.2f})")
+        print(f"  offer A: {pair.offer_a.title}")
+        print(f"           brand={pair.offer_a.brand}  price={pair.offer_a.price}")
+        print(f"  offer B: {pair.offer_b.title}")
+        print(f"           brand={pair.offer_b.brand}  price={pair.offer_b.price}")
+
+    hard_match = quadrants["hard match (dissimilar offers, same product)"][0]
+    easy_match = quadrants["easy match (similar offers, same product)"][0]
+    hard_nonmatch = quadrants["hard non-match (similar offers, different products)"][0]
+    assert hard_match < easy_match
+    assert hard_nonmatch > 0.3  # corner negatives are textually similar

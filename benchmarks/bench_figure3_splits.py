@@ -1,0 +1,49 @@
+"""Figure 3 — cluster sizes and offer-to-split distribution.
+
+The paper depicts seen clusters of size 7-15 contributing 2 offers to
+validation, 2 to test and the rest to training, and unseen clusters of
+size 2-6 contributing exactly 2 test offers.
+"""
+
+from collections import Counter
+
+from repro.core.dimensions import CornerCaseRatio, UnseenRatio
+
+
+def _histogram(split):
+    sizes = Counter()
+    assignment = Counter()
+    for product in split.seen:
+        total = len(product.train_large) + len(product.valid) + len(product.test)
+        sizes[total] += 1
+        assignment["train"] += len(product.train_large)
+        assignment["valid"] += len(product.valid)
+        assignment["test"] += len(product.test)
+    unseen_sizes = Counter(
+        len(tp.offers) for tp in split.test_sets[UnseenRatio.UNSEEN]
+    )
+    return sizes, assignment, unseen_sizes
+
+
+def test_figure3_cluster_sizes_and_split_assignment(benchmark, artifacts):
+    split = artifacts.splits[CornerCaseRatio.CC80]
+    sizes, assignment, unseen_sizes = benchmark.pedantic(
+        _histogram, args=(split,), rounds=1, iterations=1
+    )
+
+    print("\n=== Figure 3: cluster sizes and split distribution (cc=80%) ===")
+    print("seen cluster sizes (after 15-offer cap):")
+    for size in sorted(sizes):
+        print(f"  {size:>3} offers: {'#' * sizes[size]} ({sizes[size]})")
+    total = sum(assignment.values())
+    print("offer assignment across splits:")
+    for name in ("train", "valid", "test"):
+        print(f"  {name:<6} {assignment[name]:>6,} ({assignment[name] / total:.0%})")
+    print("unseen test products use exactly "
+          f"{set(unseen_sizes)} offers each (paper: 2)")
+
+    assert min(sizes) >= 7 and max(sizes) <= 15
+    n = len(split.seen)
+    assert assignment["valid"] == 2 * n
+    assert assignment["test"] == 2 * n
+    assert set(unseen_sizes) == {2}

@@ -1,0 +1,30 @@
+"""Figure 4 — F1 versus corner-case ratio (medium dev, 0% unseen).
+
+Paper shape: every system loses F1 as the corner-case ratio rises from
+20% to 80%, with the ranking of systems unchanged.
+"""
+
+from repro.core.dimensions import CornerCaseRatio, DevSetSize, UnseenRatio
+from repro.eval.reporting import figure_series, format_figure
+
+
+def test_figure4_corner_case_dimension(benchmark, pairwise_results):
+    series = benchmark.pedantic(
+        lambda: figure_series(
+            pairwise_results,
+            vary="corner_cases",
+            dev_size=DevSetSize.MEDIUM,
+            unseen=UnseenRatio.SEEN,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_figure(series, title="=== Figure 4: F1 vs corner-case ratio "
+                                      "(medium dev, seen test) ==="))
+
+    for system, points in series.items():
+        values = dict(points)
+        if "20%" in values and "80%" in values:
+            # Corner cases make the task harder (small tolerance for noise).
+            assert values["80%"] <= values["20%"] + 0.1, system

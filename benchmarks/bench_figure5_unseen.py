@@ -1,0 +1,35 @@
+"""Figure 5 — F1 versus fraction of unseen products (50% cc, medium dev).
+
+Paper shape: all systems drop from seen to unseen; the contrastive
+R-SupCon — best on seen — suffers the largest drop.
+"""
+
+from repro.core.dimensions import CornerCaseRatio, DevSetSize
+from repro.eval.reporting import figure_series, format_figure
+
+
+def test_figure5_unseen_dimension(benchmark, pairwise_results):
+    series = benchmark.pedantic(
+        lambda: figure_series(
+            pairwise_results,
+            vary="unseen",
+            corner_cases=CornerCaseRatio.CC50,
+            dev_size=DevSetSize.MEDIUM,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_figure(series, title="=== Figure 5: F1 vs unseen fraction "
+                                      "(cc=50%, medium dev) ==="))
+
+    drops = {}
+    for system, points in series.items():
+        values = dict(points)
+        if "Seen" in values and "Unseen" in values:
+            drops[system] = values["Seen"] - values["Unseen"]
+            assert values["Unseen"] <= values["Seen"] + 0.08, system
+    if drops:
+        print("\nF1 drop seen -> unseen:")
+        for system, drop in sorted(drops.items(), key=lambda kv: -kv[1]):
+            print(f"  {system:10s} {drop * 100:+.1f} points")

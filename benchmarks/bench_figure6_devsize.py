@@ -1,0 +1,29 @@
+"""Figure 6 — F1 versus development-set size (50% cc, 0% unseen).
+
+Paper shape: all learned systems improve with more development data;
+R-SupCon is the most data-efficient (highest at small).
+"""
+
+from repro.core.dimensions import CornerCaseRatio, UnseenRatio
+from repro.eval.reporting import figure_series, format_figure
+
+
+def test_figure6_devsize_dimension(benchmark, pairwise_results):
+    series = benchmark.pedantic(
+        lambda: figure_series(
+            pairwise_results,
+            vary="dev_size",
+            corner_cases=CornerCaseRatio.CC50,
+            unseen=UnseenRatio.SEEN,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_figure(series, title="=== Figure 6: F1 vs development set size "
+                                      "(cc=50%, seen test) ==="))
+
+    for system, points in series.items():
+        values = dict(points)
+        if "Small" in values and "Large" in values:
+            assert values["Large"] >= values["Small"] - 0.1, system

@@ -1,0 +1,49 @@
+"""Table 1 — split statistics of the benchmark.
+
+Regenerates the pair-wise (all/pos/neg) and multi-class split sizes per
+corner-case ratio and development-set size.  Paper values (500 products):
+small train 2,500/500/2,000; medium 6,000/1,500/4,500; large
+~19.8k/~8.5k/~11.4k; every test set exactly 4,500/500/4,000.
+"""
+
+from repro.core import table1_statistics
+
+
+def test_table1_split_statistics(benchmark, wdc_benchmark, artifacts):
+    rows = benchmark.pedantic(
+        table1_statistics, args=(wdc_benchmark,), rounds=1, iterations=1
+    )
+
+    print("\n=== Table 1: benchmark split statistics ===")
+    header = (
+        f"{'Type':<11} {'CC':<4} | {'pair small':>17} {'pair medium':>17} "
+        f"{'pair large':>17} | {'mc S':>6} {'mc M':>6} {'mc L':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        pairwise = " ".join(
+            f"{counts[0]:>6}/{counts[1]:>4}/{counts[2]:>5}"
+            for counts in (
+                row.pairwise["small"], row.pairwise["medium"], row.pairwise["large"]
+            )
+        )
+        multiclass = " ".join(
+            f"{row.multiclass[size]:>6}" for size in ("small", "medium", "large")
+        )
+        print(f"{row.split_type:<11} {row.corner_cases:<4} | {pairwise} | {multiclass}")
+
+    # Structural assertions mirroring the paper's fixed sizes (scaled to
+    # the configured product count).
+    n = artifacts.config.n_products
+    for row in rows:
+        if row.split_type == "Test":
+            for all_, pos, neg in row.pairwise.values():
+                assert all_ == 9 * n and pos == n and neg == 8 * n
+        if row.split_type == "Training":
+            assert row.pairwise["small"] == (5 * n, n, 4 * n)
+            assert row.pairwise["medium"] == (12 * n, 3 * n, 9 * n)
+        if row.split_type == "Validation":
+            assert row.pairwise["small"] == (5 * n, n, 4 * n)
+            assert row.pairwise["medium"] == (7 * n, n, 6 * n)
+            assert row.pairwise["large"] == (9 * n, n, 8 * n)

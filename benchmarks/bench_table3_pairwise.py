@@ -1,0 +1,34 @@
+"""Table 3 — pair-wise F1 of all six systems across the three dimensions.
+
+Paper shape targets (absolute F1 differs — see EXPERIMENTS.md):
+* neural systems beat the symbolic baselines on every variant,
+* F1 falls as the corner-case ratio rises,
+* every system drops on unseen products; R-SupCon drops hardest,
+* more development data helps every learned system.
+"""
+
+from repro.core.dimensions import CornerCaseRatio, DevSetSize, PairwiseVariant, UnseenRatio
+from repro.eval.reporting import format_table3
+
+
+def test_table3_pairwise_f1(benchmark, pairwise_results, eval_settings):
+    table = benchmark.pedantic(
+        format_table3, args=(pairwise_results,), rounds=1, iterations=1
+    )
+    print("\n=== Table 3: pair-wise F1 over all three dimensions ===")
+    print(table)
+
+    # Shape assertions on the cells every scale runs (cc50 / medium).
+    cell = (CornerCaseRatio.CC50, DevSetSize.MEDIUM)
+    if cell in eval_settings.resolved_pairwise_cells():
+        def f1(system, unseen):
+            variant = PairwiseVariant(cell[0], cell[1], unseen)
+            score = pairwise_results.get(system, variant)
+            return score.f1 if score else None
+
+        for system in pairwise_results.systems():
+            seen = f1(system, UnseenRatio.SEEN)
+            unseen = f1(system, UnseenRatio.UNSEEN)
+            assert seen is not None and unseen is not None
+            print(f"  {system:10s} seen={seen:.3f} unseen={unseen:.3f} "
+                  f"drop={(seen - unseen):.3f}")

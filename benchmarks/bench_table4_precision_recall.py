@@ -1,0 +1,33 @@
+"""Table 4 — precision and recall of the neural matching systems.
+
+Paper shape: the unseen dimension hits *precision* hard while recall stays
+high for the cross-encoders; R-SupCon loses on both, explaining its large
+F1 drop.
+"""
+
+from repro.core.dimensions import CornerCaseRatio, DevSetSize, PairwiseVariant, UnseenRatio
+from repro.eval.reporting import format_table4
+
+
+def test_table4_precision_recall(benchmark, pairwise_results, eval_settings):
+    table = benchmark.pedantic(
+        format_table4, args=(pairwise_results,), rounds=1, iterations=1
+    )
+    print("\n=== Table 4: precision/recall of the neural systems ===")
+    print(table)
+
+    cell = (CornerCaseRatio.CC50, DevSetSize.MEDIUM)
+    if cell in eval_settings.resolved_pairwise_cells():
+        for system in pairwise_results.systems():
+            seen = pairwise_results.get(
+                system, PairwiseVariant(cell[0], cell[1], UnseenRatio.SEEN)
+            )
+            unseen = pairwise_results.get(
+                system, PairwiseVariant(cell[0], cell[1], UnseenRatio.UNSEEN)
+            )
+            if seen and unseen:
+                print(
+                    f"  {system:10s} precision {seen.precision:.3f} -> "
+                    f"{unseen.precision:.3f} | recall {seen.recall:.3f} -> "
+                    f"{unseen.recall:.3f}"
+                )

@@ -1,0 +1,23 @@
+"""Table 5 — multi-class matching micro-F1.
+
+Paper shape: R-SupCon dominates every variant; the symbolic Word-
+Occurrence baseline beats fine-tuned RoBERTa for small/medium development
+sets (too few offers per class); RoBERTa recovers at large.
+"""
+
+from repro.core.dimensions import CornerCaseRatio, DevSetSize, MulticlassVariant
+from repro.eval.reporting import format_table5
+
+
+def test_table5_multiclass_micro_f1(benchmark, multiclass_results, eval_settings):
+    table = benchmark.pedantic(
+        format_table5, args=(multiclass_results,), rounds=1, iterations=1
+    )
+    print("\n=== Table 5: multi-class micro-F1 ===")
+    print(table)
+
+    for corner_cases, dev_size in eval_settings.resolved_multiclass_cells():
+        variant = MulticlassVariant(corner_cases, dev_size)
+        for system in ("word_occ", "roberta", "rsupcon"):
+            value = multiclass_results.get(system, variant)
+            assert value is None or 0.0 <= value <= 1.0

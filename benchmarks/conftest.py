@@ -1,0 +1,79 @@
+"""Shared benchmark fixtures.
+
+``REPRO_BENCH_SCALE`` selects the run size:
+
+* ``smoke``   — small corpus, one grid cell, tiny training budgets,
+* ``default`` — full-size benchmark (500 products/set); the experiment
+  grid covers the paper's Figure-4/5/6 slices (5 of the 9 (cc, dev)
+  cells) with one seed,
+* ``full``    — all 9 cells, three seeds, larger budgets (the paper's
+  protocol; takes hours).
+
+The heavy artifacts (benchmark build, trained-system result grids) are
+session-scoped so every bench file shares them.  ``wdc_benchmark`` is the
+benchmark *artifact*; the name ``benchmark`` stays reserved for
+pytest-benchmark's timing fixture.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import BenchmarkBuilder, BuildConfig
+from repro.eval import EvalSettings, ExperimentRunner
+from repro.eval.experiments import run_table3_and_4, run_table5
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "default").lower()
+
+
+@pytest.fixture(scope="session")
+def build_config() -> BuildConfig:
+    if bench_scale() == "smoke":
+        return BuildConfig.small()
+    return BuildConfig()
+
+
+@pytest.fixture(scope="session")
+def artifacts(build_config):
+    """The complete benchmark build (Figure-2 pipeline)."""
+    print(f"\n[bench] building the benchmark (scale={bench_scale()}) ...", flush=True)
+    return BenchmarkBuilder(build_config).build()
+
+
+@pytest.fixture(scope="session")
+def wdc_benchmark(artifacts):
+    return artifacts.benchmark
+
+
+@pytest.fixture(scope="session")
+def eval_settings() -> EvalSettings:
+    return EvalSettings.from_env()
+
+
+@pytest.fixture(scope="session")
+def runner(artifacts, eval_settings):
+    return ExperimentRunner(artifacts, settings=eval_settings)
+
+
+@pytest.fixture(scope="session")
+def pairwise_results(runner):
+    """Trained/evaluated pair-wise grid shared by Tables 3-4, Figures 4-6."""
+    print(
+        f"\n[bench] training pair-wise systems (scale={bench_scale()}) ...",
+        flush=True,
+    )
+    return run_table3_and_4(runner, progress=True)
+
+
+@pytest.fixture(scope="session")
+def multiclass_results(runner):
+    """Trained/evaluated multi-class grid shared by Table 5."""
+    print(
+        f"\n[bench] training multi-class systems (scale={bench_scale()}) ...",
+        flush=True,
+    )
+    return run_table5(runner, progress=True)

@@ -1,0 +1,47 @@
+"""WDC Products — a from-scratch reproduction of the EDBT 2024 benchmark.
+
+Reproduces Peeters, Der & Bizer, *WDC Products: A Multi-Dimensional Entity
+Matching Benchmark* end to end: the creation pipeline (synthetic web corpus
+-> cleansing -> grouping -> selection -> splitting -> pair generation), the
+benchmark artifact (27 pair-wise + 9 multi-class variants along the
+corner-case / unseen / development-set-size dimensions), and the evaluation
+of six matching systems.
+
+Entry points:
+
+>>> from repro.core import BenchmarkBuilder, BuildConfig
+>>> artifacts = BenchmarkBuilder(BuildConfig.small()).build()
+>>> task = artifacts.benchmark.pairwise_tasks()[0]
+
+See README.md for the full tour and DESIGN.md for the substitution notes.
+"""
+
+from repro.core import (
+    ALL_MULTICLASS_VARIANTS,
+    ALL_PAIRWISE_VARIANTS,
+    BenchmarkBuilder,
+    BuildArtifacts,
+    BuildConfig,
+    CornerCaseRatio,
+    DevSetSize,
+    UnseenRatio,
+    WDCProductsBenchmark,
+)
+from repro.corpus import CorpusConfig, CorpusGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BenchmarkBuilder",
+    "BuildArtifacts",
+    "BuildConfig",
+    "WDCProductsBenchmark",
+    "CornerCaseRatio",
+    "DevSetSize",
+    "UnseenRatio",
+    "ALL_PAIRWISE_VARIANTS",
+    "ALL_MULTICLASS_VARIANTS",
+    "CorpusConfig",
+    "CorpusGenerator",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""The Section 3.2 cleansing pipeline.
+
+Four stages, applied in the paper's order:
+
+1. language identification on ``title + description`` (fastText stand-in),
+2. non-Latin character filtering (keep offers with < 4 non-Latin chars),
+3. deduplication on ``title + description + brand`` and removal of offers
+   whose title has fewer than five tokens,
+4. intra-cluster outlier removal via title word-occurrence statistics.
+"""
+
+from repro.cleansing.language import CharNgramLanguageIdentifier
+from repro.cleansing.latin import count_non_latin_characters, keep_latin_offer
+from repro.cleansing.dedup import dedup_key, deduplicate_offers, remove_short_offers
+from repro.cleansing.outliers import find_cluster_outliers
+from repro.cleansing.pipeline import CleansingPipeline, CleansingReport
+
+__all__ = [
+    "CharNgramLanguageIdentifier",
+    "count_non_latin_characters",
+    "keep_latin_offer",
+    "dedup_key",
+    "deduplicate_offers",
+    "remove_short_offers",
+    "find_cluster_outliers",
+    "CleansingPipeline",
+    "CleansingReport",
+]

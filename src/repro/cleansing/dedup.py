@@ -1,0 +1,45 @@
+"""Deduplication and short-offer removal (§3.2).
+
+"We concatenate the attributes title, description, and brand and drop any
+duplicate rows on this combined attribute, keeping only the first
+occurrence.  Finally, we remove all product offers where the title
+attribute contains less than five tokens."
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.corpus.schema import ProductOffer
+from repro.text.tokenize import tokenize
+
+__all__ = ["dedup_key", "deduplicate_offers", "remove_short_offers"]
+
+_MIN_TITLE_TOKENS = 5
+
+
+def dedup_key(offer: ProductOffer) -> str:
+    """Concatenated title + description + brand, the paper's dedup key."""
+    return "\x1f".join(
+        (offer.title or "", offer.description or "", offer.brand or "")
+    )
+
+
+def deduplicate_offers(offers: Iterable[ProductOffer]) -> list[ProductOffer]:
+    """Drop duplicate rows on the combined attribute, keeping the first."""
+    seen: set[str] = set()
+    kept: list[ProductOffer] = []
+    for offer in offers:
+        key = dedup_key(offer)
+        if key in seen:
+            continue
+        seen.add(key)
+        kept.append(offer)
+    return kept
+
+
+def remove_short_offers(
+    offers: Iterable[ProductOffer], *, min_tokens: int = _MIN_TITLE_TOKENS
+) -> list[ProductOffer]:
+    """Keep offers whose title has at least ``min_tokens`` word tokens."""
+    return [offer for offer in offers if len(tokenize(offer.title)) >= min_tokens]

@@ -1,0 +1,46 @@
+"""Non-Latin character filtering (second language-cleansing step, §3.2).
+
+The paper keeps offers containing fewer than four non-Latin characters —
+tolerating the occasional non-Latin glyph inside model names and branding
+while removing titles written in non-Latin scripts.
+"""
+
+from __future__ import annotations
+
+import unicodedata
+
+from repro.corpus.schema import ProductOffer
+
+__all__ = ["count_non_latin_characters", "keep_latin_offer"]
+
+_DEFAULT_THRESHOLD = 4
+
+
+def _is_non_latin(char: str) -> bool:
+    """Alphabetic characters outside the Latin script count as non-Latin."""
+    if not char.isalpha():
+        return False
+    if ord(char) < 0x250:  # Basic Latin + Latin-1 + Latin Extended A/B
+        return False
+    try:
+        return "LATIN" not in unicodedata.name(char)
+    except ValueError:  # unnamed codepoint
+        return True
+
+
+def count_non_latin_characters(text: str) -> int:
+    """Number of non-Latin alphabetic characters in ``text``.
+
+    >>> count_non_latin_characters("SanDisk Ultra 64GB")
+    0
+    >>> count_non_latin_characters("жесткий диск")
+    11
+    """
+    return sum(_is_non_latin(char) for char in text)
+
+
+def keep_latin_offer(
+    offer: ProductOffer, *, threshold: int = _DEFAULT_THRESHOLD
+) -> bool:
+    """True when the offer has fewer than ``threshold`` non-Latin chars."""
+    return count_non_latin_characters(offer.combined_text()) < threshold

@@ -1,0 +1,61 @@
+"""Intra-cluster outlier removal via word-occurrence statistics (§3.2).
+
+"We scan each cluster's offers and keep track of general title length while
+building a dictionary of word counts across offers' titles.  We expect any
+offer containing very unique words compared to all others in the cluster to
+be noisy non-matching product offers."
+
+An offer is flagged when the *fraction of its title tokens that are rare
+inside the cluster* (appearing in at most one offer) exceeds a threshold.
+Vendor-specific marketing words make some rare tokens normal, so the
+threshold is deliberately permissive; it targets offers whose vocabulary is
+mostly foreign to the cluster — which is exactly what a wrong-identifier
+offer looks like.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.corpus.schema import ProductCluster, ProductOffer
+from repro.text.tokenize import tokenize
+
+__all__ = ["find_cluster_outliers"]
+
+
+def find_cluster_outliers(
+    cluster: ProductCluster,
+    *,
+    rare_document_frequency: int = 1,
+    max_rare_fraction: float = 0.6,
+    min_cluster_size: int = 3,
+) -> list[ProductOffer]:
+    """Return the offers of ``cluster`` considered noisy outliers.
+
+    A token is *rare* when it appears in at most ``rare_document_frequency``
+    offers of the cluster; an offer is an outlier when more than
+    ``max_rare_fraction`` of its title tokens are rare.  Clusters smaller
+    than ``min_cluster_size`` are left untouched (no statistics to rely on).
+    """
+    if len(cluster) < min_cluster_size:
+        return []
+
+    token_document_frequency: Counter[str] = Counter()
+    tokenized: list[list[str]] = []
+    for offer in cluster.offers:
+        tokens = tokenize(offer.title)
+        tokenized.append(tokens)
+        token_document_frequency.update(set(tokens))
+
+    outliers: list[ProductOffer] = []
+    for offer, tokens in zip(cluster.offers, tokenized):
+        if not tokens:
+            outliers.append(offer)
+            continue
+        rare = sum(
+            token_document_frequency[token] <= rare_document_frequency
+            for token in tokens
+        )
+        if rare / len(tokens) > max_rare_fraction:
+            outliers.append(offer)
+    return outliers

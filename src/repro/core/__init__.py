@@ -1,0 +1,60 @@
+"""The WDC Products benchmark core (the paper's contribution).
+
+Implements Sections 3.4-3.6 and 4: product selection along the
+corner-case dimension, offer splitting with the seen/unseen and
+development-set-size dimensions, pair generation, the multi-class
+formulation, benchmark profiling (Tables 1-2) and the label-quality study.
+"""
+
+from repro.core.dimensions import (
+    ALL_PAIRWISE_VARIANTS,
+    ALL_MULTICLASS_VARIANTS,
+    CornerCaseRatio,
+    DevSetSize,
+    UnseenRatio,
+    PairwiseVariant,
+    MulticlassVariant,
+)
+from repro.core.datasets import LabeledPair, MulticlassDataset, PairDataset
+from repro.core.selection import ProductSelection, select_products
+from repro.core.splitting import OfferSplit, split_offers
+from repro.core.pairs import generate_pairs
+from repro.core.multiclass import build_multiclass_datasets
+from repro.core.benchmark import MulticlassTask, PairwiseTask, WDCProductsBenchmark
+from repro.core.builder import BenchmarkBuilder, BuildArtifacts, BuildConfig
+from repro.core.profiling import (
+    benchmark_totals,
+    table1_statistics,
+    table2_profile,
+)
+from repro.core.label_quality import LabelQualityResult, LabelQualityStudy
+
+__all__ = [
+    "CornerCaseRatio",
+    "UnseenRatio",
+    "DevSetSize",
+    "PairwiseVariant",
+    "MulticlassVariant",
+    "ALL_PAIRWISE_VARIANTS",
+    "ALL_MULTICLASS_VARIANTS",
+    "LabeledPair",
+    "PairDataset",
+    "MulticlassDataset",
+    "ProductSelection",
+    "select_products",
+    "OfferSplit",
+    "split_offers",
+    "generate_pairs",
+    "build_multiclass_datasets",
+    "WDCProductsBenchmark",
+    "PairwiseTask",
+    "MulticlassTask",
+    "BenchmarkBuilder",
+    "BuildArtifacts",
+    "BuildConfig",
+    "table1_statistics",
+    "table2_profile",
+    "benchmark_totals",
+    "LabelQualityResult",
+    "LabelQualityStudy",
+]

@@ -1,0 +1,121 @@
+"""The benchmark artifact: 27 pair-wise + 9 multi-class variants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.datasets import MulticlassDataset, PairDataset
+from repro.core.dimensions import (
+    ALL_MULTICLASS_VARIANTS,
+    ALL_PAIRWISE_VARIANTS,
+    CornerCaseRatio,
+    DevSetSize,
+    MulticlassVariant,
+    PairwiseVariant,
+    UnseenRatio,
+)
+
+__all__ = ["PairwiseTask", "MulticlassTask", "WDCProductsBenchmark"]
+
+
+@dataclass(frozen=True)
+class PairwiseTask:
+    """Train/valid/test pair sets for one pair-wise variant."""
+
+    variant: PairwiseVariant
+    train: PairDataset
+    valid: PairDataset
+    test: PairDataset
+
+
+@dataclass(frozen=True)
+class MulticlassTask:
+    """Train/valid/test offer sets for one multi-class variant."""
+
+    variant: MulticlassVariant
+    train: MulticlassDataset
+    valid: MulticlassDataset
+    test: MulticlassDataset
+
+
+@dataclass
+class WDCProductsBenchmark:
+    """Container with accessors for every variant of the benchmark.
+
+    Internally the benchmark stores nine training sets, nine validation
+    sets and nine test sets (per formulation); the 27 pair-wise variants
+    are combinations of those, exactly as in the paper.
+    """
+
+    train_sets: dict[tuple[CornerCaseRatio, DevSetSize], PairDataset] = field(
+        default_factory=dict
+    )
+    valid_sets: dict[tuple[CornerCaseRatio, DevSetSize], PairDataset] = field(
+        default_factory=dict
+    )
+    test_sets: dict[tuple[CornerCaseRatio, UnseenRatio], PairDataset] = field(
+        default_factory=dict
+    )
+    multiclass_train: dict[tuple[CornerCaseRatio, DevSetSize], MulticlassDataset] = (
+        field(default_factory=dict)
+    )
+    multiclass_valid: dict[CornerCaseRatio, MulticlassDataset] = field(
+        default_factory=dict
+    )
+    multiclass_test: dict[CornerCaseRatio, MulticlassDataset] = field(
+        default_factory=dict
+    )
+
+    # ------------------------------------------------------------------ #
+    def pairwise(
+        self,
+        corner_cases: CornerCaseRatio,
+        dev_size: DevSetSize,
+        unseen: UnseenRatio,
+    ) -> PairwiseTask:
+        """One of the 27 pair-wise variants."""
+        variant = PairwiseVariant(corner_cases, dev_size, unseen)
+        return PairwiseTask(
+            variant=variant,
+            train=self.train_sets[(corner_cases, dev_size)],
+            valid=self.valid_sets[(corner_cases, dev_size)],
+            test=self.test_sets[(corner_cases, unseen)],
+        )
+
+    def multiclass(
+        self, corner_cases: CornerCaseRatio, dev_size: DevSetSize
+    ) -> MulticlassTask:
+        """One of the 9 multi-class variants."""
+        variant = MulticlassVariant(corner_cases, dev_size)
+        return MulticlassTask(
+            variant=variant,
+            train=self.multiclass_train[(corner_cases, dev_size)],
+            valid=self.multiclass_valid[corner_cases],
+            test=self.multiclass_test[corner_cases],
+        )
+
+    def pairwise_tasks(self) -> list[PairwiseTask]:
+        return [
+            self.pairwise(v.corner_cases, v.dev_size, v.unseen)
+            for v in ALL_PAIRWISE_VARIANTS
+        ]
+
+    def multiclass_tasks(self) -> list[MulticlassTask]:
+        return [
+            self.multiclass(v.corner_cases, v.dev_size)
+            for v in ALL_MULTICLASS_VARIANTS
+        ]
+
+    def unique_offers(self) -> dict[str, object]:
+        """All distinct offers across every stored dataset."""
+        offers: dict[str, object] = {}
+        for dataset in list(self.train_sets.values()) + list(
+            self.valid_sets.values()
+        ) + list(self.test_sets.values()):
+            for offer in dataset.offers():
+                offers[offer.offer_id] = offer
+        for collection in (self.multiclass_train, self.multiclass_valid, self.multiclass_test):
+            for dataset in collection.values():
+                for offer in dataset.offers:
+                    offers[offer.offer_id] = offer
+        return offers

@@ -1,0 +1,211 @@
+"""End-to-end benchmark construction (the Figure-2 pipeline).
+
+``BenchmarkBuilder`` chains every stage: synthetic corpus generation →
+cleansing → grouping/curation → per-corner-case-ratio product selection →
+offer splitting → pair generation → multi-class datasets.  The returned
+:class:`BuildArtifacts` keeps all intermediate artifacts so profiling
+benchmarks and tests can inspect each stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cleansing.pipeline import CleansingPipeline, CleansingReport
+from repro.core.benchmark import WDCProductsBenchmark
+from repro.core.dimensions import CornerCaseRatio, DevSetSize, UnseenRatio
+from repro.core.multiclass import build_multiclass_datasets
+from repro.core.pairs import generate_pairs
+from repro.core.selection import ProductSelection, select_products
+from repro.core.splitting import OfferSplit, split_offers
+from repro.corpus.generator import CorpusConfig, CorpusGenerator, GeneratedCorpus
+from repro.corpus.schema import SyntheticCorpus
+from repro.grouping.curation import GroupedCorpus, group_products
+from repro.similarity.embedding import LsaEmbeddingModel
+from repro.similarity.registry import SimilarityRegistry
+from repro.utils.rng import RngStream
+
+__all__ = ["BuildConfig", "BuildArtifacts", "BenchmarkBuilder"]
+
+_TEST_CORNER_NEGATIVES = 3  # test & large-validation setting of Section 3.6
+
+
+@dataclass(frozen=True)
+class BuildConfig:
+    """Scale parameters of the benchmark build."""
+
+    corpus: CorpusConfig = field(default_factory=CorpusConfig)
+    seed: int = 42
+    n_products: int = 500
+    n_similar: int = 4
+    corner_case_ratios: tuple[CornerCaseRatio, ...] = tuple(CornerCaseRatio)
+
+    @classmethod
+    def small(cls, *, seed: int = 42) -> "BuildConfig":
+        """Reduced configuration for tests: 60 products per set."""
+        return cls(corpus=CorpusConfig.small(), seed=seed, n_products=60)
+
+
+@dataclass
+class BuildArtifacts:
+    """The benchmark plus every intermediate pipeline artifact."""
+
+    config: BuildConfig
+    generated: GeneratedCorpus
+    cleansed: SyntheticCorpus
+    cleansing_report: CleansingReport
+    grouped: GroupedCorpus
+    selections: dict[tuple[CornerCaseRatio, str], ProductSelection] = field(
+        default_factory=dict
+    )
+    splits: dict[CornerCaseRatio, OfferSplit] = field(default_factory=dict)
+    benchmark: WDCProductsBenchmark = field(default_factory=WDCProductsBenchmark)
+    embedding_model: LsaEmbeddingModel | None = None
+
+    def selected_cluster_ids(self) -> set[str]:
+        """Products appearing in any selection (any ratio, any part)."""
+        selected: set[str] = set()
+        for selection in self.selections.values():
+            selected.update(selection.cluster_ids())
+        return selected
+
+    def pretraining_clusters(
+        self, serializer=None
+    ) -> list[tuple[str, str, list[str]]]:
+        """Identifier clusters usable for checkpoint pre-training.
+
+        Only clusters *never selected* for the benchmark are returned, so a
+        checkpoint pretrained on them cannot leak information about any
+        benchmark product — in particular the unseen test products stay
+        genuinely unseen.  ``serializer`` maps an offer to its text; pass
+        the same serializer the downstream matcher uses so the checkpoint's
+        training distribution matches fine-tuning (default: brand + title).
+        """
+        if serializer is None:
+            def serializer(offer):
+                if offer.brand:
+                    return f"{offer.brand} {offer.title}"
+                return offer.title
+
+        selected = self.selected_cluster_ids()
+        result: list[tuple[str, str, list[str]]] = []
+        for cluster in self.cleansed.clusters(min_size=2):
+            if cluster.cluster_id in selected:
+                continue
+            texts = [serializer(offer) for offer in cluster.offers]
+            result.append((cluster.cluster_id, cluster.family_id, texts))
+        return result
+
+
+class BenchmarkBuilder:
+    """Runs the six pipeline steps of Figure 2."""
+
+    def __init__(self, config: BuildConfig | None = None):
+        self.config = config if config is not None else BuildConfig()
+
+    def build(self) -> BuildArtifacts:
+        config = self.config
+        stream = RngStream(config.seed, "benchmark")
+
+        # Steps 1-2: corpus extraction and cleansing.
+        generated = CorpusGenerator(config.corpus).generate()
+        pipeline = CleansingPipeline()
+        cleansed = pipeline.run(generated.corpus)
+
+        # Step 3: grouping similar products (+ curation).
+        grouped = group_products(cleansed)
+
+        # Embedding model for the metric registry, trained on corpus titles
+        # (the stand-in for the paper's fastText model).
+        embedding_model = LsaEmbeddingModel(dim=32).fit(
+            [offer.title for offer in cleansed.offers]
+        )
+
+        artifacts = BuildArtifacts(
+            config=config,
+            generated=generated,
+            cleansed=cleansed,
+            cleansing_report=pipeline.report,
+            grouped=grouped,
+            embedding_model=embedding_model,
+        )
+
+        # Steps 4-6 per corner-case ratio.
+        for corner_cases in config.corner_case_ratios:
+            self._build_ratio(artifacts, corner_cases, embedding_model, stream)
+        return artifacts
+
+    # ------------------------------------------------------------------ #
+    def _build_ratio(
+        self,
+        artifacts: BuildArtifacts,
+        corner_cases: CornerCaseRatio,
+        embedding_model: LsaEmbeddingModel,
+        stream: RngStream,
+    ) -> None:
+        config = self.config
+        ratio_name = corner_cases.label
+        registry = SimilarityRegistry(
+            embedding_model=embedding_model,
+            rng=stream.generator("registry", ratio_name),
+        )
+
+        # Step 4: product selection (seen and unseen sets of n_products).
+        selections: dict[str, ProductSelection] = {}
+        for part in ("seen", "unseen"):
+            selections[part] = select_products(
+                artifacts.grouped,
+                part=part,
+                corner_case_ratio=corner_cases.value,
+                n_products=config.n_products,
+                n_similar=config.n_similar,
+                registry=registry,
+                rng=stream.generator("selection", ratio_name, part),
+            )
+            artifacts.selections[(corner_cases, part)] = selections[part]
+
+        # Step 5: offer splitting (incl. the three test product sets).
+        split = split_offers(
+            selections["seen"],
+            selections["unseen"],
+            registry=registry,
+            rng=stream.generator("splitting", ratio_name),
+        )
+        artifacts.splits[corner_cases] = split
+
+        # Step 6: pair generation for every development size and test set.
+        benchmark = artifacts.benchmark
+        for dev_size in DevSetSize:
+            pair_rng = stream.generator("pairs", ratio_name, dev_size.value)
+            benchmark.train_sets[(corner_cases, dev_size)] = generate_pairs(
+                split.train_offers(dev_size),
+                name=f"train-{ratio_name}-{dev_size.value}",
+                corner_negatives_per_offer=dev_size.corner_negatives_per_offer,
+                rng=pair_rng,
+                embedding_model=embedding_model,
+            )
+            benchmark.valid_sets[(corner_cases, dev_size)] = generate_pairs(
+                split.valid_offers(),
+                name=f"valid-{ratio_name}-{dev_size.value}",
+                corner_negatives_per_offer=dev_size.corner_negatives_per_offer,
+                rng=pair_rng,
+                embedding_model=embedding_model,
+            )
+            train, valid, test = build_multiclass_datasets(
+                split,
+                dev_size=dev_size,
+                name_prefix=f"multiclass-{ratio_name}",
+            )
+            benchmark.multiclass_train[(corner_cases, dev_size)] = train
+            benchmark.multiclass_valid[corner_cases] = valid
+            benchmark.multiclass_test[corner_cases] = test
+
+        for unseen in UnseenRatio:
+            test_rng = stream.generator("pairs", ratio_name, "test", unseen.label)
+            benchmark.test_sets[(corner_cases, unseen)] = generate_pairs(
+                split.test_offers(unseen),
+                name=f"test-{ratio_name}-{unseen.label.lower()}",
+                corner_negatives_per_offer=_TEST_CORNER_NEGATIVES,
+                rng=test_rng,
+                embedding_model=embedding_model,
+            )

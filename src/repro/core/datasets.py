@@ -1,0 +1,92 @@
+"""Dataset containers for the pair-wise and multi-class formulations."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.corpus.schema import ProductOffer
+
+__all__ = ["LabeledPair", "PairDataset", "MulticlassDataset"]
+
+
+@dataclass(frozen=True)
+class LabeledPair:
+    """One labeled offer pair.
+
+    ``provenance`` records how the pair was generated ("positive",
+    "corner_negative" or "random_negative") — useful for profiling and for
+    sampling Figure-1-style examples, but never exposed as a feature.
+    """
+
+    pair_id: str
+    offer_a: ProductOffer
+    offer_b: ProductOffer
+    label: int
+    provenance: str = ""
+
+    @property
+    def is_match(self) -> bool:
+        return self.label == 1
+
+    def key(self) -> tuple[str, str]:
+        """Unordered pair key for deduplication."""
+        a, b = self.offer_a.offer_id, self.offer_b.offer_id
+        return (a, b) if a <= b else (b, a)
+
+
+@dataclass
+class PairDataset:
+    """A named collection of labeled pairs (one split of one variant)."""
+
+    name: str
+    pairs: list[LabeledPair] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self) -> Iterator[LabeledPair]:
+        return iter(self.pairs)
+
+    def positives(self) -> list[LabeledPair]:
+        return [pair for pair in self.pairs if pair.label == 1]
+
+    def negatives(self) -> list[LabeledPair]:
+        return [pair for pair in self.pairs if pair.label == 0]
+
+    def labels(self) -> list[int]:
+        return [pair.label for pair in self.pairs]
+
+    def offers(self) -> list[ProductOffer]:
+        """Unique offers appearing in the dataset."""
+        seen: dict[str, ProductOffer] = {}
+        for pair in self.pairs:
+            seen.setdefault(pair.offer_a.offer_id, pair.offer_a)
+            seen.setdefault(pair.offer_b.offer_id, pair.offer_b)
+        return list(seen.values())
+
+    def summary(self) -> dict[str, int]:
+        positives = len(self.positives())
+        return {"all": len(self.pairs), "pos": positives, "neg": len(self.pairs) - positives}
+
+
+@dataclass
+class MulticlassDataset:
+    """Offers labeled with their product id (the multi-class formulation)."""
+
+    name: str
+    offers: list[ProductOffer] = field(default_factory=list)
+    labels: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.offers) != len(self.labels):
+            raise ValueError("offers and labels must be aligned")
+
+    def __len__(self) -> int:
+        return len(self.offers)
+
+    def label_space(self) -> list[str]:
+        return sorted(set(self.labels))
+
+    def titles(self) -> list[str]:
+        return [offer.title for offer in self.offers]

@@ -1,0 +1,138 @@
+"""The three benchmark dimensions and the 27 variants (Section 2).
+
+* :class:`CornerCaseRatio` — fraction of the 500 selected products that
+  have at least four textually highly similar products in the set (80%,
+  50%, 20%),
+* :class:`UnseenRatio` — fraction of test-set products not represented in
+  training/validation (0%, 50%, 100%),
+* :class:`DevSetSize` — small/medium/large development sets.
+
+A pair-wise variant fixes all three; a multi-class variant fixes corner-
+cases and development size (the unseen dimension is meaningless when the
+label space is the set of known products).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "CornerCaseRatio",
+    "UnseenRatio",
+    "DevSetSize",
+    "PairwiseVariant",
+    "MulticlassVariant",
+    "ALL_PAIRWISE_VARIANTS",
+    "ALL_MULTICLASS_VARIANTS",
+]
+
+
+class CornerCaseRatio(enum.Enum):
+    """Fraction of corner-case products in each 500-product set."""
+
+    CC80 = 0.80
+    CC50 = 0.50
+    CC20 = 0.20
+
+    @property
+    def label(self) -> str:
+        return f"{int(self.value * 100)}%"
+
+    @classmethod
+    def from_label(cls, label: str) -> "CornerCaseRatio":
+        for member in cls:
+            if member.label == label:
+                return member
+        raise ValueError(f"unknown corner-case ratio: {label!r}")
+
+
+class UnseenRatio(enum.Enum):
+    """Fraction of test products replaced with unseen products."""
+
+    SEEN = 0.0
+    HALF_SEEN = 0.5
+    UNSEEN = 1.0
+
+    @property
+    def label(self) -> str:
+        return {0.0: "Seen", 0.5: "Half-Seen", 1.0: "Unseen"}[self.value]
+
+    @classmethod
+    def from_label(cls, label: str) -> "UnseenRatio":
+        for member in cls:
+            if member.label == label:
+                return member
+        raise ValueError(f"unknown unseen ratio: {label!r}")
+
+
+class DevSetSize(enum.Enum):
+    """Development (training + validation) set size."""
+
+    SMALL = "small"
+    MEDIUM = "medium"
+    LARGE = "large"
+
+    @property
+    def label(self) -> str:
+        return self.value.capitalize()
+
+    @property
+    def training_offers_per_product(self) -> int | None:
+        """Offers per product in the training split (None = all)."""
+        return {"small": 2, "medium": 3, "large": None}[self.value]
+
+    @property
+    def corner_negatives_per_offer(self) -> int:
+        """Corner-case negatives generated per offer (Section 3.6)."""
+        return {"small": 1, "medium": 2, "large": 3}[self.value]
+
+
+@dataclass(frozen=True)
+class PairwiseVariant:
+    """One of the 27 pair-wise benchmark variants."""
+
+    corner_cases: CornerCaseRatio
+    dev_size: DevSetSize
+    unseen: UnseenRatio
+
+    @property
+    def name(self) -> str:
+        return (
+            f"cc{int(self.corner_cases.value * 100)}"
+            f"_{self.dev_size.value}"
+            f"_unseen{int(self.unseen.value * 100)}"
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.corner_cases.label} corner-cases / {self.dev_size.label} "
+            f"dev / {self.unseen.label} test"
+        )
+
+
+@dataclass(frozen=True)
+class MulticlassVariant:
+    """One of the 9 multi-class benchmark variants."""
+
+    corner_cases: CornerCaseRatio
+    dev_size: DevSetSize
+
+    @property
+    def name(self) -> str:
+        return f"cc{int(self.corner_cases.value * 100)}_{self.dev_size.value}"
+
+    def __str__(self) -> str:
+        return f"{self.corner_cases.label} corner-cases / {self.dev_size.label} dev"
+
+
+ALL_PAIRWISE_VARIANTS: tuple[PairwiseVariant, ...] = tuple(
+    PairwiseVariant(cc, dev, unseen)
+    for cc in CornerCaseRatio
+    for dev in DevSetSize
+    for unseen in UnseenRatio
+)
+
+ALL_MULTICLASS_VARIANTS: tuple[MulticlassVariant, ...] = tuple(
+    MulticlassVariant(cc, dev) for cc in CornerCaseRatio for dev in DevSetSize
+)

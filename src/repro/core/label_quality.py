@@ -1,0 +1,128 @@
+"""The label-quality study of Section 4.
+
+Two expert annotators check match/non-match labels on a sample of pairs
+drawn from all nine test splits: 100/60/40 pairs per corner-case ratio
+(balanced positives/negatives), 600 pairs total.  The paper estimates a
+noise level of 4.00%/4.17% with a Cohen's kappa of 0.91.
+
+In this reproduction the annotators are *simulated*: the synthetic corpus
+records each offer's true product (``true_cluster_id``), so a pair's true
+label is known exactly; each annotator reports the true label flipped with
+an independent per-annotator error probability.  The study then measures
+exactly what the paper's annotators measured — disagreement between
+benchmark labels and (imperfect) human judgment, plus inter-annotator
+agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.benchmark import WDCProductsBenchmark
+from repro.core.datasets import LabeledPair
+from repro.core.dimensions import CornerCaseRatio, UnseenRatio
+from repro.corpus.schema import ProductOffer
+from repro.ml.metrics import cohen_kappa
+
+__all__ = ["LabelQualityStudy", "LabelQualityResult", "true_pair_label"]
+
+_SAMPLES_PER_RATIO = {
+    CornerCaseRatio.CC80: 100,
+    CornerCaseRatio.CC50: 60,
+    CornerCaseRatio.CC20: 40,
+}
+
+
+def true_pair_label(offer_a: ProductOffer, offer_b: ProductOffer) -> int:
+    """Ground-truth match label from the generator's provenance."""
+    true_a = offer_a.true_cluster_id or offer_a.cluster_id
+    true_b = offer_b.true_cluster_id or offer_b.cluster_id
+    return int(true_a == true_b)
+
+
+@dataclass
+class LabelQualityResult:
+    """Outcome of the study."""
+
+    n_pairs: int
+    noise_estimate_annotator_one: float
+    noise_estimate_annotator_two: float
+    true_noise_rate: float
+    kappa: float
+    sampled_pairs: list[LabeledPair] = field(default_factory=list)
+
+
+class LabelQualityStudy:
+    """Samples test pairs and simulates two expert annotators."""
+
+    def __init__(
+        self,
+        *,
+        annotator_error: float = 0.02,
+        seed: int = 1234,
+    ) -> None:
+        if not 0.0 <= annotator_error < 0.5:
+            raise ValueError("annotator_error must lie in [0, 0.5)")
+        self.annotator_error = annotator_error
+        self.seed = seed
+
+    def _sample_split(
+        self,
+        pairs: list[LabeledPair],
+        n_samples: int,
+        rng: np.random.Generator,
+    ) -> list[LabeledPair]:
+        """Equal positives and negatives from one test split."""
+        positives = [pair for pair in pairs if pair.label == 1]
+        negatives = [pair for pair in pairs if pair.label == 0]
+        half = n_samples // 2
+        chosen: list[LabeledPair] = []
+        for pool in (positives, negatives):
+            take = min(half, len(pool))
+            indices = rng.choice(len(pool), size=take, replace=False)
+            chosen.extend(pool[int(i)] for i in indices)
+        return chosen
+
+    def run(self, benchmark: WDCProductsBenchmark) -> LabelQualityResult:
+        """Execute the full study over all nine test splits."""
+        rng = np.random.default_rng(self.seed)
+        sampled: list[LabeledPair] = []
+        for corner_cases, per_ratio in _SAMPLES_PER_RATIO.items():
+            # Three test splits (unseen ratios) exist per corner-case
+            # ratio; the per-ratio sample is spread evenly over them.
+            # Custom builds may cover a subset of the ratios.
+            per_split = max(2, per_ratio // len(UnseenRatio))
+            for unseen in UnseenRatio:
+                dataset = benchmark.test_sets.get((corner_cases, unseen))
+                if dataset is None:
+                    continue
+                sampled.extend(self._sample_split(dataset.pairs, per_split, rng))
+        if not sampled:
+            raise ValueError("benchmark contains no test sets to sample")
+
+        benchmark_labels = np.array([pair.label for pair in sampled])
+        truth = np.array(
+            [true_pair_label(pair.offer_a, pair.offer_b) for pair in sampled]
+        )
+
+        def annotate(annotator_rng: np.random.Generator) -> np.ndarray:
+            flips = annotator_rng.random(len(truth)) < self.annotator_error
+            return np.where(flips, 1 - truth, truth)
+
+        annotator_one = annotate(np.random.default_rng(self.seed + 1))
+        annotator_two = annotate(np.random.default_rng(self.seed + 2))
+
+        return LabelQualityResult(
+            n_pairs=len(sampled),
+            noise_estimate_annotator_one=float(
+                np.mean(annotator_one != benchmark_labels)
+            ),
+            noise_estimate_annotator_two=float(
+                np.mean(annotator_two != benchmark_labels)
+            ),
+            true_noise_rate=float(np.mean(truth != benchmark_labels)),
+            kappa=cohen_kappa(annotator_one.tolist(), annotator_two.tolist()),
+            sampled_pairs=sampled,
+        )

@@ -1,0 +1,50 @@
+"""The multi-class formulation (Sections 2 and 3.5).
+
+The multi-class datasets reuse *exactly* the offers of the pair-wise
+splits: training offers labeled with their product id, validation and test
+offers likewise.  Because every offer belongs to exactly one split, the
+pair-wise and multi-class tasks stay comparable — the property the paper
+highlights as unique to WDC Products.
+"""
+
+from __future__ import annotations
+
+from repro.core.datasets import MulticlassDataset
+from repro.core.dimensions import DevSetSize, UnseenRatio
+from repro.core.splitting import OfferSplit
+
+__all__ = ["build_multiclass_datasets"]
+
+
+def build_multiclass_datasets(
+    split: OfferSplit,
+    *,
+    dev_size: DevSetSize,
+    name_prefix: str = "multiclass",
+) -> tuple[MulticlassDataset, MulticlassDataset, MulticlassDataset]:
+    """Return (train, valid, test) multi-class datasets for ``dev_size``.
+
+    The test set is always the fully *seen* test set — multi-class
+    matching recognizes a previously known set of products, so unseen
+    products have no label in the space.
+    """
+    train_entries = split.train_offers(dev_size)
+    valid_entries = split.valid_offers()
+    test_entries = split.test_offers(UnseenRatio.SEEN)
+
+    train = MulticlassDataset(
+        name=f"{name_prefix}-train-{dev_size.value}",
+        offers=[offer for _, offer in train_entries],
+        labels=[cluster_id for cluster_id, _ in train_entries],
+    )
+    valid = MulticlassDataset(
+        name=f"{name_prefix}-valid",
+        offers=[offer for _, offer in valid_entries],
+        labels=[cluster_id for cluster_id, _ in valid_entries],
+    )
+    test = MulticlassDataset(
+        name=f"{name_prefix}-test",
+        offers=[offer for _, offer in test_entries],
+        labels=[cluster_id for cluster_id, _ in test_entries],
+    )
+    return train, valid, test

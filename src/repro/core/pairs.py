@@ -1,0 +1,133 @@
+"""Pair generation (Section 3.6).
+
+For each split (a list of offers with product labels) the generator emits
+all positive pairs inside each product cluster, then for every offer a
+number of *corner-case negatives* — the most similar offers from other
+clusters under a randomly drawn similarity metric — plus one random
+negative.  The number of corner negatives per offer depends on the
+development-set size (3 large / 2 medium / 1 small); test sets and large
+validation sets use the large setting.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from itertools import combinations
+
+import numpy as np
+
+from repro.core.datasets import LabeledPair, PairDataset
+from repro.corpus.schema import ProductOffer
+from repro.similarity.embedding import LsaEmbeddingModel
+from repro.similarity.index import TitleSimilaritySearch
+
+__all__ = ["generate_pairs"]
+
+
+def generate_pairs(
+    entries: list[tuple[str, ProductOffer]],
+    *,
+    name: str,
+    corner_negatives_per_offer: int,
+    random_negatives_per_offer: int = 1,
+    rng: np.random.Generator,
+    embedding_model: LsaEmbeddingModel | None = None,
+) -> PairDataset:
+    """Generate the labeled pair set for one split.
+
+    ``entries`` are ``(cluster_id, offer)`` tuples; offers of the same
+    cluster produce positives, offers of different clusters negatives.
+    """
+    if corner_negatives_per_offer < 0 or random_negatives_per_offer < 0:
+        raise ValueError("negative counts must be non-negative")
+
+    offers = [offer for _, offer in entries]
+    cluster_ids = [cluster_id for cluster_id, _ in entries]
+    index = TitleSimilaritySearch(
+        [offer.title for offer in offers], embedding_model=embedding_model
+    )
+    metric_names = index.metric_names
+
+    dataset = PairDataset(name=name)
+    used_keys: set[tuple[str, str]] = set()
+    counter = 0
+
+    def add_pair(a: int, b: int, label: int, provenance: str) -> bool:
+        nonlocal counter
+        pair = LabeledPair(
+            pair_id=f"{name}-{counter:06d}",
+            offer_a=offers[a],
+            offer_b=offers[b],
+            label=label,
+            provenance=provenance,
+        )
+        key = pair.key()
+        if key in used_keys or pair.offer_a.offer_id == pair.offer_b.offer_id:
+            return False
+        used_keys.add(key)
+        dataset.pairs.append(pair)
+        counter += 1
+        return True
+
+    # ---------------------------------------------------------------- #
+    # Positives: all offer pairs inside each product cluster.
+    # ---------------------------------------------------------------- #
+    by_cluster: dict[str, list[int]] = defaultdict(list)
+    for position, cluster_id in enumerate(cluster_ids):
+        by_cluster[cluster_id].append(position)
+    for cluster_id in sorted(by_cluster):
+        members = by_cluster[cluster_id]
+        for a, b in combinations(members, 2):
+            add_pair(a, b, 1, "positive")
+
+    # ---------------------------------------------------------------- #
+    # Negatives: per offer, the most similar offers from other clusters
+    # under an alternating metric, then random negatives.
+    # ---------------------------------------------------------------- #
+    cluster_array = np.array(cluster_ids)
+    n = len(offers)
+    for position in range(n):
+        same_cluster = cluster_array == cluster_array[position]
+        if corner_negatives_per_offer > 0:
+            metric = metric_names[int(rng.integers(len(metric_names)))]
+            # Over-fetch: some candidates may already be paired (mirrored
+            # pairs); the paper then takes "the next most similar pair".
+            candidates = index.top_k(
+                position,
+                metric,
+                k=corner_negatives_per_offer + 8,
+                exclude=same_cluster,
+            )
+            added = 0
+            for candidate in candidates:
+                if added >= corner_negatives_per_offer:
+                    break
+                if add_pair(position, candidate, 0, "corner_negative"):
+                    added += 1
+
+        added_random = 0
+        attempts = 0
+        while added_random < random_negatives_per_offer and attempts < 50:
+            attempts += 1
+            candidate = int(rng.integers(n))
+            if same_cluster[candidate]:
+                continue
+            if add_pair(position, candidate, 0, "random_negative"):
+                added_random += 1
+
+    # Top-up: if dedup against mirrored pairs left an offer short of its
+    # negative quota, add random negatives so every split reaches its exact
+    # target size (the paper's test sets contain exactly 4,500 pairs).
+    target_negatives = n * (corner_negatives_per_offer + random_negatives_per_offer)
+    current_negatives = len(dataset.negatives())
+    attempts = 0
+    while current_negatives < target_negatives and attempts < 50 * n:
+        attempts += 1
+        a = int(rng.integers(n))
+        b = int(rng.integers(n))
+        if cluster_ids[a] == cluster_ids[b]:
+            continue
+        if add_pair(a, b, 0, "random_negative"):
+            current_negatives += 1
+
+    return dataset

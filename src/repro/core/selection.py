@@ -1,0 +1,170 @@
+"""Product selection along the corner-case dimension (Section 3.4).
+
+For a target corner-case ratio, iterate over the curated DBSCAN groups,
+randomly pick a seed product cluster per group, and add its four most
+similar product clusters from the same group — alternating randomly between
+similarity metrics to avoid selection bias — until the corner-case quota is
+met; fill the remainder with random products.  The procedure runs once on
+the seen part and once on the unseen part of the grouped corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.corpus.schema import ProductCluster
+from repro.grouping.curation import GroupedCorpus, ProductGroup
+from repro.similarity.registry import SimilarityRegistry
+
+__all__ = ["ProductSelection", "select_products"]
+
+
+@dataclass
+class ProductSelection:
+    """500 selected product clusters with corner-case annotations."""
+
+    part: str  # "seen" | "unseen"
+    corner_case_ratio: float
+    clusters: list[ProductCluster] = field(default_factory=list)
+    corner_cluster_ids: set[str] = field(default_factory=set)
+
+    def __len__(self) -> int:
+        return len(self.clusters)
+
+    def is_corner(self, cluster_id: str) -> bool:
+        return cluster_id in self.corner_cluster_ids
+
+    @property
+    def n_corner(self) -> int:
+        return len(self.corner_cluster_ids)
+
+    def cluster_ids(self) -> list[str]:
+        return [cluster.cluster_id for cluster in self.clusters]
+
+
+def _similar_clusters_in_group(
+    seed: ProductCluster,
+    group: ProductGroup,
+    registry: SimilarityRegistry,
+    *,
+    n_similar: int,
+    already_selected: set[str],
+) -> list[ProductCluster]:
+    """The ``n_similar`` most similar unselected clusters to ``seed``.
+
+    Each pick draws a fresh metric from the registry, mirroring the paper's
+    "randomly alternating between the most similar examples".
+    """
+    candidates = [
+        cluster
+        for cluster in group.clusters
+        if cluster.cluster_id != seed.cluster_id
+        and cluster.cluster_id not in already_selected
+    ]
+    if len(candidates) < n_similar:
+        return []
+    query = seed.representative_title()
+    titles = [cluster.representative_title() for cluster in candidates]
+    chosen: list[ProductCluster] = []
+    chosen_ids: set[str] = set()
+    while len(chosen) < n_similar:
+        metric = registry.draw()
+        ranked = registry.rank_candidates(query, titles, metric=metric)
+        picked = None
+        for index, _score in ranked:
+            candidate = candidates[index]
+            if candidate.cluster_id not in chosen_ids:
+                picked = candidate
+                break
+        if picked is None:
+            return []
+        chosen.append(picked)
+        chosen_ids.add(picked.cluster_id)
+    return chosen
+
+
+def select_products(
+    grouped: GroupedCorpus,
+    *,
+    part: str,
+    corner_case_ratio: float,
+    n_products: int = 500,
+    n_similar: int = 4,
+    registry: SimilarityRegistry,
+    rng: np.random.Generator,
+) -> ProductSelection:
+    """Select ``n_products`` clusters with the requested corner-case ratio."""
+    if part not in ("seen", "unseen"):
+        raise ValueError(f"part must be 'seen' or 'unseen', got {part!r}")
+    if not 0.0 <= corner_case_ratio <= 1.0:
+        raise ValueError("corner_case_ratio must lie in [0, 1]")
+
+    groups = list(grouped.useful_groups(part))
+    if not groups:
+        raise ValueError(f"no useful groups available in part {part!r}")
+    n_corner_target = int(round(n_products * corner_case_ratio))
+    # Round the quota down to a whole number of (seed + n_similar) bundles.
+    bundle = n_similar + 1
+    n_corner_target = (n_corner_target // bundle) * bundle
+
+    selection = ProductSelection(part=part, corner_case_ratio=corner_case_ratio)
+    selected_ids: set[str] = set()
+
+    group_order = [groups[int(i)] for i in rng.permutation(len(groups))]
+    cursor = 0
+    stalled_rounds = 0
+    while len(selection.corner_cluster_ids) < n_corner_target:
+        if stalled_rounds > len(group_order):
+            raise ValueError(
+                "not enough corner-case products: needed "
+                f"{n_corner_target}, found {len(selection.corner_cluster_ids)} "
+                f"in part {part!r}"
+            )
+        group = group_order[cursor % len(group_order)]
+        cursor += 1
+
+        seeds = [
+            cluster
+            for cluster in group.clusters
+            if cluster.cluster_id not in selected_ids
+        ]
+        if len(seeds) < bundle:
+            stalled_rounds += 1
+            continue
+        seed = seeds[int(rng.integers(len(seeds)))]
+        similar = _similar_clusters_in_group(
+            seed,
+            group,
+            registry,
+            n_similar=n_similar,
+            already_selected=selected_ids | {seed.cluster_id},
+        )
+        if not similar:
+            stalled_rounds += 1
+            continue
+        stalled_rounds = 0
+        for cluster in (seed, *similar):
+            selection.clusters.append(cluster)
+            selection.corner_cluster_ids.add(cluster.cluster_id)
+            selected_ids.add(cluster.cluster_id)
+
+    # Fill the remainder with random products from all useful groups.
+    pool = [
+        cluster
+        for group in groups
+        for cluster in group.clusters
+        if cluster.cluster_id not in selected_ids
+    ]
+    n_random = n_products - len(selection.clusters)
+    if len(pool) < n_random:
+        raise ValueError(
+            f"not enough random products to fill the selection: need "
+            f"{n_random}, pool has {len(pool)} (part {part!r})"
+        )
+    for index in rng.permutation(len(pool))[:n_random]:
+        cluster = pool[int(index)]
+        selection.clusters.append(cluster)
+        selected_ids.add(cluster.cluster_id)
+    return selection

@@ -1,0 +1,311 @@
+"""Offer splitting (Section 3.5).
+
+Offers of each selected seen product are split into training (the rest),
+validation (2 offers) and test (2 offers); for corner-case products the
+validation/test offer pairs are chosen from the most *dissimilar* pairs of
+the cluster so the resulting positive pairs are hard.  Development-set
+sizes carve nested subsets out of the training offers (large ⊇ medium ⊇
+small), and the unseen dimension is materialized by swapping seen test
+products for products from the unseen selection while preserving the
+corner-case ratio.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dimensions import DevSetSize, UnseenRatio
+from repro.core.selection import ProductSelection
+from repro.corpus.schema import ProductCluster, ProductOffer
+from repro.similarity.registry import SimilarityRegistry
+
+__all__ = ["SplitProduct", "TestProduct", "OfferSplit", "split_offers"]
+
+_MAX_OFFERS_PER_SEEN_CLUSTER = 15
+_EVAL_OFFERS = 2  # validation and test each receive two offers
+_CORNER_SLICE = 0.2  # "slice this list at the first fifth"
+
+
+@dataclass
+class SplitProduct:
+    """A seen product's offers distributed over the splits."""
+
+    cluster: ProductCluster
+    is_corner: bool
+    train_large: list[ProductOffer] = field(default_factory=list)
+    train_medium: list[ProductOffer] = field(default_factory=list)
+    train_small: list[ProductOffer] = field(default_factory=list)
+    valid: list[ProductOffer] = field(default_factory=list)
+    test: list[ProductOffer] = field(default_factory=list)
+
+    @property
+    def cluster_id(self) -> str:
+        return self.cluster.cluster_id
+
+    def train_offers(self, dev_size: DevSetSize) -> list[ProductOffer]:
+        if dev_size is DevSetSize.SMALL:
+            return self.train_small
+        if dev_size is DevSetSize.MEDIUM:
+            return self.train_medium
+        return self.train_large
+
+
+@dataclass(frozen=True)
+class TestProduct:
+    """One product of a test set: its two offers plus provenance flags."""
+
+    cluster_id: str
+    offers: tuple[ProductOffer, ProductOffer]
+    is_corner: bool
+    is_unseen: bool
+
+
+@dataclass
+class OfferSplit:
+    """Complete Section-3.5 output for one corner-case ratio."""
+
+    corner_case_ratio: float
+    seen: list[SplitProduct] = field(default_factory=list)
+    test_sets: dict[UnseenRatio, list[TestProduct]] = field(default_factory=dict)
+
+    def train_offers(self, dev_size: DevSetSize) -> list[tuple[str, ProductOffer]]:
+        """(cluster_id, offer) pairs of the chosen training split."""
+        return [
+            (product.cluster_id, offer)
+            for product in self.seen
+            for offer in product.train_offers(dev_size)
+        ]
+
+    def valid_offers(self) -> list[tuple[str, ProductOffer]]:
+        return [
+            (product.cluster_id, offer)
+            for product in self.seen
+            for offer in product.valid
+        ]
+
+    def test_offers(self, unseen: UnseenRatio) -> list[tuple[str, ProductOffer]]:
+        return [
+            (product.cluster_id, offer)
+            for product in self.test_sets[unseen]
+            for offer in product.offers
+        ]
+
+    def all_offer_ids(self) -> dict[str, set[str]]:
+        """Offer ids per logical split — used to verify leakage-freedom."""
+        ids: dict[str, set[str]] = {"train": set(), "valid": set(), "test": set()}
+        for product in self.seen:
+            ids["train"].update(offer.offer_id for offer in product.train_large)
+            ids["valid"].update(offer.offer_id for offer in product.valid)
+            ids["test"].update(offer.offer_id for offer in product.test)
+        for test_set in self.test_sets.values():
+            ids["test"].update(
+                offer.offer_id for product in test_set for offer in product.offers
+            )
+        return ids
+
+
+def _pairs_by_ascending_similarity(
+    offers: list[ProductOffer],
+    registry: SimilarityRegistry,
+) -> list[tuple[int, int]]:
+    """All index pairs of ``offers`` sorted by increasing title similarity.
+
+    The metric is drawn at random per product, as in Section 3.5.
+    """
+    metric = registry.draw()
+    scored = [
+        (metric(offers[i].title, offers[j].title), i, j)
+        for i, j in itertools.combinations(range(len(offers)), 2)
+    ]
+    scored.sort(key=lambda item: (item[0], item[1], item[2]))
+    return [(i, j) for _, i, j in scored]
+
+
+def _pick_disjoint_corner_pairs(
+    offers: list[ProductOffer],
+    registry: SimilarityRegistry,
+    rng: np.random.Generator,
+) -> tuple[tuple[int, int], tuple[int, int]]:
+    """Two disjoint offer pairs from the dissimilar (corner) side.
+
+    The corner slice is the first fifth of the ascending-similarity pair
+    list; it is widened until it contains two disjoint pairs (guaranteed to
+    exist for clusters with >= 4 offers).
+    """
+    ordered = _pairs_by_ascending_similarity(offers, registry)
+    slice_size = max(2, int(len(ordered) * _CORNER_SLICE))
+    while slice_size <= len(ordered):
+        corner_side = ordered[:slice_size]
+        order = rng.permutation(len(corner_side))
+        for first_index in order:
+            first = corner_side[int(first_index)]
+            for second in corner_side:
+                if set(first) & set(second):
+                    continue
+                return first, second
+        slice_size += max(1, len(ordered) // 10)
+    raise ValueError("cluster too small to produce disjoint evaluation pairs")
+
+
+def _random_disjoint_pairs(
+    n_offers: int, rng: np.random.Generator
+) -> tuple[tuple[int, int], tuple[int, int]]:
+    order = [int(i) for i in rng.permutation(n_offers)]
+    return (order[0], order[1]), (order[2], order[3])
+
+
+def _split_seen_product(
+    cluster: ProductCluster,
+    *,
+    is_corner: bool,
+    registry: SimilarityRegistry,
+    rng: np.random.Generator,
+) -> SplitProduct:
+    offers = list(cluster.offers)
+    if len(offers) > _MAX_OFFERS_PER_SEEN_CLUSTER:
+        keep = rng.choice(len(offers), size=_MAX_OFFERS_PER_SEEN_CLUSTER, replace=False)
+        offers = [offers[int(i)] for i in sorted(keep)]
+    if len(offers) < 7:
+        raise ValueError(
+            f"seen cluster {cluster.cluster_id} has {len(offers)} offers; >= 7 required"
+        )
+
+    if is_corner:
+        test_pair, valid_pair = _pick_disjoint_corner_pairs(offers, registry, rng)
+    else:
+        test_pair, valid_pair = _random_disjoint_pairs(len(offers), rng)
+
+    eval_indices = set(test_pair) | set(valid_pair)
+    train = [offer for index, offer in enumerate(offers) if index not in eval_indices]
+
+    product = SplitProduct(
+        cluster=cluster,
+        is_corner=is_corner,
+        train_large=train,
+        valid=[offers[valid_pair[0]], offers[valid_pair[1]]],
+        test=[offers[test_pair[0]], offers[test_pair[1]]],
+    )
+
+    # Nested medium (3 offers) and small (2 of the 3) training subsets; for
+    # corner products the small pair is again drawn from the dissimilar side.
+    if is_corner and len(train) >= 3:
+        ordered = _pairs_by_ascending_similarity(train, registry)
+        slice_size = max(1, int(len(ordered) * _CORNER_SLICE))
+        small_pair = ordered[int(rng.integers(slice_size))]
+    else:
+        shuffled = [int(i) for i in rng.permutation(len(train))]
+        small_pair = (shuffled[0], shuffled[1] if len(shuffled) > 1 else shuffled[0])
+    small = sorted(set(small_pair))
+    remaining = [index for index in range(len(train)) if index not in small]
+    medium = small + ([remaining[int(rng.integers(len(remaining)))]] if remaining else [])
+    product.train_small = [train[index] for index in small]
+    product.train_medium = [train[index] for index in sorted(medium)]
+    return product
+
+
+def _sample_unseen_offers(
+    cluster: ProductCluster,
+    *,
+    is_corner: bool,
+    registry: SimilarityRegistry,
+    rng: np.random.Generator,
+) -> tuple[ProductOffer, ProductOffer]:
+    """Exactly two offers per unseen product (Figure 3, right)."""
+    offers = list(cluster.offers)
+    if len(offers) < 2:
+        raise ValueError(
+            f"unseen cluster {cluster.cluster_id} has fewer than two offers"
+        )
+    if len(offers) == 2:
+        return offers[0], offers[1]
+    if is_corner:
+        ordered = _pairs_by_ascending_similarity(offers, registry)
+        slice_size = max(1, int(len(ordered) * _CORNER_SLICE))
+        i, j = ordered[int(rng.integers(slice_size))]
+        return offers[i], offers[j]
+    picked = rng.choice(len(offers), size=2, replace=False)
+    return offers[int(picked[0])], offers[int(picked[1])]
+
+
+def _build_test_sets(
+    seen_products: list[SplitProduct],
+    unseen_selection: ProductSelection,
+    registry: SimilarityRegistry,
+    rng: np.random.Generator,
+) -> dict[UnseenRatio, list[TestProduct]]:
+    """Materialize the three test sets (0% / 50% / 100% unseen).
+
+    Replacement preserves the corner-case ratio: corner seen products are
+    swapped for corner unseen products and random for random.
+    """
+    seen_tests = [
+        TestProduct(
+            cluster_id=product.cluster_id,
+            offers=(product.test[0], product.test[1]),
+            is_corner=product.is_corner,
+            is_unseen=False,
+        )
+        for product in seen_products
+    ]
+
+    unseen_tests: list[TestProduct] = []
+    for cluster in unseen_selection.clusters:
+        is_corner = unseen_selection.is_corner(cluster.cluster_id)
+        offers = _sample_unseen_offers(
+            cluster, is_corner=is_corner, registry=registry, rng=rng
+        )
+        unseen_tests.append(
+            TestProduct(
+                cluster_id=cluster.cluster_id,
+                offers=offers,
+                is_corner=is_corner,
+                is_unseen=True,
+            )
+        )
+
+    def half_mix() -> list[TestProduct]:
+        mixed = list(seen_tests)
+        for flag in (True, False):
+            seen_slots = [i for i, t in enumerate(mixed) if t.is_corner is flag]
+            replacements = [t for t in unseen_tests if t.is_corner is flag]
+            n_replace = len(seen_slots) // 2
+            n_replace = min(n_replace, len(replacements))
+            slot_order = rng.permutation(len(seen_slots))[:n_replace]
+            replacement_order = rng.permutation(len(replacements))[:n_replace]
+            for slot_index, replacement_index in zip(slot_order, replacement_order):
+                mixed[seen_slots[int(slot_index)]] = replacements[int(replacement_index)]
+        return mixed
+
+    return {
+        UnseenRatio.SEEN: seen_tests,
+        UnseenRatio.HALF_SEEN: half_mix(),
+        UnseenRatio.UNSEEN: unseen_tests,
+    }
+
+
+def split_offers(
+    seen_selection: ProductSelection,
+    unseen_selection: ProductSelection,
+    *,
+    registry: SimilarityRegistry,
+    rng: np.random.Generator,
+) -> OfferSplit:
+    """Run the complete Section-3.5 splitting for one corner-case ratio."""
+    if seen_selection.part != "seen" or unseen_selection.part != "unseen":
+        raise ValueError("selections must be (seen, unseen) in that order")
+
+    split = OfferSplit(corner_case_ratio=seen_selection.corner_case_ratio)
+    for cluster in seen_selection.clusters:
+        split.seen.append(
+            _split_seen_product(
+                cluster,
+                is_corner=seen_selection.is_corner(cluster.cluster_id),
+                registry=registry,
+                rng=rng,
+            )
+        )
+    split.test_sets = _build_test_sets(split.seen, unseen_selection, registry, rng)
+    return split

@@ -1,0 +1,44 @@
+"""Synthetic schema.org product-offer corpus (the PDC2020 stand-in).
+
+The paper builds WDC Products from the WDC Product Data Corpus 2020 — ~98M
+offers extracted from Common Crawl pages that annotate products with
+schema.org markup and identifiers (GTIN/MPN/SKU).  Without web access we
+generate a synthetic corpus with the same *structural* properties:
+
+* offers carry the five benchmark attributes (title, description, price,
+  priceCurrency, brand) with realistic density,
+* identifiers group offers into product clusters,
+* clusters belong to *families* of near-identical sibling products
+  (differing in one or two spec values) — the raw material for negative
+  corner-cases,
+* offers for one product differ per vendor in wording, abbreviations,
+  units, token order and attribute completeness — the raw material for
+  positive corner-cases,
+* a configurable fraction of rows is dirty (non-English offers, duplicate
+  rows, too-short titles, offers assigned to the wrong cluster) so the
+  Section 3.2 cleansing pipeline has real work to do.
+"""
+
+from repro.corpus.schema import ProductCluster, ProductOffer, SyntheticCorpus
+from repro.corpus.catalog import Catalog, CategorySpec, ProductFamily, ProductSpec
+from repro.corpus.identifiers import gtin13, gtin13_check_digit, mpn, sku
+from repro.corpus.vendors import VendorStyle, make_vendor_styles
+from repro.corpus.generator import CorpusConfig, CorpusGenerator
+
+__all__ = [
+    "ProductOffer",
+    "ProductCluster",
+    "SyntheticCorpus",
+    "Catalog",
+    "CategorySpec",
+    "ProductFamily",
+    "ProductSpec",
+    "gtin13",
+    "gtin13_check_digit",
+    "mpn",
+    "sku",
+    "VendorStyle",
+    "make_vendor_styles",
+    "CorpusConfig",
+    "CorpusGenerator",
+]

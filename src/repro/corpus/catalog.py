@@ -1,0 +1,487 @@
+"""Synthetic product catalog: categories, brands, spec axes and families.
+
+A *family* groups sibling products that share brand and product line but
+differ in one or two specification values (capacity, color, wattage ...).
+Sibling titles are therefore nearly identical — exactly the "very similar
+but different products" the paper needs as negative corner-cases (§3.4).
+All brand and line names are invented so no real trademark leaks into the
+synthetic data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SpecAxis", "CategorySpec", "ProductSpec", "ProductFamily", "Catalog"]
+
+
+@dataclass(frozen=True)
+class SpecAxis:
+    """One specification dimension, e.g. capacity with values "500GB"..."4TB"."""
+
+    name: str
+    values: tuple[str, ...]
+    in_title: bool = True
+
+
+@dataclass(frozen=True)
+class CategorySpec:
+    """Template data for one product category."""
+
+    name: str
+    noun: str  # head noun used in titles, e.g. "internal hard drive"
+    brands: tuple[str, ...]
+    lines: tuple[str, ...]
+    axes: tuple[SpecAxis, ...]
+    extras: tuple[str, ...]  # static title tail fragments
+    description_templates: tuple[str, ...]
+    price_range: tuple[float, float]
+    model_prefixes: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ProductSpec:
+    """A concrete product: brand + line + model code + resolved spec values."""
+
+    product_id: str
+    category: str
+    brand: str
+    line: str
+    model_code: str
+    noun: str
+    specs: dict[str, str] = field(default_factory=dict, hash=False)
+    extras: tuple[str, ...] = ()
+    base_price: float = 0.0
+    description_templates: tuple[str, ...] = ()
+
+    def canonical_title(self) -> str:
+        """Full, unperturbed title listing every in-title spec value."""
+        parts = [self.brand, self.line, self.model_code]
+        parts.extend(self.specs.values())
+        parts.append(self.noun)
+        parts.extend(self.extras)
+        return " ".join(parts)
+
+    def render_description(self, template_index: int) -> str:
+        """One of the category's description texts for this product.
+
+        Vendors pick different templates, so two offers of the same product
+        usually have *different* descriptions — as on the real web, where
+        each shop writes its own copy.
+        """
+        template = self.description_templates[
+            template_index % len(self.description_templates)
+        ]
+        return template.format(
+            brand=self.brand,
+            line=self.line,
+            model=self.model_code,
+            noun=self.noun,
+            specs=", ".join(self.specs.values()),
+        )
+
+
+@dataclass
+class ProductFamily:
+    """Sibling products sharing brand+line, differing in spec values."""
+
+    family_id: str
+    category: str
+    brand: str
+    line: str
+    products: list[ProductSpec] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.products)
+
+
+def _axis(name: str, *values: str, in_title: bool = True) -> SpecAxis:
+    return SpecAxis(name, tuple(values), in_title)
+
+
+_CATEGORIES: tuple[CategorySpec, ...] = (
+    CategorySpec(
+        name="hard_drives",
+        noun="internal hard drive",
+        brands=("Exatron", "Datavolt", "Spinforge", "Coretide"),
+        lines=("VortexDisk", "BarraStor", "IronCell", "TurboPlatter", "NovaDrive"),
+        axes=(
+            _axis("capacity", "500GB", "1TB", "2TB", "3TB", "4TB", "6TB", "8TB", "10TB", "12TB", "14TB"),
+            _axis("speed", "5400RPM", "7200RPM"),
+            _axis("interface", "SATA III", "SAS"),
+        ),
+        extras=("3.5 inch",),
+        description_templates=(
+            "The {brand} {line} {model} {noun} delivers reliable storage with {specs}. Ideal for desktop workstations and surveillance systems.",
+            "Upgrade your rig with the {line} {model} from {brand}. Key specs: {specs}. Backed by a limited manufacturer warranty.",
+            "{brand} {line} series {noun}. Configuration: {specs}. Bulk packaging, drive only.",
+        ),
+        price_range=(35.0, 420.0),
+        model_prefixes=("VD", "BS", "IC", "TP", "ND"),
+    ),
+    CategorySpec(
+        name="graphics_cards",
+        noun="graphics card",
+        brands=("Veltrix", "Pyroclast", "Quantara", "Gigalume"),
+        lines=("Stormrider", "Heliox", "Nightforge", "Aetherblade", "Pulsewave"),
+        axes=(
+            _axis("memory", "4GB", "6GB", "8GB", "10GB", "12GB", "16GB", "20GB", "24GB"),
+            _axis("memory_type", "GDDR6", "GDDR6X"),
+            _axis("edition", "OC Edition", "Gaming", "Founders", "Eco"),
+        ),
+        extras=("PCIe 4.0", "Triple Fan"),
+        description_templates=(
+            "Experience smooth frame rates with the {brand} {line} {model} {noun}, featuring {specs} and advanced cooling.",
+            "{brand} {line} {model}: {specs}. HDMI 2.1 and triple DisplayPort outputs for multi-monitor setups.",
+            "Factory overclocked {noun} from the {line} family. Specs: {specs}.",
+        ),
+        price_range=(150.0, 1600.0),
+        model_prefixes=("SR", "HX", "NF", "AB", "PW"),
+    ),
+    CategorySpec(
+        name="memory_cards",
+        noun="flash memory card",
+        brands=("Sunmica", "Kingvolt", "Transcore", "Lexitek"),
+        lines=("UltraFlow", "ProShot", "EnduroCard", "SwiftStore", "MaxCapture"),
+        axes=(
+            _axis("capacity", "32GB", "64GB", "128GB", "256GB", "512GB", "1TB"),
+            _axis("format", "microSDXC", "SDXC", "CFexpress"),
+            _axis("speed_class", "U3 V30", "U3 V60", "V90"),
+        ),
+        extras=("with Adapter",),
+        description_templates=(
+            "Capture 4K video with the {brand} {line} {model} {noun}. {specs}. Waterproof, shockproof and X-ray proof.",
+            "{brand} {line} memory card, {specs}. Read speeds up to 170MB/s for fast file transfer.",
+            "Reliable {noun} for cameras and drones: {specs}.",
+        ),
+        price_range=(9.0, 380.0),
+        model_prefixes=("UF", "PS", "EC", "SS", "MC"),
+    ),
+    CategorySpec(
+        name="laptops",
+        noun="laptop",
+        brands=("Nordbook", "Cirrustech", "Vantagepoint", "Oblivio"),
+        lines=("AeroSlim", "PowerMatrix", "StudioBook", "TrailBlazer", "ZenithPro"),
+        axes=(
+            _axis("screen", "13.3 inch", "14 inch", "15.6 inch", "17.3 inch"),
+            _axis("ram", "8GB RAM", "16GB RAM", "32GB RAM", "64GB RAM"),
+            _axis("storage", "256GB SSD", "512GB SSD", "1TB SSD", "2TB SSD"),
+        ),
+        extras=("Windows 11",),
+        description_templates=(
+            "The {brand} {line} {model} {noun} combines portability and power: {specs}. All-day battery life with rapid charge.",
+            "Work anywhere with the {line} {model}. Configuration: {specs}. Backlit keyboard and fingerprint reader included.",
+            "{brand} {line} business {noun}, {specs}, aluminium chassis.",
+        ),
+        price_range=(380.0, 3200.0),
+        model_prefixes=("AS", "PM", "SB", "TB", "ZP"),
+    ),
+    CategorySpec(
+        name="smartphones",
+        noun="smartphone",
+        brands=("Lumora", "Vexel", "Polarion", "Nantone"),
+        lines=("Photon", "Meridian", "Spectra", "Horizon", "Cadence"),
+        axes=(
+            _axis("storage", "64GB", "128GB", "256GB", "512GB", "1TB"),
+            _axis("color", "Midnight Black", "Glacier White", "Ocean Blue", "Sunset Gold", "Forest Green"),
+            _axis("connectivity", "5G", "4G LTE"),
+        ),
+        extras=("Dual SIM", "Unlocked"),
+        description_templates=(
+            "Meet the {brand} {line} {model} {noun}: {specs}. Triple camera system with night mode and optical stabilization.",
+            "{brand} {line} {model}, {specs}. Factory unlocked, compatible with all carriers.",
+            "Flagship {noun} from the {line} family with {specs}.",
+        ),
+        price_range=(180.0, 1450.0),
+        model_prefixes=("PH", "MD", "SP", "HZ", "CD"),
+    ),
+    CategorySpec(
+        name="headphones",
+        noun="wireless headphones",
+        brands=("Soniq", "Auralux", "Bassforge", "Clearwave"),
+        lines=("Tranquil", "StudioMix", "BeatHive", "AirFloat", "EchoZone"),
+        axes=(
+            _axis("type", "Over-Ear", "On-Ear", "In-Ear"),
+            _axis("color", "Black", "White", "Navy", "Rose Gold", "Graphite"),
+            _axis("feature", "ANC", "Hi-Res Audio", "Low Latency"),
+        ),
+        extras=("Bluetooth 5.3",),
+        description_templates=(
+            "Immerse yourself with {brand} {line} {model} {noun}. {specs}. Up to 40 hours of playtime per charge.",
+            "{brand} {line} {model}: {specs}. Plush memory-foam earcups and foldable design with travel case.",
+            "Premium {noun}, {specs}, built-in microphone for calls.",
+        ),
+        price_range=(25.0, 480.0),
+        model_prefixes=("TQ", "SM", "BH", "AF", "EZ"),
+    ),
+    CategorySpec(
+        name="watches",
+        noun="wristwatch",
+        brands=("Tempora", "Chronavis", "Meridian Time", "Astrolon"),
+        lines=("Navigator", "Regatta", "Solstice", "Pacemaker", "Heritage"),
+        axes=(
+            _axis("case", "40mm", "42mm", "44mm", "46mm"),
+            _axis("band", "Leather Strap", "Steel Bracelet", "Silicone Band", "Mesh Band"),
+            _axis("dial", "Black Dial", "Blue Dial", "Silver Dial", "Green Dial"),
+        ),
+        extras=("Sapphire Crystal",),
+        description_templates=(
+            "The {brand} {line} {model} {noun} pairs classic styling with modern precision. {specs}. Water resistant to 100m.",
+            "{brand} {line} {model} with {specs}. Swiss-inspired quartz movement and luminous hands.",
+            "Elegant {noun} from the {line} collection: {specs}.",
+        ),
+        price_range=(55.0, 980.0),
+        model_prefixes=("NV", "RG", "SL", "PM", "HR"),
+    ),
+    CategorySpec(
+        name="running_shoes",
+        noun="running shoes",
+        brands=("Strideon", "Velofoot", "Apexgait", "Terraflex"),
+        lines=("CloudPacer", "RoadHawk", "TrailSurge", "FlexSprint", "MarathonX"),
+        axes=(
+            _axis("size", "US 8", "US 8.5", "US 9", "US 9.5", "US 10", "US 10.5", "US 11", "US 12"),
+            _axis("color", "Black/White", "Blue/Orange", "Grey/Lime", "Red/Black", "All White"),
+            _axis("gender", "Mens", "Womens"),
+        ),
+        extras=(),
+        description_templates=(
+            "Run farther in the {brand} {line} {model} {noun}. {specs}. Responsive foam midsole with breathable knit upper.",
+            "{brand} {line} {model}: {specs}. Engineered for daily training and race day alike.",
+            "Lightweight {noun}, {specs}, reflective accents for night runs.",
+        ),
+        price_range=(45.0, 210.0),
+        model_prefixes=("CP", "RH", "TS", "FS", "MX"),
+    ),
+    CategorySpec(
+        name="cameras",
+        noun="mirrorless camera",
+        brands=("Optiqa", "Lumenshot", "Focale", "Prismata"),
+        lines=("Alpha Vision", "ClarityPro", "SnapMaster", "PixelForge", "TrueFrame"),
+        axes=(
+            _axis("resolution", "20MP", "24MP", "26MP", "33MP", "45MP", "61MP"),
+            _axis("kit", "Body Only", "with 18-55mm Lens", "with 24-70mm Lens"),
+            _axis("video", "4K30", "4K60", "8K24"),
+        ),
+        extras=("Wi-Fi",),
+        description_templates=(
+            "Create stunning images with the {brand} {line} {model} {noun}. {specs}. In-body stabilization rated to 7 stops.",
+            "{brand} {line} {model}, {specs}. Dual card slots and weather-sealed magnesium body.",
+            "Professional {noun}: {specs}. Includes battery and charger.",
+        ),
+        price_range=(420.0, 4800.0),
+        model_prefixes=("AV", "CL", "SN", "PF", "TF"),
+    ),
+    CategorySpec(
+        name="printer_ink",
+        noun="ink cartridge",
+        brands=("Inkosys", "Printeva", "Tonerra", "Colorland"),
+        lines=("EcoJet", "VividPrint", "ProSeries", "PageMax", "DuraInk"),
+        axes=(
+            _axis("color", "Black", "Cyan", "Magenta", "Yellow", "Tri-Color"),
+            _axis("yield", "Standard Yield", "High Yield", "XXL Yield"),
+            _axis("pack", "Single Pack", "2 Pack", "4 Pack"),
+        ),
+        extras=("Remanufactured",),
+        description_templates=(
+            "Genuine-quality {brand} {line} {model} {noun}. {specs}. Prints sharp text and vivid photos.",
+            "{brand} {line} {model} replacement cartridge: {specs}. Chip included, no firmware issues.",
+            "Value {noun}, {specs}, up to 2x the page yield of standard cartridges.",
+        ),
+        price_range=(8.0, 95.0),
+        model_prefixes=("EJ", "VP", "PR", "PX", "DI"),
+    ),
+    CategorySpec(
+        name="power_tools",
+        noun="cordless drill",
+        brands=("Torqline", "Maxforge", "Gritworks", "Steelhand"),
+        lines=("ImpactPro", "DrivEx", "HammerVolt", "CompactForce", "SiteMaster"),
+        axes=(
+            _axis("voltage", "12V", "18V", "20V", "24V"),
+            _axis("battery", "1.5Ah Battery", "2.0Ah Battery", "4.0Ah Battery", "5.0Ah Battery"),
+            _axis("chuck", "1/2 inch Chuck", "3/8 inch Chuck"),
+        ),
+        extras=("Brushless",),
+        description_templates=(
+            "Drive screws all day with the {brand} {line} {model} {noun}. {specs}. 2-speed gearbox with 21 torque settings.",
+            "{brand} {line} {model} kit: {specs}. Includes charger and carrying case.",
+            "Heavy-duty {noun}, {specs}, LED work light.",
+        ),
+        price_range=(39.0, 340.0),
+        model_prefixes=("IP", "DX", "HV", "CF", "SM"),
+    ),
+    CategorySpec(
+        name="coffee_machines",
+        noun="espresso machine",
+        brands=("Bariston", "Cremalta", "Moccavia", "Brewforge"),
+        lines=("SilvaCrema", "RapidoBar", "AromaPlus", "VelvetShot", "GrandCafe"),
+        axes=(
+            _axis("pressure", "15 Bar", "19 Bar", "20 Bar"),
+            _axis("capacity", "1.0L Tank", "1.5L Tank", "2.0L Tank", "2.5L Tank"),
+            _axis("feature", "Milk Frother", "Built-in Grinder", "Dual Boiler"),
+        ),
+        extras=("Stainless Steel",),
+        description_templates=(
+            "Barista-grade espresso at home with the {brand} {line} {model} {noun}. {specs}. Pre-infusion for balanced extraction.",
+            "{brand} {line} {model}: {specs}. Heats up in under 30 seconds.",
+            "Semi-automatic {noun} with {specs}. Dishwasher-safe drip tray.",
+        ),
+        price_range=(85.0, 1250.0),
+        model_prefixes=("SC", "RB", "AP", "VS", "GC"),
+    ),
+    CategorySpec(
+        name="routers",
+        noun="wifi router",
+        brands=("Netsphere", "Linkara", "Signalworks", "Meshify"),
+        lines=("AirGate", "TurboMesh", "StreamPort", "RangeMax", "FluxNode"),
+        axes=(
+            _axis("standard", "WiFi 5", "WiFi 6", "WiFi 6E", "WiFi 7"),
+            _axis("speed", "AC1200", "AX1800", "AX3000", "AX5400", "BE9300"),
+            _axis("ports", "4x Gigabit LAN", "2x 2.5G LAN", "1x 10G LAN"),
+        ),
+        extras=("Dual Band",),
+        description_templates=(
+            "Eliminate dead zones with the {brand} {line} {model} {noun}. {specs}. Coverage up to 2500 sq ft.",
+            "{brand} {line} {model}: {specs}. WPA3 security and built-in parental controls.",
+            "High-performance {noun}, {specs}, easy app setup.",
+        ),
+        price_range=(29.0, 520.0),
+        model_prefixes=("AG", "TM", "SP", "RM", "FN"),
+    ),
+    # Present so the curation stage (§3.3) has real adult-product groups to
+    # exclude, exactly as the paper's domain experts did.
+    CategorySpec(
+        name="adult_products",
+        noun="personal massager",
+        brands=("Velvetine", "Lunaroma", "Silkessa"),
+        lines=("NightBloom", "Aurora Touch", "SereneWave"),
+        axes=(
+            _axis("power", "10 Speed", "12 Speed", "20 Speed"),
+            _axis("color", "Purple", "Pink", "Teal", "Black"),
+            _axis("material", "Silicone", "ABS"),
+        ),
+        extras=("USB Rechargeable",),
+        description_templates=(
+            "The {brand} {line} {model} {noun} offers {specs}. Whisper-quiet motor and waterproof design.",
+            "{brand} {line} {model}: {specs}. Discreet packaging and fast shipping.",
+        ),
+        price_range=(15.0, 120.0),
+        model_prefixes=("NB", "AT", "SW"),
+    ),
+    CategorySpec(
+        name="monitors",
+        noun="led monitor",
+        brands=("Viewlux", "Panoramix", "Claritude", "Pixelon"),
+        lines=("UltraSight", "GameView", "StudioEdge", "CurveMax", "EcoVision"),
+        axes=(
+            _axis("size", "24 inch", "27 inch", "32 inch", "34 inch", "38 inch"),
+            _axis("resolution", "1080p FHD", "1440p QHD", "4K UHD", "5K2K"),
+            _axis("refresh", "60Hz", "75Hz", "144Hz", "165Hz", "240Hz"),
+        ),
+        extras=("IPS Panel",),
+        description_templates=(
+            "See every detail on the {brand} {line} {model} {noun}. {specs}. Factory calibrated for 99% sRGB coverage.",
+            "{brand} {line} {model}: {specs}. Height-adjustable stand with pivot and swivel.",
+            "Frameless {noun} with {specs}. Low blue light mode certified.",
+        ),
+        price_range=(95.0, 1150.0),
+        model_prefixes=("US", "GV", "SE", "CM", "EV"),
+    ),
+)
+
+
+class Catalog:
+    """Generates families of sibling products from the category templates."""
+
+    def __init__(self, categories: tuple[CategorySpec, ...] = _CATEGORIES):
+        self.categories = categories
+
+    def category_names(self) -> list[str]:
+        return [category.name for category in self.categories]
+
+    def build_families(
+        self,
+        rng: np.random.Generator,
+        *,
+        families_per_category: int,
+        siblings_per_family: tuple[int, int] = (5, 9),
+        id_prefix: str = "fam",
+    ) -> list[ProductFamily]:
+        """Create ``families_per_category`` families for every category.
+
+        Sibling products inside a family share brand, line and model-code
+        stem and differ in one or two randomly chosen spec axes — which is
+        what makes their titles near-duplicates of one another.
+        """
+        families: list[ProductFamily] = []
+        for category in self.categories:
+            for family_index in range(families_per_category):
+                family_id = f"{id_prefix}-{category.name}-{family_index:04d}"
+                brand = str(rng.choice(category.brands))
+                line = str(rng.choice(category.lines))
+                prefix = str(rng.choice(category.model_prefixes))
+                stem = int(rng.integers(100, 980))
+                n_siblings = int(rng.integers(siblings_per_family[0], siblings_per_family[1] + 1))
+
+                # Axes that vary across siblings (1 or 2), others held fixed.
+                n_varying = 1 if rng.random() < 0.45 else 2
+                axis_order = rng.permutation(len(category.axes))
+                varying = set(int(i) for i in axis_order[:n_varying])
+                fixed_values = {
+                    axis.name: str(rng.choice(axis.values))
+                    for index, axis in enumerate(category.axes)
+                    if index not in varying
+                }
+
+                used_combos: set[tuple[str, ...]] = set()
+                family = ProductFamily(
+                    family_id=family_id, category=category.name, brand=brand, line=line
+                )
+                # Siblings share a family price level (as real product lines
+                # do) so price alone cannot separate corner-case negatives.
+                low, high = category.price_range
+                family_base_price = float(rng.uniform(low, high))
+                attempts = 0
+                while len(family.products) < n_siblings and attempts < n_siblings * 10:
+                    attempts += 1
+                    specs: dict[str, str] = {}
+                    for index, axis in enumerate(category.axes):
+                        if index in varying:
+                            specs[axis.name] = str(rng.choice(axis.values))
+                        else:
+                            specs[axis.name] = fixed_values[axis.name]
+                    combo = tuple(specs[axis.name] for axis in category.axes)
+                    if combo in used_combos:
+                        continue
+                    used_combos.add(combo)
+                    sibling_index = len(family.products)
+                    base_price = round(
+                        float(
+                            np.clip(
+                                family_base_price * rng.uniform(0.8, 1.25), low, high
+                            )
+                        ),
+                        2,
+                    )
+                    product = ProductSpec(
+                        product_id=f"{family_id}-p{sibling_index:02d}",
+                        category=category.name,
+                        brand=brand,
+                        line=line,
+                        model_code=f"{prefix}-{stem + sibling_index * 5}",
+                        noun=category.noun,
+                        specs=specs,
+                        extras=category.extras,
+                        base_price=base_price,
+                        description_templates=category.description_templates,
+                    )
+                    family.products.append(product)
+                families.append(family)
+        return families
+
+    def spec_for(self, name: str) -> CategorySpec:
+        for category in self.categories:
+            if category.name == name:
+                return category
+        raise KeyError(f"unknown category: {name}")

@@ -1,0 +1,322 @@
+"""End-to-end synthetic corpus generation (Section 3.1 stand-in).
+
+``CorpusGenerator`` renders product offers for two pools of product
+families — a *seen* pool whose products get 7-15 offers each and an
+*unseen* pool with 2-6 offers each (matching Figure 3 of the paper) — and
+then injects the dirty rows (non-English, non-Latin, duplicates, short
+titles, wrong-cluster offers) that the Section 3.2 cleansing pipeline is
+responsible for removing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.corpus.catalog import Catalog, ProductFamily, ProductSpec
+from repro.corpus.identifiers import gtin13, mpn, sku
+from repro.corpus.multilingual import (
+    FOREIGN_WORD_BANKS,
+    foreign_description,
+    foreign_title,
+    non_latin_title,
+)
+from repro.corpus.noise import (
+    make_duplicate_offer,
+    make_short_offer,
+    make_wrong_cluster_offer,
+)
+from repro.corpus.schema import ProductOffer, SyntheticCorpus
+from repro.corpus.vendors import VendorStyle, make_vendor_styles
+from repro.utils.rng import RngStream
+
+__all__ = ["CorpusConfig", "CorpusGenerator", "GeneratedCorpus"]
+
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    """Scale and dirtiness knobs for the synthetic corpus."""
+
+    seed: int = 7
+    n_categories: int | None = None  # None = all catalog categories
+    families_per_category_seen: int = 15
+    families_per_category_unseen: int = 20
+    siblings_per_family: tuple[int, int] = (5, 9)
+    offers_per_seen_product: tuple[int, int] = (8, 13)
+    offers_per_unseen_product: tuple[int, int] = (2, 6)
+    n_vendors: int = 80
+    foreign_rate: float = 0.05
+    non_latin_rate: float = 0.005
+    duplicate_rate: float = 0.03
+    short_title_rate: float = 0.02
+    wrong_cluster_rate: float = 0.05
+    sibling_noise_fraction: float = 0.75
+
+    @classmethod
+    def small(cls, *, seed: int = 7) -> "CorpusConfig":
+        """A reduced configuration for fast tests."""
+        return cls(
+            seed=seed,
+            n_categories=5,
+            families_per_category_seen=9,
+            families_per_category_unseen=12,
+            siblings_per_family=(5, 8),
+            offers_per_seen_product=(8, 11),
+            offers_per_unseen_product=(2, 5),
+            n_vendors=32,
+        )
+
+
+@dataclass
+class GeneratedCorpus:
+    """The generator's output: corpus plus provenance for tests/benchmarks."""
+
+    corpus: SyntheticCorpus
+    seen_families: list[ProductFamily] = field(default_factory=list)
+    unseen_families: list[ProductFamily] = field(default_factory=list)
+    vendors: list[VendorStyle] = field(default_factory=list)
+    n_clean_offers: int = 0
+    n_dirty_offers: int = 0
+
+    def all_products(self) -> list[ProductSpec]:
+        products: list[ProductSpec] = []
+        for family in self.seen_families + self.unseen_families:
+            products.extend(family.products)
+        return products
+
+
+class CorpusGenerator:
+    """Builds a :class:`SyntheticCorpus` from a :class:`CorpusConfig`."""
+
+    def __init__(self, config: CorpusConfig | None = None):
+        self.config = config if config is not None else CorpusConfig()
+        catalog = Catalog()
+        if self.config.n_categories is not None:
+            catalog = Catalog(catalog.categories[: self.config.n_categories])
+        self.catalog = catalog
+        self._offer_counter = 0
+
+    def _next_offer_id(self) -> str:
+        self._offer_counter += 1
+        return f"off-{self._offer_counter:07d}"
+
+    def generate(self) -> GeneratedCorpus:
+        """Render both pools, then inject dirty rows."""
+        stream = RngStream(self.config.seed, "corpus")
+        seen_families = self.catalog.build_families(
+            stream.generator("families", "seen"),
+            families_per_category=self.config.families_per_category_seen,
+            siblings_per_family=self.config.siblings_per_family,
+            id_prefix="seen",
+        )
+        unseen_families = self.catalog.build_families(
+            stream.generator("families", "unseen"),
+            families_per_category=self.config.families_per_category_unseen,
+            siblings_per_family=self.config.siblings_per_family,
+            id_prefix="uns",
+        )
+        vendors = make_vendor_styles(stream.generator("vendors"), self.config.n_vendors)
+
+        corpus = SyntheticCorpus()
+        offers_rng = stream.generator("offers")
+        for family in seen_families:
+            self._render_family(
+                corpus, family, vendors, offers_rng, self.config.offers_per_seen_product
+            )
+        for family in unseen_families:
+            self._render_family(
+                corpus,
+                family,
+                vendors,
+                offers_rng,
+                self.config.offers_per_unseen_product,
+            )
+        n_clean = len(corpus)
+
+        self._inject_dirty_rows(
+            corpus, seen_families + unseen_families, vendors, stream
+        )
+        return GeneratedCorpus(
+            corpus=corpus,
+            seen_families=seen_families,
+            unseen_families=unseen_families,
+            vendors=vendors,
+            n_clean_offers=n_clean,
+            n_dirty_offers=len(corpus) - n_clean,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Clean offers
+    # ------------------------------------------------------------------ #
+    def _render_family(
+        self,
+        corpus: SyntheticCorpus,
+        family: ProductFamily,
+        vendors: list[VendorStyle],
+        rng: np.random.Generator,
+        offer_range: tuple[int, int],
+    ) -> None:
+        for product in family.products:
+            corpus.register_cluster_meta(
+                product.product_id,
+                category=family.category,
+                family_id=family.family_id,
+            )
+            identifier_kind, identifier_value = self._make_identifier(product, rng)
+            n_offers = int(rng.integers(offer_range[0], offer_range[1] + 1))
+            vendor_indices = rng.choice(
+                len(vendors), size=min(n_offers, len(vendors)), replace=False
+            )
+            seen_texts: set[tuple[str, str | None, str | None]] = set()
+            for vendor_index in vendor_indices:
+                vendor = vendors[int(vendor_index)]
+                offer = self._render_offer(
+                    product, vendor, rng, identifier_kind, identifier_value
+                )
+                # Guarantee intra-cluster uniqueness on the dedup key so a
+                # cluster does not silently shrink below its target size.
+                key = (offer.title, offer.description, offer.brand)
+                retries = 0
+                while key in seen_texts and retries < 4:
+                    offer = self._render_offer(
+                        product, vendor, rng, identifier_kind, identifier_value
+                    )
+                    key = (offer.title, offer.description, offer.brand)
+                    retries += 1
+                if key in seen_texts:
+                    continue
+                seen_texts.add(key)
+                corpus.add(offer)
+
+    def _make_identifier(
+        self, product: ProductSpec, rng: np.random.Generator
+    ) -> tuple[str, str]:
+        kind = str(rng.choice(["gtin", "gtin", "mpn", "sku"]))
+        if kind == "gtin":
+            return kind, gtin13(rng)
+        if kind == "mpn":
+            return kind, mpn(rng, brand_code=product.brand)
+        return kind, sku(rng)
+
+    def _render_offer(
+        self,
+        product: ProductSpec,
+        vendor: VendorStyle,
+        rng: np.random.Generator,
+        identifier_kind: str,
+        identifier_value: str,
+    ) -> ProductOffer:
+        price, currency = vendor.render_price(product, rng)
+        return ProductOffer(
+            offer_id=self._next_offer_id(),
+            cluster_id=product.product_id,
+            title=vendor.render_title(product, rng),
+            description=vendor.render_description(product, rng),
+            brand=vendor.render_brand(product, rng),
+            price=price,
+            price_currency=currency,
+            source=vendor.source,
+            identifier_kind=identifier_kind,
+            identifier_value=identifier_value,
+            language="en",
+        )
+
+    # ------------------------------------------------------------------ #
+    # Dirty rows
+    # ------------------------------------------------------------------ #
+    def _inject_dirty_rows(
+        self,
+        corpus: SyntheticCorpus,
+        families: list[ProductFamily],
+        vendors: list[VendorStyle],
+        stream: RngStream,
+    ) -> None:
+        rng = stream.generator("dirty")
+        clean_offers = list(corpus.offers)
+        n_clean = len(clean_offers)
+        products = [product for family in families for product in family.products]
+        languages = list(FOREIGN_WORD_BANKS)
+
+        for _ in range(int(n_clean * self.config.foreign_rate)):
+            product = products[int(rng.integers(len(products)))]
+            language = languages[int(rng.integers(len(languages)))]
+            vendor = vendors[int(rng.integers(len(vendors)))]
+            price, currency = vendor.render_price(product, rng)
+            corpus.add(
+                ProductOffer(
+                    offer_id=self._next_offer_id(),
+                    cluster_id=product.product_id,
+                    title=foreign_title(product, language, rng),
+                    description=foreign_description(language, rng),
+                    brand=product.brand if rng.random() < 0.4 else None,
+                    price=price,
+                    price_currency=currency,
+                    source=vendor.source,
+                    language=language,
+                )
+            )
+
+        for _ in range(int(n_clean * self.config.non_latin_rate)):
+            product = products[int(rng.integers(len(products)))]
+            corpus.add(
+                ProductOffer(
+                    offer_id=self._next_offer_id(),
+                    cluster_id=product.product_id,
+                    title=non_latin_title(product, rng),
+                    description=None,
+                    language="xx",
+                )
+            )
+
+        for _ in range(int(n_clean * self.config.duplicate_rate)):
+            original = clean_offers[int(rng.integers(n_clean))]
+            corpus.add(make_duplicate_offer(original, offer_id=self._next_offer_id()))
+
+        for _ in range(int(n_clean * self.config.short_title_rate)):
+            original = clean_offers[int(rng.integers(n_clean))]
+            corpus.add(
+                make_short_offer(original, rng, offer_id=self._next_offer_id())
+            )
+
+        # Wrong-cluster offers are rendered *fresh* from a foreign product
+        # (not copied from an existing row) so deduplication cannot remove
+        # them.  Most are rendered from a *sibling* product of the victim's
+        # family: such offers share the cluster's vocabulary, survive the
+        # outlier heuristic, and end up as the residual label noise the
+        # paper's Section 4 study estimates at ~4%.  The rest come from
+        # random products and are the easy prey of outlier removal.
+        products_by_family: dict[str, list[ProductSpec]] = {}
+        for family in families:
+            products_by_family[family.family_id] = family.products
+        family_of_product = {
+            product.product_id: family.family_id
+            for family in families
+            for product in family.products
+        }
+        for _ in range(int(n_clean * self.config.wrong_cluster_rate)):
+            victim = clean_offers[int(rng.integers(n_clean))]
+            if rng.random() < self.config.sibling_noise_fraction:
+                siblings = [
+                    product
+                    for product in products_by_family[
+                        family_of_product[victim.cluster_id]
+                    ]
+                    if product.product_id != victim.cluster_id
+                ]
+                if not siblings:
+                    continue
+                foreign_product = siblings[int(rng.integers(len(siblings)))]
+            else:
+                foreign_product = products[int(rng.integers(len(products)))]
+                if foreign_product.product_id == victim.cluster_id:
+                    continue
+            vendor = vendors[int(rng.integers(len(vendors)))]
+            rendered = self._render_offer(
+                foreign_product, vendor, rng, "gtin", ""
+            )
+            corpus.add(
+                make_wrong_cluster_offer(
+                    victim.cluster_id, rendered, offer_id=self._next_offer_id()
+                )
+            )

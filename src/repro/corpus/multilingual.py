@@ -1,0 +1,79 @@
+"""Non-English and non-Latin offer generation (dirty rows for cleansing).
+
+PDC2020 is multi-lingual; Section 3.2 removes non-English offers with a
+fastText language identifier and a non-Latin-character filter.  To exercise
+those stages we inject offers whose descriptions are built from small
+German/French/Spanish/Italian word banks and a handful of offers with
+Cyrillic/Greek titles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.corpus.catalog import ProductSpec
+
+__all__ = ["FOREIGN_WORD_BANKS", "foreign_description", "foreign_title", "non_latin_title"]
+
+# Function words and commerce vocabulary with strong language signal.
+FOREIGN_WORD_BANKS: dict[str, tuple[str, ...]] = {
+    "de": (
+        "und", "mit", "für", "der", "die", "das", "eine", "nicht", "auch",
+        "lieferung", "kostenloser", "versand", "garantie", "neuwertig",
+        "gebraucht", "zustand", "angebot", "preis", "schnelle", "qualität",
+        "hervorragende", "leistung", "speicher", "festplatte", "bildschirm",
+        "kaufen", "jetzt", "verfügbar", "auf", "lager", "originalverpackung",
+    ),
+    "fr": (
+        "et", "avec", "pour", "le", "la", "les", "une", "pas", "aussi",
+        "livraison", "gratuite", "garantie", "neuf", "occasion", "état",
+        "offre", "prix", "rapide", "qualité", "excellente", "performance",
+        "mémoire", "disque", "écran", "acheter", "maintenant", "disponible",
+        "en", "stock", "emballage", "d'origine",
+    ),
+    "es": (
+        "y", "con", "para", "el", "la", "los", "una", "no", "también",
+        "envío", "gratis", "garantía", "nuevo", "usado", "estado", "oferta",
+        "precio", "rápido", "calidad", "excelente", "rendimiento", "memoria",
+        "disco", "pantalla", "comprar", "ahora", "disponible", "almacén",
+    ),
+    "it": (
+        "e", "con", "per", "il", "la", "gli", "una", "non", "anche",
+        "spedizione", "gratuita", "garanzia", "nuovo", "usato", "stato",
+        "offerta", "prezzo", "veloce", "qualità", "eccellente", "prestazioni",
+        "memoria", "disco", "schermo", "comprare", "adesso", "disponibile",
+    ),
+}
+
+_CYRILLIC_WORDS = ("жесткий", "диск", "новый", "доставка", "гарантия", "купить")
+_GREEK_WORDS = ("σκληρός", "δίσκος", "νέος", "εγγύηση", "αποστολή", "προσφορά")
+
+
+def foreign_description(
+    language: str, rng: np.random.Generator, *, n_words: int = 18
+) -> str:
+    """A pseudo-sentence drawn from the language's word bank."""
+    bank = FOREIGN_WORD_BANKS[language]
+    words = [str(bank[int(i)]) for i in rng.integers(0, len(bank), size=n_words)]
+    return " ".join(words).capitalize() + "."
+
+
+def foreign_title(
+    product: ProductSpec, language: str, rng: np.random.Generator
+) -> str:
+    """Foreign-language title: product head terms plus bank words.
+
+    Mirrors real non-English offers which keep brand/model tokens but
+    surround them with local-language commerce vocabulary.
+    """
+    bank = FOREIGN_WORD_BANKS[language]
+    local = [str(bank[int(i)]) for i in rng.integers(0, len(bank), size=6)]
+    specs = list(product.specs.values())[:1]
+    return " ".join([product.brand, product.line, *specs, *local])
+
+
+def non_latin_title(product: ProductSpec, rng: np.random.Generator) -> str:
+    """Title dominated by non-Latin characters (Cyrillic or Greek)."""
+    words = _CYRILLIC_WORDS if rng.random() < 0.5 else _GREEK_WORDS
+    chosen = [str(words[int(i)]) for i in rng.integers(0, len(words), size=5)]
+    return " ".join([product.line, *chosen])

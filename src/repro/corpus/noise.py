@@ -1,0 +1,60 @@
+"""Cluster-noise injection (dirty rows for outlier removal and dedup).
+
+PDC2020's identifier clusters are ~93-98% clean; the rest are offers that
+carry the wrong identifier.  We inject exactly that failure mode — an offer
+rendered from a *different* product but filed under this cluster — plus
+row-level duplicates and too-short titles, so the Section 3.2 heuristics
+have the same signals to act on as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.corpus.schema import ProductOffer
+
+__all__ = ["make_wrong_cluster_offer", "make_duplicate_offer", "make_short_offer"]
+
+
+def make_wrong_cluster_offer(
+    victim_cluster_id: str,
+    foreign_offer: ProductOffer,
+    *,
+    offer_id: str,
+) -> ProductOffer:
+    """File a copy of ``foreign_offer`` under ``victim_cluster_id``.
+
+    ``true_cluster_id`` preserves ground truth so the corpus can report its
+    real noise rate and tests can verify outlier removal.
+    """
+    return replace(
+        foreign_offer,
+        offer_id=offer_id,
+        cluster_id=victim_cluster_id,
+        true_cluster_id=foreign_offer.cluster_id,
+    )
+
+
+def make_duplicate_offer(original: ProductOffer, *, offer_id: str) -> ProductOffer:
+    """Exact content duplicate with a fresh offer id (dedup target)."""
+    return replace(original, offer_id=offer_id)
+
+
+def make_short_offer(
+    original: ProductOffer,
+    rng: np.random.Generator,
+    *,
+    offer_id: str,
+    max_tokens: int = 4,
+) -> ProductOffer:
+    """Truncate the title below the 5-token threshold of Section 3.2."""
+    tokens = original.title.split(" ")
+    keep = int(rng.integers(1, max_tokens + 1))
+    return replace(
+        original,
+        offer_id=offer_id,
+        title=" ".join(tokens[:keep]),
+        description=None,
+    )

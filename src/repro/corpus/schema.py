@@ -1,0 +1,137 @@
+"""Data model for offers, clusters and the corpus container."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field, replace
+
+__all__ = ["ProductOffer", "ProductCluster", "SyntheticCorpus"]
+
+
+@dataclass(frozen=True)
+class ProductOffer:
+    """One product offer as extracted from a (synthetic) web page.
+
+    The five benchmark attributes match Section 4 of the paper: *title*,
+    *description*, *price*, *priceCurrency* and *brand*.  Attributes may be
+    None to model the density profile of Table 2.  The remaining fields are
+    provenance/ground-truth metadata that the benchmark pipeline may not
+    leak into datasets: ``cluster_id`` is the identifier-derived cluster,
+    ``true_cluster_id`` the actual product (differs for noise offers),
+    ``language`` the generation language.
+    """
+
+    offer_id: str
+    cluster_id: str
+    title: str
+    description: str | None = None
+    brand: str | None = None
+    price: float | None = None
+    price_currency: str | None = None
+    source: str = ""
+    identifier_kind: str = "gtin"
+    identifier_value: str = ""
+    language: str = "en"
+    true_cluster_id: str | None = None
+
+    @property
+    def is_noise(self) -> bool:
+        """True when the offer sits in a cluster it does not belong to."""
+        return self.true_cluster_id is not None and self.true_cluster_id != self.cluster_id
+
+    def combined_text(self) -> str:
+        """Title plus description — the text the language filter scores."""
+        if self.description:
+            return f"{self.title} {self.description}"
+        return self.title
+
+    def with_cluster(self, cluster_id: str) -> "ProductOffer":
+        return replace(self, cluster_id=cluster_id)
+
+
+@dataclass
+class ProductCluster:
+    """All offers sharing one product identifier."""
+
+    cluster_id: str
+    offers: list[ProductOffer] = field(default_factory=list)
+    category: str = ""
+    family_id: str = ""
+
+    def __len__(self) -> int:
+        return len(self.offers)
+
+    def __iter__(self) -> Iterator[ProductOffer]:
+        return iter(self.offers)
+
+    def titles(self) -> list[str]:
+        return [offer.title for offer in self.offers]
+
+    def representative_title(self) -> str:
+        """The longest title — used as the cluster's query string."""
+        if not self.offers:
+            raise ValueError(f"cluster {self.cluster_id} is empty")
+        return max(self.titles(), key=len)
+
+
+class SyntheticCorpus:
+    """A collection of offers with cluster- and family-level views."""
+
+    def __init__(self, offers: Iterable[ProductOffer] = ()):
+        self.offers: list[ProductOffer] = list(offers)
+        self._cluster_meta: dict[str, tuple[str, str]] = {}
+
+    def register_cluster_meta(
+        self, cluster_id: str, *, category: str, family_id: str
+    ) -> None:
+        """Record category/family provenance for ``cluster_id``."""
+        self._cluster_meta[cluster_id] = (category, family_id)
+
+    def add(self, offer: ProductOffer) -> None:
+        self.offers.append(offer)
+
+    def extend(self, offers: Iterable[ProductOffer]) -> None:
+        self.offers.extend(offers)
+
+    def __len__(self) -> int:
+        return len(self.offers)
+
+    def clusters(self, *, min_size: int = 1) -> list[ProductCluster]:
+        """Group offers by ``cluster_id``; keep clusters of ``min_size``+."""
+        grouped: dict[str, list[ProductOffer]] = defaultdict(list)
+        for offer in self.offers:
+            grouped[offer.cluster_id].append(offer)
+        clusters = []
+        for cluster_id in sorted(grouped):
+            members = grouped[cluster_id]
+            if len(members) < min_size:
+                continue
+            category, family_id = self._cluster_meta.get(cluster_id, ("", ""))
+            clusters.append(
+                ProductCluster(
+                    cluster_id=cluster_id,
+                    offers=members,
+                    category=category,
+                    family_id=family_id,
+                )
+            )
+        return clusters
+
+    def cluster_sizes(self) -> dict[str, int]:
+        sizes: dict[str, int] = defaultdict(int)
+        for offer in self.offers:
+            sizes[offer.cluster_id] += 1
+        return dict(sizes)
+
+    def filtered(self, keep: Iterable[ProductOffer]) -> "SyntheticCorpus":
+        """New corpus containing ``keep`` but sharing cluster metadata."""
+        child = SyntheticCorpus(keep)
+        child._cluster_meta = self._cluster_meta
+        return child
+
+    def noise_rate(self) -> float:
+        """Fraction of offers sitting in the wrong cluster (ground truth)."""
+        if not self.offers:
+            return 0.0
+        return sum(offer.is_noise for offer in self.offers) / len(self.offers)

@@ -1,0 +1,258 @@
+"""Vendor surface-form heterogeneity.
+
+Offers for the *same* product differ across e-shops: vendors abbreviate,
+reorder, drop the model number, reformat units, append marketing noise and
+describe with different verbosity.  These transformations create the hard
+*positive* pairs of the benchmark (matching offers with dissimilar text,
+Figure 1) while sibling products from :mod:`repro.corpus.catalog` create
+the hard negatives.
+
+Each :class:`VendorStyle` is a fixed per-shop profile so that one shop's
+offers are internally consistent, mirroring real web sources.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.catalog import ProductSpec
+
+__all__ = ["VendorStyle", "make_vendor_styles", "NOUN_SYNONYMS"]
+
+# Alternate head nouns per canonical noun (picked per vendor).
+NOUN_SYNONYMS: dict[str, tuple[str, ...]] = {
+    "internal hard drive": ("HDD", "hard disk drive", "desktop hard drive", "internal HDD"),
+    "graphics card": ("GPU", "video card", "gaming graphics card", "graphic card"),
+    "flash memory card": ("memory card", "flash card", "SD card", "storage card"),
+    "laptop": ("notebook", "ultrabook", "portable computer", "notebook PC"),
+    "smartphone": ("mobile phone", "cell phone", "phone", "smart phone"),
+    "wireless headphones": ("bluetooth headphones", "wireless headset", "BT headphones", "cordless headphones"),
+    "wristwatch": ("watch", "analog watch", "timepiece", "quartz watch"),
+    "running shoes": ("trainers", "athletic shoes", "sneakers", "running trainers"),
+    "mirrorless camera": ("digital camera", "compact system camera", "camera body", "mirrorless digital camera"),
+    "ink cartridge": ("printer cartridge", "ink tank", "inkjet cartridge", "printer ink"),
+    "cordless drill": ("drill driver", "power drill", "cordless drill driver", "electric drill"),
+    "espresso machine": ("coffee machine", "espresso maker", "coffee maker", "barista machine"),
+    "wifi router": ("wireless router", "WLAN router", "internet router", "wi-fi router"),
+    "personal massager": ("wand massager", "massage device", "vibrating massager", "body massager"),
+    "led monitor": ("computer monitor", "display", "PC monitor", "desktop monitor"),
+}
+
+_MARKETING_PREFIXES = ("NEW", "Genuine", "Original", "OEM", "Brand New", "2020 Model", "Hot Sale")
+_MARKETING_SUFFIXES = (
+    "- Free Shipping",
+    "| Fast Dispatch",
+    "- Retail Box",
+    "(Bulk Packaging)",
+    "- 2 Year Warranty",
+    "+ Gift",
+    "| Best Price",
+)
+
+_UNIT_SPACING_RE = re.compile(r"(\d+(?:\.\d+)?)(GB|TB|MP|RPM|V|L|Hz|Ah|Bar|mm)\b")
+
+# Factor tables for unit-system rewrites such as 2TB -> 2000GB.
+_UNIT_CONVERSIONS = {
+    "TB": ("GB", 1000.0),
+    "L": ("ml", 1000.0),
+}
+
+_ABBREVIATIONS = {
+    "inch": "in",
+    "edition": "ed",
+    "battery": "batt",
+    "with": "w/",
+    "black": "blk",
+    "white": "wht",
+    "stainless": "ss",
+    "wireless": "wl",
+}
+
+
+def _spread_units(text: str) -> str:
+    """``2TB`` -> ``2 TB``."""
+    return _UNIT_SPACING_RE.sub(r"\1 \2", text)
+
+
+def _convert_units(text: str) -> str:
+    """``2TB`` -> ``2000GB`` where a conversion table entry exists."""
+
+    def replace(match: re.Match[str]) -> str:
+        value, unit = match.group(1), match.group(2)
+        conversion = _UNIT_CONVERSIONS.get(unit)
+        if conversion is None:
+            return match.group(0)
+        target_unit, factor = conversion
+        converted = float(value) * factor
+        if converted.is_integer():
+            return f"{int(converted)}{target_unit}"
+        return f"{converted:g}{target_unit}"
+
+    return _UNIT_SPACING_RE.sub(replace, text)
+
+
+@dataclass
+class VendorStyle:
+    """Fixed per-shop formatting profile plus per-offer stochastic jitter."""
+
+    source: str
+    currency: str
+    price_factor: float
+    drop_brand: float
+    drop_model_code: float
+    drop_spec: float
+    drop_extras: float
+    use_noun_synonym: float
+    spread_units: float
+    convert_units: float
+    abbreviate: float
+    reorder_specs: float
+    marketing: float
+    description_mode: str  # "full", "short" or "none"
+    brand_attribute: float  # probability the brand *attribute* is filled
+    price_attribute: float
+    uppercase: float
+    seed: int
+
+    def render_title(self, product: ProductSpec, rng: np.random.Generator) -> str:
+        """Produce this vendor's title for ``product``."""
+        parts: list[str] = []
+        if rng.random() >= self.drop_brand:
+            parts.append(product.brand)
+        parts.append(product.line)
+        if rng.random() >= self.drop_model_code:
+            parts.append(product.model_code)
+
+        spec_values = [
+            value for value in product.specs.values() if rng.random() >= self.drop_spec
+        ]
+        if rng.random() < self.reorder_specs:
+            spec_values = [spec_values[i] for i in rng.permutation(len(spec_values))]
+
+        noun = product.noun
+        synonyms = NOUN_SYNONYMS.get(product.noun, ())
+        if synonyms and rng.random() < self.use_noun_synonym:
+            noun = str(synonyms[int(rng.integers(len(synonyms)))])
+
+        if rng.random() < 0.5:
+            parts.extend(spec_values)
+            parts.append(noun)
+        else:
+            parts.append(noun)
+            parts.extend(spec_values)
+
+        if rng.random() >= self.drop_extras:
+            parts.extend(product.extras)
+
+        title = " ".join(parts)
+        if rng.random() < self.spread_units:
+            title = _spread_units(title)
+        elif rng.random() < self.convert_units:
+            title = _convert_units(title)
+        if rng.random() < self.abbreviate:
+            words = title.split(" ")
+            title = " ".join(_ABBREVIATIONS.get(word.lower(), word) for word in words)
+        if rng.random() < self.marketing:
+            if rng.random() < 0.5:
+                prefix = _MARKETING_PREFIXES[int(rng.integers(len(_MARKETING_PREFIXES)))]
+                title = f"{prefix} {title}"
+            else:
+                suffix = _MARKETING_SUFFIXES[int(rng.integers(len(_MARKETING_SUFFIXES)))]
+                title = f"{title} {suffix}"
+        if rng.random() < self.uppercase:
+            title = title.upper()
+        return title
+
+    def render_description(
+        self, product: ProductSpec, rng: np.random.Generator
+    ) -> str | None:
+        if self.description_mode == "none":
+            return None
+        template_index = int(rng.integers(len(product.description_templates) or 1))
+        description = product.render_description(template_index)
+        if self.description_mode == "short":
+            sentences = description.split(". ")
+            return sentences[0].rstrip(".") + "."
+        if rng.random() < 0.3:
+            description += (
+                " Ships from our warehouse within 24 hours."
+                " Contact us for volume pricing."
+            )
+        return description
+
+    def render_price(
+        self, product: ProductSpec, rng: np.random.Generator
+    ) -> tuple[float | None, str | None]:
+        if rng.random() >= self.price_attribute:
+            return None, None
+        jitter = float(rng.uniform(0.92, 1.08))
+        price = round(product.base_price * self.price_factor * jitter, 2)
+        currency = self.currency if rng.random() < 0.97 else None
+        return price, currency
+
+    def render_brand(self, product: ProductSpec, rng: np.random.Generator) -> str | None:
+        if rng.random() < self.brand_attribute:
+            return product.brand
+        return None
+
+
+_SHOP_WORDS_A = (
+    "mega", "best", "prime", "value", "quick", "super", "smart", "top", "city",
+    "alpha", "global", "direct", "bright", "true", "next", "swift",
+)
+_SHOP_WORDS_B = (
+    "deals", "market", "store", "outlet", "shop", "mart", "depot", "bazaar",
+    "trade", "express", "corner", "hub", "source", "supply", "cart", "zone",
+)
+_TLDS = (".com", ".net", ".shop", ".co.uk", ".de", ".io")
+_CURRENCIES = ("USD", "USD", "USD", "EUR", "EUR", "GBP")
+
+
+def make_vendor_styles(rng: np.random.Generator, n_vendors: int) -> list[VendorStyle]:
+    """Sample ``n_vendors`` distinct shop profiles.
+
+    Styles vary widely on purpose: some vendors are near-canonical (easy
+    positives) while others drop the model number, abbreviate aggressively
+    and add marketing noise (hard positives).
+    """
+    styles: list[VendorStyle] = []
+    used_sources: set[str] = set()
+    while len(styles) < n_vendors:
+        word_a = _SHOP_WORDS_A[int(rng.integers(len(_SHOP_WORDS_A)))]
+        word_b = _SHOP_WORDS_B[int(rng.integers(len(_SHOP_WORDS_B)))]
+        tld = _TLDS[int(rng.integers(len(_TLDS)))]
+        source = f"{word_a}{word_b}{tld}"
+        if source in used_sources:
+            source = f"{word_a}{word_b}{len(styles)}{tld}"
+        used_sources.add(source)
+
+        # "Messiness" level drives most per-shop probabilities.
+        messiness = float(rng.uniform(0.0, 1.0))
+        styles.append(
+            VendorStyle(
+                source=source,
+                currency=str(_CURRENCIES[int(rng.integers(len(_CURRENCIES)))]),
+                price_factor=float(rng.uniform(0.9, 1.12)),
+                drop_brand=0.05 + 0.45 * messiness,
+                drop_model_code=0.10 + 0.55 * messiness,
+                drop_spec=0.05 + 0.30 * messiness,
+                drop_extras=0.2 + 0.5 * messiness,
+                use_noun_synonym=0.2 + 0.6 * messiness,
+                spread_units=float(rng.uniform(0.0, 0.8)),
+                convert_units=0.15 * messiness,
+                abbreviate=0.4 * messiness,
+                reorder_specs=0.2 + 0.5 * messiness,
+                marketing=0.1 + 0.5 * messiness,
+                description_mode=str(
+                    rng.choice(["full", "full", "short", "none"], p=[0.45, 0.2, 0.15, 0.2])
+                ),
+                brand_attribute=float(rng.uniform(0.15, 0.55)),
+                price_attribute=float(rng.uniform(0.85, 1.0)),
+                uppercase=0.08 * messiness,
+                seed=int(rng.integers(2**31)),
+            )
+        )
+    return styles

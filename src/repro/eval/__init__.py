@@ -1,0 +1,40 @@
+"""The Section-5 experimental harness.
+
+``ExperimentRunner`` trains matchers over the benchmark grid (averaging
+seeds, reusing each trained model across the three test sets) and the
+``experiments``/``reporting`` modules turn its results into the paper's
+Tables 3-5 and Figures 4-6.  ``comparison`` regenerates the benchmark-
+landscape Table 6.
+"""
+
+from repro.eval.runner import (
+    EvalSettings,
+    ExperimentRunner,
+    MulticlassResults,
+    PairwiseResults,
+)
+from repro.eval.experiments import run_table3_and_4, run_table5
+from repro.eval.reporting import (
+    figure_series,
+    format_figure,
+    format_table3,
+    format_table4,
+    format_table5,
+)
+from repro.eval.comparison import TABLE6_ROWS, table6_rows
+
+__all__ = [
+    "EvalSettings",
+    "ExperimentRunner",
+    "PairwiseResults",
+    "MulticlassResults",
+    "run_table3_and_4",
+    "run_table5",
+    "figure_series",
+    "format_figure",
+    "format_table3",
+    "format_table4",
+    "format_table5",
+    "TABLE6_ROWS",
+    "table6_rows",
+]

@@ -1,0 +1,38 @@
+"""Experiment definitions for Tables 3-5 (Section 5.2-5.3).
+
+Tables 3 and 4 come from the *same* training runs (Table 3 reports F1,
+Table 4 precision/recall of the neural systems), so they share one
+:func:`run_table3_and_4` invocation.
+"""
+
+from __future__ import annotations
+
+from repro.eval.runner import (
+    MULTICLASS_SYSTEMS,
+    PAIRWISE_SYSTEMS,
+    ExperimentRunner,
+    MulticlassResults,
+    PairwiseResults,
+)
+
+__all__ = ["run_table3_and_4", "run_table5"]
+
+
+def run_table3_and_4(
+    runner: ExperimentRunner,
+    *,
+    systems: tuple[str, ...] = PAIRWISE_SYSTEMS,
+    progress: bool = False,
+) -> PairwiseResults:
+    """Train and evaluate the pair-wise grid feeding Tables 3 and 4."""
+    return runner.run_pairwise(systems, progress=progress)
+
+
+def run_table5(
+    runner: ExperimentRunner,
+    *,
+    systems: tuple[str, ...] = MULTICLASS_SYSTEMS,
+    progress: bool = False,
+) -> MulticlassResults:
+    """Train and evaluate the multi-class grid feeding Table 5."""
+    return runner.run_multiclass(systems, progress=progress)

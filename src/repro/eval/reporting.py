@@ -1,0 +1,164 @@
+"""Paper-style rendering of experiment results.
+
+``format_table3/4/5`` print the same rows the paper reports; the
+``figure_series``/``format_figure`` helpers produce the one-dimensional
+slices visualized in Figures 4, 5 and 6.
+"""
+
+from __future__ import annotations
+
+from repro.core.dimensions import (
+    CornerCaseRatio,
+    DevSetSize,
+    MulticlassVariant,
+    PairwiseVariant,
+    UnseenRatio,
+)
+from repro.eval.runner import NEURAL_SYSTEMS, MulticlassResults, PairwiseResults
+
+__all__ = [
+    "format_table3",
+    "format_table4",
+    "format_table5",
+    "figure_series",
+    "format_figure",
+]
+
+_SYSTEM_TITLES = {
+    "word_cooc": "Word-Cooc",
+    "word_occ": "Word-Occ",
+    "magellan": "Magellan",
+    "roberta": "RoBERTa",
+    "ditto": "Ditto",
+    "hiergat": "HierGAT",
+    "rsupcon": "R-SupCon",
+}
+
+
+def _cell(value: float | None) -> str:
+    return f"{value * 100:6.2f}" if value is not None else "   -  "
+
+
+def format_table3(results: PairwiseResults, *, systems: list[str] | None = None) -> str:
+    """Table 3: F1 per system x (dev size, cc, unseen)."""
+    systems = systems if systems is not None else results.systems()
+    header_one = f"{'Dev Size':<8} {'CC':<4}"
+    header_two = " " * 13
+    for system in systems:
+        header_one += f" | {_SYSTEM_TITLES.get(system, system):^22}"
+        header_two += " | " + " ".join(f"{u.label[:6]:>6}" for u in UnseenRatio)
+    lines = [header_one, header_two, "-" * len(header_one)]
+    for corner_cases in CornerCaseRatio:
+        for dev_size in DevSetSize:
+            row = f"{dev_size.label:<8} {corner_cases.label:<4}"
+            for system in systems:
+                cells = []
+                for unseen in UnseenRatio:
+                    variant = PairwiseVariant(corner_cases, dev_size, unseen)
+                    score = results.get(system, variant)
+                    cells.append(_cell(score.f1 if score else None))
+                row += " | " + " ".join(cells)
+            lines.append(row)
+    return "\n".join(lines)
+
+
+def format_table4(results: PairwiseResults, *, systems: list[str] | None = None) -> str:
+    """Table 4: precision and recall of the neural systems."""
+    if systems is None:
+        systems = [s for s in NEURAL_SYSTEMS if s in results.systems()]
+    lines = []
+    header = f"{'Dev Size':<8} {'CC':<4}"
+    for system in systems:
+        header += f" | {_SYSTEM_TITLES.get(system, system):^29}"
+    sub = " " * 13
+    for _ in systems:
+        sub += " | " + " ".join(
+            f"{u.label[:4]:>4}P {u.label[:3]:>3}R" for u in UnseenRatio
+        )
+    lines.extend([header, sub, "-" * len(header)])
+    for corner_cases in CornerCaseRatio:
+        for dev_size in DevSetSize:
+            row = f"{dev_size.label:<8} {corner_cases.label:<4}"
+            for system in systems:
+                cells = []
+                for unseen in UnseenRatio:
+                    variant = PairwiseVariant(corner_cases, dev_size, unseen)
+                    score = results.get(system, variant)
+                    if score is None:
+                        cells.append("  -    -  ")
+                    else:
+                        cells.append(
+                            f"{score.precision * 100:4.1f} {score.recall * 100:4.1f}"
+                        )
+                row += " | " + " ".join(cells)
+            lines.append(row)
+    return "\n".join(lines)
+
+
+def format_table5(results: MulticlassResults, *, systems: list[str] | None = None) -> str:
+    """Table 5: multi-class micro-F1."""
+    if systems is None:
+        systems = sorted({system for system, _ in results.scores})
+    header = f"{'Dev Size':<8} {'CC':<4}" + "".join(
+        f" | {_SYSTEM_TITLES.get(s, s):>9}" for s in systems
+    )
+    lines = [header, "-" * len(header)]
+    for corner_cases in CornerCaseRatio:
+        for dev_size in DevSetSize:
+            variant = MulticlassVariant(corner_cases, dev_size)
+            row = f"{dev_size.label:<8} {corner_cases.label:<4}"
+            for system in systems:
+                value = results.get(system, variant)
+                row += f" | {_cell(value):>9}"
+            lines.append(row)
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# Figures 4-6: one-dimensional slices
+# --------------------------------------------------------------------- #
+def figure_series(
+    results: PairwiseResults,
+    *,
+    vary: str,
+    corner_cases: CornerCaseRatio = CornerCaseRatio.CC50,
+    dev_size: DevSetSize = DevSetSize.MEDIUM,
+    unseen: UnseenRatio = UnseenRatio.SEEN,
+    systems: list[str] | None = None,
+) -> dict[str, list[tuple[str, float]]]:
+    """F1 series along one dimension, the other two held fixed.
+
+    ``vary`` is one of ``corner_cases`` (Figure 4), ``unseen`` (Figure 5)
+    or ``dev_size`` (Figure 6); the paper's fixed values are the defaults.
+    """
+    systems = systems if systems is not None else results.systems()
+    if vary == "corner_cases":
+        points = [(cc.label, PairwiseVariant(cc, dev_size, unseen)) for cc in
+                  (CornerCaseRatio.CC20, CornerCaseRatio.CC50, CornerCaseRatio.CC80)]
+    elif vary == "unseen":
+        points = [(u.label, PairwiseVariant(corner_cases, dev_size, u)) for u in UnseenRatio]
+    elif vary == "dev_size":
+        points = [(d.label, PairwiseVariant(corner_cases, d, unseen)) for d in DevSetSize]
+    else:
+        raise ValueError(f"unknown dimension: {vary!r}")
+
+    series: dict[str, list[tuple[str, float]]] = {}
+    for system in systems:
+        values = []
+        for label, variant in points:
+            score = results.get(system, variant)
+            if score is not None:
+                values.append((label, score.f1))
+        if values:
+            series[system] = values
+    return series
+
+
+def format_figure(series: dict[str, list[tuple[str, float]]], *, title: str) -> str:
+    """Text rendering of a figure: one line per system with F1 values."""
+    lines = [title]
+    for system, points in series.items():
+        name = _SYSTEM_TITLES.get(system, system)
+        rendered = "  ".join(f"{label}: {value * 100:5.2f}" for label, value in points)
+        lines.append(f"  {name:<10} {rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,327 @@
+"""Training/evaluation driver for the Section-5 experiments."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.builder import BuildArtifacts
+from repro.core.dimensions import (
+    ALL_MULTICLASS_VARIANTS,
+    CornerCaseRatio,
+    DevSetSize,
+    MulticlassVariant,
+    PairwiseVariant,
+    UnseenRatio,
+)
+from repro.matchers.base import MulticlassMatcher, PairwiseMatcher
+from repro.matchers.ditto import DittoMatcher
+from repro.matchers.hiergat import HierGATMatcher
+from repro.matchers.magellan import MagellanMatcher
+from repro.matchers.rsupcon import RSupConMatcher, RSupConMulticlass
+from repro.matchers.transformer import (
+    TrainSettings,
+    TransformerMatcher,
+    TransformerMulticlass,
+)
+from repro.matchers.word_cooc import WordCoocMatcher, WordOccurrenceClassifier
+from repro.ml.metrics import PRF1
+from repro.nn.pretrain import MiniLM
+
+__all__ = [
+    "EvalSettings",
+    "ExperimentRunner",
+    "PairwiseResults",
+    "MulticlassResults",
+    "PAIRWISE_SYSTEMS",
+    "MULTICLASS_SYSTEMS",
+]
+
+PAIRWISE_SYSTEMS = ("word_cooc", "magellan", "roberta", "ditto", "hiergat", "rsupcon")
+MULTICLASS_SYSTEMS = ("word_occ", "roberta", "rsupcon")
+NEURAL_SYSTEMS = ("roberta", "ditto", "hiergat", "rsupcon")
+
+
+@dataclass(frozen=True)
+class EvalSettings:
+    """Scale knobs for an experiment run.
+
+    ``from_env`` maps ``REPRO_BENCH_SCALE`` to a preset: ``smoke`` (one
+    grid cell, tiny budgets), ``default`` (full grid, one seed), ``full``
+    (full grid, three seeds, larger budgets — the paper's protocol).
+    """
+
+    seeds: tuple[int, ...] = (0,)
+    mlm_steps: int = 250
+    matching_steps: int = 2000
+    step_budget: int = 600
+    pretrain_epochs: int = 12  # R-SupCon stage 1
+    corner_ratios: tuple[CornerCaseRatio, ...] = tuple(CornerCaseRatio)
+    dev_sizes: tuple[DevSetSize, ...] = tuple(DevSetSize)
+    unseen_ratios: tuple[UnseenRatio, ...] = tuple(UnseenRatio)
+    # Restriction of the (cc, dev) grid; None = full product.  The default
+    # covers the paper's Figure 4/5/6 slices (five cells); "full" runs all
+    # nine cells as in Tables 3-5.
+    pairwise_cells: tuple[tuple[CornerCaseRatio, DevSetSize], ...] | None = None
+    multiclass_cells: tuple[tuple[CornerCaseRatio, DevSetSize], ...] | None = None
+
+    @classmethod
+    def smoke(cls) -> "EvalSettings":
+        return cls(
+            seeds=(0,),
+            mlm_steps=120,
+            matching_steps=150,
+            step_budget=250,
+            pretrain_epochs=4,
+            corner_ratios=(CornerCaseRatio.CC50,),
+            dev_sizes=(DevSetSize.MEDIUM,),
+            pairwise_cells=((CornerCaseRatio.CC50, DevSetSize.MEDIUM),),
+            multiclass_cells=((CornerCaseRatio.CC50, DevSetSize.MEDIUM),),
+        )
+
+    @classmethod
+    def default(cls) -> "EvalSettings":
+        figure_cells = (
+            (CornerCaseRatio.CC80, DevSetSize.MEDIUM),
+            (CornerCaseRatio.CC50, DevSetSize.MEDIUM),
+            (CornerCaseRatio.CC20, DevSetSize.MEDIUM),
+            (CornerCaseRatio.CC50, DevSetSize.SMALL),
+            (CornerCaseRatio.CC50, DevSetSize.LARGE),
+        )
+        return cls(
+            pairwise_cells=figure_cells,
+            multiclass_cells=(
+                (CornerCaseRatio.CC50, DevSetSize.SMALL),
+                (CornerCaseRatio.CC50, DevSetSize.MEDIUM),
+                (CornerCaseRatio.CC50, DevSetSize.LARGE),
+            ),
+        )
+
+    @classmethod
+    def full(cls) -> "EvalSettings":
+        return cls(
+            seeds=(0, 1, 2),
+            mlm_steps=800,
+            matching_steps=3000,
+            step_budget=1500,
+            pretrain_epochs=25,
+        )
+
+    def resolved_pairwise_cells(self) -> tuple[tuple[CornerCaseRatio, DevSetSize], ...]:
+        if self.pairwise_cells is not None:
+            return self.pairwise_cells
+        return tuple(
+            (cc, dev) for cc in self.corner_ratios for dev in self.dev_sizes
+        )
+
+    def resolved_multiclass_cells(self) -> tuple[tuple[CornerCaseRatio, DevSetSize], ...]:
+        if self.multiclass_cells is not None:
+            return self.multiclass_cells
+        return tuple(
+            (cc, dev) for cc in self.corner_ratios for dev in self.dev_sizes
+        )
+
+    @classmethod
+    def from_env(cls, variable: str = "REPRO_BENCH_SCALE") -> "EvalSettings":
+        scale = os.environ.get(variable, "default").lower()
+        if scale == "smoke":
+            return cls.smoke()
+        if scale == "full":
+            return cls.full()
+        return cls.default()
+
+
+def _mean_prf1(values: list[PRF1]) -> PRF1:
+    return PRF1(
+        float(np.mean([v.precision for v in values])),
+        float(np.mean([v.recall for v in values])),
+        float(np.mean([v.f1 for v in values])),
+    )
+
+
+@dataclass
+class PairwiseResults:
+    """PRF1 per (system, corner-cases, dev size, unseen), seed-averaged."""
+
+    scores: dict[tuple[str, PairwiseVariant], PRF1] = field(default_factory=dict)
+    per_seed: dict[tuple[str, PairwiseVariant, int], PRF1] = field(default_factory=dict)
+
+    def get(self, system: str, variant: PairwiseVariant) -> PRF1 | None:
+        return self.scores.get((system, variant))
+
+    def systems(self) -> list[str]:
+        return sorted({system for system, _ in self.scores})
+
+
+@dataclass
+class MulticlassResults:
+    """Micro-F1 per (system, variant), seed-averaged."""
+
+    scores: dict[tuple[str, MulticlassVariant], float] = field(default_factory=dict)
+
+    def get(self, system: str, variant: MulticlassVariant) -> float | None:
+        return self.scores.get((system, variant))
+
+
+class ExperimentRunner:
+    """Trains the matching systems across the benchmark grid."""
+
+    def __init__(
+        self,
+        artifacts: BuildArtifacts,
+        *,
+        settings: EvalSettings | None = None,
+    ) -> None:
+        self.artifacts = artifacts
+        self.settings = settings if settings is not None else EvalSettings.from_env()
+        self._checkpoints: dict[int, MiniLM] = {}
+
+    # ------------------------------------------------------------------ #
+    def checkpoint(self, seed: int) -> MiniLM:
+        """The pretrained encoder checkpoint (RoBERTa-base analog).
+
+        Built once per seed on corpus clusters that are never part of the
+        benchmark, then shared by all neural matchers — mirroring how every
+        system in the paper starts from the same public checkpoint.
+        """
+        if seed not in self._checkpoints:
+            from repro.matchers.serialize import serialize_offer
+
+            # Same serialization as the fine-tuned matchers, so the
+            # checkpoint's input distribution matches fine-tuning.
+            clusters = self.artifacts.pretraining_clusters(
+                serializer=lambda offer: serialize_offer(
+                    offer, include_description=False
+                )
+            )
+            texts = [text for _, _, cluster_texts in clusters for text in cluster_texts]
+            lm = MiniLM(seed=seed)
+            lm.pretrain(texts, steps=self.settings.mlm_steps)
+            lm.pretrain_matching(
+                clusters,
+                steps=self.settings.matching_steps,
+                pairs_per_side=48,
+                peak_lr=3e-3,
+                hard_negative_rate=0.6,
+            )
+            self._checkpoints[seed] = lm
+        return self._checkpoints[seed]
+
+    def _train_settings(self) -> TrainSettings:
+        return TrainSettings(step_budget=self.settings.step_budget)
+
+    def make_pairwise(self, system: str, seed: int) -> PairwiseMatcher:
+        """Instantiate one pair-wise matching system."""
+        if system == "word_cooc":
+            return WordCoocMatcher(seed=seed)
+        if system == "magellan":
+            return MagellanMatcher(seed=seed)
+        if system == "roberta":
+            return TransformerMatcher(
+                settings=self._train_settings(), pretrained=self.checkpoint(seed), seed=seed
+            )
+        if system == "ditto":
+            return DittoMatcher(
+                settings=self._train_settings(), pretrained=self.checkpoint(seed), seed=seed
+            )
+        if system == "hiergat":
+            matcher = HierGATMatcher(seed=seed)
+            matcher.pretrained = self.checkpoint(seed)
+            return matcher
+        if system == "rsupcon":
+            return RSupConMatcher(
+                settings=self._train_settings(),
+                pretrain_epochs=self.settings.pretrain_epochs,
+                pretrained=self.checkpoint(seed),
+                seed=seed,
+            )
+        raise ValueError(f"unknown pair-wise system: {system!r}")
+
+    def make_multiclass(self, system: str, seed: int) -> MulticlassMatcher:
+        """Instantiate one multi-class matching system."""
+        if system == "word_occ":
+            return WordOccurrenceClassifier(seed=seed)
+        if system == "roberta":
+            return TransformerMulticlass(
+                settings=self._train_settings(), pretrained=self.checkpoint(seed), seed=seed
+            )
+        if system == "rsupcon":
+            return RSupConMulticlass(
+                settings=self._train_settings(),
+                pretrain_epochs=self.settings.pretrain_epochs,
+                pretrained=self.checkpoint(seed),
+                seed=seed,
+            )
+        raise ValueError(f"unknown multi-class system: {system!r}")
+
+    # ------------------------------------------------------------------ #
+    def run_pairwise(
+        self,
+        systems: tuple[str, ...] = PAIRWISE_SYSTEMS,
+        *,
+        progress: bool = False,
+    ) -> PairwiseResults:
+        """Train each system per (cc, dev, seed); evaluate on all test sets."""
+        settings = self.settings
+        benchmark = self.artifacts.benchmark
+        results = PairwiseResults()
+        for system in systems:
+            for corner_cases, dev_size in settings.resolved_pairwise_cells():
+                    per_unseen: dict[UnseenRatio, list[PRF1]] = {
+                        unseen: [] for unseen in settings.unseen_ratios
+                    }
+                    for seed in settings.seeds:
+                        matcher = self.make_pairwise(system, seed)
+                        task = benchmark.pairwise(
+                            corner_cases, dev_size, UnseenRatio.SEEN
+                        )
+                        matcher.fit(task.train, task.valid)
+                        for unseen in settings.unseen_ratios:
+                            variant = PairwiseVariant(corner_cases, dev_size, unseen)
+                            test = benchmark.test_sets[(corner_cases, unseen)]
+                            score = matcher.evaluate(test)
+                            per_unseen[unseen].append(score)
+                            results.per_seed[(system, variant, seed)] = score
+                    for unseen in settings.unseen_ratios:
+                        variant = PairwiseVariant(corner_cases, dev_size, unseen)
+                        results.scores[(system, variant)] = _mean_prf1(
+                            per_unseen[unseen]
+                        )
+                        if progress:
+                            score = results.scores[(system, variant)]
+                            print(
+                                f"  {system:10s} {variant.name:24s} "
+                                f"F1={score.f1 * 100:.2f}",
+                                flush=True,
+                            )
+        return results
+
+    def run_multiclass(
+        self,
+        systems: tuple[str, ...] = MULTICLASS_SYSTEMS,
+        *,
+        progress: bool = False,
+    ) -> MulticlassResults:
+        """Train/evaluate the multi-class systems over their 9 variants."""
+        settings = self.settings
+        benchmark = self.artifacts.benchmark
+        results = MulticlassResults()
+        for system in systems:
+            for corner_cases, dev_size in settings.resolved_multiclass_cells():
+                variant = MulticlassVariant(corner_cases, dev_size)
+                scores: list[float] = []
+                for seed in settings.seeds:
+                    matcher = self.make_multiclass(system, seed)
+                    task = benchmark.multiclass(variant.corner_cases, variant.dev_size)
+                    matcher.fit(task.train, task.valid)
+                    scores.append(matcher.evaluate(task.test))
+                results.scores[(system, variant)] = float(np.mean(scores))
+                if progress:
+                    print(
+                        f"  {system:10s} {variant.name:16s} "
+                        f"micro-F1={results.scores[(system, variant)] * 100:.2f}",
+                        flush=True,
+                    )
+        return results

@@ -1,0 +1,29 @@
+"""Grouping similar products (Section 3.3).
+
+DBSCAN over binary word-occurrence vectors of product-cluster titles
+produces coarse groups of similar products; the groups are split into a
+*seen* part (products with at least 7 offers) and an *unseen* part
+(products with 2-6 offers) and finally curated by simulated domain experts
+who annotate each group as useful or avoid.
+"""
+
+from repro.grouping.features import cluster_feature_texts, cluster_feature_matrix
+from repro.grouping.dbscan import DBSCAN
+from repro.grouping.curation import (
+    CurationPolicy,
+    GroupedCorpus,
+    ProductGroup,
+    group_products,
+    tune_eps,
+)
+
+__all__ = [
+    "cluster_feature_texts",
+    "cluster_feature_matrix",
+    "DBSCAN",
+    "ProductGroup",
+    "GroupedCorpus",
+    "CurationPolicy",
+    "group_products",
+    "tune_eps",
+]

@@ -1,0 +1,96 @@
+"""DBSCAN clustering from scratch (scikit-learn stand-in, §3.3).
+
+The paper runs DBSCAN with ``eps=0.35`` and ``min_samples=1`` on binary
+word-occurrence vectors.  With ``min_samples=1`` every point is a core
+point, so DBSCAN degenerates to connected components of the eps-
+neighbourhood graph — but the implementation below is the general
+algorithm and honours larger ``min_samples`` (border points, noise label
+-1) so it can be tested against the textbook semantics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = ["DBSCAN", "cosine_distance_matrix"]
+
+NOISE = -1
+_UNVISITED = -2
+
+
+def cosine_distance_matrix(features: np.ndarray) -> np.ndarray:
+    """Dense pairwise cosine distances (1 - cosine similarity)."""
+    features = np.asarray(features, dtype=np.float64)
+    norms = np.linalg.norm(features, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    normalized = features / norms
+    similarity = np.clip(normalized @ normalized.T, -1.0, 1.0)
+    return 1.0 - similarity
+
+
+class DBSCAN:
+    """Density-based clustering over a precomputed or cosine distance."""
+
+    def __init__(
+        self,
+        *,
+        eps: float = 0.35,
+        min_samples: int = 1,
+        metric: str = "cosine",
+    ) -> None:
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if metric not in ("cosine", "precomputed"):
+            raise ValueError(f"unsupported metric: {metric}")
+        self.eps = eps
+        self.min_samples = min_samples
+        self.metric = metric
+        self.labels_: np.ndarray | None = None
+
+    def fit_predict(self, data: np.ndarray) -> np.ndarray:
+        """Cluster ``data`` and return integer labels (-1 = noise)."""
+        if self.metric == "cosine":
+            distances = cosine_distance_matrix(data)
+        else:
+            distances = np.asarray(data, dtype=np.float64)
+            if distances.ndim != 2 or distances.shape[0] != distances.shape[1]:
+                raise ValueError("precomputed metric requires a square matrix")
+
+        n = distances.shape[0]
+        neighbors = [np.flatnonzero(distances[i] <= self.eps) for i in range(n)]
+        labels = np.full(n, _UNVISITED, dtype=np.int64)
+        cluster_id = 0
+        for point in range(n):
+            if labels[point] != _UNVISITED:
+                continue
+            if len(neighbors[point]) < self.min_samples:
+                labels[point] = NOISE
+                continue
+            # Expand a new cluster from this core point (BFS).
+            labels[point] = cluster_id
+            queue = deque(int(i) for i in neighbors[point] if i != point)
+            while queue:
+                candidate = queue.popleft()
+                if labels[candidate] == NOISE:
+                    labels[candidate] = cluster_id  # border point
+                if labels[candidate] != _UNVISITED:
+                    continue
+                labels[candidate] = cluster_id
+                if len(neighbors[candidate]) >= self.min_samples:
+                    queue.extend(
+                        int(i)
+                        for i in neighbors[candidate]
+                        if labels[i] in (_UNVISITED, NOISE)
+                    )
+            cluster_id += 1
+        self.labels_ = labels
+        return labels
+
+    def n_clusters(self) -> int:
+        if self.labels_ is None:
+            raise RuntimeError("DBSCAN.fit_predict() must be called first")
+        return int(self.labels_.max() + 1) if len(self.labels_) else 0

@@ -1,0 +1,62 @@
+"""Feature construction for product-cluster grouping.
+
+"As feature vector for each product, we use simple binary word occurrence
+after lower-casing and removing tags and punctuation" (§3.3).  A product
+cluster is represented by the concatenation of its offer titles so words
+from every vendor contribute to the vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.corpus.schema import ProductCluster
+from repro.text.vectorize import BinaryBowVectorizer
+
+__all__ = ["cluster_feature_texts", "cluster_feature_matrix"]
+
+
+def cluster_feature_texts(clusters: list[ProductCluster]) -> list[str]:
+    """One text per cluster: all offer titles joined."""
+    return [" ".join(cluster.titles()) for cluster in clusters]
+
+
+def cluster_feature_matrix(
+    clusters: list[ProductCluster],
+    *,
+    min_count: int = 2,
+    max_document_frequency: float = 0.04,
+    drop_numeric_tokens: bool = True,
+    max_size: int | None = 20000,
+) -> np.ndarray:
+    """Binary word-occurrence matrix, one row per product cluster.
+
+    Three filters keep the grouping signal clean:
+
+    * ``min_count`` drops hapax words (vendor typos seen once),
+    * ``max_document_frequency`` drops near-stopwords of the product domain
+      (head nouns, units, marketing boilerplate) that appear in more than
+      the given fraction of clusters and would otherwise chain unrelated
+      families together under DBSCAN,
+    * ``drop_numeric_tokens`` removes model codes and sized spec values
+      (``vd-2400``, ``2tb``) which are *unique per product* and would push
+      sibling products apart — grouping should cluster a product with its
+      near-identical siblings, and brand/line/material words are what
+      siblings share.
+    """
+    texts = cluster_feature_texts(clusters)
+    if drop_numeric_tokens:
+        texts = [
+            " ".join(
+                token
+                for token in text.split()
+                if not any(char.isdigit() for char in token)
+            )
+            for text in texts
+        ]
+    vectorizer = BinaryBowVectorizer(min_count=min_count, max_size=max_size)
+    matrix = vectorizer.fit_transform(texts)
+    if matrix.size and 0.0 < max_document_frequency < 1.0:
+        document_frequency = (matrix > 0).mean(axis=0)
+        matrix = matrix[:, document_frequency <= max_document_frequency]
+    return matrix

@@ -1,0 +1,26 @@
+"""Persistence: JSONL serialization of corpora and benchmark datasets."""
+
+from repro.io.jsonl import read_jsonl, write_jsonl
+from repro.io.datasets import (
+    load_benchmark,
+    load_corpus,
+    load_multiclass_dataset,
+    load_pair_dataset,
+    save_benchmark,
+    save_corpus,
+    save_multiclass_dataset,
+    save_pair_dataset,
+)
+
+__all__ = [
+    "read_jsonl",
+    "write_jsonl",
+    "save_corpus",
+    "load_corpus",
+    "save_pair_dataset",
+    "load_pair_dataset",
+    "save_multiclass_dataset",
+    "load_multiclass_dataset",
+    "save_benchmark",
+    "load_benchmark",
+]

@@ -1,0 +1,155 @@
+"""Serialization of offers, pair datasets and whole benchmarks.
+
+The on-disk layout mirrors how WDC Products is distributed: one JSONL file
+per split, with offers embedded in the pair records (so a file is
+self-contained) plus a manifest describing the variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.core.benchmark import WDCProductsBenchmark
+from repro.core.datasets import LabeledPair, MulticlassDataset, PairDataset
+from repro.core.dimensions import CornerCaseRatio, DevSetSize, UnseenRatio
+from repro.corpus.schema import ProductOffer, SyntheticCorpus
+from repro.io.jsonl import read_jsonl, write_jsonl
+
+__all__ = [
+    "save_corpus",
+    "load_corpus",
+    "save_pair_dataset",
+    "load_pair_dataset",
+    "save_multiclass_dataset",
+    "load_multiclass_dataset",
+    "save_benchmark",
+    "load_benchmark",
+]
+
+
+def _offer_to_dict(offer: ProductOffer) -> dict:
+    return asdict(offer)
+
+
+def _offer_from_dict(record: dict) -> ProductOffer:
+    return ProductOffer(**record)
+
+
+# --------------------------------------------------------------------- #
+# Corpus
+# --------------------------------------------------------------------- #
+def save_corpus(corpus: SyntheticCorpus, path: str | Path) -> int:
+    return write_jsonl(path, (_offer_to_dict(offer) for offer in corpus.offers))
+
+
+def load_corpus(path: str | Path) -> SyntheticCorpus:
+    return SyntheticCorpus(_offer_from_dict(record) for record in read_jsonl(path))
+
+
+# --------------------------------------------------------------------- #
+# Pair datasets
+# --------------------------------------------------------------------- #
+def save_pair_dataset(dataset: PairDataset, path: str | Path) -> int:
+    def records():
+        for pair in dataset.pairs:
+            yield {
+                "pair_id": pair.pair_id,
+                "label": pair.label,
+                "provenance": pair.provenance,
+                "offer_a": _offer_to_dict(pair.offer_a),
+                "offer_b": _offer_to_dict(pair.offer_b),
+            }
+
+    return write_jsonl(path, records())
+
+
+def load_pair_dataset(path: str | Path, *, name: str | None = None) -> PairDataset:
+    dataset = PairDataset(name=name or Path(path).stem)
+    for record in read_jsonl(path):
+        dataset.pairs.append(
+            LabeledPair(
+                pair_id=record["pair_id"],
+                offer_a=_offer_from_dict(record["offer_a"]),
+                offer_b=_offer_from_dict(record["offer_b"]),
+                label=int(record["label"]),
+                provenance=record.get("provenance", ""),
+            )
+        )
+    return dataset
+
+
+# --------------------------------------------------------------------- #
+# Multi-class datasets
+# --------------------------------------------------------------------- #
+def save_multiclass_dataset(dataset: MulticlassDataset, path: str | Path) -> int:
+    def records():
+        for offer, label in zip(dataset.offers, dataset.labels):
+            yield {"label": label, "offer": _offer_to_dict(offer)}
+
+    return write_jsonl(path, records())
+
+
+def load_multiclass_dataset(
+    path: str | Path, *, name: str | None = None
+) -> MulticlassDataset:
+    offers: list[ProductOffer] = []
+    labels: list[str] = []
+    for record in read_jsonl(path):
+        offers.append(_offer_from_dict(record["offer"]))
+        labels.append(record["label"])
+    return MulticlassDataset(name=name or Path(path).stem, offers=offers, labels=labels)
+
+
+# --------------------------------------------------------------------- #
+# Whole benchmark
+# --------------------------------------------------------------------- #
+def save_benchmark(benchmark: WDCProductsBenchmark, directory: str | Path) -> None:
+    """Write every split of the benchmark under ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for (cc, dev), dataset in benchmark.train_sets.items():
+        save_pair_dataset(dataset, directory / f"train_cc{cc.label[:-1]}_{dev.value}.jsonl")
+    for (cc, dev), dataset in benchmark.valid_sets.items():
+        save_pair_dataset(dataset, directory / f"valid_cc{cc.label[:-1]}_{dev.value}.jsonl")
+    for (cc, unseen), dataset in benchmark.test_sets.items():
+        save_pair_dataset(
+            dataset, directory / f"test_cc{cc.label[:-1]}_{unseen.label.lower()}.jsonl"
+        )
+    for (cc, dev), dataset in benchmark.multiclass_train.items():
+        save_multiclass_dataset(
+            dataset, directory / f"mc_train_cc{cc.label[:-1]}_{dev.value}.jsonl"
+        )
+    for cc, dataset in benchmark.multiclass_valid.items():
+        save_multiclass_dataset(dataset, directory / f"mc_valid_cc{cc.label[:-1]}.jsonl")
+    for cc, dataset in benchmark.multiclass_test.items():
+        save_multiclass_dataset(dataset, directory / f"mc_test_cc{cc.label[:-1]}.jsonl")
+
+
+def load_benchmark(directory: str | Path) -> WDCProductsBenchmark:
+    """Load a benchmark previously written by :func:`save_benchmark`."""
+    directory = Path(directory)
+    benchmark = WDCProductsBenchmark()
+    for cc in CornerCaseRatio:
+        tag = cc.label[:-1]
+        for dev in DevSetSize:
+            train_path = directory / f"train_cc{tag}_{dev.value}.jsonl"
+            if train_path.exists():
+                benchmark.train_sets[(cc, dev)] = load_pair_dataset(train_path)
+            valid_path = directory / f"valid_cc{tag}_{dev.value}.jsonl"
+            if valid_path.exists():
+                benchmark.valid_sets[(cc, dev)] = load_pair_dataset(valid_path)
+            mc_train = directory / f"mc_train_cc{tag}_{dev.value}.jsonl"
+            if mc_train.exists():
+                benchmark.multiclass_train[(cc, dev)] = load_multiclass_dataset(mc_train)
+        for unseen in UnseenRatio:
+            test_path = directory / f"test_cc{tag}_{unseen.label.lower()}.jsonl"
+            if test_path.exists():
+                benchmark.test_sets[(cc, unseen)] = load_pair_dataset(test_path)
+        mc_valid = directory / f"mc_valid_cc{tag}.jsonl"
+        if mc_valid.exists():
+            benchmark.multiclass_valid[cc] = load_multiclass_dataset(mc_valid)
+        mc_test = directory / f"mc_test_cc{tag}.jsonl"
+        if mc_test.exists():
+            benchmark.multiclass_test[cc] = load_multiclass_dataset(mc_test)
+    return benchmark

@@ -1,0 +1,31 @@
+"""Line-delimited JSON reading and writing."""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+__all__ = ["write_jsonl", "read_jsonl"]
+
+
+def write_jsonl(path: str | Path, records: Iterable[dict]) -> int:
+    """Write ``records`` to ``path``; returns the number of lines written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, ensure_ascii=False, sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str | Path) -> Iterator[dict]:
+    """Yield one dict per non-empty line of ``path``."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

@@ -1,0 +1,49 @@
+"""The matching systems evaluated in Section 5.
+
+Six systems, as in the paper:
+
+* :class:`WordCoocMatcher` / :class:`WordOccurrenceClassifier` — the
+  symbolic Word-(Co)Occurrence baseline (binary features + LinearSVM),
+* :class:`MagellanMatcher` — attribute-typed similarity features + random
+  forest,
+* :class:`TransformerMatcher` — the RoBERTa stand-in (mini Transformer
+  encoder fine-tuned with cross-entropy),
+* :class:`DittoMatcher` — Transformer + attribute-tag serialization +
+  *delete* data augmentation + domain-knowledge number normalization,
+* :class:`RSupConMatcher` — supervised-contrastive pre-training, frozen
+  encoder, cross-entropy classification head,
+* :class:`HierGATMatcher` — hierarchical (token → attribute → entity)
+  attention aggregation.
+
+Every pair-wise system implements :class:`PairwiseMatcher`; systems that
+also support the multi-class formulation implement
+:class:`MulticlassMatcher`.
+"""
+
+from repro.matchers.base import MulticlassMatcher, PairwiseMatcher
+from repro.matchers.serialize import serialize_offer, serialize_pair
+from repro.matchers.word_cooc import WordCoocMatcher, WordOccurrenceClassifier
+from repro.matchers.magellan import MagellanMatcher
+from repro.matchers.transformer import TransformerMatcher, TransformerMulticlass
+from repro.matchers.augmentation import delete_augment, normalize_numbers
+from repro.matchers.ditto import DittoMatcher
+from repro.matchers.rsupcon import RSupConMatcher, RSupConMulticlass
+from repro.matchers.hiergat import HierGATMatcher
+
+__all__ = [
+    "PairwiseMatcher",
+    "MulticlassMatcher",
+    "serialize_offer",
+    "serialize_pair",
+    "WordCoocMatcher",
+    "WordOccurrenceClassifier",
+    "MagellanMatcher",
+    "TransformerMatcher",
+    "TransformerMulticlass",
+    "delete_augment",
+    "normalize_numbers",
+    "DittoMatcher",
+    "RSupConMatcher",
+    "RSupConMulticlass",
+    "HierGATMatcher",
+]

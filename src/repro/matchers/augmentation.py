@@ -1,0 +1,50 @@
+"""Ditto's data-augmentation and domain-knowledge operators (Section 5.1).
+
+The paper activates Ditto's *delete* augmentation operator; Ditto's
+domain-knowledge module normalizes value formats before serialization —
+reproduced here as number/unit normalization (lower-casing units and
+splitting glued numbers, the dominant heterogeneity in product specs).
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+__all__ = ["delete_augment", "normalize_numbers"]
+
+_NUMBER_UNIT_RE = re.compile(r"(\d+(?:\.\d+)?)\s*([a-zA-Z]+)")
+
+
+def delete_augment(
+    token_ids: list[int],
+    rng: np.random.Generator,
+    *,
+    rate: float = 0.12,
+    protect: int = 1,
+) -> list[int]:
+    """Randomly delete a fraction of token ids (Ditto's delete operator).
+
+    The first ``protect`` positions ([CLS]) are never deleted, and at least
+    half of the sequence always survives so a pair cannot degenerate.
+    """
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"rate must lie in [0, 1), got {rate}")
+    if len(token_ids) <= protect + 1 or rate == 0.0:
+        return list(token_ids)
+    body = token_ids[protect:]
+    keep_mask = rng.random(len(body)) >= rate
+    if keep_mask.sum() < max(1, len(body) // 2):
+        return list(token_ids)
+    return token_ids[:protect] + [t for t, keep in zip(body, keep_mask) if keep]
+
+
+def normalize_numbers(text: str) -> str:
+    """Domain-knowledge normalization: split glued number+unit tokens.
+
+    >>> normalize_numbers("2TB 7200RPM drive")
+    '2 tb 7200 rpm drive'
+    """
+    normalized = _NUMBER_UNIT_RE.sub(lambda m: f"{m.group(1)} {m.group(2).lower()}", text)
+    return normalized

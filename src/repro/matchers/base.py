@@ -1,0 +1,57 @@
+"""Matcher interfaces shared by all systems."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.datasets import MulticlassDataset, PairDataset
+from repro.ml.metrics import PRF1, micro_f1, precision_recall_f1
+
+__all__ = ["PairwiseMatcher", "MulticlassMatcher"]
+
+
+class PairwiseMatcher(abc.ABC):
+    """Binary matcher over offer pairs."""
+
+    name: str = "pairwise"
+
+    @abc.abstractmethod
+    def fit(self, train: PairDataset, valid: PairDataset) -> "PairwiseMatcher":
+        """Train on ``train``, tune/early-stop on ``valid``."""
+
+    @abc.abstractmethod
+    def predict(self, dataset: PairDataset) -> np.ndarray:
+        """Predict binary match labels for every pair of ``dataset``."""
+
+    def evaluate(self, dataset: PairDataset) -> PRF1:
+        """Precision/recall/F1 of the match class on ``dataset``."""
+        predictions = self.predict(dataset)
+        return precision_recall_f1(dataset.labels(), predictions.tolist())
+
+
+class MulticlassMatcher(abc.ABC):
+    """Multi-class matcher labeling each offer with a product id."""
+
+    name: str = "multiclass"
+
+    @abc.abstractmethod
+    def fit(
+        self, train: MulticlassDataset, valid: MulticlassDataset
+    ) -> "MulticlassMatcher":
+        """Train on ``train``, tune/early-stop on ``valid``."""
+
+    @abc.abstractmethod
+    def predict(self, dataset: MulticlassDataset) -> list[str]:
+        """Predict a product label for every offer of ``dataset``."""
+
+    def evaluate(self, dataset: MulticlassDataset) -> float:
+        """Micro-F1 (= accuracy for single-label prediction)."""
+        predictions = self.predict(dataset)
+        gold = list(dataset.labels)
+        indexed = {label: i for i, label in enumerate(sorted(set(gold) | set(predictions)))}
+        return micro_f1(
+            [indexed[label] for label in gold],
+            [indexed[label] for label in predictions],
+        )

@@ -1,0 +1,41 @@
+"""The Ditto matcher (Section 5.1).
+
+Relative to the RoBERTa baseline, Ditto adds (i) attribute-tag
+serialization (``COL <attr> VAL <value>``), (ii) the *delete* data
+augmentation operator applied per training batch, and (iii) domain
+knowledge injection, reproduced as number/unit normalization.  Everything
+else (optimizer, schedule, early stopping) is inherited.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matchers.augmentation import delete_augment, normalize_numbers
+from repro.matchers.transformer import TrainSettings, TransformerMatcher
+
+__all__ = ["DittoMatcher"]
+
+
+class DittoMatcher(TransformerMatcher):
+    """Transformer matcher with Ditto's serialization, DA and DK modules."""
+
+    name = "ditto"
+    serialization_style = "ditto"
+
+    def __init__(
+        self,
+        *,
+        settings: TrainSettings | None = None,
+        pretrained=None,
+        augment_rate: float = 0.12,
+        use_domain_knowledge: bool = True,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(settings=settings, pretrained=pretrained, seed=seed)
+        self.augment_rate = augment_rate
+        if use_domain_knowledge:
+            self.text_normalizer = normalize_numbers
+        self.token_augment = (
+            lambda ids, rng: delete_augment(ids, rng, rate=self.augment_rate)
+        )

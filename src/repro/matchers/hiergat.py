@@ -1,0 +1,299 @@
+"""The HierGAT matcher (Section 5.1), scaled down.
+
+HierGAT combines a language model's token-level attention with a
+hierarchical graph attention network over attribute and entity nodes.
+This reproduction keeps the hierarchy at matched scale:
+
+1. *token level* — a shared mini Transformer encodes each attribute value
+   (title, brand, description) of both offers into an attribute vector,
+2. *attribute level* — one multi-head attention layer over the six
+   attribute nodes (plus learned attribute-type and side embeddings) lets
+   evidence flow between the two entities' attributes,
+3. *entity level* — each side is mean-pooled and the pair is classified
+   from ``[u; v; |u-v|; u*v]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.datasets import PairDataset
+from repro.corpus.schema import ProductOffer
+from repro.matchers.base import PairwiseMatcher
+from repro.matchers.transformer import TrainSettings, pad_batch
+from repro.ml.metrics import precision_recall_f1
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.pretrain import (
+    N_LEXICAL_FEATURES,
+    PairHead,
+    digit_piece_ids,
+    lexical_overlap_features,
+)
+from repro.nn.layers import Embedding, LayerNorm, Linear, Module
+from repro.nn.losses import cross_entropy
+from repro.nn.optim import Adam, WarmupLinearSchedule
+from repro.nn.serialization import load_state_dict, state_dict
+from repro.nn.tensor import Tensor, no_grad
+from repro.nn.transformer import TransformerEncoder
+from repro.text.vocabulary import SubwordTokenizer
+
+__all__ = ["HierGATMatcher"]
+
+_ATTRIBUTES = ("title", "brand", "description")
+_N_NODES = len(_ATTRIBUTES) * 2
+
+
+def _attribute_text(offer: ProductOffer, attribute: str) -> str:
+    if attribute == "title":
+        return offer.title
+    if attribute == "brand":
+        return offer.brand or ""
+    if attribute == "description":
+        if offer.description:
+            return " ".join(offer.description.split()[:16])
+        return ""
+    raise ValueError(f"unknown attribute {attribute!r}")
+
+
+class _HierGATModel(Module):
+    """Token encoder + attribute-level graph attention + pair head."""
+
+    def __init__(self, vocab_size: int, settings: TrainSettings, *, pad_id: int, seed: int):
+        super().__init__()
+        self.settings = settings
+        self.encoder = TransformerEncoder(
+            vocab_size,
+            dim=settings.dim,
+            n_heads=settings.n_heads,
+            n_layers=settings.n_layers,
+            max_length=settings.max_length,
+            dropout=settings.dropout,
+            pad_id=pad_id,
+            seed=seed,
+        )
+        # Node-type embeddings: which attribute, which side of the pair.
+        self.attribute_embedding = Embedding(len(_ATTRIBUTES), settings.dim, seed=seed + 31)
+        self.side_embedding = Embedding(2, settings.dim, seed=seed + 32)
+        self.node_attention = MultiHeadSelfAttention(
+            settings.dim, settings.n_heads, seed=seed + 33
+        )
+        self.node_norm = LayerNorm(settings.dim)
+        self.head = PairHead(settings.dim * 4 + N_LEXICAL_FEATURES, seed=seed + 34)
+
+    def forward(
+        self,
+        node_tokens: np.ndarray,
+        empty_mask: np.ndarray,
+        lexical: np.ndarray,
+    ) -> Tensor:
+        """Classify a batch of pairs.
+
+        ``node_tokens`` is ``(batch, 6, seq)`` int ids (title/brand/desc of
+        offer A then offer B); ``empty_mask`` is ``(batch, 6)`` and is True
+        where the attribute value is missing; ``lexical`` carries the
+        token-overlap channel shared with the other neural matchers.
+        """
+        batch, n_nodes, seq = node_tokens.shape
+        flat = node_tokens.reshape(batch * n_nodes, seq)
+        pooled = self.encoder.pool(flat).reshape(batch, n_nodes, self.settings.dim)
+
+        attribute_ids = np.tile(np.arange(len(_ATTRIBUTES)), 2)
+        side_ids = np.repeat(np.arange(2), len(_ATTRIBUTES))
+        nodes = (
+            pooled
+            + self.attribute_embedding(np.broadcast_to(attribute_ids, (batch, n_nodes)))
+            + self.side_embedding(np.broadcast_to(side_ids, (batch, n_nodes)))
+        )
+        attended = self.node_attention(self.node_norm(nodes), empty_mask)
+        nodes = nodes + attended
+
+        # Entity-level aggregation: mean over each side's non-empty nodes,
+        # implemented as a weighted sum with zero weight on the other side.
+        present = (~empty_mask).astype(np.float64)
+        half = len(_ATTRIBUTES)
+
+        def side_mean(start: int) -> Tensor:
+            weights = np.zeros((batch, n_nodes, 1))
+            side = present[:, start : start + half]
+            normalizer = np.maximum(side.sum(axis=1, keepdims=True), 1.0)
+            weights[:, start : start + half, 0] = side / normalizer
+            return (nodes * Tensor(weights)).sum(axis=1)
+
+        u = side_mean(0)
+        v = side_mean(half)
+        features = Tensor.concat(
+            [u, v, (u - v) * (u - v), u * v, Tensor(np.asarray(lexical))],
+            axis=-1,
+        )
+        return self.head(features)
+
+
+class HierGATMatcher(PairwiseMatcher):
+    """Hierarchical graph-attention matcher."""
+
+    name = "hiergat"
+
+    def __init__(
+        self,
+        *,
+        settings: TrainSettings | None = None,
+        pretrained=None,
+        seed: int = 0,
+    ) -> None:
+        if settings is None:
+            # Attribute values are short; a tighter token budget keeps the
+            # 6-nodes-per-pair encoding affordable.
+            settings = TrainSettings(max_length=20, peak_lr=2e-3)
+        self.settings = settings
+        self.pretrained = pretrained
+        if pretrained is not None:
+            # The checkpoint fixes the token-level encoder architecture.
+            self.settings.dim = pretrained.dim
+            self.settings.n_heads = pretrained.n_heads
+            self.settings.n_layers = pretrained.n_layers
+            self.settings.vocab_size = pretrained.vocab_size
+        self.seed = seed
+        self.tokenizer: SubwordTokenizer | None = None
+        self.model: _HierGATModel | None = None
+
+    # ------------------------------------------------------------------ #
+    def _encode_dataset(
+        self, dataset: PairDataset
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        assert self.tokenizer is not None
+        settings = self.settings
+        digits = digit_piece_ids(self.tokenizer)
+        sequences: list[list[list[int]]] = []
+        empties: list[list[bool]] = []
+        lexical: list[list[float]] = []
+        for pair in dataset:
+            nodes: list[list[int]] = []
+            empty: list[bool] = []
+            sides: list[list[int]] = []
+            for offer in (pair.offer_a, pair.offer_b):
+                side_ids: list[int] = []
+                for attribute in _ATTRIBUTES:
+                    text = _attribute_text(offer, attribute)
+                    ids = [self.tokenizer.vocab.cls_id]
+                    ids.extend(
+                        self.tokenizer.encode(text, max_length=settings.max_length - 1)
+                    )
+                    nodes.append(ids[: settings.max_length])
+                    empty.append(not text)
+                    if attribute in ("title", "brand"):
+                        side_ids.extend(ids[1:])
+                sides.append(side_ids)
+            sequences.append(nodes)
+            empties.append(empty)
+            lexical.append(
+                lexical_overlap_features(sides[0], sides[1], digits)
+            )
+
+        width = max(
+            (len(ids) for nodes in sequences for ids in nodes), default=1
+        )
+        width = min(width, settings.max_length)
+        batch = np.full(
+            (len(sequences), _N_NODES, width), self.tokenizer.pad_id, dtype=np.int64
+        )
+        for row, nodes in enumerate(sequences):
+            for node_index, ids in enumerate(nodes):
+                trimmed = ids[:width]
+                batch[row, node_index, : len(trimmed)] = trimmed
+        lexical_matrix = (
+            np.array(lexical) if lexical else np.zeros((0, N_LEXICAL_FEATURES))
+        )
+        return batch, np.array(empties, dtype=bool), lexical_matrix
+
+    def _predict_logits(
+        self, tokens: np.ndarray, empty: np.ndarray, lexical: np.ndarray
+    ) -> np.ndarray:
+        assert self.model is not None
+        self.model.eval()
+        outputs = []
+        step = 128
+        with no_grad():
+            for start in range(0, len(tokens), step):
+                outputs.append(
+                    self.model(
+                        tokens[start : start + step],
+                        empty[start : start + step],
+                        lexical[start : start + step],
+                    ).numpy()
+                )
+        self.model.train()
+        return np.concatenate(outputs, axis=0) if outputs else np.zeros((0, 2))
+
+    def fit(self, train: PairDataset, valid: PairDataset) -> "HierGATMatcher":
+        settings = self.settings
+        rng = np.random.default_rng(self.seed)
+        if self.pretrained is not None and self.pretrained.tokenizer is not None:
+            self.tokenizer = self.pretrained.tokenizer
+        else:
+            texts: list[str] = []
+            for offer in train.offers() + valid.offers():
+                for attribute in _ATTRIBUTES:
+                    value = _attribute_text(offer, attribute)
+                    if value:
+                        texts.append(value)
+            self.tokenizer = SubwordTokenizer(vocab_size=settings.vocab_size).train(texts)
+        self.model = _HierGATModel(
+            len(self.tokenizer), settings, pad_id=self.tokenizer.pad_id, seed=self.seed
+        )
+        if self.pretrained is not None:
+            self.pretrained.initialize_encoder(self.model.encoder)
+
+        train_tokens, train_empty, train_lexical = self._encode_dataset(train)
+        train_labels = np.array(train.labels())
+        valid_tokens, valid_empty, valid_lexical = self._encode_dataset(valid)
+        valid_labels = np.array(valid.labels())
+
+        n = len(train_tokens)
+        steps_per_epoch = max(1, (n + settings.batch_size - 1) // settings.batch_size)
+        total_steps = steps_per_epoch * settings.epochs
+        schedule = WarmupLinearSchedule(
+            settings.peak_lr, max(1, total_steps // 10), total_steps
+        )
+        optimizer = Adam(self.model.parameters(), lr=schedule, weight_decay=0.01)
+        n_pos = max(int(train_labels.sum()), 1)
+        n_neg = max(len(train_labels) - n_pos, 1)
+        class_weights = np.array([1.0, n_neg / n_pos])
+
+        best_f1 = -1.0
+        best_state: dict[str, np.ndarray] | None = None
+        stale = 0
+        for _epoch in range(settings.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, settings.batch_size):
+                indices = order[start : start + settings.batch_size]
+                logits = self.model(
+                    train_tokens[indices],
+                    train_empty[indices],
+                    train_lexical[indices],
+                )
+                loss = cross_entropy(logits, train_labels[indices], class_weights=class_weights)
+                self.model.zero_grad()
+                loss.backward()
+                optimizer.step()
+
+            predictions = np.argmax(
+                self._predict_logits(valid_tokens, valid_empty, valid_lexical), axis=1
+            )
+            f1 = precision_recall_f1(valid_labels.tolist(), predictions.tolist()).f1
+            if f1 > best_f1:
+                best_f1 = f1
+                best_state = state_dict(self.model)
+                stale = 0
+            else:
+                stale += 1
+                if stale >= settings.patience:
+                    break
+        if best_state is not None:
+            load_state_dict(self.model, best_state)
+        return self
+
+    def predict(self, dataset: PairDataset) -> np.ndarray:
+        if self.model is None:
+            raise RuntimeError("HierGATMatcher.fit() must be called first")
+        tokens, empty, lexical = self._encode_dataset(dataset)
+        return np.argmax(self._predict_logits(tokens, empty, lexical), axis=1)

@@ -1,0 +1,128 @@
+"""The Magellan baseline (Section 5.1).
+
+Magellan generates attribute-type-aware similarity features for each pair
+and feeds them to a random-forest classifier.  The feature set below
+mirrors Magellan's automatic feature generation for the five benchmark
+attributes: token-set metrics for textual attributes, edit-based metrics
+for short strings, relative difference for the numeric price, and exact
+match for the currency code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.datasets import LabeledPair, PairDataset
+from repro.matchers.base import PairwiseMatcher
+from repro.ml.grid_search import GridSearch
+from repro.ml.random_forest import RandomForest
+from repro.similarity.character_based import jaro_winkler_similarity, levenshtein_similarity
+from repro.similarity.token_based import (
+    cosine_similarity,
+    dice_similarity,
+    jaccard_similarity,
+    overlap_coefficient,
+)
+
+__all__ = ["MagellanMatcher"]
+
+_DEFAULT_GRID = {
+    "n_trees": (15,),
+    "max_depth": (8, 12),
+}
+
+_MISSING = -1.0  # Magellan encodes missing attribute values distinctly
+
+
+def _text_or_empty(value: str | None) -> str:
+    return value if value else ""
+
+
+def pair_features(pair: LabeledPair) -> list[float]:
+    """Attribute-wise similarity feature vector for one pair."""
+    a, b = pair.offer_a, pair.offer_b
+    features: list[float] = []
+
+    # title: token-based metrics + an edit metric on the raw string.
+    features.append(jaccard_similarity(a.title, b.title))
+    features.append(cosine_similarity(a.title, b.title))
+    features.append(dice_similarity(a.title, b.title))
+    features.append(overlap_coefficient(a.title, b.title))
+    features.append(levenshtein_similarity(a.title[:48], b.title[:48]))
+
+    # description: token overlap (or missing indicator).
+    if a.description and b.description:
+        features.append(jaccard_similarity(a.description, b.description))
+        features.append(cosine_similarity(a.description, b.description))
+    else:
+        features.extend((_MISSING, _MISSING))
+
+    # brand: short string -> exact + Jaro-Winkler.
+    brand_a, brand_b = _text_or_empty(a.brand), _text_or_empty(b.brand)
+    if brand_a and brand_b:
+        features.append(1.0 if brand_a.lower() == brand_b.lower() else 0.0)
+        features.append(jaro_winkler_similarity(brand_a.lower(), brand_b.lower()))
+    else:
+        features.extend((_MISSING, _MISSING))
+
+    # price: relative difference.
+    if a.price is not None and b.price is not None and max(a.price, b.price) > 0:
+        features.append(abs(a.price - b.price) / max(a.price, b.price))
+    else:
+        features.append(_MISSING)
+
+    # priceCurrency: exact match.
+    if a.price_currency and b.price_currency:
+        features.append(1.0 if a.price_currency == b.price_currency else 0.0)
+    else:
+        features.append(_MISSING)
+
+    return features
+
+
+class MagellanMatcher(PairwiseMatcher):
+    """Attribute similarity features + random forest, tuned by grid search."""
+
+    name = "magellan"
+
+    def __init__(
+        self,
+        *,
+        param_grid: dict | None = None,
+        max_train_pairs: int | None = 10000,
+        seed: int = 0,
+    ) -> None:
+        self.param_grid = dict(param_grid) if param_grid is not None else dict(_DEFAULT_GRID)
+        # Feature extraction is quadratic-ish in Python-call overhead; the
+        # cap subsamples very large training sets (None disables).
+        self.max_train_pairs = max_train_pairs
+        self.seed = seed
+        self.search: GridSearch | None = None
+
+    def _features(self, dataset: PairDataset) -> np.ndarray:
+        return np.array([pair_features(pair) for pair in dataset], dtype=np.float64)
+
+    def fit(self, train: PairDataset, valid: PairDataset) -> "MagellanMatcher":
+        pairs = train.pairs
+        if self.max_train_pairs is not None and len(pairs) > self.max_train_pairs:
+            rng = np.random.default_rng(self.seed)
+            chosen = rng.choice(len(pairs), size=self.max_train_pairs, replace=False)
+            train = PairDataset(
+                name=f"{train.name}-sub", pairs=[pairs[int(i)] for i in chosen]
+            )
+        self.search = GridSearch(
+            factory=lambda **params: RandomForest(seed=self.seed, **params),
+            param_grid=self.param_grid,
+        )
+        self.search.fit(
+            self._features(train),
+            np.array(train.labels()),
+            self._features(valid),
+            np.array(valid.labels()),
+        )
+        return self
+
+    def predict(self, dataset: PairDataset) -> np.ndarray:
+        if self.search is None:
+            raise RuntimeError("MagellanMatcher.fit() must be called first")
+        return np.asarray(self.search.predict(self._features(dataset)))

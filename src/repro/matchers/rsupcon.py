@@ -1,0 +1,390 @@
+"""R-SupCon: supervised contrastive pre-training + frozen-encoder head.
+
+Stage 1 pre-trains the offer encoder with the supervised contrastive loss
+(all offers of the same product are mutual positives); stage 2 freezes the
+encoder and trains only a classification head with cross-entropy — for
+pair-wise matching over the combined pair representation
+``[u; v; |u-v|; u*v]``, for multi-class matching directly over the product
+label space.  Batches are *product-grouped* so every anchor has at least
+one in-batch positive, which is what makes contrastive training data-
+efficient (the behaviour Table 3/5 highlight).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.core.datasets import MulticlassDataset, PairDataset
+from repro.corpus.schema import ProductOffer
+from repro.matchers.base import MulticlassMatcher, PairwiseMatcher
+from repro.matchers.serialize import serialize_offer
+from repro.matchers.transformer import TrainSettings, pad_batch
+from repro.ml.metrics import micro_f1, precision_recall_f1
+from repro.nn.layers import Linear
+from repro.nn.pretrain import (
+    N_LEXICAL_FEATURES,
+    PairHead,
+    digit_piece_ids,
+    lexical_overlap_features,
+)
+from repro.nn.losses import cross_entropy, supervised_contrastive_loss
+from repro.nn.optim import Adam, WarmupLinearSchedule
+from repro.nn.tensor import Tensor, no_grad
+from repro.nn.transformer import TransformerEncoder
+from repro.text.vocabulary import SubwordTokenizer
+
+__all__ = ["RSupConMatcher", "RSupConMulticlass"]
+
+
+class _ContrastiveEncoder:
+    """Shared stage-1 logic: tokenizer + encoder + SupCon pre-training.
+
+    With a ``pretrained`` MiniLM checkpoint, stage 1 starts from the
+    checkpoint weights — mirroring how R-SupCon contrastively tunes
+    RoBERTa-base rather than a random encoder.
+    """
+
+    def __init__(
+        self,
+        settings: TrainSettings,
+        *,
+        pretrain_epochs: int,
+        seed: int,
+        pretrained=None,
+    ):
+        self.settings = settings
+        self.pretrain_epochs = pretrain_epochs
+        self.seed = seed
+        self.pretrained = pretrained
+        if pretrained is not None:
+            self.settings.dim = pretrained.dim
+            self.settings.n_heads = pretrained.n_heads
+            self.settings.n_layers = pretrained.n_layers
+            self.settings.vocab_size = pretrained.vocab_size
+            self.settings.max_length = min(
+                self.settings.max_length, pretrained.max_length
+            )
+        self.tokenizer: SubwordTokenizer | None = None
+        self.encoder: TransformerEncoder | None = None
+
+    # ------------------------------------------------------------------ #
+    def encode_texts(self, texts: list[str]) -> list[list[int]]:
+        assert self.tokenizer is not None
+        sequences = []
+        for text in texts:
+            ids = [self.tokenizer.vocab.cls_id]
+            ids.extend(self.tokenizer.encode(text, max_length=self.settings.max_length - 1))
+            sequences.append(ids[: self.settings.max_length])
+        return sequences
+
+    def embed(self, sequences: list[list[int]], *, batch_size: int = 256) -> np.ndarray:
+        """Frozen-encoder embeddings (no gradients)."""
+        assert self.encoder is not None and self.tokenizer is not None
+        self.encoder.eval()
+        chunks = []
+        with no_grad():
+            for start in range(0, len(sequences), batch_size):
+                batch = pad_batch(
+                    sequences[start : start + batch_size],
+                    pad_id=self.tokenizer.pad_id,
+                    max_length=self.settings.max_length,
+                )
+                chunks.append(self.encoder.pool(batch).numpy())
+        self.encoder.train()
+        if not chunks:
+            return np.zeros((0, self.settings.dim))
+        return np.concatenate(chunks, axis=0)
+
+    # ------------------------------------------------------------------ #
+    def pretrain(
+        self,
+        offers: list[ProductOffer],
+        labels: list[str],
+        *,
+        batch_products: int = 48,
+    ) -> None:
+        """Stage 1: SupCon over product-grouped batches."""
+        settings = self.settings
+        rng = np.random.default_rng(self.seed)
+        texts = [serialize_offer(offer) for offer in offers]
+        if self.pretrained is not None and self.pretrained.tokenizer is not None:
+            self.tokenizer = self.pretrained.tokenizer
+        else:
+            self.tokenizer = SubwordTokenizer(vocab_size=settings.vocab_size).train(texts)
+        self.encoder = TransformerEncoder(
+            len(self.tokenizer),
+            dim=settings.dim,
+            n_heads=settings.n_heads,
+            n_layers=settings.n_layers,
+            max_length=settings.max_length,
+            dropout=settings.dropout,
+            pad_id=self.tokenizer.pad_id,
+            seed=self.seed,
+        )
+        if self.pretrained is not None:
+            self.pretrained.initialize_encoder(self.encoder)
+        sequences = self.encode_texts(texts)
+
+        by_product: dict[str, list[int]] = defaultdict(list)
+        for position, label in enumerate(labels):
+            by_product[label].append(position)
+        products = sorted(by_product)
+        multi_offer_products = [p for p in products if len(by_product[p]) >= 2]
+        if not multi_offer_products:
+            return  # nothing to contrast
+
+        steps_per_epoch = max(1, len(multi_offer_products) // batch_products)
+        total_steps = steps_per_epoch * self.pretrain_epochs
+        schedule = WarmupLinearSchedule(
+            settings.peak_lr, max(1, total_steps // 10), total_steps
+        )
+        optimizer = Adam(self.encoder.parameters(), lr=schedule, weight_decay=0.01)
+        label_codes = {label: code for code, label in enumerate(products)}
+
+        for _epoch in range(self.pretrain_epochs):
+            order = rng.permutation(len(multi_offer_products))
+            for start in range(0, len(order), batch_products):
+                chosen = order[start : start + batch_products]
+                if len(chosen) < 2:
+                    continue
+                positions: list[int] = []
+                batch_labels: list[int] = []
+                for product_index in chosen:
+                    product = multi_offer_products[int(product_index)]
+                    members = by_product[product]
+                    take = min(2, len(members))
+                    picked = rng.choice(len(members), size=take, replace=False)
+                    for i in picked:
+                        positions.append(members[int(i)])
+                        batch_labels.append(label_codes[product])
+                batch = pad_batch(
+                    [sequences[p] for p in positions],
+                    pad_id=self.tokenizer.pad_id,
+                    max_length=settings.max_length,
+                )
+                embeddings = self.encoder.pool(batch)
+                loss = supervised_contrastive_loss(
+                    embeddings, np.array(batch_labels)
+                )
+                self.encoder.zero_grad()
+                loss.backward()
+                optimizer.step()
+
+
+def _pair_features(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Combined pair representation for the frozen-encoder head."""
+    return np.concatenate([u, v, np.abs(u - v), u * v], axis=-1)
+
+
+def _pair_features_with_lexical(
+    u: np.ndarray, v: np.ndarray, lexical: np.ndarray
+) -> np.ndarray:
+    """Embedding interaction features plus the lexical-overlap channel.
+
+    As with the cross-encoders, the tiny contrastive encoder receives the
+    explicit token-overlap evidence RoBERTa-scale models compute
+    internally (see :func:`repro.nn.pretrain.lexical_overlap_features`).
+    """
+    return np.concatenate([_pair_features(u, v), lexical], axis=-1)
+
+
+class RSupConMatcher(PairwiseMatcher):
+    """Pair-wise R-SupCon."""
+
+    name = "rsupcon"
+
+    def __init__(
+        self,
+        *,
+        settings: TrainSettings | None = None,
+        pretrained=None,
+        pretrain_epochs: int = 25,
+        head_epochs: int = 40,
+        head_lr: float = 5e-3,
+        seed: int = 0,
+    ) -> None:
+        self.settings = settings if settings is not None else TrainSettings()
+        self.stage1 = _ContrastiveEncoder(
+            self.settings,
+            pretrain_epochs=pretrain_epochs,
+            seed=seed,
+            pretrained=pretrained,
+        )
+        self.head_epochs = head_epochs
+        self.head_lr = head_lr
+        self.seed = seed
+        self.head: PairHead | None = None
+
+    # ------------------------------------------------------------------ #
+    def _offer_embeddings(self, dataset: PairDataset) -> dict[str, np.ndarray]:
+        offers = dataset.offers()
+        sequences = self.stage1.encode_texts(
+            [serialize_offer(offer) for offer in offers]
+        )
+        vectors = self.stage1.embed(sequences)
+        return {offer.offer_id: vectors[i] for i, offer in enumerate(offers)}
+
+    def _features(self, dataset: PairDataset) -> np.ndarray:
+        assert self.stage1.tokenizer is not None
+        embeddings = self._offer_embeddings(dataset)
+        tokenizer = self.stage1.tokenizer
+        digits = digit_piece_ids(tokenizer)
+        max_tokens = self.settings.max_length
+        encoded = {
+            offer.offer_id: tokenizer.encode(
+                serialize_offer(offer), max_length=max_tokens
+            )
+            for offer in dataset.offers()
+        }
+        rows = [
+            _pair_features_with_lexical(
+                embeddings[pair.offer_a.offer_id],
+                embeddings[pair.offer_b.offer_id],
+                np.array(
+                    lexical_overlap_features(
+                        encoded[pair.offer_a.offer_id],
+                        encoded[pair.offer_b.offer_id],
+                        digits,
+                    )
+                ),
+            )
+            for pair in dataset
+        ]
+        width = self.settings.dim * 4 + N_LEXICAL_FEATURES
+        return np.array(rows) if rows else np.zeros((0, width))
+
+    def fit(self, train: PairDataset, valid: PairDataset) -> "RSupConMatcher":
+        offers = train.offers()
+        self.stage1.pretrain(offers, [offer.cluster_id for offer in offers])
+
+        train_x = self._features(train)
+        train_y = np.array(train.labels())
+        valid_x = self._features(valid)
+        valid_y = np.array(valid.labels())
+
+        rng = np.random.default_rng(self.seed + 1)
+        self.head = PairHead(
+            self.settings.dim * 4 + N_LEXICAL_FEATURES, seed=self.seed + 13
+        )
+        optimizer = Adam(list(self.head.parameters()), lr=self.head_lr)
+        n_pos = max(int(train_y.sum()), 1)
+        n_neg = max(len(train_y) - n_pos, 1)
+        class_weights = np.array([1.0, n_neg / n_pos])
+
+        best_f1 = -1.0
+        best_weights: tuple[np.ndarray, np.ndarray] | None = None
+        batch_size = 256
+        for _epoch in range(self.head_epochs):
+            order = rng.permutation(len(train_x))
+            for start in range(0, len(order), batch_size):
+                indices = order[start : start + batch_size]
+                logits = self.head(Tensor(train_x[indices]))
+                loss = cross_entropy(logits, train_y[indices], class_weights=class_weights)
+                self.head.zero_grad()
+                loss.backward()
+                optimizer.step()
+            with no_grad():
+                predictions = np.argmax(self.head(Tensor(valid_x)).numpy(), axis=1)
+            f1 = precision_recall_f1(valid_y.tolist(), predictions.tolist()).f1
+            if f1 > best_f1:
+                best_f1 = f1
+                best_weights = {
+                    name: tensor.data.copy()
+                    for name, tensor in self.head.named_parameters()
+                }
+        if best_weights is not None:
+            for name, tensor in self.head.named_parameters():
+                tensor.data[...] = best_weights[name]
+        return self
+
+    def predict(self, dataset: PairDataset) -> np.ndarray:
+        if self.head is None:
+            raise RuntimeError("RSupConMatcher.fit() must be called first")
+        features = self._features(dataset)
+        with no_grad():
+            logits = self.head(Tensor(features)).numpy()
+        return np.argmax(logits, axis=1)
+
+
+class RSupConMulticlass(MulticlassMatcher):
+    """Multi-class R-SupCon: frozen contrastive encoder + linear head."""
+
+    name = "rsupcon"
+
+    def __init__(
+        self,
+        *,
+        settings: TrainSettings | None = None,
+        pretrained=None,
+        pretrain_epochs: int = 25,
+        head_epochs: int = 60,
+        head_lr: float = 1e-2,
+        seed: int = 0,
+    ) -> None:
+        self.settings = settings if settings is not None else TrainSettings()
+        self.stage1 = _ContrastiveEncoder(
+            self.settings,
+            pretrain_epochs=pretrain_epochs,
+            seed=seed,
+            pretrained=pretrained,
+        )
+        self.head_epochs = head_epochs
+        self.head_lr = head_lr
+        self.seed = seed
+        self.head: Linear | None = None
+        self._labels: list[str] = []
+
+    def _dataset_embeddings(self, dataset: MulticlassDataset) -> np.ndarray:
+        sequences = self.stage1.encode_texts(
+            [serialize_offer(offer) for offer in dataset.offers]
+        )
+        return self.stage1.embed(sequences)
+
+    def fit(
+        self, train: MulticlassDataset, valid: MulticlassDataset
+    ) -> "RSupConMulticlass":
+        self._labels = sorted(set(train.labels))
+        label_index = {label: i for i, label in enumerate(self._labels)}
+        self.stage1.pretrain(list(train.offers), list(train.labels))
+
+        train_x = self._dataset_embeddings(train)
+        train_y = np.array([label_index[label] for label in train.labels])
+        valid_x = self._dataset_embeddings(valid)
+        valid_y = np.array([label_index.get(label, -1) for label in valid.labels])
+
+        rng = np.random.default_rng(self.seed + 1)
+        self.head = Linear(self.settings.dim, len(self._labels), seed=self.seed + 13)
+        optimizer = Adam(list(self.head.parameters()), lr=self.head_lr)
+        best_score = -1.0
+        best_weights: tuple[np.ndarray, np.ndarray] | None = None
+        batch_size = 256
+        for _epoch in range(self.head_epochs):
+            order = rng.permutation(len(train_x))
+            for start in range(0, len(order), batch_size):
+                indices = order[start : start + batch_size]
+                loss = cross_entropy(self.head(Tensor(train_x[indices])), train_y[indices])
+                self.head.zero_grad()
+                loss.backward()
+                optimizer.step()
+            with no_grad():
+                predictions = np.argmax(self.head(Tensor(valid_x)).numpy(), axis=1)
+            score = micro_f1(valid_y.tolist(), predictions.tolist())
+            if score > best_score:
+                best_score = score
+                assert self.head.bias is not None
+                best_weights = (self.head.weight.data.copy(), self.head.bias.data.copy())
+        if best_weights is not None:
+            assert self.head.bias is not None
+            self.head.weight.data[...] = best_weights[0]
+            self.head.bias.data[...] = best_weights[1]
+        return self
+
+    def predict(self, dataset: MulticlassDataset) -> list[str]:
+        if self.head is None:
+            raise RuntimeError("RSupConMulticlass.fit() must be called first")
+        embeddings = self._dataset_embeddings(dataset)
+        with no_grad():
+            logits = self.head(Tensor(embeddings)).numpy()
+        return [self._labels[int(i)] for i in np.argmax(logits, axis=1)]

@@ -1,0 +1,59 @@
+"""Offer serialization for the neural matchers.
+
+``plain`` style concatenates the attribute values (how the RoBERTa
+baseline consumes entity descriptions); ``ditto`` style inserts the
+``COL <attr> VAL <value>`` markers that Ditto feeds its language model.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.schema import ProductOffer
+
+__all__ = ["serialize_offer", "serialize_pair"]
+
+_DESCRIPTION_WORDS = 24  # cap: descriptions are long, titles carry the signal
+
+
+def serialize_offer(
+    offer: ProductOffer,
+    *,
+    style: str = "plain",
+    include_description: bool = True,
+) -> str:
+    """Render an offer as one text string."""
+    description = ""
+    if include_description and offer.description:
+        description = " ".join(offer.description.split()[:_DESCRIPTION_WORDS])
+
+    if style == "plain":
+        parts = [offer.brand or "", offer.title, description]
+        if offer.price is not None:
+            parts.append(f"{offer.price:.2f} {offer.price_currency or ''}".strip())
+        return " ".join(part for part in parts if part)
+
+    if style == "ditto":
+        parts = [f"COL title VAL {offer.title}"]
+        if offer.brand:
+            parts.append(f"COL brand VAL {offer.brand}")
+        if description:
+            parts.append(f"COL description VAL {description}")
+        if offer.price is not None:
+            currency = offer.price_currency or ""
+            parts.append(f"COL price VAL {offer.price:.2f} {currency}".rstrip())
+        return " ".join(parts)
+
+    raise ValueError(f"unknown serialization style: {style!r}")
+
+
+def serialize_pair(
+    offer_a: ProductOffer,
+    offer_b: ProductOffer,
+    *,
+    style: str = "plain",
+    include_description: bool = True,
+) -> tuple[str, str]:
+    """Serialize both sides of a pair with the same style."""
+    return (
+        serialize_offer(offer_a, style=style, include_description=include_description),
+        serialize_offer(offer_b, style=style, include_description=include_description),
+    )

@@ -1,0 +1,129 @@
+"""The symbolic Word-(Co)Occurrence baseline (Section 5.1).
+
+Pair-wise: binary word *co-occurrence* between the two entity descriptions
+feeds a binary LinearSVM.  Multi-class: binary word *occurrence* of the
+single offer feeds a one-vs-rest LinearSVM.  Both variants grid-search
+their hyper-parameters on the validation split, as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.datasets import MulticlassDataset, PairDataset
+from repro.matchers.base import MulticlassMatcher, PairwiseMatcher
+from repro.matchers.serialize import serialize_offer
+from repro.ml.grid_search import GridSearch
+from repro.ml.metrics import micro_f1
+from repro.ml.svm import LinearSVM, MulticlassLinearSVM
+from repro.text.vectorize import HashingVectorizer
+
+__all__ = ["WordCoocMatcher", "WordOccurrenceClassifier"]
+
+_DEFAULT_GRID = {
+    "reg_lambda": (1e-3, 1e-4),
+    "positive_weight": (2.0, 4.0),
+}
+
+
+class WordCoocMatcher(PairwiseMatcher):
+    """Pair-wise word co-occurrence + LinearSVM."""
+
+    name = "word_cooc"
+
+    def __init__(
+        self,
+        *,
+        n_features: int = 4096,
+        param_grid: dict | None = None,
+        epochs: int = 15,
+        seed: int = 0,
+    ) -> None:
+        self.vectorizer = HashingVectorizer(n_features=n_features)
+        self.param_grid = dict(param_grid) if param_grid is not None else dict(_DEFAULT_GRID)
+        self.epochs = epochs
+        self.seed = seed
+        self.search: GridSearch | None = None
+
+    def _features(self, dataset: PairDataset) -> np.ndarray:
+        left = [serialize_offer(pair.offer_a) for pair in dataset]
+        right = [serialize_offer(pair.offer_b) for pair in dataset]
+        return self.vectorizer.transform_pair_cooccurrence(left, right)
+
+    def fit(self, train: PairDataset, valid: PairDataset) -> "WordCoocMatcher":
+        train_x = self._features(train)
+        valid_x = self._features(valid)
+        self.search = GridSearch(
+            factory=lambda **params: LinearSVM(
+                epochs=self.epochs, seed=self.seed, **params
+            ),
+            param_grid=self.param_grid,
+        )
+        self.search.fit(
+            train_x,
+            np.array(train.labels()),
+            valid_x,
+            np.array(valid.labels()),
+        )
+        return self
+
+    def predict(self, dataset: PairDataset) -> np.ndarray:
+        if self.search is None:
+            raise RuntimeError("WordCoocMatcher.fit() must be called first")
+        return np.asarray(self.search.predict(self._features(dataset)))
+
+
+class WordOccurrenceClassifier(MulticlassMatcher):
+    """Multi-class word occurrence + one-vs-rest LinearSVM."""
+
+    name = "word_occ"
+
+    def __init__(
+        self,
+        *,
+        n_features: int = 4096,
+        reg_lambdas: tuple[float, ...] = (1e-3, 1e-4),
+        epochs: int = 30,
+        seed: int = 0,
+    ) -> None:
+        self.vectorizer = HashingVectorizer(n_features=n_features)
+        self.reg_lambdas = reg_lambdas
+        self.epochs = epochs
+        self.seed = seed
+        self.model: MulticlassLinearSVM | None = None
+        self._labels: list[str] = []
+
+    def _features(self, dataset: MulticlassDataset) -> np.ndarray:
+        return self.vectorizer.transform(
+            [serialize_offer(offer) for offer in dataset.offers]
+        )
+
+    def fit(
+        self, train: MulticlassDataset, valid: MulticlassDataset
+    ) -> "WordOccurrenceClassifier":
+        self._labels = sorted(set(train.labels))
+        label_index = {label: i for i, label in enumerate(self._labels)}
+        train_x = self._features(train)
+        train_y = np.array([label_index[label] for label in train.labels])
+        valid_x = self._features(valid)
+        valid_y = np.array(
+            [label_index.get(label, -1) for label in valid.labels]
+        )
+
+        best_score = -1.0
+        for reg_lambda in self.reg_lambdas:
+            model = MulticlassLinearSVM(
+                reg_lambda=reg_lambda, epochs=self.epochs, seed=self.seed
+            )
+            model.fit(train_x, train_y)
+            score = micro_f1(valid_y.tolist(), model.predict(valid_x).tolist())
+            if score > best_score:
+                best_score = score
+                self.model = model
+        return self
+
+    def predict(self, dataset: MulticlassDataset) -> list[str]:
+        if self.model is None:
+            raise RuntimeError("WordOccurrenceClassifier.fit() must be called first")
+        predictions = self.model.predict(self._features(dataset))
+        return [self._labels[int(index)] for index in predictions]

@@ -1,0 +1,35 @@
+"""Classic machine-learning substrate (scikit-learn stand-in).
+
+Implements the estimators the paper's symbolic baselines rely on — a linear
+SVM trained with hinge-loss SGD (Pegasos) and a CART random forest — plus
+grid search and the evaluation metrics used throughout Section 5
+(precision/recall/F1 for the match class, micro-F1 for multi-class, and
+Cohen's kappa for the label-quality study).
+"""
+
+from repro.ml.metrics import (
+    PRF1,
+    cohen_kappa,
+    confusion_counts,
+    macro_f1,
+    micro_f1,
+    precision_recall_f1,
+)
+from repro.ml.svm import LinearSVM, MulticlassLinearSVM
+from repro.ml.tree import DecisionTree
+from repro.ml.random_forest import RandomForest
+from repro.ml.grid_search import GridSearch
+
+__all__ = [
+    "PRF1",
+    "precision_recall_f1",
+    "confusion_counts",
+    "micro_f1",
+    "macro_f1",
+    "cohen_kappa",
+    "LinearSVM",
+    "MulticlassLinearSVM",
+    "DecisionTree",
+    "RandomForest",
+    "GridSearch",
+]

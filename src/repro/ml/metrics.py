@@ -1,0 +1,115 @@
+"""Evaluation metrics used by the paper.
+
+Pair-wise experiments report precision, recall and F1 *for the match class*
+(Tables 3 and 4); multi-class experiments report micro-F1 (Table 5); the
+label-quality study (Section 4) reports inter-annotator agreement as
+Cohen's kappa.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "PRF1",
+    "confusion_counts",
+    "precision_recall_f1",
+    "micro_f1",
+    "macro_f1",
+    "cohen_kappa",
+]
+
+
+@dataclass(frozen=True)
+class PRF1:
+    """Precision/recall/F1 triple for the positive (match) class."""
+
+    precision: float
+    recall: float
+    f1: float
+
+    def as_percentages(self) -> "PRF1":
+        return PRF1(self.precision * 100.0, self.recall * 100.0, self.f1 * 100.0)
+
+
+def confusion_counts(
+    y_true: Sequence[int], y_pred: Sequence[int], *, positive: int = 1
+) -> tuple[int, int, int, int]:
+    """Return ``(tp, fp, fn, tn)`` for the ``positive`` label."""
+    if len(y_true) != len(y_pred):
+        raise ValueError("y_true and y_pred must be aligned")
+    true = np.asarray(y_true)
+    pred = np.asarray(y_pred)
+    tp = int(np.sum((true == positive) & (pred == positive)))
+    fp = int(np.sum((true != positive) & (pred == positive)))
+    fn = int(np.sum((true == positive) & (pred != positive)))
+    tn = int(np.sum((true != positive) & (pred != positive)))
+    return tp, fp, fn, tn
+
+
+def precision_recall_f1(
+    y_true: Sequence[int], y_pred: Sequence[int], *, positive: int = 1
+) -> PRF1:
+    """Precision/recall/F1 of the positive class; zero-safe.
+
+    >>> precision_recall_f1([1, 1, 0, 0], [1, 0, 1, 0]).f1
+    0.5
+    """
+    tp, fp, fn, _ = confusion_counts(y_true, y_pred, positive=positive)
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    if precision + recall == 0.0:
+        return PRF1(precision, recall, 0.0)
+    f1 = 2.0 * precision * recall / (precision + recall)
+    return PRF1(precision, recall, f1)
+
+
+def micro_f1(y_true: Sequence[int], y_pred: Sequence[int]) -> float:
+    """Micro-averaged F1 for multi-class single-label prediction.
+
+    With every example carrying exactly one gold and one predicted label,
+    micro-F1 equals accuracy — which is how Table 5 reports multi-class
+    matching performance.
+    """
+    if len(y_true) != len(y_pred):
+        raise ValueError("y_true and y_pred must be aligned")
+    if not len(y_true):
+        return 0.0
+    true = np.asarray(y_true)
+    pred = np.asarray(y_pred)
+    return float(np.mean(true == pred))
+
+
+def macro_f1(y_true: Sequence[int], y_pred: Sequence[int]) -> float:
+    """Macro-averaged F1 over all classes appearing in gold or prediction."""
+    labels = sorted(set(np.asarray(y_true).tolist()) | set(np.asarray(y_pred).tolist()))
+    if not labels:
+        return 0.0
+    scores = [precision_recall_f1(y_true, y_pred, positive=label).f1 for label in labels]
+    return float(np.mean(scores))
+
+
+def cohen_kappa(labels_a: Sequence[int], labels_b: Sequence[int]) -> float:
+    """Cohen's kappa agreement between two annotators.
+
+    >>> round(cohen_kappa([1, 1, 0, 0], [1, 1, 0, 0]), 3)
+    1.0
+    """
+    if len(labels_a) != len(labels_b):
+        raise ValueError("annotator label lists must be aligned")
+    if not len(labels_a):
+        raise ValueError("cannot compute kappa on empty annotations")
+    a = np.asarray(labels_a)
+    b = np.asarray(labels_b)
+    categories = sorted(set(a.tolist()) | set(b.tolist()))
+    n = len(a)
+    observed = float(np.mean(a == b))
+    expected = 0.0
+    for category in categories:
+        expected += float(np.mean(a == category)) * float(np.mean(b == category))
+    if expected >= 1.0:
+        return 1.0
+    return (observed - expected) / (1.0 - expected)

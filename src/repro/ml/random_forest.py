@@ -1,0 +1,89 @@
+"""Bagged random forest over :class:`repro.ml.tree.DecisionTree`.
+
+Magellan's matcher of choice in the paper is a scikit-learn Random Forest
+fed with attribute-wise similarity features; this module provides the
+equivalent estimator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.tree import DecisionTree
+
+__all__ = ["RandomForest"]
+
+
+class RandomForest:
+    """Random forest: bootstrap sampling + per-split feature subsampling."""
+
+    def __init__(
+        self,
+        *,
+        n_trees: int = 25,
+        max_depth: int = 10,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = "sqrt",
+        seed: int = 0,
+    ) -> None:
+        if n_trees <= 0:
+            raise ValueError("n_trees must be positive")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.trees: list[DecisionTree] = []
+        self.classes_: np.ndarray | None = None
+
+    def _resolve_max_features(self, n_features: int) -> int:
+        if self.max_features is None:
+            return n_features
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if isinstance(self.max_features, int):
+            return max(1, min(self.max_features, n_features))
+        raise ValueError(f"unsupported max_features: {self.max_features!r}")
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "RandomForest":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels)
+        if features.shape[0] != labels.shape[0]:
+            raise ValueError("features and labels must be aligned")
+        self.classes_ = np.unique(labels)
+        n_samples = features.shape[0]
+        max_features = self._resolve_max_features(features.shape[1])
+        rng = np.random.default_rng(self.seed)
+        self.trees = []
+        for tree_index in range(self.n_trees):
+            sample = rng.integers(0, n_samples, size=n_samples)
+            tree = DecisionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                seed=int(rng.integers(2**31)),
+            )
+            tree.fit(features[sample], labels[sample])
+            self.trees.append(tree)
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Average the class distributions over all trees."""
+        if not self.trees or self.classes_ is None:
+            raise RuntimeError("RandomForest.fit() must be called first")
+        features = np.asarray(features, dtype=np.float64)
+        class_pos = {label: idx for idx, label in enumerate(self.classes_.tolist())}
+        votes = np.zeros((features.shape[0], len(self.classes_)))
+        for tree in self.trees:
+            proba = tree.predict_proba(features)
+            assert tree.classes_ is not None
+            # Trees trained on bootstrap samples may miss rare classes, so
+            # their columns must be re-aligned to the forest's class order.
+            for col, label in enumerate(tree.classes_.tolist()):
+                votes[:, class_pos[label]] += proba[:, col]
+        return votes / len(self.trees)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        probabilities = self.predict_proba(features)
+        assert self.classes_ is not None
+        return self.classes_[np.argmax(probabilities, axis=1)]

@@ -1,0 +1,172 @@
+"""Linear SVMs trained with hinge-loss SGD (Pegasos-style).
+
+The Word-(Co)Occurrence baseline of Section 5.1 feeds binary co-occurrence
+features to a LinearSVM.  ``LinearSVM`` is the binary estimator;
+``MulticlassLinearSVM`` wraps it one-vs-rest for the multi-class
+formulation of the benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LinearSVM", "MulticlassLinearSVM"]
+
+
+class LinearSVM:
+    """Binary linear SVM with L2 regularization.
+
+    Optimized with mini-batch sub-gradient descent on the hinge loss using
+    the Pegasos step-size schedule ``eta_t = 1 / (lambda * t)``.  Supports
+    class weighting so the heavily imbalanced pair-wise training sets
+    (1 positive : 4 negatives) do not collapse to the majority class.
+    """
+
+    def __init__(
+        self,
+        *,
+        reg_lambda: float = 1e-4,
+        epochs: int = 20,
+        batch_size: int = 64,
+        positive_weight: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if reg_lambda <= 0:
+            raise ValueError("reg_lambda must be positive")
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        self.reg_lambda = reg_lambda
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.positive_weight = positive_weight
+        self.seed = seed
+        self.weights: np.ndarray | None = None
+        self.bias: float = 0.0
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LinearSVM":
+        """Train on ``features`` (n, d) and binary ``labels`` in {0, 1}."""
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels)
+        if features.ndim != 2:
+            raise ValueError("features must be a 2-D matrix")
+        if features.shape[0] != labels.shape[0]:
+            raise ValueError("features and labels must be aligned")
+        signs = np.where(labels > 0, 1.0, -1.0)
+        sample_weights = np.where(labels > 0, self.positive_weight, 1.0)
+
+        n_samples, n_features = features.shape
+        rng = np.random.default_rng(self.seed)
+        weights = np.zeros(n_features, dtype=np.float64)
+        bias = 0.0
+        step = 0
+        batch = max(1, min(self.batch_size, n_samples))
+        for _ in range(self.epochs):
+            order = rng.permutation(n_samples)
+            for start in range(0, n_samples, batch):
+                step += 1
+                idx = order[start : start + batch]
+                x = features[idx]
+                y = signs[idx]
+                w = sample_weights[idx]
+                margins = y * (x @ weights + bias)
+                active = margins < 1.0
+                eta = 1.0 / (self.reg_lambda * step)
+                grad_w = self.reg_lambda * weights
+                grad_b = 0.0
+                if np.any(active):
+                    coeff = (w[active] * y[active]) / len(idx)
+                    grad_w = grad_w - coeff @ x[active]
+                    grad_b = -float(np.sum(coeff))
+                weights = weights - eta * grad_w
+                bias = bias - eta * grad_b
+                # Pegasos projection keeps ||w|| bounded for stability.
+                norm = np.linalg.norm(weights)
+                radius = 1.0 / np.sqrt(self.reg_lambda)
+                if norm > radius:
+                    weights *= radius / norm
+        self.weights = weights
+        self.bias = bias
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise RuntimeError("LinearSVM.fit() must be called first")
+        features = np.asarray(features, dtype=np.float64)
+        return features @ self.weights + self.bias
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict binary labels in {0, 1}."""
+        return (self.decision_function(features) >= 0.0).astype(np.int64)
+
+
+class MulticlassLinearSVM:
+    """One-vs-rest linear SVM for multi-class entity recognition.
+
+    Trains all per-class scorers jointly as a weight *matrix* with the same
+    Pegasos updates, which is dramatically faster than fitting hundreds of
+    independent binary models for the 500-class benchmark.
+    """
+
+    def __init__(
+        self,
+        *,
+        reg_lambda: float = 1e-4,
+        epochs: int = 25,
+        batch_size: int = 64,
+        seed: int = 0,
+    ) -> None:
+        self.reg_lambda = reg_lambda
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.seed = seed
+        self.classes_: np.ndarray | None = None
+        self.weights: np.ndarray | None = None  # (d, C)
+        self.bias: np.ndarray | None = None  # (C,)
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "MulticlassLinearSVM":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels)
+        self.classes_ = np.unique(labels)
+        class_index = {label: idx for idx, label in enumerate(self.classes_.tolist())}
+        n_samples, n_features = features.shape
+        n_classes = len(self.classes_)
+
+        # +1 for the true class, -1 for all others.
+        signs = -np.ones((n_samples, n_classes), dtype=np.float64)
+        for row, label in enumerate(labels.tolist()):
+            signs[row, class_index[label]] = 1.0
+
+        rng = np.random.default_rng(self.seed)
+        weights = np.zeros((n_features, n_classes), dtype=np.float64)
+        bias = np.zeros(n_classes, dtype=np.float64)
+        step = 0
+        batch = max(1, min(self.batch_size, n_samples))
+        for _ in range(self.epochs):
+            order = rng.permutation(n_samples)
+            for start in range(0, n_samples, batch):
+                step += 1
+                idx = order[start : start + batch]
+                x = features[idx]
+                y = signs[idx]
+                margins = y * (x @ weights + bias)
+                active = (margins < 1.0).astype(np.float64)
+                eta = 1.0 / (self.reg_lambda * step)
+                coeff = (active * y) / len(idx)  # (b, C)
+                grad_w = self.reg_lambda * weights - x.T @ coeff
+                grad_b = -coeff.sum(axis=0)
+                weights = weights - eta * grad_w
+                bias = bias - eta * grad_b
+        self.weights = weights
+        self.bias = bias
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        if self.weights is None or self.bias is None or self.classes_ is None:
+            raise RuntimeError("MulticlassLinearSVM.fit() must be called first")
+        features = np.asarray(features, dtype=np.float64)
+        return features @ self.weights + self.bias
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        scores = self.decision_function(features)
+        assert self.classes_ is not None
+        return self.classes_[np.argmax(scores, axis=1)]

@@ -1,0 +1,176 @@
+"""CART decision tree with Gini impurity (Random-Forest building block)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["DecisionTree"]
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves carry a class distribution."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    counts: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    proportions = counts / total
+    return 1.0 - float(np.sum(proportions * proportions))
+
+
+class DecisionTree:
+    """Binary-split CART classifier.
+
+    Supports random feature subsampling per split (``max_features``) so the
+    same class serves as the base learner of :class:`~repro.ml.RandomForest`.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_depth: int = 12,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        if max_depth <= 0:
+            raise ValueError("max_depth must be positive")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.root: _Node | None = None
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "DecisionTree":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels)
+        if features.shape[0] != labels.shape[0]:
+            raise ValueError("features and labels must be aligned")
+        if features.shape[0] == 0:
+            raise ValueError("cannot fit a tree on zero samples")
+        self.classes_ = np.unique(labels)
+        class_index = {label: idx for idx, label in enumerate(self.classes_.tolist())}
+        encoded = np.array([class_index[label] for label in labels.tolist()])
+        rng = np.random.default_rng(self.seed)
+        self.root = self._grow(features, encoded, depth=0, rng=rng)
+        return self
+
+    def _class_counts(self, encoded: np.ndarray) -> np.ndarray:
+        assert self.classes_ is not None
+        return np.bincount(encoded, minlength=len(self.classes_)).astype(np.float64)
+
+    def _grow(
+        self,
+        features: np.ndarray,
+        encoded: np.ndarray,
+        *,
+        depth: int,
+        rng: np.random.Generator,
+    ) -> _Node:
+        counts = self._class_counts(encoded)
+        node = _Node(counts=counts)
+        n_samples, n_features = features.shape
+        if (
+            depth >= self.max_depth
+            or n_samples < self.min_samples_split
+            or _gini(counts) == 0.0
+        ):
+            return node
+
+        n_candidates = self.max_features or n_features
+        n_candidates = min(n_candidates, n_features)
+        candidates = rng.choice(n_features, size=n_candidates, replace=False)
+
+        best_gain = 0.0
+        best_feature = -1
+        best_threshold = 0.0
+        parent_impurity = _gini(counts)
+        for feature in candidates:
+            column = features[:, feature]
+            values = np.unique(column)
+            if len(values) < 2:
+                continue
+            # Midpoints between consecutive unique values, subsampled when
+            # the column is high-cardinality to bound split-search cost.
+            midpoints = (values[:-1] + values[1:]) / 2.0
+            if len(midpoints) > 16:
+                midpoints = midpoints[
+                    np.linspace(0, len(midpoints) - 1, 16).astype(int)
+                ]
+            for threshold in midpoints:
+                mask = column <= threshold
+                n_left = int(mask.sum())
+                n_right = n_samples - n_left
+                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
+                    continue
+                left_counts = self._class_counts(encoded[mask])
+                right_counts = counts - left_counts
+                gain = parent_impurity - (
+                    n_left / n_samples * _gini(left_counts)
+                    + n_right / n_samples * _gini(right_counts)
+                )
+                if gain > best_gain + 1e-12:
+                    best_gain = gain
+                    best_feature = int(feature)
+                    best_threshold = float(threshold)
+
+        if best_feature < 0:
+            return node
+
+        mask = features[:, best_feature] <= best_threshold
+        node.feature = best_feature
+        node.threshold = best_threshold
+        node.left = self._grow(features[mask], encoded[mask], depth=depth + 1, rng=rng)
+        node.right = self._grow(
+            features[~mask], encoded[~mask], depth=depth + 1, rng=rng
+        )
+        return node
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self.root is None or self.classes_ is None:
+            raise RuntimeError("DecisionTree.fit() must be called first")
+        features = np.asarray(features, dtype=np.float64)
+        probabilities = np.zeros((features.shape[0], len(self.classes_)))
+        for row in range(features.shape[0]):
+            node = self.root
+            while not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                if features[row, node.feature] <= node.threshold:
+                    node = node.left
+                else:
+                    node = node.right
+            total = node.counts.sum()
+            probabilities[row] = node.counts / total if total else node.counts
+        return probabilities
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        probabilities = self.predict_proba(features)
+        assert self.classes_ is not None
+        return self.classes_[np.argmax(probabilities, axis=1)]
+
+    def depth(self) -> int:
+        """Actual depth of the grown tree (root = depth 0)."""
+
+        def walk(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self.root)

@@ -1,0 +1,37 @@
+"""Minimal deep-learning framework (numpy reverse-mode autograd).
+
+This package is the substrate for the paper's sub-symbolic matchers.  The
+original systems fine-tune RoBERTa-base; with no GPU, no network and no
+pretrained weights available, we train small Transformer encoders from
+scratch on the benchmark itself.  The framework implements exactly what
+those matchers need: a broadcasting-aware autograd :class:`Tensor`,
+embedding/linear/layer-norm/dropout layers, multi-head self-attention, a
+Transformer encoder, Adam with linear warmup-decay (the paper's schedule),
+and the cross-entropy and supervised-contrastive losses.
+"""
+
+from repro.nn.tensor import Tensor, no_grad
+from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear, Module, Sequential
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.transformer import TransformerEncoder, TransformerEncoderLayer
+from repro.nn.optim import SGD, Adam, WarmupLinearSchedule
+from repro.nn.losses import cross_entropy, supervised_contrastive_loss
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "Module",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "Sequential",
+    "MultiHeadSelfAttention",
+    "TransformerEncoderLayer",
+    "TransformerEncoder",
+    "SGD",
+    "Adam",
+    "WarmupLinearSchedule",
+    "cross_entropy",
+    "supervised_contrastive_loss",
+]

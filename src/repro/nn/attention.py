@@ -1,0 +1,64 @@
+"""Multi-head scaled-dot-product self-attention."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Linear, Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["MultiHeadSelfAttention"]
+
+_NEG_INF = -1e9
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard Transformer self-attention over a padded batch.
+
+    ``forward`` takes hidden states shaped ``(batch, seq, dim)`` and a
+    boolean ``padding_mask`` shaped ``(batch, seq)`` that is True on padding
+    positions; attention weights onto padding are forced to zero.
+    """
+
+    def __init__(self, dim: int, n_heads: int, *, seed: int = 0):
+        super().__init__()
+        if dim % n_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by n_heads {n_heads}")
+        self.dim = dim
+        self.n_heads = n_heads
+        self.head_dim = dim // n_heads
+        # Identity-initialized Q/K start attention as content matching:
+        # a token's strongest key is its own embedding, so "is my twin on
+        # the other side of the pair?" is computable from step one — the
+        # operation corner-case discrimination depends on.
+        self.query = Linear(dim, dim, init="identity", seed=seed)
+        self.key = Linear(dim, dim, init="identity", seed=seed + 1)
+        self.value = Linear(dim, dim, seed=seed + 2)
+        self.output = Linear(dim, dim, seed=seed + 3)
+
+    def _split_heads(self, tensor: Tensor, batch: int, seq: int) -> Tensor:
+        # (b, s, d) -> (b, h, s, hd)
+        return tensor.reshape(batch, seq, self.n_heads, self.head_dim).transpose(1, 2)
+
+    def forward(self, hidden: Tensor, padding_mask: np.ndarray | None = None) -> Tensor:
+        batch, seq, _ = hidden.shape
+        q = self._split_heads(self.query(hidden), batch, seq)
+        k = self._split_heads(self.key(hidden), batch, seq)
+        v = self._split_heads(self.value(hidden), batch, seq)
+
+        scores = (q @ k.transpose(2, 3)) * (1.0 / np.sqrt(self.head_dim))
+        if padding_mask is not None:
+            mask = np.asarray(padding_mask, dtype=bool)
+            if mask.shape != (batch, seq):
+                raise ValueError(
+                    f"padding_mask shape {mask.shape} != {(batch, seq)}"
+                )
+            # Broadcast to (b, h, q, k): mask keys that are padding.
+            key_mask = mask[:, None, None, :]
+            scores = scores.masked_fill(
+                np.broadcast_to(key_mask, scores.shape), _NEG_INF
+            )
+        weights = scores.softmax(axis=-1)
+        context = weights @ v  # (b, h, s, hd)
+        merged = context.transpose(1, 2).reshape(batch, seq, self.dim)
+        return self.output(merged)

@@ -1,0 +1,207 @@
+"""Neural-network modules built on the autograd :class:`Tensor`."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["Module", "Linear", "Embedding", "LayerNorm", "Dropout", "Sequential"]
+
+
+class Module:
+    """Base class: parameter discovery, train/eval mode, zero_grad."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    def parameters(self) -> Iterator[Tensor]:
+        """Yield all trainable tensors, depth-first over attributes."""
+        seen: set[int] = set()
+        stack: list[object] = [self]
+        while stack:
+            obj = stack.pop()
+            if id(obj) in seen:
+                continue
+            seen.add(id(obj))
+            if isinstance(obj, Tensor):
+                if obj.requires_grad:
+                    yield obj
+                continue
+            if isinstance(obj, Module):
+                stack.extend(vars(obj).values())
+            elif isinstance(obj, (list, tuple)):
+                stack.extend(obj)
+            elif isinstance(obj, dict):
+                stack.extend(obj.values())
+
+    def named_parameters(self) -> list[tuple[str, Tensor]]:
+        """Deterministically ordered (path, parameter) pairs."""
+        result: list[tuple[str, Tensor]] = []
+        self._collect_named(result, prefix="", seen=set())
+        return result
+
+    def _collect_named(
+        self, result: list[tuple[str, Tensor]], *, prefix: str, seen: set[int]
+    ) -> None:
+        for name in sorted(vars(self)):
+            value = vars(self)[name]
+            self._collect_value(result, value, f"{prefix}{name}", seen)
+
+    def _collect_value(
+        self,
+        result: list[tuple[str, Tensor]],
+        value: object,
+        path: str,
+        seen: set[int],
+    ) -> None:
+        if id(value) in seen:
+            return
+        if isinstance(value, Tensor):
+            if value.requires_grad:
+                seen.add(id(value))
+                result.append((path, value))
+        elif isinstance(value, Module):
+            seen.add(id(value))
+            value._collect_named(result, prefix=path + ".", seen=seen)
+        elif isinstance(value, (list, tuple)):
+            for index, item in enumerate(value):
+                self._collect_value(result, item, f"{path}.{index}", seen)
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def train(self) -> "Module":
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                value._set_mode(training)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item._set_mode(training)
+
+    def num_parameters(self) -> int:
+        return int(sum(p.data.size for p in self.parameters()))
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b``.
+
+    ``init="xavier"`` is the default; ``init="identity"`` starts a square
+    layer at the identity plus small noise — used by attention query/key
+    projections so dot-product attention begins as exact content matching.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        bias: bool = True,
+        init: str = "xavier",
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        if init == "identity":
+            if in_features != out_features:
+                raise ValueError("identity init requires a square layer")
+            weight = np.eye(in_features) + rng.normal(
+                0.0, 0.02, size=(in_features, out_features)
+            )
+        elif init == "xavier":
+            bound = np.sqrt(6.0 / (in_features + out_features))
+            weight = rng.uniform(-bound, bound, size=(in_features, out_features))
+        else:
+            raise ValueError(f"unknown init: {init!r}")
+        self.weight = Tensor(weight, requires_grad=True)
+        self.bias = (
+            Tensor(np.zeros(out_features), requires_grad=True) if bias else None
+        )
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        out = inputs @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to learned vectors."""
+
+    def __init__(self, num_embeddings: int, dim: int, *, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.weight = Tensor(
+            rng.normal(0.0, 0.02, size=(num_embeddings, dim)), requires_grad=True
+        )
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        return self.weight.gather_rows(np.asarray(ids))
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis with learned scale/shift."""
+
+    def __init__(self, dim: int, *, eps: float = 1e-5):
+        super().__init__()
+        self.eps = eps
+        self.gain = Tensor(np.ones(dim), requires_grad=True)
+        self.shift = Tensor(np.zeros(dim), requires_grad=True)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        mean = inputs.mean(axis=-1, keepdims=True)
+        centered = inputs - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalized = centered / (variance + self.eps).sqrt()
+        return normalized * self.gain + self.shift
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, rate: float = 0.1, *, seed: int = 0):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        if not self.training or self.rate == 0.0:
+            return inputs
+        keep = 1.0 - self.rate
+        mask = self._rng.random(inputs.shape) < keep
+        return inputs * Tensor(mask.astype(np.float64) / keep)
+
+
+class Sequential(Module):
+    """Apply modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.modules = list(modules)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        out = inputs
+        for module in self.modules:
+            out = module(out)
+        return out

@@ -1,0 +1,92 @@
+"""Training losses: cross-entropy and supervised contrastive (SupCon).
+
+Cross-entropy drives the RoBERTa/Ditto/HierGAT fine-tuning and R-SupCon's
+second stage; :func:`supervised_contrastive_loss` implements Khosla et
+al.'s SupCon objective used in R-SupCon's first stage (all offers of the
+same product are mutual positives inside a batch).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["cross_entropy", "supervised_contrastive_loss", "log_softmax"]
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax built from autograd primitives."""
+    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    log_norm = shifted.exp().sum(axis=axis, keepdims=True).log()
+    return shifted - log_norm
+
+
+def cross_entropy(
+    logits: Tensor,
+    labels: np.ndarray,
+    *,
+    class_weights: np.ndarray | None = None,
+) -> Tensor:
+    """Mean cross-entropy for integer ``labels`` over ``(batch, C)`` logits.
+
+    ``class_weights`` (length C) rescales each example by the weight of its
+    gold class — used to counter the 1:4 positive/negative imbalance in the
+    pair-wise training sets.
+    """
+    labels = np.asarray(labels)
+    batch, n_classes = logits.shape
+    if labels.shape != (batch,):
+        raise ValueError(f"labels shape {labels.shape} != ({batch},)")
+    log_probs = log_softmax(logits, axis=-1)
+    one_hot = np.zeros((batch, n_classes))
+    one_hot[np.arange(batch), labels] = 1.0
+    if class_weights is not None:
+        weights = np.asarray(class_weights, dtype=np.float64)[labels]
+        picked = (log_probs * Tensor(one_hot)).sum(axis=-1) * Tensor(weights)
+        return -(picked.sum() / float(weights.sum()))
+    picked = (log_probs * Tensor(one_hot)).sum(axis=-1)
+    return -picked.mean()
+
+
+def supervised_contrastive_loss(
+    embeddings: Tensor,
+    labels: np.ndarray,
+    *,
+    temperature: float = 0.07,
+) -> Tensor:
+    """Supervised contrastive loss (Khosla et al., 2020), L_out variant.
+
+    ``embeddings`` is ``(batch, dim)``; rows are L2-normalized internally.
+    For each anchor i the positives are all other rows with the same label;
+    anchors without positives contribute zero.
+    """
+    labels = np.asarray(labels)
+    batch = embeddings.shape[0]
+    if labels.shape != (batch,):
+        raise ValueError(f"labels shape {labels.shape} != ({batch},)")
+    if batch < 2:
+        raise ValueError("SupCon needs at least two examples per batch")
+
+    norms = (embeddings * embeddings).sum(axis=-1, keepdims=True).sqrt() + 1e-12
+    normalized = embeddings / norms
+    logits = (normalized @ normalized.transpose(0, 1)) * (1.0 / temperature)
+
+    eye = np.eye(batch, dtype=bool)
+    # Mask self-similarities out of the denominator.
+    masked_logits = logits.masked_fill(eye, -1e9)
+    log_probs = masked_logits - masked_logits.exp().sum(axis=-1, keepdims=True).log()
+
+    positive_mask = (labels[:, None] == labels[None, :]) & ~eye
+    positive_counts = positive_mask.sum(axis=1)
+    has_positive = positive_counts > 0
+    if not np.any(has_positive):
+        # No positive pairs in this batch: loss is identically zero but must
+        # stay connected to the graph so backward() remains valid.
+        return (embeddings * 0.0).sum()
+
+    weights = np.zeros((batch, batch))
+    rows = np.where(has_positive)[0]
+    weights[rows] = positive_mask[rows] / positive_counts[rows, None]
+    per_anchor = (log_probs * Tensor(weights)).sum(axis=-1)
+    return -(per_anchor.sum() / float(has_positive.sum()))

@@ -1,0 +1,125 @@
+"""Optimizers and learning-rate schedules.
+
+The paper fine-tunes every neural matcher with "a linearly decreasing
+learning rate with warmup"; :class:`WarmupLinearSchedule` reproduces that
+schedule and both optimizers accept it in place of a constant rate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["SGD", "Adam", "WarmupLinearSchedule"]
+
+
+class WarmupLinearSchedule:
+    """Linear warmup to ``peak_lr`` followed by linear decay to zero."""
+
+    def __init__(self, peak_lr: float, warmup_steps: int, total_steps: int):
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        if warmup_steps < 0 or warmup_steps > total_steps:
+            raise ValueError("warmup_steps must lie in [0, total_steps]")
+        self.peak_lr = peak_lr
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+
+    def lr_at(self, step: int) -> float:
+        """Learning rate for 1-indexed optimizer ``step``."""
+        step = min(max(step, 1), self.total_steps)
+        if self.warmup_steps and step <= self.warmup_steps:
+            return self.peak_lr * step / self.warmup_steps
+        remaining = self.total_steps - step
+        denom = max(self.total_steps - self.warmup_steps, 1)
+        return self.peak_lr * max(remaining, 0) / denom
+
+
+class _Optimizer:
+    def __init__(self, parameters: Iterable[Tensor]):
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def _current_lr(self, lr: "float | WarmupLinearSchedule") -> float:
+        if isinstance(lr, WarmupLinearSchedule):
+            return lr.lr_at(self.step_count)
+        return lr
+
+
+class SGD(_Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: "float | WarmupLinearSchedule" = 0.01,
+        *,
+        momentum: float = 0.0,
+    ):
+        super().__init__(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self.step_count += 1
+        lr = self._current_lr(self.lr)
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            if parameter.grad is None:
+                continue
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += parameter.grad
+                update = velocity
+            else:
+                update = parameter.grad
+            parameter.data -= lr * update
+
+
+class Adam(_Optimizer):
+    """Adam with decoupled weight decay (AdamW-style)."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: "float | WarmupLinearSchedule" = 1e-3,
+        *,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self.step_count += 1
+        lr = self._current_lr(self.lr)
+        bias1 = 1.0 - self.beta1**self.step_count
+        bias2 = 1.0 - self.beta2**self.step_count
+        for parameter, m, v in zip(self.parameters, self._m, self._v):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            if self.weight_decay:
+                parameter.data -= lr * self.weight_decay * parameter.data
+            parameter.data -= lr * m_hat / (np.sqrt(v_hat) + self.eps)

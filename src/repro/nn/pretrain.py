@@ -1,0 +1,449 @@
+"""Masked-language-model pre-training — the RoBERTa-checkpoint analog.
+
+The paper's neural matchers all start from RoBERTa-base, i.e. from an
+encoder that already knows the lexical structure of web text.  Without a
+pretrained checkpoint, a from-scratch mini Transformer cannot learn
+entity matching from a few hundred positive pairs.  ``MiniLM`` closes that
+gap at laptop scale: a subword tokenizer plus Transformer encoder
+pretrained with masked-token prediction on the synthetic corpus's offer
+texts (our stand-in for "the web").  Matchers clone the pretrained encoder
+and fine-tune, exactly mirroring the fine-tune-from-checkpoint recipe.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.layers import Linear, Module
+from repro.nn.losses import cross_entropy
+from repro.nn.optim import Adam, WarmupLinearSchedule
+from repro.nn.serialization import load_state_dict, state_dict
+from repro.nn.tensor import Tensor
+from repro.nn.transformer import TransformerEncoder
+from repro.text.vocabulary import SubwordTokenizer
+
+__all__ = [
+    "MiniLM",
+    "PairHead",
+    "N_LEXICAL_FEATURES",
+    "lexical_overlap_features",
+    "digit_piece_ids",
+]
+
+_HASH_BUCKETS = 256
+N_LEXICAL_FEATURES = 5 + 2 * _HASH_BUCKETS
+
+
+class PairHead(Module):
+    """Two-layer classification head over [CLS] + lexical features.
+
+    The decisive matching rule is non-linear (e.g. "high overlap AND no
+    digit contradiction"), so the head needs one hidden layer; a single
+    linear map cannot express the required feature interactions.
+    """
+
+    def __init__(self, in_features: int, *, hidden: int = 32, seed: int = 0):
+        super().__init__()
+        self.hidden_layer = Linear(in_features, hidden, seed=seed)
+        self.output_layer = Linear(hidden, 2, seed=seed + 1)
+
+    def forward(self, inputs):
+        return self.output_layer(self.hidden_layer(inputs).relu())
+
+
+def digit_piece_ids(tokenizer: SubwordTokenizer) -> set[int]:
+    """Vocabulary ids of subword pieces containing a digit."""
+    return {
+        tokenizer.vocab.id_of(piece)
+        for piece in tokenizer.vocab
+        if any(char.isdigit() for char in piece)
+    }
+
+
+def lexical_overlap_features(
+    left_ids: Sequence[int], right_ids: Sequence[int], digit_pieces: set[int]
+) -> list[float]:
+    """Explicit token-overlap evidence for pair classification heads.
+
+    RoBERTa-base computes lexical alignment internally; a 10^5-parameter
+    encoder cannot, so pair classifiers additionally receive the overlap
+    statistics a cross-encoder would otherwise have to rediscover:
+    piece-set Jaccard, shared-digit-piece count, a digit *contradiction*
+    indicator (both sides carry digit pieces the other lacks — the
+    signature of sibling products), and the unmatched-digit counts.
+    """
+    left, right = set(left_ids), set(right_ids)
+    union = len(left | right)
+    jaccard = len(left & right) / union if union else 0.0
+    left_digits = left & digit_pieces
+    right_digits = right & digit_pieces
+    shared_digits = len(left_digits & right_digits)
+    only_left = len(left_digits - right_digits)
+    only_right = len(right_digits - left_digits)
+    contradiction = 1.0 if (only_left > 0 and only_right > 0) else 0.0
+    scalars = [
+        jaccard,
+        min(shared_digits, 8) / 8.0,
+        contradiction,
+        min(only_left, 8) / 8.0,
+        min(only_right, 8) / 8.0,
+    ]
+    # Hashed identity detail: WHICH pieces co-occur and which appear on one
+    # side only — the per-token evidence a word-co-occurrence classifier
+    # uses and a large pretrained encoder computes internally.
+    shared_hash = [0.0] * _HASH_BUCKETS
+    for piece in left & right:
+        shared_hash[piece % _HASH_BUCKETS] = 1.0
+    diff_hash = [0.0] * _HASH_BUCKETS
+    for piece in left ^ right:
+        diff_hash[piece % _HASH_BUCKETS] = 1.0
+    return scalars + shared_hash + diff_hash
+
+
+class MiniLM:
+    """Tokenizer + MLM-pretrained Transformer encoder."""
+
+    def __init__(
+        self,
+        *,
+        dim: int = 32,
+        n_heads: int = 2,
+        n_layers: int = 2,
+        max_length: int = 48,
+        vocab_size: int = 4096,
+        seed: int = 0,
+    ) -> None:
+        self.dim = dim
+        self.n_heads = n_heads
+        self.n_layers = n_layers
+        self.max_length = max_length
+        self.vocab_size = vocab_size
+        self.seed = seed
+        self.tokenizer: SubwordTokenizer | None = None
+        self.encoder: TransformerEncoder | None = None
+        self.pair_head: PairHead | None = None
+
+    # ------------------------------------------------------------------ #
+    def pretrain(
+        self,
+        texts: Sequence[str],
+        *,
+        steps: int = 1200,
+        batch_size: int = 64,
+        mask_rate: float = 0.15,
+        peak_lr: float = 3e-3,
+        segment_length: int = 24,
+    ) -> "MiniLM":
+        """Train tokenizer and encoder with masked-token prediction.
+
+        Masked positions are replaced with the ``<unk>`` token (serving as
+        the mask symbol) and the model predicts the original piece id.
+        """
+        rng = np.random.default_rng(self.seed)
+        self.tokenizer = SubwordTokenizer(vocab_size=self.vocab_size).train(texts)
+        self.encoder = TransformerEncoder(
+            len(self.tokenizer),
+            dim=self.dim,
+            n_heads=self.n_heads,
+            n_layers=self.n_layers,
+            max_length=self.max_length,
+            dropout=0.1,
+            pad_id=self.tokenizer.pad_id,
+            seed=self.seed,
+        )
+        mlm_head = Linear(self.dim, len(self.tokenizer), seed=self.seed + 99)
+
+        sequences = [
+            ids
+            for text in texts
+            if (ids := self.tokenizer.encode(text, max_length=segment_length))
+            and len(ids) >= 4
+        ]
+        if not sequences:
+            raise ValueError("no usable pre-training sequences")
+
+        mask_id = self.tokenizer.vocab.unk_id
+        pad_id = self.tokenizer.pad_id
+        parameters = list(self.encoder.parameters()) + list(mlm_head.parameters())
+        schedule = WarmupLinearSchedule(peak_lr, max(1, steps // 20), steps)
+        optimizer = Adam(parameters, lr=schedule, weight_decay=0.01)
+
+        for _step in range(steps):
+            chosen = rng.integers(0, len(sequences), size=batch_size)
+            batch_sequences = [sequences[int(i)] for i in chosen]
+            width = max(len(seq) for seq in batch_sequences)
+            tokens = np.full((batch_size, width), pad_id, dtype=np.int64)
+            for row, seq in enumerate(batch_sequences):
+                tokens[row, : len(seq)] = seq
+
+            is_real = tokens != pad_id
+            mask = (rng.random(tokens.shape) < mask_rate) & is_real
+            if not mask.any():
+                continue
+            corrupted = np.where(mask, mask_id, tokens)
+
+            hidden = self.encoder.encode(corrupted)
+            flat = hidden.reshape(batch_size * width, self.dim)
+            rows = np.flatnonzero(mask.reshape(-1))
+            logits = mlm_head(flat.gather_rows(rows))
+            targets = tokens.reshape(-1)[rows]
+            loss = cross_entropy(logits, targets)
+
+            for parameter in parameters:
+                parameter.zero_grad()
+            loss.backward()
+            optimizer.step()
+        return self
+
+    # ------------------------------------------------------------------ #
+    def pretrain_matching(
+        self,
+        clusters: Sequence[tuple[str, str, Sequence[str]]],
+        *,
+        steps: int = 1500,
+        pairs_per_side: int = 32,
+        peak_lr: float = 2e-3,
+        hard_negative_rate: float = 0.5,
+    ) -> "MiniLM":
+        """Silver-pair matching pre-training on identifier-clustered text.
+
+        The paper's matchers inherit general matching ability from
+        RoBERTa's web-scale pre-training; a 10^5-parameter encoder cannot
+        get that from masked-token prediction alone.  The corpus itself
+        supplies the replacement signal: offers sharing a product
+        identifier are silver *positives*, offers of sibling products in
+        the same family are hard silver *negatives*.  ``clusters`` must be
+        ``(cluster_id, family_id, texts)`` triples and — to keep the
+        benchmark's unseen dimension meaningful — must only contain
+        clusters that are *not part of the benchmark*.
+
+        Trains the encoder end-to-end with a binary pair head on
+        ``[CLS] a [SEP] b [SEP]`` sequences; the head is kept so
+        fine-tuning can start from it.
+        """
+        if self.encoder is None or self.tokenizer is None:
+            raise RuntimeError("run pretrain() before pretrain_matching()")
+        usable = [
+            (cluster_id, family_id, list(texts))
+            for cluster_id, family_id, texts in clusters
+            if len(texts) >= 2
+        ]
+        if not usable:
+            raise ValueError("need clusters with at least two texts each")
+
+        rng = np.random.default_rng(self.seed + 17)
+        by_family: dict[str, list[int]] = {}
+        for position, (_, family_id, _) in enumerate(usable):
+            by_family.setdefault(family_id, []).append(position)
+
+        self.pair_head = PairHead(self.dim + N_LEXICAL_FEATURES, seed=self.seed + 7)
+        parameters = list(self.encoder.parameters()) + list(self.pair_head.parameters())
+        schedule = WarmupLinearSchedule(peak_lr, max(1, steps // 20), steps)
+        optimizer = Adam(parameters, lr=schedule, weight_decay=0.01)
+        pad_id = self.tokenizer.pad_id
+        digits = digit_piece_ids(self.tokenizer)
+
+        def encode_pair(left: str, right: str) -> tuple[list[int], list[float]]:
+            assert self.tokenizer is not None
+            half = (self.max_length - 3) // 2
+            left_ids = self.tokenizer.encode(left, max_length=half)
+            right_ids = self.tokenizer.encode(right, max_length=half)
+            joint = self.tokenizer.encode_pair(left, right, max_length=self.max_length)
+            return joint, lexical_overlap_features(left_ids, right_ids, digits)
+
+        for _step in range(steps):
+            sequences: list[list[int]] = []
+            features: list[list[float]] = []
+            labels: list[int] = []
+            # Positives: two offers of one cluster.
+            for _ in range(pairs_per_side):
+                _, _, texts = usable[int(rng.integers(len(usable)))]
+                i, j = rng.choice(len(texts), size=2, replace=False)
+                ids, feats = encode_pair(texts[int(i)], texts[int(j)])
+                sequences.append(ids)
+                features.append(feats)
+                labels.append(1)
+            # Negatives: sibling-product (hard) or random (easy) pairs.
+            for _ in range(pairs_per_side):
+                anchor_pos = int(rng.integers(len(usable)))
+                cluster_id, family_id, texts = usable[anchor_pos]
+                other_pos = anchor_pos
+                if rng.random() < hard_negative_rate:
+                    siblings = [
+                        p for p in by_family[family_id] if p != anchor_pos
+                    ]
+                    if siblings:
+                        other_pos = siblings[int(rng.integers(len(siblings)))]
+                if other_pos == anchor_pos:
+                    while other_pos == anchor_pos:
+                        other_pos = int(rng.integers(len(usable)))
+                _, _, other_texts = usable[other_pos]
+                left = texts[int(rng.integers(len(texts)))]
+                right = other_texts[int(rng.integers(len(other_texts)))]
+                ids, feats = encode_pair(left, right)
+                sequences.append(ids)
+                features.append(feats)
+                labels.append(0)
+
+            width = max(len(seq) for seq in sequences)
+            tokens = np.full((len(sequences), width), pad_id, dtype=np.int64)
+            for row, seq in enumerate(sequences):
+                tokens[row, : len(seq)] = seq
+            pooled = self.encoder.pool(tokens)
+            combined = Tensor.concat(
+                [pooled, Tensor(np.array(features))], axis=-1
+            )
+            logits = self.pair_head(combined)
+            loss = cross_entropy(logits, np.array(labels))
+            for parameter in parameters:
+                parameter.zero_grad()
+            loss.backward()
+            optimizer.step()
+        return self
+
+    def initialize_pair_head(self, target: "PairHead") -> None:
+        """Copy the silver-pretrained pair head into ``target`` if present."""
+        if self.pair_head is None:
+            return
+        source = dict(self.pair_head.named_parameters())
+        for name, tensor in target.named_parameters():
+            pretrained = source.get(name)
+            if pretrained is not None and pretrained.data.shape == tensor.data.shape:
+                tensor.data[...] = pretrained.data
+
+    def initialize_encoder(self, target: TransformerEncoder) -> None:
+        """Copy pretrained weights into ``target`` (checkpoint loading).
+
+        ``target`` must share the architecture except possibly a shorter
+        ``max_length``; the position-embedding table is sliced accordingly
+        (analogous to loading RoBERTa into a shorter-context model).
+        """
+        if self.encoder is None:
+            raise RuntimeError("MiniLM.pretrain() must be called first")
+        source = dict(self.encoder.named_parameters())
+        for name, parameter in target.named_parameters():
+            pretrained = source.get(name)
+            if pretrained is None:
+                continue
+            if pretrained.data.shape == parameter.data.shape:
+                parameter.data[...] = pretrained.data
+            elif (
+                name.startswith("position_embedding")
+                and pretrained.data.shape[1:] == parameter.data.shape[1:]
+            ):
+                rows = min(pretrained.data.shape[0], parameter.data.shape[0])
+                parameter.data[:rows] = pretrained.data[:rows]
+            else:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{pretrained.data.shape} vs {parameter.data.shape}"
+                )
+
+    def clone_encoder(self) -> TransformerEncoder:
+        """A fresh encoder initialized with the pretrained weights."""
+        if self.encoder is None or self.tokenizer is None:
+            raise RuntimeError("MiniLM.pretrain() must be called first")
+        clone = TransformerEncoder(
+            len(self.tokenizer),
+            dim=self.dim,
+            n_heads=self.n_heads,
+            n_layers=self.n_layers,
+            max_length=self.max_length,
+            dropout=0.1,
+            pad_id=self.tokenizer.pad_id,
+            seed=self.seed,
+        )
+        load_state_dict(clone, state_dict(self.encoder))
+        return clone
+
+    # ------------------------------------------------------------------ #
+    def save(self, directory: str | Path) -> None:
+        """Persist the checkpoint (weights + tokenizer + config)."""
+        if self.encoder is None or self.tokenizer is None:
+            raise RuntimeError("nothing to save before pretrain()")
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        weights = state_dict(self.encoder)
+        if self.pair_head is not None:
+            for name, tensor in self.pair_head.named_parameters():
+                weights[f"pair_head.{name}"] = tensor.data.copy()
+        np.savez_compressed(directory / "weights.npz", **weights)
+        config = {
+            "dim": self.dim,
+            "n_heads": self.n_heads,
+            "n_layers": self.n_layers,
+            "max_length": self.max_length,
+            "vocab_size": self.vocab_size,
+            "seed": self.seed,
+            "max_piece_len": self.tokenizer.max_piece_len,
+            "pieces": [
+                piece
+                for piece in self.tokenizer.vocab
+                if piece not in type(self.tokenizer.vocab).SPECIALS
+            ],
+            "has_pair_head": self.pair_head is not None,
+        }
+        (directory / "config.json").write_text(
+            json.dumps(config), encoding="utf-8"
+        )
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "MiniLM":
+        """Restore a checkpoint written by :meth:`save`."""
+        directory = Path(directory)
+        config = json.loads((directory / "config.json").read_text(encoding="utf-8"))
+        lm = cls(
+            dim=config["dim"],
+            n_heads=config["n_heads"],
+            n_layers=config["n_layers"],
+            max_length=config["max_length"],
+            vocab_size=config["vocab_size"],
+            seed=config["seed"],
+        )
+        tokenizer = SubwordTokenizer(
+            vocab_size=config["vocab_size"], max_piece_len=config["max_piece_len"]
+        )
+        # Rebuild the tokenizer state directly (bypasses train()).
+        from repro.text.vocabulary import Vocabulary
+
+        tokenizer.vocab = Vocabulary()
+        for piece in config["pieces"]:
+            tokenizer.vocab.add(piece)
+        tokenizer._pieces = set(config["pieces"])
+        tokenizer._trained = True
+        lm.tokenizer = tokenizer
+
+        lm.encoder = TransformerEncoder(
+            len(tokenizer),
+            dim=lm.dim,
+            n_heads=lm.n_heads,
+            n_layers=lm.n_layers,
+            max_length=lm.max_length,
+            dropout=0.1,
+            pad_id=tokenizer.pad_id,
+            seed=lm.seed,
+        )
+        with np.load(directory / "weights.npz") as archive:
+            weights = {name: archive[name] for name in archive.files}
+        pair_head_weights = {
+            name[len("pair_head."):]: value
+            for name, value in weights.items()
+            if name.startswith("pair_head.")
+        }
+        encoder_weights = {
+            name: value
+            for name, value in weights.items()
+            if not name.startswith("pair_head.")
+        }
+        load_state_dict(lm.encoder, encoder_weights)
+        if config.get("has_pair_head") and pair_head_weights:
+            lm.pair_head = PairHead(lm.dim + N_LEXICAL_FEATURES, seed=lm.seed + 7)
+            for name, tensor in lm.pair_head.named_parameters():
+                value = pair_head_weights.get(name)
+                if value is not None and value.shape == tensor.data.shape:
+                    tensor.data[...] = value
+        return lm

@@ -1,0 +1,46 @@
+"""Save/load module parameters as compressed numpy archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+__all__ = ["state_dict", "load_state_dict", "save_module", "load_module"]
+
+
+def state_dict(module: Module) -> dict[str, np.ndarray]:
+    """Snapshot all named parameters as plain arrays."""
+    return {name: tensor.data.copy() for name, tensor in module.named_parameters()}
+
+
+def load_state_dict(module: Module, state: dict[str, np.ndarray]) -> None:
+    """Copy arrays from ``state`` into the module's parameters, by name."""
+    parameters = dict(module.named_parameters())
+    missing = set(parameters) - set(state)
+    unexpected = set(state) - set(parameters)
+    if missing or unexpected:
+        raise KeyError(
+            f"state dict mismatch: missing={sorted(missing)}, "
+            f"unexpected={sorted(unexpected)}"
+        )
+    for name, tensor in parameters.items():
+        value = np.asarray(state[name])
+        if value.shape != tensor.data.shape:
+            raise ValueError(
+                f"shape mismatch for {name}: {value.shape} != {tensor.data.shape}"
+            )
+        tensor.data[...] = value
+
+
+def save_module(module: Module, path: str | Path) -> None:
+    """Write the module's parameters to an ``.npz`` archive."""
+    np.savez_compressed(Path(path), **state_dict(module))
+
+
+def load_module(module: Module, path: str | Path) -> None:
+    """Restore parameters previously written by :func:`save_module`."""
+    with np.load(Path(path)) as archive:
+        load_state_dict(module, {name: archive[name] for name in archive.files})

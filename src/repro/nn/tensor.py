@@ -1,0 +1,389 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+A :class:`Tensor` wraps an ``np.ndarray`` and records the operations that
+produced it; calling :meth:`Tensor.backward` on a scalar loss propagates
+gradients to every tensor created with ``requires_grad=True``.  Broadcasting
+is fully supported: gradients flowing into a broadcast operand are summed
+back to its original shape.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections.abc import Callable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad"]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad() -> Iterator[None]:
+    """Temporarily disable graph construction (inference mode)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def _unbroadcast(gradient: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``gradient`` down to ``shape`` (inverse of numpy broadcasting)."""
+    if gradient.shape == shape:
+        return gradient
+    # Remove leading broadcast axes.
+    while gradient.ndim > len(shape):
+        gradient = gradient.sum(axis=0)
+    # Collapse axes that were expanded from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and gradient.shape[axis] != 1:
+            gradient = gradient.sum(axis=axis, keepdims=True)
+    return gradient
+
+
+class Tensor:
+    """A numpy array with an autograd tape."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __array_priority__ = 100  # numpy defers binary ops to Tensor
+
+    def __init__(
+        self,
+        data: np.ndarray | float | int | Sequence,
+        *,
+        requires_grad: bool = False,
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+
+    # ------------------------------------------------------------------ #
+    # Graph construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data)
+        out.requires_grad = requires
+        if requires:
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def _accumulate(self, gradient: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        gradient = _unbroadcast(np.asarray(gradient, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = gradient.copy()
+        else:
+            self.grad += gradient
+
+    def backward(self, gradient: np.ndarray | None = None) -> None:
+        """Back-propagate from this tensor (defaults to d(self)/d(self)=1).
+
+        Nodes are processed in reverse topological order, so by the time a
+        node's ``_backward`` closure runs, its ``.grad`` already holds the
+        full gradient accumulated from every consumer.  Interior-node
+        gradients are freed afterwards; leaves (parameters) keep theirs.
+        """
+        if gradient is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without a gradient requires a scalar")
+            gradient = np.ones_like(self.data)
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor without grad")
+
+        # Topological order via iterative DFS (avoids recursion limits).
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(np.asarray(gradient, dtype=np.float64))
+        for node in reversed(topo):
+            if node._backward is None or node.grad is None:
+                continue
+            node._backward(node.grad)
+            if node._parents and node is not self:
+                node.grad = None  # free interior gradients
+
+    # ------------------------------------------------------------------ #
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: "Tensor | float") -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad)
+            other_t._accumulate(grad)
+
+        return Tensor._make(self.data + other_t.data, (self, other_t), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: "Tensor | float") -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad)
+            other_t._accumulate(-grad)
+
+        return Tensor._make(self.data - other_t.data, (self, other_t), backward)
+
+    def __rsub__(self, other: float) -> "Tensor":
+        return Tensor(other) - self
+
+    def __mul__(self, other: "Tensor | float") -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * other_t.data)
+            other_t._accumulate(grad * self.data)
+
+        return Tensor._make(self.data * other_t.data, (self, other_t), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "Tensor | float") -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / other_t.data)
+            other_t._accumulate(-grad * self.data / (other_t.data**2))
+
+        return Tensor._make(self.data / other_t.data, (self, other_t), backward)
+
+    def __rtruediv__(self, other: float) -> "Tensor":
+        return Tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * np.power(self.data, exponent - 1))
+
+        return Tensor._make(np.power(self.data, exponent), (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Matrix / tensor ops
+    # ------------------------------------------------------------------ #
+    def matmul(self, other: "Tensor") -> "Tensor":
+        """Batched matrix multiply with numpy ``@`` semantics."""
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad @ np.swapaxes(other.data, -1, -2))
+            other._accumulate(np.swapaxes(self.data, -1, -2) @ grad)
+
+        return Tensor._make(self.data @ other.data, (self, other), backward)
+
+    __matmul__ = matmul
+
+    def transpose(self, axis_a: int, axis_b: int) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(np.swapaxes(grad, axis_a, axis_b))
+
+        return Tensor._make(np.swapaxes(self.data, axis_a, axis_b), (self,), backward)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        original = self.data.shape
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(original))
+
+        return Tensor._make(self.data.reshape(*shape), (self,), backward)
+
+    def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            expanded = grad
+            if axis is not None and not keepdims:
+                expanded = np.expand_dims(grad, axis)
+            self._accumulate(np.broadcast_to(expanded, self.data.shape))
+
+        return Tensor._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), backward)
+
+    def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        count = self.data.size if axis is None else np.prod(
+            [self.data.shape[a] for a in (axis if isinstance(axis, tuple) else (axis,))]
+        )
+
+        def backward(grad: np.ndarray) -> None:
+            expanded = grad
+            if axis is not None and not keepdims:
+                expanded = np.expand_dims(grad, axis)
+            self._accumulate(np.broadcast_to(expanded, self.data.shape) / count)
+
+        return Tensor._make(self.data.mean(axis=axis, keepdims=keepdims), (self,), backward)
+
+    def gather_rows(self, indices: np.ndarray) -> "Tensor":
+        """Row lookup ``self.data[indices]`` — the embedding primitive."""
+        indices = np.asarray(indices)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            full = np.zeros_like(self.data)
+            np.add.at(full, indices.reshape(-1), grad.reshape(-1, self.data.shape[-1]))
+            self._accumulate(full)
+
+        return Tensor._make(self.data[indices], (self,), backward)
+
+    def index_select_first(self) -> "Tensor":
+        """Select position 0 along axis 1 — the [CLS] pooling primitive."""
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            full[:, 0] = grad
+            self._accumulate(full)
+
+        return Tensor._make(self.data[:, 0], (self,), backward)
+
+    @staticmethod
+    def concat(tensors: Sequence["Tensor"], axis: int = -1) -> "Tensor":
+        sizes = [t.data.shape[axis] for t in tensors]
+        offsets = np.cumsum([0, *sizes])
+
+        def backward(grad: np.ndarray) -> None:
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                slicer: list[slice] = [slice(None)] * grad.ndim
+                slicer[axis] = slice(int(start), int(stop))
+                tensor._accumulate(grad[tuple(slicer)])
+
+        data = np.concatenate([t.data for t in tensors], axis=axis)
+        return Tensor._make(data, tuple(tensors), backward)
+
+    # ------------------------------------------------------------------ #
+    # Nonlinearities
+    # ------------------------------------------------------------------ #
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        return Tensor._make(self.data * mask, (self,), backward)
+
+    def gelu(self) -> "Tensor":
+        """Tanh-approximated GELU (the Transformer FFN activation)."""
+        c = np.sqrt(2.0 / np.pi)
+        inner = c * (self.data + 0.044715 * self.data**3)
+        tanh = np.tanh(inner)
+        out = 0.5 * self.data * (1.0 + tanh)
+
+        def backward(grad: np.ndarray) -> None:
+            sech2 = 1.0 - tanh**2
+            d_inner = c * (1.0 + 3 * 0.044715 * self.data**2)
+            local = 0.5 * (1.0 + tanh) + 0.5 * self.data * sech2 * d_inner
+            self._accumulate(grad * local)
+
+        return Tensor._make(out, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (1.0 - out**2))
+
+        return Tensor._make(out, (self,), backward)
+
+    def exp(self) -> "Tensor":
+        out = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out)
+
+        return Tensor._make(out, (self,), backward)
+
+    def log(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / self.data)
+
+        return Tensor._make(np.log(self.data), (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        out = np.sqrt(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * 0.5 / np.maximum(out, 1e-12))
+
+        return Tensor._make(out, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out * (1.0 - out))
+
+        return Tensor._make(out, (self,), backward)
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        out = exp / exp.sum(axis=axis, keepdims=True)
+
+        def backward(grad: np.ndarray) -> None:
+            dot = (grad * out).sum(axis=axis, keepdims=True)
+            self._accumulate(out * (grad - dot))
+
+        return Tensor._make(out, (self,), backward)
+
+    def masked_fill(self, mask: np.ndarray, value: float) -> "Tensor":
+        """Set entries where ``mask`` is True to ``value`` (no grad there)."""
+        mask = np.asarray(mask, dtype=bool)
+        data = np.where(mask, value, self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(np.where(mask, 0.0, grad))
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Convenience
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data.copy())
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Tensor(shape={self.data.shape}, requires_grad={self.requires_grad})"

@@ -1,0 +1,106 @@
+"""Character-based edit similarity metrics.
+
+Used by the Magellan baseline (attribute-type-aware feature generation)
+and by Generalized Jaccard's soft token matching.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+]
+
+
+def levenshtein_distance(left: str, right: str) -> int:
+    """Classic edit distance (insert/delete/substitute, unit costs).
+
+    >>> levenshtein_distance("kitten", "sitting")
+    3
+    """
+    if left == right:
+        return 0
+    if not left:
+        return len(right)
+    if not right:
+        return len(left)
+    # Keep the shorter string in the inner loop for memory locality.
+    if len(left) < len(right):
+        left, right = right, left
+    previous = list(range(len(right) + 1))
+    for i, char_left in enumerate(left, start=1):
+        current = [i]
+        for j, char_right in enumerate(right, start=1):
+            cost = 0 if char_left == char_right else 1
+            current.append(
+                min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            )
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(left: str, right: str) -> float:
+    """Edit distance normalized into a ``[0, 1]`` similarity."""
+    longest = max(len(left), len(right))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein_distance(left, right) / longest
+
+
+def jaro_similarity(left: str, right: str) -> float:
+    """Jaro similarity with the standard match-window definition."""
+    if left == right:
+        return 1.0
+    if not left or not right:
+        return 0.0
+    window = max(len(left), len(right)) // 2 - 1
+    window = max(window, 0)
+
+    left_matched = [False] * len(left)
+    right_matched = [False] * len(right)
+    matches = 0
+    for i, char in enumerate(left):
+        start = max(0, i - window)
+        stop = min(i + window + 1, len(right))
+        for j in range(start, stop):
+            if right_matched[j] or right[j] != char:
+                continue
+            left_matched[i] = True
+            right_matched[j] = True
+            matches += 1
+            break
+    if matches == 0:
+        return 0.0
+
+    transpositions = 0
+    j = 0
+    for i, char in enumerate(left):
+        if not left_matched[i]:
+            continue
+        while not right_matched[j]:
+            j += 1
+        if char != right[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+
+    return (
+        matches / len(left)
+        + matches / len(right)
+        + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler_similarity(
+    left: str, right: str, *, prefix_scale: float = 0.1, max_prefix: int = 4
+) -> float:
+    """Jaro-Winkler: Jaro boosted by the length of the common prefix."""
+    jaro = jaro_similarity(left, right)
+    prefix = 0
+    for char_left, char_right in zip(left, right):
+        if char_left != char_right or prefix >= max_prefix:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_scale * (1.0 - jaro)

@@ -1,0 +1,117 @@
+"""LSA token-embedding model — the fastText stand-in.
+
+The paper trains a fastText embedding on product titles and uses
+nearest-neighbour search in that embedding space as one of the corner-case
+similarity metrics.  Without network access or a fastText binary we train a
+latent-semantic-analysis model instead: a token/document TF-IDF matrix is
+factorized with truncated SVD (scipy) and titles are embedded as the mean
+of their token vectors.  Like fastText, the resulting metric is distributed
+rather than symbolic, so it surfaces different neighbours than the
+set-overlap metrics — which is the property the selection step needs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.linalg import svds
+
+from repro.text.tokenize import tokenize
+from repro.text.vocabulary import Vocabulary
+
+__all__ = ["LsaEmbeddingModel"]
+
+
+class LsaEmbeddingModel:
+    """Truncated-SVD token embeddings with mean-pooled text vectors."""
+
+    def __init__(self, *, dim: int = 32, min_count: int = 1, seed: int = 13):
+        if dim <= 1:
+            raise ValueError(f"embedding dim must be > 1, got {dim}")
+        self.dim = dim
+        self.min_count = min_count
+        self.seed = seed
+        self.vocabulary: Vocabulary | None = None
+        self.token_vectors: np.ndarray | None = None
+
+    def fit(self, titles: Sequence[str]) -> "LsaEmbeddingModel":
+        """Factorize the token/document matrix built from ``titles``."""
+        self.vocabulary = Vocabulary.from_texts(
+            titles, min_count=self.min_count, include_specials=False
+        )
+        lookup = {token: idx for idx, token in enumerate(self.vocabulary)}
+        n_tokens = len(self.vocabulary)
+        if n_tokens == 0:
+            raise ValueError("cannot fit an embedding on an empty title corpus")
+
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+        doc_freq = np.zeros(n_tokens, dtype=np.float64)
+        for doc_id, title in enumerate(titles):
+            tokens = tokenize(title)
+            seen: set[int] = set()
+            for token in tokens:
+                col = lookup.get(token)
+                if col is None:
+                    continue
+                rows.append(col)
+                cols.append(doc_id)
+                vals.append(1.0)
+                seen.add(col)
+            for col in seen:
+                doc_freq[col] += 1.0
+
+        matrix = csr_matrix(
+            (vals, (rows, cols)), shape=(n_tokens, len(titles)), dtype=np.float64
+        )
+        idf = np.log((1.0 + len(titles)) / (1.0 + doc_freq)) + 1.0
+        matrix = csr_matrix(matrix.multiply(idf[:, None]))
+
+        k = min(self.dim, min(matrix.shape) - 1)
+        if k < 1:
+            # Degenerate corpus (single doc or single token): fall back to
+            # identity-ish random projections so the API still works.
+            rng = np.random.default_rng(self.seed)
+            self.token_vectors = rng.standard_normal((n_tokens, self.dim))
+        else:
+            u, s, _ = svds(matrix, k=k, random_state=self.seed)
+            vectors = u * s
+            if k < self.dim:
+                vectors = np.pad(vectors, ((0, 0), (0, self.dim - k)))
+            self.token_vectors = vectors
+        norms = np.linalg.norm(self.token_vectors, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        self.token_vectors = self.token_vectors / norms
+        return self
+
+    def embed(self, text: str) -> np.ndarray:
+        """Mean-pool the token vectors of ``text`` into a unit vector."""
+        vocabulary, vectors = self._require_fitted()
+        lookup_rows = [
+            vectors[vocabulary.id_of(token)]
+            for token in tokenize(text)
+            if token in vocabulary
+        ]
+        if not lookup_rows:
+            return np.zeros(self.dim, dtype=np.float64)
+        pooled = np.mean(lookup_rows, axis=0)
+        norm = np.linalg.norm(pooled)
+        if norm == 0.0:
+            return pooled
+        return pooled / norm
+
+    def embed_many(self, texts: Sequence[str]) -> np.ndarray:
+        return np.stack([self.embed(text) for text in texts])
+
+    def similarity(self, left: str, right: str) -> float:
+        """Cosine similarity of the pooled embeddings, clipped to [0, 1]."""
+        score = float(np.dot(self.embed(left), self.embed(right)))
+        return min(1.0, max(0.0, score))
+
+    def _require_fitted(self) -> tuple[Vocabulary, np.ndarray]:
+        if self.vocabulary is None or self.token_vectors is None:
+            raise RuntimeError("LsaEmbeddingModel.fit() must be called first")
+        return self.vocabulary, self.token_vectors

@@ -1,0 +1,115 @@
+"""The alternating similarity-metric registry of Section 3.4.
+
+"For each corner-case selection, we randomly draw from a set of similarity
+metrics to reduce selection bias."  ``SimilarityRegistry`` holds the four
+metrics (Cosine, Dice, Generalized Jaccard, embedding) and hands out a
+randomly chosen one per call, plus batch helpers for ranking candidate
+titles against a query title.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.similarity.embedding import LsaEmbeddingModel
+from repro.similarity.token_based import (
+    cosine_similarity,
+    dice_similarity,
+    generalized_jaccard_similarity,
+)
+
+__all__ = ["SimilarityMetric", "SimilarityRegistry"]
+
+ScoreFn = Callable[[str, str], float]
+
+
+@dataclass(frozen=True)
+class SimilarityMetric:
+    """A named title-to-title similarity function."""
+
+    name: str
+    score: ScoreFn
+
+    def __call__(self, left: str, right: str) -> float:
+        return self.score(left, right)
+
+
+class SimilarityRegistry:
+    """Randomly alternating pool of similarity metrics.
+
+    The embedding metric is optional: without a fitted
+    :class:`LsaEmbeddingModel` the registry alternates between the three
+    symbolic metrics only.
+    """
+
+    def __init__(
+        self,
+        *,
+        embedding_model: LsaEmbeddingModel | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.metrics: list[SimilarityMetric] = [
+            SimilarityMetric("cosine", cosine_similarity),
+            SimilarityMetric("dice", dice_similarity),
+            SimilarityMetric("generalized_jaccard", generalized_jaccard_similarity),
+        ]
+        if embedding_model is not None:
+            self.metrics.append(
+                SimilarityMetric("lsa_embedding", embedding_model.similarity)
+            )
+
+    @property
+    def names(self) -> list[str]:
+        return [metric.name for metric in self.metrics]
+
+    def draw(self) -> SimilarityMetric:
+        """Randomly draw one metric (uniformly) from the pool."""
+        index = int(self.rng.integers(len(self.metrics)))
+        return self.metrics[index]
+
+    def rank_candidates(
+        self,
+        query: str,
+        candidates: Sequence[str],
+        *,
+        metric: SimilarityMetric | None = None,
+    ) -> list[tuple[int, float]]:
+        """Rank candidate titles by descending similarity to ``query``.
+
+        Returns ``(candidate_index, score)`` pairs.  If ``metric`` is None a
+        random metric is drawn, mirroring the paper's alternating selection.
+        """
+        chosen = metric if metric is not None else self.draw()
+        scores = [(idx, chosen(query, candidate)) for idx, candidate in enumerate(candidates)]
+        scores.sort(key=lambda item: (-item[1], item[0]))
+        return scores
+
+    def most_similar(
+        self,
+        query: str,
+        candidates: Sequence[str],
+        *,
+        top_k: int = 1,
+        metric: SimilarityMetric | None = None,
+    ) -> list[int]:
+        """Indices of the ``top_k`` most similar candidates to ``query``."""
+        ranked = self.rank_candidates(query, candidates, metric=metric)
+        return [idx for idx, _ in ranked[:top_k]]
+
+    def pairwise_scores(
+        self, titles: Sequence[str], *, metric: SimilarityMetric
+    ) -> np.ndarray:
+        """Full symmetric similarity matrix for ``titles`` under ``metric``."""
+        n = len(titles)
+        matrix = np.zeros((n, n), dtype=np.float64)
+        for i in range(n):
+            matrix[i, i] = 1.0
+            for j in range(i + 1, n):
+                score = metric(titles[i], titles[j])
+                matrix[i, j] = score
+                matrix[j, i] = score
+        return matrix

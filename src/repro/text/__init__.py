@@ -1,0 +1,26 @@
+"""Text processing substrate: tokenization, vocabularies and vectorizers.
+
+This package stands in for the text stack the paper uses implicitly
+(whitespace/punctuation tokenization for the symbolic metrics, RoBERTa's
+subword vocabulary for the neural matchers, and binary word-occurrence
+features for DBSCAN grouping and the Word-(Co)Occurrence baseline).
+"""
+
+from repro.text.tokenize import normalize_text, tokenize, word_shingles
+from repro.text.vocabulary import SubwordTokenizer, Vocabulary
+from repro.text.vectorize import (
+    BinaryBowVectorizer,
+    HashingVectorizer,
+    TfidfVectorizer,
+)
+
+__all__ = [
+    "normalize_text",
+    "tokenize",
+    "word_shingles",
+    "Vocabulary",
+    "SubwordTokenizer",
+    "BinaryBowVectorizer",
+    "HashingVectorizer",
+    "TfidfVectorizer",
+]

@@ -1,0 +1,72 @@
+"""Tokenization helpers shared by the whole pipeline.
+
+The paper lower-cases text and strips tags and punctuation before building
+binary word-occurrence features (Section 3.3) and computing the token-based
+similarity metrics (Section 3.4).  ``normalize_text`` and ``tokenize``
+implement exactly that behaviour.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["normalize_text", "tokenize", "word_shingles", "char_ngrams"]
+
+_TAG_RE = re.compile(r"<[^>]+>")
+_PUNCT_RE = re.compile(r"[^\w\s]", re.UNICODE)
+_WS_RE = re.compile(r"\s+")
+
+
+def normalize_text(text: str) -> str:
+    """Lower-case ``text``, strip HTML-ish tags and punctuation.
+
+    >>> normalize_text("SanDisk <b>Ultra</b> 64GB, microSDXC!")
+    'sandisk ultra 64gb microsdxc'
+    """
+    text = _TAG_RE.sub(" ", text)
+    text = text.lower()
+    text = _PUNCT_RE.sub(" ", text)
+    return _WS_RE.sub(" ", text).strip()
+
+
+def tokenize(text: str) -> list[str]:
+    """Split normalized ``text`` into word tokens.
+
+    >>> tokenize("WD Blue 2TB - 7200RPM")
+    ['wd', 'blue', '2tb', '7200rpm']
+    """
+    normalized = normalize_text(text)
+    if not normalized:
+        return []
+    return normalized.split(" ")
+
+
+def word_shingles(tokens: list[str], size: int = 2) -> list[str]:
+    """Return contiguous word shingles (n-grams over tokens).
+
+    >>> word_shingles(["wd", "blue", "2tb"], size=2)
+    ['wd blue', 'blue 2tb']
+    """
+    if size <= 0:
+        raise ValueError(f"shingle size must be positive, got {size}")
+    if len(tokens) < size:
+        return []
+    return [" ".join(tokens[i : i + size]) for i in range(len(tokens) - size + 1)]
+
+
+def char_ngrams(text: str, size: int = 3, pad: bool = True) -> list[str]:
+    """Return character n-grams, optionally padded with boundary markers.
+
+    Padding mirrors what fastText-style models do for subword features and
+    what the language identifier uses as evidence.
+
+    >>> char_ngrams("ab", size=3)
+    ['^ab', 'ab$']
+    """
+    if size <= 0:
+        raise ValueError(f"ngram size must be positive, got {size}")
+    if pad:
+        text = "^" + text + "$"
+    if len(text) < size:
+        return [text] if text else []
+    return [text[i : i + size] for i in range(len(text) - size + 1)]

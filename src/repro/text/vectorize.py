@@ -1,0 +1,147 @@
+"""Vector-space representations of offer texts.
+
+``BinaryBowVectorizer`` reproduces the "simple binary word occurrence after
+lower-casing and removing tags and punctuation" feature space the paper uses
+for DBSCAN grouping (Section 3.3) and for the Word-(Co)Occurrence baseline
+(Section 5.1).  ``HashingVectorizer`` provides a fixed-width alternative
+that needs no fitted vocabulary, and ``TfidfVectorizer`` supports the
+embedding model and similarity search.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.text.tokenize import tokenize
+from repro.text.vocabulary import Vocabulary
+
+__all__ = ["BinaryBowVectorizer", "HashingVectorizer", "TfidfVectorizer"]
+
+
+class BinaryBowVectorizer:
+    """Binary bag-of-words features over a fitted word vocabulary."""
+
+    def __init__(self, *, min_count: int = 1, max_size: int | None = None):
+        self.min_count = min_count
+        self.max_size = max_size
+        self.vocabulary: Vocabulary | None = None
+
+    def fit(self, texts: Iterable[str]) -> "BinaryBowVectorizer":
+        self.vocabulary = Vocabulary.from_texts(
+            texts,
+            min_count=self.min_count,
+            max_size=self.max_size,
+            include_specials=False,
+        )
+        return self
+
+    def transform(self, texts: Sequence[str]) -> np.ndarray:
+        """Return a dense ``(len(texts), |V|)`` float32 binary matrix."""
+        vocab = self._require_fitted()
+        matrix = np.zeros((len(texts), len(vocab)), dtype=np.float32)
+        lookup = {token: idx for idx, token in enumerate(vocab)}
+        for row, text in enumerate(texts):
+            for token in tokenize(text):
+                col = lookup.get(token)
+                if col is not None:
+                    matrix[row, col] = 1.0
+        return matrix
+
+    def fit_transform(self, texts: Sequence[str]) -> np.ndarray:
+        return self.fit(texts).transform(texts)
+
+    def _require_fitted(self) -> Vocabulary:
+        if self.vocabulary is None:
+            raise RuntimeError("BinaryBowVectorizer.fit() must be called first")
+        return self.vocabulary
+
+
+class HashingVectorizer:
+    """Stateless binary feature hashing into ``n_features`` buckets.
+
+    Word co-occurrence features for arbitrary pairs can be computed without
+    a fitted vocabulary, which keeps the Word-(Co)Occurrence baseline usable
+    on unseen entities.
+    """
+
+    def __init__(self, n_features: int = 4096, *, seed: int = 17):
+        if n_features <= 0:
+            raise ValueError(f"n_features must be positive, got {n_features}")
+        self.n_features = n_features
+        self.seed = seed
+
+    def _bucket(self, token: str) -> int:
+        # FNV-1a keeps hashing deterministic across processes (unlike hash()).
+        value = 2166136261 ^ self.seed
+        for byte in token.encode("utf-8"):
+            value = ((value ^ byte) * 16777619) & 0xFFFFFFFF
+        return value % self.n_features
+
+    def transform(self, texts: Sequence[str]) -> np.ndarray:
+        matrix = np.zeros((len(texts), self.n_features), dtype=np.float32)
+        for row, text in enumerate(texts):
+            for token in tokenize(text):
+                matrix[row, self._bucket(token)] = 1.0
+        return matrix
+
+    def transform_pair_cooccurrence(
+        self, left_texts: Sequence[str], right_texts: Sequence[str]
+    ) -> np.ndarray:
+        """Binary word *co-occurrence* features for aligned text pairs.
+
+        A bucket is set when the underlying token appears in *both* sides of
+        the pair — the feature input of the pair-wise Word-Cooc baseline.
+        """
+        if len(left_texts) != len(right_texts):
+            raise ValueError("left and right text lists must be aligned")
+        left = self.transform(left_texts)
+        right = self.transform(right_texts)
+        return left * right
+
+
+class TfidfVectorizer:
+    """TF-IDF weighting with smooth inverse document frequency."""
+
+    def __init__(self, *, min_count: int = 1, max_size: int | None = None):
+        self.min_count = min_count
+        self.max_size = max_size
+        self.vocabulary: Vocabulary | None = None
+        self.idf: np.ndarray | None = None
+
+    def fit(self, texts: Sequence[str]) -> "TfidfVectorizer":
+        self.vocabulary = Vocabulary.from_texts(
+            texts,
+            min_count=self.min_count,
+            max_size=self.max_size,
+            include_specials=False,
+        )
+        lookup = {token: idx for idx, token in enumerate(self.vocabulary)}
+        doc_freq = np.zeros(len(self.vocabulary), dtype=np.float64)
+        for text in texts:
+            for token in set(tokenize(text)):
+                col = lookup.get(token)
+                if col is not None:
+                    doc_freq[col] += 1.0
+        n_docs = max(len(texts), 1)
+        self.idf = np.log((1.0 + n_docs) / (1.0 + doc_freq)) + 1.0
+        return self
+
+    def transform(self, texts: Sequence[str]) -> np.ndarray:
+        if self.vocabulary is None or self.idf is None:
+            raise RuntimeError("TfidfVectorizer.fit() must be called first")
+        lookup = {token: idx for idx, token in enumerate(self.vocabulary)}
+        matrix = np.zeros((len(texts), len(self.vocabulary)), dtype=np.float64)
+        for row, text in enumerate(texts):
+            for token in tokenize(text):
+                col = lookup.get(token)
+                if col is not None:
+                    matrix[row, col] += 1.0
+        matrix *= self.idf
+        norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        return (matrix / norms).astype(np.float32)
+
+    def fit_transform(self, texts: Sequence[str]) -> np.ndarray:
+        return self.fit(texts).transform(texts)

@@ -1,0 +1,251 @@
+"""Word and subword vocabularies.
+
+``Vocabulary`` is a plain word-level vocabulary used for word-occurrence
+features and for the Table 2 vocabulary statistics.  ``SubwordTokenizer`` is
+a greedy longest-match subword tokenizer standing in for RoBERTa's BPE
+vocabulary: it learns frequent character merges from a corpus and encodes
+unseen words as sequences of known subword pieces, which is the property the
+neural matchers rely on (no out-of-vocabulary blowup on unseen products).
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from collections.abc import Iterable
+
+from repro.text.tokenize import tokenize
+
+__all__ = ["Vocabulary", "SubwordTokenizer"]
+
+_DIGIT_LETTER_BOUNDARY = re.compile(r"(?<=\d)(?=[a-z])|(?<=[a-z])(?=\d)")
+
+
+def _split_subword_units(word: str) -> list[str]:
+    """Split a word at digit/letter boundaries (``2tb`` -> ``2``, ``tb``).
+
+    Mirrors how byte-pair vocabularies treat glued number+unit tokens and —
+    crucially for entity matching — makes ``2TB`` and ``2 TB`` tokenize
+    identically, so exact-token attention can align them.
+    """
+    return [part for part in _DIGIT_LETTER_BOUNDARY.split(word) if part]
+
+
+class Vocabulary:
+    """A bidirectional token <-> id mapping with reserved special tokens."""
+
+    PAD = "<pad>"
+    UNK = "<unk>"
+    CLS = "<cls>"
+    SEP = "<sep>"
+    SPECIALS = (PAD, UNK, CLS, SEP)
+
+    def __init__(self, tokens: Iterable[str] = (), *, include_specials: bool = True):
+        self._token_to_id: dict[str, int] = {}
+        self._id_to_token: list[str] = []
+        if include_specials:
+            for special in self.SPECIALS:
+                self.add(special)
+        for token in tokens:
+            self.add(token)
+
+    @classmethod
+    def from_texts(
+        cls,
+        texts: Iterable[str],
+        *,
+        min_count: int = 1,
+        max_size: int | None = None,
+        include_specials: bool = True,
+    ) -> "Vocabulary":
+        """Build a vocabulary from raw texts, most frequent tokens first."""
+        counts: Counter[str] = Counter()
+        for text in texts:
+            counts.update(tokenize(text))
+        ranked = [
+            token
+            for token, count in counts.most_common()
+            if count >= min_count
+        ]
+        if max_size is not None:
+            reserved = len(cls.SPECIALS) if include_specials else 0
+            ranked = ranked[: max(0, max_size - reserved)]
+        return cls(ranked, include_specials=include_specials)
+
+    def add(self, token: str) -> int:
+        """Insert ``token`` if absent and return its id."""
+        existing = self._token_to_id.get(token)
+        if existing is not None:
+            return existing
+        token_id = len(self._id_to_token)
+        self._token_to_id[token] = token_id
+        self._id_to_token.append(token)
+        return token_id
+
+    def id_of(self, token: str) -> int:
+        """Return the id of ``token``, falling back to ``<unk>``."""
+        unk = self._token_to_id.get(self.UNK, 0)
+        return self._token_to_id.get(token, unk)
+
+    def token_of(self, token_id: int) -> str:
+        return self._id_to_token[token_id]
+
+    def encode(self, text: str) -> list[int]:
+        return [self.id_of(token) for token in tokenize(text)]
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __iter__(self) -> Iterable[str]:
+        return iter(self._id_to_token)
+
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[self.PAD]
+
+    @property
+    def unk_id(self) -> int:
+        return self._token_to_id[self.UNK]
+
+    @property
+    def cls_id(self) -> int:
+        return self._token_to_id[self.CLS]
+
+    @property
+    def sep_id(self) -> int:
+        return self._token_to_id[self.SEP]
+
+
+class SubwordTokenizer:
+    """Greedy longest-match subword tokenizer (BPE-style stand-in).
+
+    Training collects the most frequent words and the most frequent
+    character n-grams (lengths 2..``max_piece_len``); encoding splits each
+    word greedily into the longest known pieces, guaranteeing full coverage
+    via single-character fallback pieces.
+    """
+
+    def __init__(
+        self,
+        *,
+        vocab_size: int = 4096,
+        max_piece_len: int = 6,
+    ) -> None:
+        if vocab_size < 64:
+            raise ValueError("vocab_size too small to hold fallback pieces")
+        self.vocab_size = vocab_size
+        self.max_piece_len = max_piece_len
+        self.vocab = Vocabulary()
+        self._pieces: set[str] = set()
+        self._trained = False
+
+    def train(self, texts: Iterable[str]) -> "SubwordTokenizer":
+        """Learn the piece inventory from ``texts``."""
+        word_counts: Counter[str] = Counter()
+        for text in texts:
+            for token in tokenize(text):
+                word_counts.update(_split_subword_units(token))
+
+        piece_counts: Counter[str] = Counter()
+        char_counts: Counter[str] = Counter()
+        for word, count in word_counts.items():
+            for char in word:
+                char_counts[char] += count
+            for size in range(2, self.max_piece_len + 1):
+                for start in range(0, len(word) - size + 1):
+                    piece_counts[word[start : start + size]] += count
+
+        # Single characters are mandatory fallbacks; whole frequent words and
+        # frequent n-grams fill the remaining budget.
+        budget = self.vocab_size - len(Vocabulary.SPECIALS)
+        selected: list[str] = [char for char, _ in char_counts.most_common()]
+        remaining = budget - len(selected)
+        if remaining > 0:
+            frequent_words = [
+                word
+                for word, count in word_counts.most_common(remaining // 2)
+                if count >= 2 and len(word) <= self.max_piece_len * 2
+            ]
+            selected.extend(frequent_words)
+            remaining = budget - len(set(selected))
+        if remaining > 0:
+            for piece, _ in piece_counts.most_common():
+                if piece not in self._pieces and piece not in selected:
+                    selected.append(piece)
+                    remaining -= 1
+                    if remaining <= 0:
+                        break
+
+        self.vocab = Vocabulary()
+        for piece in selected[:budget]:
+            self.vocab.add(piece)
+        self._pieces = {piece for piece in self.vocab if piece not in Vocabulary.SPECIALS}
+        self._trained = True
+        return self
+
+    def encode_word(self, word: str) -> list[int]:
+        """Greedy longest-match split of a single word into piece ids.
+
+        Digit/letter boundaries are always split first so surface variants
+        like ``2tb`` and ``2 tb`` map to the same piece sequence.
+        """
+        self._require_trained()
+        ids: list[int] = []
+        longest = max(self.max_piece_len * 2, 1)
+        for unit in _split_subword_units(word):
+            position = 0
+            while position < len(unit):
+                matched = None
+                for end in range(min(len(unit), position + longest), position, -1):
+                    candidate = unit[position:end]
+                    if candidate in self._pieces:
+                        matched = candidate
+                        break
+                if matched is None:
+                    ids.append(self.vocab.unk_id)
+                    position += 1
+                else:
+                    ids.append(self.vocab.id_of(matched))
+                    position += len(matched)
+        return ids
+
+    def encode(self, text: str, *, max_length: int | None = None) -> list[int]:
+        """Encode ``text`` into piece ids (no special tokens added)."""
+        self._require_trained()
+        ids: list[int] = []
+        for word in tokenize(text):
+            ids.extend(self.encode_word(word))
+            if max_length is not None and len(ids) >= max_length:
+                return ids[:max_length]
+        return ids
+
+    def encode_pair(
+        self, left: str, right: str, *, max_length: int = 64
+    ) -> list[int]:
+        """Encode ``[CLS] left [SEP] right`` truncated to ``max_length``.
+
+        Both sides get an equal token budget, mirroring how pair-wise
+        Transformer matchers serialize two entity descriptions.
+        """
+        self._require_trained()
+        budget = max_length - 3  # cls + two sep
+        half = max(1, budget // 2)
+        left_ids = self.encode(left, max_length=half)
+        right_ids = self.encode(right, max_length=budget - len(left_ids))
+        ids = [self.vocab.cls_id, *left_ids, self.vocab.sep_id, *right_ids]
+        ids.append(self.vocab.sep_id)
+        return ids[:max_length]
+
+    @property
+    def pad_id(self) -> int:
+        return self.vocab.pad_id
+
+    def __len__(self) -> int:
+        return len(self.vocab)
+
+    def _require_trained(self) -> None:
+        if not self._trained:
+            raise RuntimeError("SubwordTokenizer.train() must be called first")

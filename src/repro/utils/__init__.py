@@ -1,0 +1,6 @@
+"""Shared utilities: seeded randomness, timing, and configuration helpers."""
+
+from repro.utils.rng import RngStream, derive_seed, spawn_rng
+from repro.utils.timer import Timer
+
+__all__ = ["RngStream", "derive_seed", "spawn_rng", "Timer"]

@@ -1,0 +1,174 @@
+"""Tests for the Section-3.2 cleansing pipeline and its stages."""
+
+import numpy as np
+import pytest
+
+from repro.cleansing import (
+    CharNgramLanguageIdentifier,
+    CleansingPipeline,
+    count_non_latin_characters,
+    dedup_key,
+    deduplicate_offers,
+    find_cluster_outliers,
+    keep_latin_offer,
+    remove_short_offers,
+)
+from repro.corpus.schema import ProductCluster, ProductOffer
+
+
+def make_offer(offer_id="o1", cluster="c1", title="generic product title here",
+               description=None, brand=None, **kwargs):
+    return ProductOffer(
+        offer_id=offer_id, cluster_id=cluster, title=title,
+        description=description, brand=brand, **kwargs,
+    )
+
+
+class TestLanguageIdentifier:
+    @pytest.fixture(scope="class")
+    def identifier(self):
+        return CharNgramLanguageIdentifier().train()
+
+    def test_english_kept(self, identifier):
+        assert identifier.is_english(
+            "fast shipping and warranty included with this drive"
+        )
+
+    def test_german_removed(self, identifier):
+        assert not identifier.is_english(
+            "kostenloser versand und garantie für die festplatte"
+        )
+
+    def test_french_removed(self, identifier):
+        assert not identifier.is_english(
+            "livraison gratuite et garantie pour le disque"
+        )
+
+    def test_brand_jargon_kept_with_pipeline_margin(self, identifier):
+        # Pure out-of-vocabulary jargon must not be discarded; the pipeline
+        # passes a small margin for exactly this case.
+        assert identifier.is_english("Exatron VortexDisk VD-2400 2TB", margin=4.0)
+
+    def test_empty_is_not_english(self, identifier):
+        assert not identifier.is_english("   ")
+
+    def test_requires_training(self):
+        with pytest.raises(RuntimeError):
+            CharNgramLanguageIdentifier().scores("hello")
+
+    def test_predict_returns_language_code(self, identifier):
+        assert identifier.predict("garantie versand lieferung qualität") == "de"
+
+    def test_margin_keeps_borderline_offers(self, identifier):
+        text = "mit drive"
+        strict = identifier.is_english(text, margin=0.0)
+        lenient = identifier.is_english(text, margin=50.0)
+        assert lenient or not strict  # margin can only keep more
+
+
+class TestLatinFilter:
+    def test_counts_cyrillic(self):
+        assert count_non_latin_characters("жесткий диск") > 4
+
+    def test_latin_with_accents_not_counted(self):
+        assert count_non_latin_characters("qualité émission") == 0
+
+    def test_threshold_keeps_model_names(self):
+        offer = make_offer(title="drive model Ω3 fast reliable")
+        assert keep_latin_offer(offer)
+
+    def test_rejects_non_latin_title(self):
+        offer = make_offer(title="σκληρός δίσκος νέος εγγύηση")
+        assert not keep_latin_offer(offer)
+
+
+class TestDedupAndShort:
+    def test_dedup_key_uses_three_attributes(self):
+        a = make_offer(title="t", description="d", brand="b")
+        b = make_offer(offer_id="o2", title="t", description="d", brand="b")
+        assert dedup_key(a) == dedup_key(b)
+
+    def test_dedup_keeps_first(self):
+        a = make_offer(offer_id="first")
+        b = make_offer(offer_id="second")
+        kept = deduplicate_offers([a, b])
+        assert [o.offer_id for o in kept] == ["first"]
+
+    def test_different_brand_not_duplicate(self):
+        a = make_offer(brand="x")
+        b = make_offer(offer_id="o2", brand="y")
+        assert len(deduplicate_offers([a, b])) == 2
+
+    def test_short_titles_removed(self):
+        short = make_offer(title="only four words here"[:20])
+        long = make_offer(offer_id="o2", title="this title has five tokens")
+        kept = remove_short_offers([short, long])
+        assert [o.offer_id for o in kept] == ["o2"]
+
+
+class TestOutlierRemoval:
+    def _cluster(self, titles):
+        offers = [
+            make_offer(offer_id=f"o{i}", title=title)
+            for i, title in enumerate(titles)
+        ]
+        return ProductCluster(cluster_id="c", offers=offers)
+
+    def test_detects_foreign_vocabulary_offer(self):
+        cluster = self._cluster([
+            "exatron vortexdisk 2tb internal drive",
+            "exatron vortexdisk 2 tb hdd drive",
+            "vortexdisk 2tb internal drive sata",
+            "completely unrelated espresso machine steel",
+        ])
+        outliers = find_cluster_outliers(cluster)
+        assert [o.offer_id for o in outliers] == ["o3"]
+
+    def test_small_clusters_untouched(self):
+        cluster = self._cluster(["a b c", "x y z"])
+        assert find_cluster_outliers(cluster) == []
+
+    def test_consistent_cluster_keeps_all(self):
+        cluster = self._cluster([
+            "exatron vortexdisk 2tb drive",
+            "exatron vortexdisk 2tb hdd",
+            "exatron vortexdisk drive 2tb sata",
+        ])
+        assert find_cluster_outliers(cluster) == []
+
+
+class TestPipeline:
+    def test_funnel_is_monotonically_decreasing(self, generated_small):
+        pipeline = CleansingPipeline()
+        pipeline.run(generated_small.corpus)
+        counts = [count for _, count in pipeline.report.rows()]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_removes_most_foreign_offers(self, generated_small, cleansed_small):
+        foreign_kept = sum(
+            1 for offer in cleansed_small.offers if offer.language not in ("en",)
+        )
+        foreign_injected = sum(
+            1 for offer in generated_small.corpus.offers if offer.language != "en"
+        )
+        assert foreign_kept < 0.1 * max(foreign_injected, 1)
+
+    def test_no_short_titles_survive(self, cleansed_small):
+        from repro.text.tokenize import tokenize
+
+        assert all(len(tokenize(o.title)) >= 5 for o in cleansed_small.offers)
+
+    def test_no_duplicates_survive(self, cleansed_small):
+        keys = [dedup_key(o) for o in cleansed_small.offers]
+        assert len(keys) == len(set(keys))
+
+    def test_reduces_but_does_not_eliminate_noise(self, generated_small, cleansed_small):
+        before = generated_small.corpus.noise_rate()
+        after = cleansed_small.noise_rate()
+        assert after < before
+        assert after > 0.0  # residual noise remains, as in the paper (~4%)
+
+    def test_input_not_mutated(self, generated_small):
+        n_before = len(generated_small.corpus)
+        CleansingPipeline().run(generated_small.corpus)
+        assert len(generated_small.corpus) == n_before

@@ -1,0 +1,42 @@
+"""Shared fixtures: expensive pipeline artifacts are built once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cleansing import CleansingPipeline
+from repro.core import BenchmarkBuilder, BuildConfig
+from repro.corpus import CorpusConfig, CorpusGenerator
+from repro.grouping import group_products
+
+
+@pytest.fixture(scope="session")
+def generated_small():
+    """A small synthetic corpus with provenance."""
+    return CorpusGenerator(CorpusConfig.small()).generate()
+
+
+@pytest.fixture(scope="session")
+def cleansed_small(generated_small):
+    """The small corpus after the Section-3.2 cleansing pipeline."""
+    pipeline = CleansingPipeline()
+    corpus = pipeline.run(generated_small.corpus)
+    corpus.cleansing_report = pipeline.report  # type: ignore[attr-defined]
+    return corpus
+
+
+@pytest.fixture(scope="session")
+def grouped_small(cleansed_small):
+    """Curated product groups of the small corpus."""
+    return group_products(cleansed_small)
+
+
+@pytest.fixture(scope="session")
+def artifacts_small():
+    """A complete small benchmark build (all 27 pair-wise variants)."""
+    return BenchmarkBuilder(BuildConfig.small()).build()
+
+
+@pytest.fixture(scope="session")
+def benchmark_small(artifacts_small):
+    return artifacts_small.benchmark

@@ -1,0 +1,118 @@
+"""Tests for the WDCProductsBenchmark container and end-to-end invariants."""
+
+import pytest
+
+from repro.core import BenchmarkBuilder, BuildConfig
+from repro.core.dimensions import (
+    ALL_PAIRWISE_VARIANTS,
+    CornerCaseRatio,
+    DevSetSize,
+    UnseenRatio,
+)
+
+
+class TestContainerAccessors:
+    def test_27_pairwise_tasks(self, benchmark_small):
+        tasks = benchmark_small.pairwise_tasks()
+        assert len(tasks) == 27
+        assert len({task.variant for task in tasks}) == 27
+
+    def test_9_multiclass_tasks(self, benchmark_small):
+        assert len(benchmark_small.multiclass_tasks()) == 9
+
+    def test_variants_share_underlying_sets(self, benchmark_small):
+        """27 variants are combinations of 9 train + 9 valid + 9 test sets."""
+        a = benchmark_small.pairwise(
+            CornerCaseRatio.CC80, DevSetSize.SMALL, UnseenRatio.SEEN
+        )
+        b = benchmark_small.pairwise(
+            CornerCaseRatio.CC80, DevSetSize.SMALL, UnseenRatio.UNSEEN
+        )
+        assert a.train is b.train  # same training set object
+        assert a.test is not b.test
+
+    def test_unique_offers_count_matches_union(self, benchmark_small):
+        offers = benchmark_small.unique_offers()
+        assert len(offers) > 0
+        # Ids must be globally unique keys.
+        assert all(oid == offer.offer_id for oid, offer in offers.items())
+
+    def test_unknown_variant_raises(self, benchmark_small):
+        benchmark = type(benchmark_small)()  # empty container
+        with pytest.raises(KeyError):
+            benchmark.pairwise(
+                CornerCaseRatio.CC80, DevSetSize.SMALL, UnseenRatio.SEEN
+            )
+
+
+class TestEndToEndInvariants:
+    def test_training_offers_never_in_any_test_set(self, benchmark_small):
+        for cc in CornerCaseRatio:
+            train_ids = {
+                offer.offer_id
+                for dev in DevSetSize
+                for offer in benchmark_small.train_sets[(cc, dev)].offers()
+            }
+            for unseen in UnseenRatio:
+                test_ids = {
+                    offer.offer_id
+                    for offer in benchmark_small.test_sets[(cc, unseen)].offers()
+                }
+                assert not (train_ids & test_ids)
+
+    def test_unseen_test_products_absent_from_training(self, benchmark_small):
+        """The defining property of the unseen dimension."""
+        for cc in CornerCaseRatio:
+            train_products = {
+                offer.cluster_id
+                for offer in benchmark_small.train_sets[(cc, DevSetSize.LARGE)].offers()
+            }
+            unseen_test = benchmark_small.test_sets[(cc, UnseenRatio.UNSEEN)]
+            test_products = {offer.cluster_id for offer in unseen_test.offers()}
+            assert not (train_products & test_products)
+
+    def test_half_seen_test_is_half_covered(self, benchmark_small):
+        for cc in CornerCaseRatio:
+            train_products = {
+                offer.cluster_id
+                for offer in benchmark_small.train_sets[(cc, DevSetSize.LARGE)].offers()
+            }
+            test = benchmark_small.test_sets[(cc, UnseenRatio.HALF_SEEN)]
+            test_products = {offer.cluster_id for offer in test.offers()}
+            covered = len(test_products & train_products) / len(test_products)
+            assert 0.35 < covered < 0.65
+
+    def test_build_is_deterministic(self):
+        config = BuildConfig.small(seed=31)
+        first = BenchmarkBuilder(config).build()
+        second = BenchmarkBuilder(config).build()
+        key = (CornerCaseRatio.CC50, DevSetSize.SMALL)
+        first_ids = [p.key() for p in first.benchmark.train_sets[key].pairs]
+        second_ids = [p.key() for p in second.benchmark.train_sets[key].pairs]
+        assert first_ids == second_ids
+
+    def test_different_seed_changes_benchmark(self):
+        a = BenchmarkBuilder(BuildConfig.small(seed=31)).build()
+        b = BenchmarkBuilder(BuildConfig.small(seed=32)).build()
+        key = (CornerCaseRatio.CC50, DevSetSize.SMALL)
+        assert [p.key() for p in a.benchmark.train_sets[key].pairs] != [
+            p.key() for p in b.benchmark.train_sets[key].pairs
+        ]
+
+    def test_corner_ratio_reflected_in_negative_hardness(self, benchmark_small):
+        """Higher corner-case ratios must yield textually harder test sets."""
+        from repro.similarity import jaccard_similarity
+        import numpy as np
+
+        def mean_negative_similarity(cc):
+            test = benchmark_small.test_sets[(cc, UnseenRatio.SEEN)]
+            values = [
+                jaccard_similarity(p.offer_a.title, p.offer_b.title)
+                for p in test.negatives()
+                if p.provenance == "corner_negative"
+            ]
+            return float(np.mean(values))
+
+        hard = mean_negative_similarity(CornerCaseRatio.CC80)
+        easy = mean_negative_similarity(CornerCaseRatio.CC20)
+        assert hard > 0.2  # corner negatives are similar by construction

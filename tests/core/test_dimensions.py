@@ -1,0 +1,72 @@
+"""Tests for the benchmark dimension enums and variants."""
+
+import pytest
+
+from repro.core.dimensions import (
+    ALL_MULTICLASS_VARIANTS,
+    ALL_PAIRWISE_VARIANTS,
+    CornerCaseRatio,
+    DevSetSize,
+    MulticlassVariant,
+    PairwiseVariant,
+    UnseenRatio,
+)
+
+
+class TestEnums:
+    def test_corner_case_labels(self):
+        assert CornerCaseRatio.CC80.label == "80%"
+        assert CornerCaseRatio.from_label("50%") is CornerCaseRatio.CC50
+
+    def test_unknown_corner_label_raises(self):
+        with pytest.raises(ValueError):
+            CornerCaseRatio.from_label("99%")
+
+    def test_unseen_labels_match_paper(self):
+        assert [u.label for u in UnseenRatio] == ["Seen", "Half-Seen", "Unseen"]
+        assert UnseenRatio.from_label("Unseen") is UnseenRatio.UNSEEN
+
+    def test_unknown_unseen_label_raises(self):
+        with pytest.raises(ValueError):
+            UnseenRatio.from_label("Partially")
+
+    def test_dev_size_training_offers(self):
+        assert DevSetSize.SMALL.training_offers_per_product == 2
+        assert DevSetSize.MEDIUM.training_offers_per_product == 3
+        assert DevSetSize.LARGE.training_offers_per_product is None
+
+    def test_dev_size_corner_negatives(self):
+        # Section 3.6: 1 (small) / 2 (medium) / 3 (large) corner negatives.
+        assert DevSetSize.SMALL.corner_negatives_per_offer == 1
+        assert DevSetSize.MEDIUM.corner_negatives_per_offer == 2
+        assert DevSetSize.LARGE.corner_negatives_per_offer == 3
+
+
+class TestVariants:
+    def test_exactly_27_pairwise_variants(self):
+        assert len(ALL_PAIRWISE_VARIANTS) == 27
+        assert len(set(ALL_PAIRWISE_VARIANTS)) == 27
+
+    def test_exactly_9_multiclass_variants(self):
+        assert len(ALL_MULTICLASS_VARIANTS) == 9
+
+    def test_pairwise_variant_name(self):
+        variant = PairwiseVariant(
+            CornerCaseRatio.CC80, DevSetSize.SMALL, UnseenRatio.HALF_SEEN
+        )
+        assert variant.name == "cc80_small_unseen50"
+
+    def test_multiclass_variant_name(self):
+        assert MulticlassVariant(CornerCaseRatio.CC20, DevSetSize.LARGE).name == (
+            "cc20_large"
+        )
+
+    def test_variants_hashable_and_frozen(self):
+        variant = ALL_PAIRWISE_VARIANTS[0]
+        assert variant in {variant}
+        with pytest.raises(AttributeError):
+            variant.dev_size = DevSetSize.LARGE  # type: ignore[misc]
+
+    def test_str_is_human_readable(self):
+        text = str(ALL_PAIRWISE_VARIANTS[0])
+        assert "corner-cases" in text

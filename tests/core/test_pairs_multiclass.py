@@ -1,0 +1,190 @@
+"""Tests for pair generation (§3.6), multi-class datasets and containers."""
+
+import numpy as np
+import pytest
+
+from repro.core.datasets import LabeledPair, MulticlassDataset, PairDataset
+from repro.core.dimensions import CornerCaseRatio, DevSetSize, UnseenRatio
+from repro.core.pairs import generate_pairs
+from repro.corpus.schema import ProductOffer
+
+
+def _offer(offer_id, cluster, title):
+    return ProductOffer(offer_id=offer_id, cluster_id=cluster, title=title)
+
+
+@pytest.fixture()
+def entries():
+    """Three clusters x 2-3 offers with family-like title structure."""
+    rows = [
+        ("a", "exatron vortex 2tb drive"),
+        ("a", "vortex 2 tb internal drive exatron"),
+        ("a", "exatron vortex drive 2tb sata"),
+        ("b", "exatron vortex 4tb drive"),
+        ("b", "vortex 4tb internal drive"),
+        ("c", "soniq tranquil headphones black"),
+        ("c", "tranquil bluetooth headphones soniq"),
+    ]
+    return [
+        (cluster, _offer(f"o{i}", cluster, title))
+        for i, (cluster, title) in enumerate(rows)
+    ]
+
+
+class TestGeneratePairs:
+    def test_positive_count_is_all_within_cluster_pairs(self, entries):
+        dataset = generate_pairs(
+            entries, name="t", corner_negatives_per_offer=0,
+            random_negatives_per_offer=0, rng=np.random.default_rng(0),
+        )
+        # C(3,2) + C(2,2) + C(2,2) = 3 + 1 + 1
+        assert len(dataset.positives()) == 5
+        assert len(dataset.negatives()) == 0
+
+    def test_negative_quota_met_exactly(self, entries):
+        dataset = generate_pairs(
+            entries, name="t", corner_negatives_per_offer=1,
+            random_negatives_per_offer=1, rng=np.random.default_rng(1),
+        )
+        assert len(dataset.negatives()) == len(entries) * 2
+
+    def test_no_duplicate_pairs(self, entries):
+        dataset = generate_pairs(
+            entries, name="t", corner_negatives_per_offer=2,
+            rng=np.random.default_rng(2),
+        )
+        keys = [pair.key() for pair in dataset]
+        assert len(keys) == len(set(keys))
+
+    def test_labels_match_cluster_identity(self, entries):
+        dataset = generate_pairs(
+            entries, name="t", corner_negatives_per_offer=2,
+            rng=np.random.default_rng(3),
+        )
+        for pair in dataset:
+            expected = int(pair.offer_a.cluster_id == pair.offer_b.cluster_id)
+            assert pair.label == expected
+
+    def test_corner_negatives_are_similar_siblings(self, entries):
+        dataset = generate_pairs(
+            entries, name="t", corner_negatives_per_offer=1,
+            random_negatives_per_offer=0, rng=np.random.default_rng(4),
+        )
+        corner = [p for p in dataset.negatives() if p.provenance == "corner_negative"]
+        # The drive clusters (a, b) are each other's most similar negatives.
+        drive_pairs = [
+            p for p in corner
+            if {p.offer_a.cluster_id, p.offer_b.cluster_id} == {"a", "b"}
+        ]
+        assert len(drive_pairs) >= 3
+
+    def test_invalid_negative_counts_raise(self, entries):
+        with pytest.raises(ValueError):
+            generate_pairs(
+                entries, name="t", corner_negatives_per_offer=-1,
+                rng=np.random.default_rng(0),
+            )
+
+
+class TestDatasetContainers:
+    def test_pair_key_is_unordered(self):
+        a, b = _offer("x", "c", "t"), _offer("y", "c", "t")
+        pair_one = LabeledPair("p1", a, b, 1)
+        pair_two = LabeledPair("p2", b, a, 1)
+        assert pair_one.key() == pair_two.key()
+
+    def test_dataset_offers_unique(self, entries):
+        dataset = generate_pairs(
+            entries, name="t", corner_negatives_per_offer=1,
+            rng=np.random.default_rng(5),
+        )
+        offers = dataset.offers()
+        assert len({o.offer_id for o in offers}) == len(offers)
+
+    def test_summary(self, entries):
+        dataset = generate_pairs(
+            entries, name="t", corner_negatives_per_offer=0,
+            random_negatives_per_offer=1, rng=np.random.default_rng(6),
+        )
+        summary = dataset.summary()
+        assert summary["all"] == summary["pos"] + summary["neg"]
+
+    def test_multiclass_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            MulticlassDataset(name="bad", offers=[_offer("a", "c", "t")], labels=[])
+
+    def test_multiclass_label_space_sorted(self):
+        dataset = MulticlassDataset(
+            name="m",
+            offers=[_offer("a", "c2", "t"), _offer("b", "c1", "t")],
+            labels=["c2", "c1"],
+        )
+        assert dataset.label_space() == ["c1", "c2"]
+
+
+class TestBenchmarkTable1Shape:
+    """The built small benchmark must mirror Table 1 proportionally."""
+
+    def test_small_training_set_shape(self, benchmark_small, artifacts_small):
+        n = artifacts_small.config.n_products
+        for cc in CornerCaseRatio:
+            summary = benchmark_small.train_sets[(cc, DevSetSize.SMALL)].summary()
+            assert summary["pos"] == n  # one positive pair per product
+            assert summary["neg"] == 4 * n  # 2 offers x (1 corner + 1 random)
+
+    def test_medium_training_set_shape(self, benchmark_small, artifacts_small):
+        n = artifacts_small.config.n_products
+        for cc in CornerCaseRatio:
+            summary = benchmark_small.train_sets[(cc, DevSetSize.MEDIUM)].summary()
+            assert summary["pos"] == 3 * n  # C(3,2) per product
+            assert summary["neg"] == 9 * n  # 3 offers x (2 corner + 1 random)
+
+    def test_test_sets_exactly_nine_pairs_per_product(
+        self, benchmark_small, artifacts_small
+    ):
+        n = artifacts_small.config.n_products
+        for cc in CornerCaseRatio:
+            for unseen in UnseenRatio:
+                summary = benchmark_small.test_sets[(cc, unseen)].summary()
+                assert summary["pos"] == n
+                assert summary["neg"] == 8 * n
+
+    def test_validation_sizes_by_dev_size(self, benchmark_small, artifacts_small):
+        n = artifacts_small.config.n_products
+        expected_negatives = {
+            DevSetSize.SMALL: 4 * n,
+            DevSetSize.MEDIUM: 6 * n,
+            DevSetSize.LARGE: 8 * n,
+        }
+        for cc in CornerCaseRatio:
+            for dev, negatives in expected_negatives.items():
+                summary = benchmark_small.valid_sets[(cc, dev)].summary()
+                assert summary["pos"] == n
+                assert summary["neg"] == negatives
+
+    def test_multiclass_sizes(self, benchmark_small, artifacts_small):
+        n = artifacts_small.config.n_products
+        for cc in CornerCaseRatio:
+            assert len(benchmark_small.multiclass_train[(cc, DevSetSize.SMALL)]) == 2 * n
+            assert len(benchmark_small.multiclass_train[(cc, DevSetSize.MEDIUM)]) == 3 * n
+            assert len(benchmark_small.multiclass_valid[cc]) == 2 * n
+            assert len(benchmark_small.multiclass_test[cc]) == 2 * n
+
+    def test_multiclass_test_has_one_class_per_product(
+        self, benchmark_small, artifacts_small
+    ):
+        n = artifacts_small.config.n_products
+        for cc in CornerCaseRatio:
+            assert len(set(benchmark_small.multiclass_test[cc].labels)) == n
+
+    def test_pairwise_and_multiclass_share_offers(self, benchmark_small):
+        """The comparability property: identical offers in both setups."""
+        cc, dev = CornerCaseRatio.CC50, DevSetSize.MEDIUM
+        pair_train_ids = {
+            o.offer_id for o in benchmark_small.train_sets[(cc, dev)].offers()
+        }
+        mc_train_ids = {
+            o.offer_id for o in benchmark_small.multiclass_train[(cc, dev)].offers
+        }
+        # Every multi-class training offer appears in the pair-wise set.
+        assert mc_train_ids <= pair_train_ids

@@ -1,0 +1,131 @@
+"""Tests for benchmark profiling (Tables 1-2), totals and label quality."""
+
+import pytest
+
+from repro.core import LabelQualityStudy, table1_statistics, table2_profile
+from repro.core.dimensions import CornerCaseRatio
+from repro.core.label_quality import true_pair_label
+from repro.core.profiling import benchmark_totals
+from repro.corpus.schema import ProductOffer
+
+
+class TestTable1:
+    def test_nine_rows(self, benchmark_small):
+        rows = table1_statistics(benchmark_small)
+        assert len(rows) == 9  # 3 types x 3 corner-case ratios
+
+    def test_row_types_in_paper_order(self, benchmark_small):
+        rows = table1_statistics(benchmark_small)
+        assert [r.split_type for r in rows[:3]] == ["Training", "Validation", "Test"]
+
+    def test_counts_are_consistent(self, benchmark_small):
+        for row in table1_statistics(benchmark_small):
+            for all_, pos, neg in row.pairwise.values():
+                assert all_ == pos + neg
+
+    def test_test_rows_constant_across_sizes(self, benchmark_small):
+        for row in table1_statistics(benchmark_small):
+            if row.split_type == "Test":
+                assert len(set(row.pairwise.values())) == 1
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self, benchmark_small):
+        return table2_profile(benchmark_small)
+
+    def test_nine_rows(self, rows):
+        assert len(rows) == 9
+
+    def test_entities_match_selection_size(self, rows, artifacts_small):
+        for row in rows:
+            assert row.n_entities == artifacts_small.config.n_products
+
+    def test_title_always_dense(self, rows):
+        assert all(row.density["title"] == 100.0 for row in rows)
+
+    def test_density_profile_matches_corpus_design(self, rows):
+        for row in rows:
+            # Descriptions ~60-90%, brand the sparsest textual attribute.
+            assert 40.0 < row.density["description"] < 95.0
+            assert row.density["brand"] < row.density["title"]
+
+    def test_title_is_short_description_long(self, rows):
+        for row in rows:
+            assert row.median_length["title"] <= 20
+            assert row.median_length["description"] >= row.median_length["title"]
+
+    def test_vocabulary_grows_with_dev_size(self, rows):
+        by_cc: dict[str, dict[str, int]] = {}
+        for row in rows:
+            by_cc.setdefault(row.corner_cases, {})[row.dev_size] = row.vocabulary_words
+        for sizes in by_cc.values():
+            assert sizes["Small"] <= sizes["Large"]
+
+
+class TestBenchmarkTotals:
+    def test_keys(self, benchmark_small):
+        totals = benchmark_totals(benchmark_small)
+        assert set(totals) == {"offers", "entities", "matches", "non_matches"}
+
+    def test_more_non_matches_than_matches(self, benchmark_small):
+        totals = benchmark_totals(benchmark_small)
+        assert totals["non_matches"] > totals["matches"] > 0
+
+
+class TestLabelQuality:
+    def test_true_pair_label_uses_provenance(self):
+        clean = ProductOffer(offer_id="a", cluster_id="c1", title="t")
+        noisy = ProductOffer(
+            offer_id="b", cluster_id="c1", title="t", true_cluster_id="c2"
+        )
+        assert true_pair_label(clean, clean) == 1
+        assert true_pair_label(clean, noisy) == 0
+
+    def test_study_estimates_noise_near_truth(self, benchmark_small):
+        study = LabelQualityStudy(annotator_error=0.02, seed=3)
+        result = study.run(benchmark_small)
+        assert result.n_pairs >= 100
+        # Annotator estimates should track true noise within a few points.
+        for estimate in (
+            result.noise_estimate_annotator_one,
+            result.noise_estimate_annotator_two,
+        ):
+            assert abs(estimate - result.true_noise_rate) < 0.05
+
+    def test_high_inter_annotator_agreement(self, benchmark_small):
+        result = LabelQualityStudy(annotator_error=0.02, seed=3).run(benchmark_small)
+        assert result.kappa > 0.7
+
+    def test_zero_error_annotators_agree_perfectly(self, benchmark_small):
+        result = LabelQualityStudy(annotator_error=0.0, seed=3).run(benchmark_small)
+        assert result.kappa == pytest.approx(1.0)
+        assert result.noise_estimate_annotator_one == pytest.approx(
+            result.true_noise_rate
+        )
+
+    def test_invalid_error_rate(self):
+        with pytest.raises(ValueError):
+            LabelQualityStudy(annotator_error=0.7)
+
+
+class TestBuilderArtifacts:
+    def test_selections_exist_for_all_ratios_and_parts(self, artifacts_small):
+        for cc in CornerCaseRatio:
+            for part in ("seen", "unseen"):
+                assert (cc, part) in artifacts_small.selections
+
+    def test_pretraining_clusters_disjoint_from_benchmark(self, artifacts_small):
+        selected = artifacts_small.selected_cluster_ids()
+        pretraining = {cid for cid, _, _ in artifacts_small.pretraining_clusters()}
+        assert not (selected & pretraining)
+
+    def test_pretraining_clusters_have_texts(self, artifacts_small):
+        clusters = artifacts_small.pretraining_clusters()
+        assert clusters
+        assert all(len(texts) >= 2 for _, _, texts in clusters)
+
+    def test_embedding_model_fitted(self, artifacts_small):
+        assert artifacts_small.embedding_model is not None
+        vector = artifacts_small.embedding_model.embed("internal hard drive")
+        assert vector.shape == (32,)

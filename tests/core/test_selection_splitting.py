@@ -1,0 +1,141 @@
+"""Tests for product selection (§3.4) and offer splitting (§3.5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dimensions import CornerCaseRatio, DevSetSize, UnseenRatio
+from repro.core.selection import select_products
+from repro.similarity.registry import SimilarityRegistry
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return SimilarityRegistry(rng=np.random.default_rng(9))
+
+
+class TestSelection:
+    @pytest.mark.parametrize("ratio", [0.8, 0.5, 0.2])
+    def test_selects_requested_count_and_ratio(self, grouped_small, registry, ratio):
+        selection = select_products(
+            grouped_small,
+            part="seen",
+            corner_case_ratio=ratio,
+            n_products=40,
+            registry=registry,
+            rng=np.random.default_rng(0),
+        )
+        assert len(selection) == 40
+        expected_corner = int(40 * ratio) // 5 * 5
+        assert selection.n_corner == expected_corner
+
+    def test_no_duplicate_products(self, grouped_small, registry):
+        selection = select_products(
+            grouped_small, part="seen", corner_case_ratio=0.5, n_products=40,
+            registry=registry, rng=np.random.default_rng(1),
+        )
+        ids = selection.cluster_ids()
+        assert len(ids) == len(set(ids))
+
+    def test_unseen_part_selection(self, grouped_small, registry):
+        selection = select_products(
+            grouped_small, part="unseen", corner_case_ratio=0.8, n_products=40,
+            registry=registry, rng=np.random.default_rng(2),
+        )
+        assert selection.part == "unseen"
+        assert all(2 <= len(c) <= 6 for c in selection.clusters)
+
+    def test_invalid_part_raises(self, grouped_small, registry):
+        with pytest.raises(ValueError):
+            select_products(
+                grouped_small, part="nope", corner_case_ratio=0.5, n_products=10,
+                registry=registry, rng=np.random.default_rng(0),
+            )
+
+    def test_demanding_too_many_products_raises(self, grouped_small, registry):
+        with pytest.raises(ValueError):
+            select_products(
+                grouped_small, part="seen", corner_case_ratio=0.8, n_products=100000,
+                registry=registry, rng=np.random.default_rng(0),
+            )
+
+    def test_corner_products_come_in_bundles_from_same_group(
+        self, grouped_small, registry
+    ):
+        selection = select_products(
+            grouped_small, part="seen", corner_case_ratio=0.8, n_products=40,
+            registry=registry, rng=np.random.default_rng(3),
+        )
+        # Every corner product's group must contribute >= 5 selected members
+        # (seed + 4 similar) so negative corner-cases exist.
+        group_of = {}
+        for group in grouped_small.useful_groups("seen"):
+            for cluster in group.clusters:
+                group_of[cluster.cluster_id] = group.group_id
+        from collections import Counter
+
+        counts = Counter(
+            group_of[cid] for cid in selection.corner_cluster_ids
+        )
+        assert all(count >= 5 for count in counts.values())
+
+
+class TestSplitting:
+    def test_every_seen_product_has_two_valid_two_test(self, artifacts_small):
+        for split in artifacts_small.splits.values():
+            for product in split.seen:
+                assert len(product.valid) == 2
+                assert len(product.test) == 2
+
+    def test_nested_dev_sizes(self, artifacts_small):
+        split = artifacts_small.splits[CornerCaseRatio.CC80]
+        for product in split.seen:
+            small_ids = {o.offer_id for o in product.train_small}
+            medium_ids = {o.offer_id for o in product.train_medium}
+            large_ids = {o.offer_id for o in product.train_large}
+            assert small_ids <= medium_ids <= large_ids
+            assert len(small_ids) == 2
+            assert len(medium_ids) == 3
+
+    def test_no_offer_leakage_between_splits(self, artifacts_small):
+        for split in artifacts_small.splits.values():
+            ids = split.all_offer_ids()
+            assert not (ids["train"] & ids["valid"])
+            assert not (ids["train"] & ids["test"])
+            assert not (ids["valid"] & ids["test"])
+
+    def test_test_set_sizes_and_unseen_ratio(self, artifacts_small):
+        n = artifacts_small.config.n_products
+        for split in artifacts_small.splits.values():
+            for unseen_ratio in UnseenRatio:
+                products = split.test_sets[unseen_ratio]
+                assert len(products) == n
+                observed = sum(p.is_unseen for p in products) / n
+                assert observed == pytest.approx(unseen_ratio.value, abs=0.05)
+
+    def test_unseen_replacement_preserves_corner_ratio(self, artifacts_small):
+        for corner_cases, split in artifacts_small.splits.items():
+            reference = sum(
+                p.is_corner for p in split.test_sets[UnseenRatio.SEEN]
+            )
+            for unseen_ratio in UnseenRatio:
+                corner = sum(p.is_corner for p in split.test_sets[unseen_ratio])
+                assert abs(corner - reference) <= 2
+
+    def test_max_15_offers_per_seen_product(self, artifacts_small):
+        split = artifacts_small.splits[CornerCaseRatio.CC50]
+        for product in split.seen:
+            total = len(product.train_large) + len(product.valid) + len(product.test)
+            assert total <= 15
+
+    def test_train_offers_accessor_matches_dev_size(self, artifacts_small):
+        split = artifacts_small.splits[CornerCaseRatio.CC50]
+        n = artifacts_small.config.n_products
+        assert len(split.train_offers(DevSetSize.SMALL)) == 2 * n
+        assert len(split.train_offers(DevSetSize.MEDIUM)) == 3 * n
+        assert len(split.train_offers(DevSetSize.LARGE)) >= 3 * n
+
+    def test_unseen_test_products_have_two_offers(self, artifacts_small):
+        split = artifacts_small.splits[CornerCaseRatio.CC80]
+        for product in split.test_sets[UnseenRatio.UNSEEN]:
+            assert len(product.offers) == 2
+            assert product.offers[0].offer_id != product.offers[1].offer_id

@@ -1,0 +1,140 @@
+"""Tests for the product catalog and vendor surface-form transforms."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.catalog import Catalog
+from repro.corpus.vendors import (
+    NOUN_SYNONYMS,
+    VendorStyle,
+    _convert_units,
+    _spread_units,
+    make_vendor_styles,
+)
+
+
+@pytest.fixture(scope="module")
+def families():
+    catalog = Catalog()
+    rng = np.random.default_rng(0)
+    return catalog.build_families(rng, families_per_category=2)
+
+
+class TestCatalog:
+    def test_families_for_every_category(self, families):
+        catalog = Catalog()
+        categories = {family.category for family in families}
+        assert categories == set(catalog.category_names())
+
+    def test_siblings_share_brand_and_line(self, families):
+        for family in families:
+            brands = {product.brand for product in family.products}
+            lines = {product.line for product in family.products}
+            assert len(brands) == 1 and len(lines) == 1
+
+    def test_siblings_have_distinct_spec_combinations(self, families):
+        for family in families:
+            combos = {tuple(p.specs.values()) for p in family.products}
+            assert len(combos) == len(family.products)
+
+    def test_model_codes_unique_within_family(self, families):
+        for family in families:
+            codes = {p.model_code for p in family.products}
+            assert len(codes) == len(family.products)
+
+    def test_sibling_prices_close(self, families):
+        # Family price coherence: max/min ratio bounded by design (0.8-1.25
+        # around a family base, clipped to the category range).
+        for family in families:
+            prices = [p.base_price for p in family.products]
+            assert max(prices) / min(prices) < 2.0
+
+    def test_canonical_title_contains_specs(self, families):
+        product = families[0].products[0]
+        title = product.canonical_title()
+        for value in product.specs.values():
+            assert value in title
+
+    def test_descriptions_vary_by_template(self, families):
+        product = families[0].products[0]
+        rendered = {
+            product.render_description(i)
+            for i in range(len(product.description_templates))
+        }
+        assert len(rendered) == len(product.description_templates)
+
+    def test_adult_category_present_for_curation(self):
+        assert "adult_products" in Catalog().category_names()
+
+    def test_spec_for_unknown_category_raises(self):
+        with pytest.raises(KeyError):
+            Catalog().spec_for("bogus")
+
+
+class TestUnitTransforms:
+    def test_spread_units(self):
+        assert _spread_units("2TB 7200RPM") == "2 TB 7200 RPM"
+
+    def test_convert_units(self):
+        assert _convert_units("2TB drive") == "2000GB drive"
+
+    def test_convert_leaves_unknown_units(self):
+        assert _convert_units("8GB card") == "8GB card"
+
+    def test_convert_fractional(self):
+        assert _convert_units("1.5L tank") == "1500ml tank"
+
+
+class TestVendorStyles:
+    @pytest.fixture(scope="class")
+    def styles(self):
+        return make_vendor_styles(np.random.default_rng(1), 30)
+
+    def test_unique_sources(self, styles):
+        assert len({style.source for style in styles}) == len(styles)
+
+    def test_render_title_nonempty(self, styles, families):
+        rng = np.random.default_rng(2)
+        product = families[0].products[0]
+        for style in styles:
+            assert style.render_title(product, rng).strip()
+
+    def test_heterogeneity_across_vendors(self, styles, families):
+        rng = np.random.default_rng(3)
+        product = families[0].products[0]
+        titles = {style.render_title(product, rng) for style in styles}
+        assert len(titles) > len(styles) // 2  # most titles differ
+
+    def test_line_always_present(self, styles, families):
+        # The product line is the one anchor vendors never drop.
+        rng = np.random.default_rng(4)
+        product = families[0].products[0]
+        for style in styles:
+            assert product.line.lower() in style.render_title(product, rng).lower()
+
+    def test_description_mode_none(self, families):
+        style = make_vendor_styles(np.random.default_rng(5), 1)[0]
+        style.description_mode = "none"
+        assert style.render_description(families[0].products[0],
+                                        np.random.default_rng(0)) is None
+
+    def test_description_mode_short_is_one_sentence(self, families):
+        style = make_vendor_styles(np.random.default_rng(6), 1)[0]
+        style.description_mode = "short"
+        description = style.render_description(
+            families[0].products[0], np.random.default_rng(0)
+        )
+        assert description is not None
+        assert description.count(".") == 1
+
+    def test_price_jitter_bounded(self, styles, families):
+        rng = np.random.default_rng(7)
+        product = families[0].products[0]
+        for style in styles:
+            price, _currency = style.render_price(product, rng)
+            if price is not None:
+                assert 0.7 * product.base_price < price < 1.35 * product.base_price
+
+    def test_noun_synonyms_cover_all_catalog_nouns(self):
+        catalog_nouns = {spec.noun for spec in Catalog().categories}
+        assert catalog_nouns <= set(NOUN_SYNONYMS)

@@ -1,0 +1,106 @@
+"""Tests for end-to-end corpus generation."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import CorpusConfig, CorpusGenerator
+
+
+class TestGeneratedCorpus:
+    def test_clean_plus_dirty_totals(self, generated_small):
+        assert len(generated_small.corpus) == (
+            generated_small.n_clean_offers + generated_small.n_dirty_offers
+        )
+
+    def test_every_clean_offer_has_five_attribute_fields(self, generated_small):
+        offer = generated_small.corpus.offers[0]
+        assert offer.title
+        assert hasattr(offer, "description")
+        assert hasattr(offer, "brand")
+        assert hasattr(offer, "price")
+        assert hasattr(offer, "price_currency")
+
+    def test_seen_pool_products_have_enough_offers(self, generated_small):
+        config = CorpusConfig.small()
+        sizes = generated_small.corpus.cluster_sizes()
+        seen_ids = {
+            product.product_id
+            for family in generated_small.seen_families
+            for product in family.products
+        }
+        low = config.offers_per_seen_product[0]
+        # Dirty injections only add offers, so clean seen clusters must
+        # meet the configured minimum (dedup retries guard collisions).
+        shortfall = [cid for cid in seen_ids if sizes.get(cid, 0) < low - 1]
+        assert len(shortfall) < len(seen_ids) * 0.05
+
+    def test_unseen_pool_products_are_small(self, generated_small):
+        from repro.cleansing.dedup import dedup_key
+
+        config = CorpusConfig.small()
+        high = config.offers_per_unseen_product[1]
+        for family in generated_small.unseen_families:
+            for product in family.products:
+                distinct = {
+                    dedup_key(offer)
+                    for offer in generated_small.corpus.offers
+                    if offer.cluster_id == product.product_id and not offer.is_noise
+                    and offer.language == "en" and len(offer.title.split()) >= 5
+                }
+                assert len(distinct) <= high
+
+    def test_noise_rate_close_to_configured(self, generated_small):
+        config = CorpusConfig.small()
+        rate = generated_small.corpus.noise_rate()
+        assert 0.3 * config.wrong_cluster_rate < rate < 2.0 * config.wrong_cluster_rate
+
+    def test_foreign_offers_injected(self, generated_small):
+        languages = {offer.language for offer in generated_small.corpus.offers}
+        assert languages & {"de", "fr", "es", "it"}
+
+    def test_offer_ids_unique(self, generated_small):
+        ids = [offer.offer_id for offer in generated_small.corpus.offers]
+        assert len(ids) == len(set(ids))
+
+    def test_cluster_metadata_registered(self, generated_small):
+        clusters = generated_small.corpus.clusters(min_size=2)
+        assert all(cluster.category for cluster in clusters)
+        assert all(cluster.family_id for cluster in clusters)
+
+    def test_generation_is_deterministic(self):
+        config = CorpusConfig.small(seed=123)
+        first = CorpusGenerator(config).generate()
+        second = CorpusGenerator(config).generate()
+        assert [o.title for o in first.corpus.offers[:50]] == [
+            o.title for o in second.corpus.offers[:50]
+        ]
+
+    def test_different_seeds_differ(self):
+        a = CorpusGenerator(CorpusConfig.small(seed=1)).generate()
+        b = CorpusGenerator(CorpusConfig.small(seed=2)).generate()
+        assert [o.title for o in a.corpus.offers[:20]] != [
+            o.title for o in b.corpus.offers[:20]
+        ]
+
+
+class TestSyntheticCorpusContainer:
+    def test_clusters_min_size_filter(self, generated_small):
+        big = generated_small.corpus.clusters(min_size=7)
+        assert all(len(cluster) >= 7 for cluster in big)
+
+    def test_filtered_preserves_metadata(self, generated_small):
+        corpus = generated_small.corpus
+        subset = corpus.filtered(corpus.offers[:100])
+        clusters = subset.clusters()
+        assert any(cluster.category for cluster in clusters)
+
+    def test_representative_title_is_longest(self, generated_small):
+        cluster = generated_small.corpus.clusters(min_size=3)[0]
+        representative = cluster.representative_title()
+        assert all(len(representative) >= len(t) for t in cluster.titles())
+
+    def test_wrong_cluster_offer_flagged_as_noise(self, generated_small):
+        noisy = [o for o in generated_small.corpus.offers if o.is_noise]
+        assert noisy
+        for offer in noisy[:10]:
+            assert offer.true_cluster_id != offer.cluster_id

@@ -1,0 +1,67 @@
+"""Tests for product identifier generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.corpus.identifiers import gtin13, gtin13_check_digit, mpn, sku
+
+
+class TestGtin13:
+    def test_known_check_digit(self):
+        # 4006381333931 is a textbook valid EAN-13.
+        assert gtin13_check_digit("400638133393") == 1
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            gtin13_check_digit("123")
+
+    def test_rejects_non_digits(self):
+        with pytest.raises(ValueError):
+            gtin13_check_digit("12345678901a")
+
+    def test_generated_gtin_is_valid(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            code = gtin13(rng)
+            assert len(code) == 13
+            assert gtin13_check_digit(code[:12]) == int(code[12])
+
+    def test_prefix_respected(self):
+        rng = np.random.default_rng(1)
+        assert gtin13(rng, prefix="40").startswith("40")
+
+    @given(st.integers(min_value=0, max_value=10**12 - 1))
+    def test_check_digit_makes_weighted_sum_divisible(self, payload):
+        digits = f"{payload:012d}"
+        check = gtin13_check_digit(digits)
+        total = sum(
+            int(d) * (1 if i % 2 == 0 else 3) for i, d in enumerate(digits)
+        ) + check
+        assert total % 10 == 0
+
+
+class TestMpnSku:
+    def test_mpn_format(self):
+        rng = np.random.default_rng(2)
+        value = mpn(rng)
+        assert len(value) == 7
+        assert value[:2].isalpha() and value[2:].isdigit()
+
+    def test_mpn_with_brand_code(self):
+        rng = np.random.default_rng(3)
+        value = mpn(rng, brand_code="Exatron")
+        assert value.startswith("EXA-")
+
+    def test_mpn_avoids_confusable_letters(self):
+        rng = np.random.default_rng(4)
+        for _ in range(100):
+            value = mpn(rng)
+            assert "I" not in value[:2] and "O" not in value[:2]
+
+    def test_sku_format(self):
+        rng = np.random.default_rng(5)
+        prefix, body = sku(rng).split("-")
+        assert len(prefix) == 2 and prefix.isdigit()
+        assert len(body) == 6 and body.isdigit()

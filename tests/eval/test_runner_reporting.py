@@ -1,0 +1,163 @@
+"""Tests for the experiment runner, reporting and Table 6 comparison."""
+
+import numpy as np
+import pytest
+
+from repro.core.dimensions import (
+    CornerCaseRatio,
+    DevSetSize,
+    MulticlassVariant,
+    PairwiseVariant,
+    UnseenRatio,
+)
+from repro.eval import (
+    EvalSettings,
+    ExperimentRunner,
+    figure_series,
+    format_figure,
+    format_table3,
+    format_table4,
+    format_table5,
+    table6_rows,
+)
+from repro.eval.comparison import format_table6, wdc_products_row
+from repro.eval.runner import MulticlassResults, PairwiseResults
+from repro.ml.metrics import PRF1
+
+
+def _fake_pairwise_results():
+    results = PairwiseResults()
+    rng = np.random.default_rng(0)
+    for system in ("word_cooc", "roberta"):
+        for cc in CornerCaseRatio:
+            for dev in DevSetSize:
+                for unseen in UnseenRatio:
+                    variant = PairwiseVariant(cc, dev, unseen)
+                    f1 = float(rng.uniform(0.3, 0.9))
+                    results.scores[(system, variant)] = PRF1(f1, f1, f1)
+    return results
+
+
+class TestEvalSettings:
+    def test_presets(self):
+        assert EvalSettings.smoke().corner_ratios == (CornerCaseRatio.CC50,)
+        assert len(EvalSettings.full().seeds) == 3
+        assert EvalSettings.default().seeds == (0,)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        assert EvalSettings.from_env().mlm_steps == EvalSettings.smoke().mlm_steps
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
+        assert len(EvalSettings.from_env().seeds) == 3
+        monkeypatch.delenv("REPRO_BENCH_SCALE")
+        assert EvalSettings.from_env().seeds == (0,)
+
+
+class TestRunnerFactories:
+    @pytest.fixture(scope="class")
+    def runner(self, artifacts_small):
+        settings = EvalSettings(
+            seeds=(0,), mlm_steps=20, matching_steps=20, step_budget=20,
+            pretrain_epochs=1,
+        )
+        return ExperimentRunner(artifacts_small, settings=settings)
+
+    @pytest.mark.parametrize(
+        "system", ["word_cooc", "magellan", "roberta", "ditto", "hiergat", "rsupcon"]
+    )
+    def test_pairwise_factory(self, runner, system):
+        matcher = runner.make_pairwise(system, seed=0)
+        assert matcher.name == system
+
+    @pytest.mark.parametrize("system", ["word_occ", "roberta", "rsupcon"])
+    def test_multiclass_factory(self, runner, system):
+        matcher = runner.make_multiclass(system, seed=0)
+        assert matcher.name == system
+
+    def test_unknown_system_raises(self, runner):
+        with pytest.raises(ValueError):
+            runner.make_pairwise("nope", seed=0)
+        with pytest.raises(ValueError):
+            runner.make_multiclass("nope", seed=0)
+
+    def test_checkpoint_cached_per_seed(self, runner):
+        first = runner.checkpoint(0)
+        second = runner.checkpoint(0)
+        assert first is second
+
+    def test_smoke_grid_runs_symbolic_system(self, runner):
+        results = runner.run_pairwise(("word_cooc",))
+        smoke_variants = [
+            PairwiseVariant(CornerCaseRatio.CC50, DevSetSize.MEDIUM, unseen)
+            for unseen in UnseenRatio
+        ]
+        for variant in smoke_variants:
+            assert results.get("word_cooc", variant) is not None
+
+    def test_smoke_multiclass_runs(self, runner):
+        results = runner.run_multiclass(("word_occ",))
+        variant = MulticlassVariant(CornerCaseRatio.CC50, DevSetSize.MEDIUM)
+        value = results.get("word_occ", variant)
+        assert value is not None and 0.0 <= value <= 1.0
+
+
+class TestReporting:
+    def test_table3_contains_all_rows(self):
+        text = format_table3(_fake_pairwise_results())
+        assert text.count("\n") >= 11  # header(3) + 9 data rows
+        assert "80%" in text and "Small" in text
+
+    def test_table4_restricted_to_neural(self):
+        text = format_table4(_fake_pairwise_results())
+        assert "RoBERTa" in text
+        assert "Word-Cooc" not in text
+
+    def test_table5_formatting(self):
+        results = MulticlassResults()
+        for cc in CornerCaseRatio:
+            for dev in DevSetSize:
+                results.scores[("word_occ", MulticlassVariant(cc, dev))] = 0.5
+        text = format_table5(results)
+        assert " 50.00" in text
+
+    def test_figure_series_dimensions(self):
+        results = _fake_pairwise_results()
+        for vary, expected in (
+            ("corner_cases", ["20%", "50%", "80%"]),
+            ("unseen", ["Seen", "Half-Seen", "Unseen"]),
+            ("dev_size", ["Small", "Medium", "Large"]),
+        ):
+            series = figure_series(results, vary=vary)
+            labels = [label for label, _ in series["roberta"]]
+            assert labels == expected
+
+    def test_figure_series_unknown_dimension(self):
+        with pytest.raises(ValueError):
+            figure_series(_fake_pairwise_results(), vary="bogus")
+
+    def test_format_figure(self):
+        series = figure_series(_fake_pairwise_results(), vary="unseen")
+        text = format_figure(series, title="Figure 5")
+        assert text.startswith("Figure 5")
+        assert "RoBERTa" in text
+
+
+class TestTable6:
+    def test_static_rows_present(self, benchmark_small):
+        rows = table6_rows(benchmark_small)
+        names = [row.benchmark for row in rows]
+        assert "Abt-Buy" in names
+        assert "WDC Products (paper)" in names
+        assert any("reproduction" in name for name in names)
+
+    def test_reproduction_row_computed(self, benchmark_small):
+        row = wdc_products_row(benchmark_small)
+        assert row.n_entities > 0
+        assert row.n_matches > 0
+        assert 0.0 < row.avg_density <= 1.0
+        assert row.avg_matches_per_entity > 1.0
+
+    def test_format_table6_renders(self, benchmark_small):
+        text = format_table6(table6_rows(benchmark_small))
+        assert "Benchmark" in text
+        assert "LSPM Computers" in text

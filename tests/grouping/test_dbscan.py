@@ -1,0 +1,105 @@
+"""Tests for the from-scratch DBSCAN implementation."""
+
+import numpy as np
+import pytest
+
+from repro.grouping.dbscan import DBSCAN, NOISE, cosine_distance_matrix
+
+
+class TestCosineDistanceMatrix:
+    def test_identical_rows_distance_zero(self):
+        features = np.array([[1.0, 0.0], [1.0, 0.0]])
+        distances = cosine_distance_matrix(features)
+        assert distances[0, 1] == pytest.approx(0.0)
+
+    def test_orthogonal_rows_distance_one(self):
+        features = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert cosine_distance_matrix(features)[0, 1] == pytest.approx(1.0)
+
+    def test_zero_rows_do_not_nan(self):
+        features = np.array([[0.0, 0.0], [1.0, 0.0]])
+        assert not np.isnan(cosine_distance_matrix(features)).any()
+
+
+class TestDBSCAN:
+    def _two_blobs(self):
+        """Two well-separated clusters on orthogonal axes."""
+        a = np.array([[1.0, 0.01 * i] for i in range(5)])
+        b = np.array([[0.01 * i, 1.0] for i in range(5)])
+        return np.vstack([a, b])
+
+    def test_min_samples_one_gives_connected_components(self):
+        labels = DBSCAN(eps=0.1, min_samples=1).fit_predict(self._two_blobs())
+        assert len(set(labels[:5])) == 1
+        assert len(set(labels[5:])) == 1
+        assert labels[0] != labels[5]
+        assert NOISE not in labels  # every point is a core point
+
+    def test_isolated_point_is_noise_with_min_samples_two(self):
+        distances = np.array(
+            [
+                [0.0, 0.05, 0.9],
+                [0.05, 0.0, 0.9],
+                [0.9, 0.9, 0.0],
+            ]
+        )
+        labels = DBSCAN(eps=0.1, min_samples=2, metric="precomputed").fit_predict(
+            distances
+        )
+        assert labels[2] == NOISE
+        assert labels[0] == labels[1] != NOISE
+
+    def test_border_point_joins_cluster(self):
+        # Chain: a-b close, b-c close, a-c far; with min_samples=3 only b
+        # can be core if it has 3 neighbours (incl. itself).
+        distances = np.array(
+            [
+                [0.0, 0.05, 0.20],
+                [0.05, 0.0, 0.05],
+                [0.20, 0.05, 0.0],
+            ]
+        )
+        labels = DBSCAN(eps=0.1, min_samples=3, metric="precomputed").fit_predict(
+            distances
+        )
+        # b is core (a, b, c within eps); a and c are border points.
+        assert labels[0] == labels[1] == labels[2] != NOISE
+
+    def test_chaining_merges_transitively_with_min_samples_one(self):
+        # a-b within eps, b-c within eps, a-c outside: all one component.
+        distances = np.array(
+            [
+                [0.0, 0.3, 0.6],
+                [0.3, 0.0, 0.3],
+                [0.6, 0.3, 0.0],
+            ]
+        )
+        labels = DBSCAN(eps=0.35, min_samples=1, metric="precomputed").fit_predict(
+            distances
+        )
+        assert len(set(labels.tolist())) == 1
+
+    def test_n_clusters(self):
+        model = DBSCAN(eps=0.1, min_samples=1)
+        model.fit_predict(self._two_blobs())
+        assert model.n_clusters() == 2
+
+    def test_n_clusters_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            DBSCAN().n_clusters()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DBSCAN(eps=0.0)
+        with pytest.raises(ValueError):
+            DBSCAN(min_samples=0)
+        with pytest.raises(ValueError):
+            DBSCAN(metric="euclidean")
+
+    def test_precomputed_requires_square(self):
+        with pytest.raises(ValueError):
+            DBSCAN(metric="precomputed").fit_predict(np.zeros((2, 3)))
+
+    def test_labels_contiguous_from_zero(self):
+        labels = DBSCAN(eps=0.1, min_samples=1).fit_predict(self._two_blobs())
+        assert set(labels.tolist()) == {0, 1}

@@ -1,0 +1,134 @@
+"""Tests for grouping features, curation and the full Section-3.3 stage."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.schema import ProductCluster, ProductOffer
+from repro.grouping.curation import (
+    CurationPolicy,
+    ProductGroup,
+    dominant_category,
+)
+from repro.grouping.features import cluster_feature_matrix, cluster_feature_texts
+
+
+def _cluster(cluster_id, titles, category="cat", family="fam"):
+    offers = [
+        ProductOffer(offer_id=f"{cluster_id}-{i}", cluster_id=cluster_id, title=t)
+        for i, t in enumerate(titles)
+    ]
+    return ProductCluster(
+        cluster_id=cluster_id, offers=offers, category=category, family_id=family
+    )
+
+
+class TestFeatures:
+    def test_texts_concatenate_titles(self):
+        cluster = _cluster("c", ["a b", "c d"])
+        assert cluster_feature_texts([cluster]) == ["a b c d"]
+
+    def test_numeric_tokens_dropped(self):
+        clusters = [
+            _cluster("a", ["drive 2tb model", "drive 2tb model"]),
+            _cluster("b", ["drive 4tb model", "drive 4tb model"]),
+        ]
+        with_numeric = cluster_feature_matrix(
+            clusters, drop_numeric_tokens=False, max_document_frequency=1.0,
+            min_count=1,
+        )
+        without = cluster_feature_matrix(
+            clusters, drop_numeric_tokens=True, max_document_frequency=1.0,
+            min_count=1,
+        )
+        assert without.shape[1] < with_numeric.shape[1]
+
+    def test_document_frequency_filter(self):
+        clusters = [
+            _cluster("a", ["shared alpha"]),
+            _cluster("b", ["shared beta"]),
+            _cluster("c", ["shared gamma"]),
+        ]
+        matrix = cluster_feature_matrix(
+            clusters, max_document_frequency=0.5, min_count=1,
+            drop_numeric_tokens=False,
+        )
+        # "shared" (df=1.0) is dropped; each row keeps only its own token.
+        assert matrix.shape[1] == 3
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_empty_cluster_list(self):
+        assert cluster_feature_matrix([]).shape[0] == 0
+
+
+class TestCurationPolicy:
+    def _group(self, clusters, part="seen"):
+        return ProductGroup(group_id="g", part=part, clusters=clusters)
+
+    def test_adult_products_avoided(self):
+        group = self._group(
+            [_cluster(f"c{i}", ["x"], category="adult_products") for i in range(6)]
+        )
+        useful, reason = CurationPolicy().review(group)
+        assert not useful and reason == "excluded category"
+
+    def test_small_group_avoided(self):
+        group = self._group([_cluster("c", ["x"])])
+        useful, reason = CurationPolicy().review(group)
+        assert not useful and "few" in reason
+
+    def test_heterogeneous_group_avoided(self):
+        clusters = [
+            _cluster(f"c{i}", ["x"], family=f"fam{i}") for i in range(8)
+        ]
+        useful, reason = CurationPolicy().review(self._group(clusters))
+        assert not useful and reason == "heterogeneous group"
+
+    def test_clean_family_group_useful(self):
+        clusters = [_cluster(f"c{i}", ["x"]) for i in range(6)]
+        useful, reason = CurationPolicy().review(self._group(clusters))
+        assert useful and reason == ""
+
+    def test_dominant_category(self):
+        group = self._group(
+            [_cluster("a", ["x"], category="laptops"),
+             _cluster("b", ["x"], category="laptops"),
+             _cluster("c", ["x"], category="cameras")]
+        )
+        assert dominant_category(group) == "laptops"
+
+
+class TestGroupProducts:
+    def test_parts_partition_by_offer_count(self, grouped_small):
+        for group in grouped_small.seen_groups:
+            assert all(len(cluster) >= 7 for cluster in group.clusters)
+        for group in grouped_small.unseen_groups:
+            assert all(2 <= len(cluster) <= 6 for cluster in group.clusters)
+
+    def test_enough_useful_products_for_selection(self, grouped_small):
+        seen = sum(len(g) for g in grouped_small.useful_groups("seen"))
+        unseen = sum(len(g) for g in grouped_small.useful_groups("unseen"))
+        assert seen >= 60  # small build selects 60 products
+        assert unseen >= 60
+
+    def test_no_adult_products_in_useful_groups(self, grouped_small):
+        for part in ("seen", "unseen"):
+            for group in grouped_small.useful_groups(part):
+                assert all(c.category != "adult_products" for c in group.clusters)
+
+    def test_groups_are_family_coherent(self, grouped_small):
+        # Useful groups contain few distinct families (the paper's
+        # "highly similar or very similar products").
+        import numpy as np
+
+        family_counts = [
+            len({c.family_id for c in g.clusters})
+            for g in grouped_small.useful_groups("seen")
+        ]
+        assert np.mean(family_counts) < 4.0
+
+    def test_stats_keys(self, grouped_small):
+        stats = grouped_small.stats()
+        assert set(stats) == {
+            "seen_groups", "seen_useful", "unseen_groups", "unseen_useful",
+            "seen_products", "unseen_products",
+        }

@@ -1,0 +1,92 @@
+"""Round-trip tests for JSONL persistence."""
+
+import pytest
+
+from repro.core.dimensions import CornerCaseRatio, DevSetSize, UnseenRatio
+from repro.io import (
+    load_benchmark,
+    load_corpus,
+    load_multiclass_dataset,
+    load_pair_dataset,
+    read_jsonl,
+    save_benchmark,
+    save_corpus,
+    save_multiclass_dataset,
+    save_pair_dataset,
+    write_jsonl,
+)
+
+
+class TestJsonl:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        records = [{"a": 1}, {"b": [1, 2]}, {"c": "täxt"}]
+        assert write_jsonl(path, records) == 3
+        assert list(read_jsonl(path)) == records
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        path.write_text('{"a": 1}\n\n{"b": 2}\n', encoding="utf-8")
+        assert len(list(read_jsonl(path))) == 2
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "nested" / "dir" / "data.jsonl"
+        write_jsonl(path, [{"x": 1}])
+        assert path.exists()
+
+
+class TestCorpusRoundtrip:
+    def test_offers_preserved(self, tmp_path, generated_small):
+        path = tmp_path / "corpus.jsonl"
+        save_corpus(generated_small.corpus, path)
+        reloaded = load_corpus(path)
+        assert len(reloaded) == len(generated_small.corpus)
+        original = generated_small.corpus.offers[0]
+        restored = reloaded.offers[0]
+        assert original == restored
+
+
+class TestDatasetRoundtrips:
+    def test_pair_dataset(self, tmp_path, benchmark_small):
+        dataset = benchmark_small.test_sets[(CornerCaseRatio.CC80, UnseenRatio.SEEN)]
+        path = tmp_path / "pairs.jsonl"
+        save_pair_dataset(dataset, path)
+        reloaded = load_pair_dataset(path)
+        assert len(reloaded) == len(dataset)
+        assert reloaded.summary() == dataset.summary()
+        assert reloaded.pairs[0].offer_a == dataset.pairs[0].offer_a
+
+    def test_multiclass_dataset(self, tmp_path, benchmark_small):
+        dataset = benchmark_small.multiclass_test[CornerCaseRatio.CC80]
+        path = tmp_path / "mc.jsonl"
+        save_multiclass_dataset(dataset, path)
+        reloaded = load_multiclass_dataset(path)
+        assert reloaded.labels == dataset.labels
+        assert reloaded.offers[0] == dataset.offers[0]
+
+
+class TestBenchmarkRoundtrip:
+    def test_full_benchmark(self, tmp_path, benchmark_small):
+        directory = tmp_path / "benchmark"
+        save_benchmark(benchmark_small, directory)
+        reloaded = load_benchmark(directory)
+
+        assert set(reloaded.train_sets) == set(benchmark_small.train_sets)
+        assert set(reloaded.test_sets) == set(benchmark_small.test_sets)
+        for key, dataset in benchmark_small.train_sets.items():
+            assert reloaded.train_sets[key].summary() == dataset.summary()
+        for cc in CornerCaseRatio:
+            assert (
+                reloaded.multiclass_test[cc].labels
+                == benchmark_small.multiclass_test[cc].labels
+            )
+
+    def test_partial_directory_loads_what_exists(self, tmp_path, benchmark_small):
+        directory = tmp_path / "partial"
+        save_pair_dataset(
+            benchmark_small.train_sets[(CornerCaseRatio.CC80, DevSetSize.SMALL)],
+            directory / "train_cc80_small.jsonl",
+        )
+        reloaded = load_benchmark(directory)
+        assert (CornerCaseRatio.CC80, DevSetSize.SMALL) in reloaded.train_sets
+        assert not reloaded.test_sets

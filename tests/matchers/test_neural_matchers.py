@@ -1,0 +1,248 @@
+"""Fast smoke/behaviour tests for the neural matchers.
+
+These use deliberately tiny training settings — the goal is correctness of
+the training/inference plumbing (shapes, early stopping, checkpoint
+loading, augmentation), not benchmark-quality scores, which the benchmark
+harness measures.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dimensions import CornerCaseRatio, DevSetSize, UnseenRatio
+from repro.matchers import (
+    DittoMatcher,
+    HierGATMatcher,
+    RSupConMatcher,
+    RSupConMulticlass,
+    TransformerMatcher,
+    TransformerMulticlass,
+    delete_augment,
+    normalize_numbers,
+)
+from repro.matchers.transformer import TrainSettings, pad_batch
+from repro.nn.pretrain import MiniLM
+
+TINY = dict(
+    dim=16, n_layers=1, max_length=24, vocab_size=512,
+    epochs=2, step_budget=30, min_epochs=1, patience=2, batch_size=32,
+)
+
+
+def tiny_settings():
+    return TrainSettings(**TINY)
+
+
+@pytest.fixture(scope="module")
+def task(benchmark_small):
+    return benchmark_small.pairwise(
+        CornerCaseRatio.CC50, DevSetSize.SMALL, UnseenRatio.SEEN
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_checkpoint(artifacts_small):
+    clusters = artifacts_small.pretraining_clusters()
+    texts = [text for _, _, cluster_texts in clusters for text in cluster_texts]
+    lm = MiniLM(dim=16, n_layers=1, max_length=24, vocab_size=512, seed=0)
+    lm.pretrain(texts[:400], steps=30)
+    lm.pretrain_matching(clusters[:80], steps=30, pairs_per_side=16)
+    return lm
+
+
+class TestPadBatch:
+    def test_pads_to_longest(self):
+        batch = pad_batch([[1, 2], [3]], pad_id=0, max_length=10)
+        assert batch.shape == (2, 2)
+        assert batch[1, 1] == 0
+
+    def test_truncates_to_max_length(self):
+        batch = pad_batch([[1] * 50], pad_id=0, max_length=8)
+        assert batch.shape == (1, 8)
+
+
+class TestTrainSettings:
+    def test_effective_epochs_bounded_by_budget(self):
+        settings = TrainSettings(epochs=50, step_budget=100, batch_size=10,
+                                 min_epochs=2)
+        # 1000 examples -> 100 steps/epoch -> budget allows 1 epoch -> min 2.
+        assert settings.effective_epochs(1000) == 2
+        # 50 examples -> 5 steps/epoch -> budget allows 20 epochs.
+        assert settings.effective_epochs(50) == 20
+
+
+class TestAugmentation:
+    def test_delete_preserves_protected_prefix(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            out = delete_augment(list(range(20)), rng, rate=0.3, protect=1)
+            assert out[0] == 0
+
+    def test_delete_keeps_at_least_half(self):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            out = delete_augment(list(range(2, 22)), rng, rate=0.45)
+            assert len(out) >= 10
+
+    def test_zero_rate_is_identity(self):
+        ids = [1, 2, 3]
+        assert delete_augment(ids, np.random.default_rng(0), rate=0.0) == ids
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            delete_augment([1, 2], np.random.default_rng(0), rate=1.0)
+
+    def test_normalize_numbers(self):
+        assert normalize_numbers("2TB 7200RPM drive") == "2 tb 7200 rpm drive"
+
+    def test_normalize_idempotent(self):
+        once = normalize_numbers("15.6 Inch screen")
+        assert normalize_numbers(once) == once
+
+
+class TestTransformerMatcher:
+    def test_fit_predict_shapes(self, task):
+        matcher = TransformerMatcher(settings=tiny_settings())
+        matcher.fit(task.train, task.valid)
+        predictions = matcher.predict(task.test)
+        assert predictions.shape == (len(task.test),)
+        assert set(np.unique(predictions)) <= {0, 1}
+
+    def test_requires_fit(self, task):
+        with pytest.raises(RuntimeError):
+            TransformerMatcher(settings=tiny_settings()).predict(task.test)
+
+    def test_checkpoint_adopts_architecture(self, task, tiny_checkpoint):
+        matcher = TransformerMatcher(
+            settings=TrainSettings(dim=999, **{k: v for k, v in TINY.items() if k != "dim"}),
+            pretrained=tiny_checkpoint,
+        )
+        assert matcher.settings.dim == tiny_checkpoint.dim
+
+    def test_checkpoint_weights_loaded(self, task, tiny_checkpoint):
+        matcher = TransformerMatcher(settings=tiny_settings(), pretrained=tiny_checkpoint)
+        matcher.fit(task.train, task.valid)
+        assert matcher.tokenizer is tiny_checkpoint.tokenizer
+
+    def test_deterministic_given_seed(self, task):
+        a = TransformerMatcher(settings=tiny_settings(), seed=5)
+        b = TransformerMatcher(settings=tiny_settings(), seed=5)
+        a.fit(task.train, task.valid)
+        b.fit(task.train, task.valid)
+        assert np.array_equal(a.predict(task.test), b.predict(task.test))
+
+
+class TestDitto:
+    def test_uses_ditto_serialization_and_augment(self, task):
+        matcher = DittoMatcher(settings=tiny_settings())
+        assert matcher.serialization_style == "ditto"
+        assert matcher.token_augment is not None
+        assert matcher.text_normalizer is normalize_numbers
+        matcher.fit(task.train, task.valid)
+        assert matcher.predict(task.test).shape == (len(task.test),)
+
+    def test_domain_knowledge_optional(self):
+        matcher = DittoMatcher(settings=tiny_settings(), use_domain_knowledge=False)
+        assert matcher.text_normalizer is None
+
+
+class TestHierGAT:
+    def test_fit_predict(self, task):
+        settings = TrainSettings(**{**TINY, "max_length": 12})
+        matcher = HierGATMatcher(settings=settings)
+        matcher.fit(task.train, task.valid)
+        predictions = matcher.predict(task.test)
+        assert predictions.shape == (len(task.test),)
+
+    def test_checkpoint_initialization(self, task, tiny_checkpoint):
+        settings = TrainSettings(**{**TINY, "max_length": 12})
+        matcher = HierGATMatcher(settings=settings, pretrained=tiny_checkpoint)
+        matcher.fit(task.train, task.valid)
+        assert matcher.tokenizer is tiny_checkpoint.tokenizer
+
+
+class TestRSupCon:
+    def test_pairwise_fit_predict(self, task):
+        matcher = RSupConMatcher(
+            settings=tiny_settings(), pretrain_epochs=2, head_epochs=3
+        )
+        matcher.fit(task.train, task.valid)
+        predictions = matcher.predict(task.test)
+        assert predictions.shape == (len(task.test),)
+
+    def test_multiclass_fit_predict(self, benchmark_small):
+        mc_task = benchmark_small.multiclass(CornerCaseRatio.CC50, DevSetSize.SMALL)
+        matcher = RSupConMulticlass(
+            settings=tiny_settings(), pretrain_epochs=2, head_epochs=3
+        )
+        matcher.fit(mc_task.train, mc_task.valid)
+        predictions = matcher.predict(mc_task.test)
+        assert len(predictions) == len(mc_task.test)
+        assert set(predictions) <= set(mc_task.train.label_space())
+
+
+class TestTransformerMulticlass:
+    def test_fit_predict(self, benchmark_small):
+        mc_task = benchmark_small.multiclass(CornerCaseRatio.CC50, DevSetSize.SMALL)
+        matcher = TransformerMulticlass(settings=tiny_settings())
+        matcher.fit(mc_task.train, mc_task.valid)
+        predictions = matcher.predict(mc_task.test)
+        assert len(predictions) == len(mc_task.test)
+        assert set(predictions) <= set(mc_task.train.label_space())
+
+    def test_requires_fit(self, benchmark_small):
+        mc_task = benchmark_small.multiclass(CornerCaseRatio.CC50, DevSetSize.SMALL)
+        with pytest.raises(RuntimeError):
+            TransformerMulticlass(settings=tiny_settings()).predict(mc_task.test)
+
+
+class TestMiniLMCheckpoint:
+    def test_save_load_roundtrip(self, tiny_checkpoint, tmp_path):
+        tiny_checkpoint.save(tmp_path / "ckpt")
+        restored = MiniLM.load(tmp_path / "ckpt")
+        assert restored.dim == tiny_checkpoint.dim
+        text = "exatron vortexdisk drive"
+        assert restored.tokenizer.encode(text) == tiny_checkpoint.tokenizer.encode(text)
+        import numpy as np
+        from repro.nn.serialization import state_dict
+
+        original = state_dict(tiny_checkpoint.encoder)
+        loaded = state_dict(restored.encoder)
+        for name in original:
+            assert np.allclose(original[name], loaded[name])
+
+    def test_clone_encoder_is_independent(self, tiny_checkpoint):
+        clone = tiny_checkpoint.clone_encoder()
+        clone.token_embedding.weight.data += 1.0
+        from repro.nn.serialization import state_dict
+
+        assert not np.allclose(
+            state_dict(clone)["token_embedding.weight"],
+            state_dict(tiny_checkpoint.encoder)["token_embedding.weight"],
+        )
+
+    def test_initialize_encoder_slices_positions(self, tiny_checkpoint):
+        from repro.nn.transformer import TransformerEncoder
+
+        target = TransformerEncoder(
+            len(tiny_checkpoint.tokenizer),
+            dim=tiny_checkpoint.dim,
+            n_heads=tiny_checkpoint.n_heads,
+            n_layers=tiny_checkpoint.n_layers,
+            max_length=8,  # shorter than the checkpoint
+            pad_id=tiny_checkpoint.tokenizer.pad_id,
+        )
+        tiny_checkpoint.initialize_encoder(target)
+        assert np.allclose(
+            target.position_embedding.weight.data,
+            tiny_checkpoint.encoder.position_embedding.weight.data[:8],
+        )
+
+    def test_pretrain_matching_requires_mlm_first(self):
+        lm = MiniLM(dim=16)
+        with pytest.raises(RuntimeError):
+            lm.pretrain_matching([("c", "f", ["a", "b"])])
+
+    def test_pretrain_matching_rejects_singleton_clusters(self, tiny_checkpoint):
+        with pytest.raises(ValueError):
+            tiny_checkpoint.pretrain_matching([("c", "f", ["only one"])], steps=1)

@@ -1,0 +1,144 @@
+"""Tests for the symbolic matchers (Word-Cooc, Magellan) and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core.datasets import LabeledPair, MulticlassDataset, PairDataset
+from repro.core.dimensions import CornerCaseRatio, DevSetSize, UnseenRatio
+from repro.corpus.schema import ProductOffer
+from repro.matchers import (
+    MagellanMatcher,
+    WordCoocMatcher,
+    WordOccurrenceClassifier,
+    serialize_offer,
+    serialize_pair,
+)
+from repro.matchers.magellan import pair_features
+
+
+def _offer(offer_id, cluster, title, **kwargs):
+    return ProductOffer(offer_id=offer_id, cluster_id=cluster, title=title, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def small_task(benchmark_small):
+    return benchmark_small.pairwise(
+        CornerCaseRatio.CC20, DevSetSize.MEDIUM, UnseenRatio.SEEN
+    )
+
+
+class TestSerialization:
+    def test_plain_contains_title_and_brand(self):
+        offer = _offer("a", "c", "vortex 2tb", brand="Exatron", price=99.5,
+                       price_currency="USD")
+        text = serialize_offer(offer)
+        assert "vortex 2tb" in text and "Exatron" in text and "99.50" in text
+
+    def test_ditto_style_col_val(self):
+        offer = _offer("a", "c", "vortex 2tb", brand="Exatron")
+        text = serialize_offer(offer, style="ditto")
+        assert text.startswith("COL title VAL vortex 2tb")
+        assert "COL brand VAL Exatron" in text
+
+    def test_description_capped(self):
+        offer = _offer("a", "c", "t", description=" ".join(["w"] * 100))
+        text = serialize_offer(offer)
+        assert len(text.split()) < 40
+
+    def test_description_excluded_on_request(self):
+        offer = _offer("a", "c", "t", description="unique-desc-token")
+        text = serialize_offer(offer, include_description=False)
+        assert "unique-desc-token" not in text
+
+    def test_unknown_style_raises(self):
+        with pytest.raises(ValueError):
+            serialize_offer(_offer("a", "c", "t"), style="bogus")
+
+    def test_serialize_pair_is_consistent(self):
+        a = _offer("a", "c", "left title")
+        b = _offer("b", "c", "right title")
+        left, right = serialize_pair(a, b, style="ditto")
+        assert left.startswith("COL") and right.startswith("COL")
+
+
+class TestMagellanFeatures:
+    def test_identical_pair_high_similarity(self):
+        offer = _offer("a", "c", "vortex 2tb drive", brand="Exatron",
+                       price=100.0, price_currency="USD",
+                       description="great drive for storage")
+        features = pair_features(LabeledPair("p", offer, offer, 1))
+        assert features[0] == 1.0  # title jaccard
+        assert features[7] == 1.0  # brand exact
+        assert features[9] == 0.0  # price relative diff
+
+    def test_missing_attributes_encoded(self):
+        a = _offer("a", "c", "title one here")
+        b = _offer("b", "c", "title two here")
+        features = pair_features(LabeledPair("p", a, b, 0))
+        assert features[5] == -1.0  # description missing
+        assert features[7] == -1.0  # brand missing
+        assert features[9] == -1.0  # price missing
+
+    def test_feature_vector_length_stable(self):
+        a = _offer("a", "c", "x y z")
+        full = _offer("b", "c", "x y", brand="B", price=1.0,
+                      price_currency="EUR", description="d e f")
+        assert len(pair_features(LabeledPair("p", a, full, 0))) == len(
+            pair_features(LabeledPair("q", a, a, 1))
+        )
+
+
+class TestWordCoocMatcher:
+    def test_beats_chance_on_benchmark(self, small_task):
+        matcher = WordCoocMatcher()
+        matcher.fit(small_task.train, small_task.valid)
+        result = matcher.evaluate(small_task.test)
+        trivial = 2 * (1 / 9) / (1 + 1 / 9)  # all-positive baseline F1
+        assert result.f1 > trivial
+
+    def test_requires_fit(self, small_task):
+        with pytest.raises(RuntimeError):
+            WordCoocMatcher().predict(small_task.test)
+
+    def test_predictions_binary(self, small_task):
+        matcher = WordCoocMatcher().fit(small_task.train, small_task.valid)
+        predictions = matcher.predict(small_task.test)
+        assert set(np.unique(predictions)) <= {0, 1}
+
+    def test_grid_search_ran(self, small_task):
+        matcher = WordCoocMatcher().fit(small_task.train, small_task.valid)
+        assert matcher.search is not None
+        assert len(matcher.search.history) == 4  # 2 lambdas x 2 weights
+
+
+class TestMagellanMatcher:
+    def test_fits_and_beats_chance(self, small_task):
+        matcher = MagellanMatcher()
+        matcher.fit(small_task.train, small_task.valid)
+        result = matcher.evaluate(small_task.test)
+        assert result.f1 > 0.2
+
+    def test_requires_fit(self, small_task):
+        with pytest.raises(RuntimeError):
+            MagellanMatcher().predict(small_task.test)
+
+
+class TestWordOccurrenceClassifier:
+    def test_learns_multiclass_task(self, benchmark_small):
+        task = benchmark_small.multiclass(CornerCaseRatio.CC20, DevSetSize.LARGE)
+        classifier = WordOccurrenceClassifier()
+        classifier.fit(task.train, task.valid)
+        micro = classifier.evaluate(task.test)
+        n_classes = len(task.train.label_space())
+        assert micro > 5.0 / n_classes  # far above chance
+
+    def test_predicts_known_labels_only(self, benchmark_small):
+        task = benchmark_small.multiclass(CornerCaseRatio.CC20, DevSetSize.SMALL)
+        classifier = WordOccurrenceClassifier().fit(task.train, task.valid)
+        predictions = classifier.predict(task.test)
+        assert set(predictions) <= set(task.train.label_space())
+
+    def test_requires_fit(self, benchmark_small):
+        task = benchmark_small.multiclass(CornerCaseRatio.CC20, DevSetSize.SMALL)
+        with pytest.raises(RuntimeError):
+            WordOccurrenceClassifier().predict(task.test)

@@ -1,0 +1,107 @@
+"""Tests for repro.ml.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.metrics import (
+    cohen_kappa,
+    confusion_counts,
+    macro_f1,
+    micro_f1,
+    precision_recall_f1,
+)
+
+label_lists = st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=50)
+
+
+class TestConfusion:
+    def test_counts(self):
+        tp, fp, fn, tn = confusion_counts([1, 1, 0, 0], [1, 0, 1, 0])
+        assert (tp, fp, fn, tn) == (1, 1, 1, 1)
+
+    def test_misaligned_raises(self):
+        with pytest.raises(ValueError):
+            confusion_counts([1], [1, 0])
+
+
+class TestPRF1:
+    def test_perfect(self):
+        result = precision_recall_f1([1, 0, 1], [1, 0, 1])
+        assert result.precision == result.recall == result.f1 == 1.0
+
+    def test_known_half(self):
+        assert precision_recall_f1([1, 1, 0, 0], [1, 0, 1, 0]).f1 == 0.5
+
+    def test_no_predictions_zero_safe(self):
+        result = precision_recall_f1([1, 1], [0, 0])
+        assert result.precision == result.recall == result.f1 == 0.0
+
+    def test_no_positives_in_gold(self):
+        result = precision_recall_f1([0, 0], [1, 0])
+        assert result.f1 == 0.0
+
+    def test_percentages(self):
+        result = precision_recall_f1([1], [1]).as_percentages()
+        assert result.f1 == 100.0
+
+    @given(label_lists)
+    def test_f1_between_precision_and_recall_bounds(self, labels):
+        rng = np.random.default_rng(0)
+        preds = rng.integers(0, 2, size=len(labels)).tolist()
+        result = precision_recall_f1(labels, preds)
+        assert 0.0 <= result.f1 <= 1.0
+        if result.precision and result.recall:
+            assert min(result.precision, result.recall) - 1e-9 <= result.f1
+            assert result.f1 <= max(result.precision, result.recall) + 1e-9
+
+
+class TestMicroMacroF1:
+    def test_micro_is_accuracy_for_single_label(self):
+        assert micro_f1([0, 1, 2, 2], [0, 1, 2, 1]) == 0.75
+
+    def test_micro_empty(self):
+        assert micro_f1([], []) == 0.0
+
+    def test_macro_perfect(self):
+        assert macro_f1([0, 1, 2], [0, 1, 2]) == 1.0
+
+    def test_macro_penalizes_rare_class_errors_more(self):
+        # Majority class right, rare class wrong.
+        gold = [0] * 9 + [1]
+        pred = [0] * 10
+        assert macro_f1(gold, pred) < micro_f1(gold, pred)
+
+    def test_micro_misaligned_raises(self):
+        with pytest.raises(ValueError):
+            micro_f1([1], [1, 2])
+
+
+class TestCohenKappa:
+    def test_perfect_agreement(self):
+        assert cohen_kappa([1, 0, 1, 0], [1, 0, 1, 0]) == pytest.approx(1.0)
+
+    def test_chance_agreement_near_zero(self):
+        rng = np.random.default_rng(7)
+        a = rng.integers(0, 2, size=4000).tolist()
+        b = rng.integers(0, 2, size=4000).tolist()
+        assert abs(cohen_kappa(a, b)) < 0.06
+
+    def test_known_value(self):
+        # 2x2 example: po=0.6, pe=0.5 -> kappa=0.2
+        a = [1, 1, 1, 1, 1, 0, 0, 0, 0, 0]
+        b = [1, 1, 1, 0, 0, 0, 0, 0, 1, 1]
+        assert cohen_kappa(a, b) == pytest.approx(0.2)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            cohen_kappa([], [])
+
+    def test_misaligned_raises(self):
+        with pytest.raises(ValueError):
+            cohen_kappa([1], [1, 0])
+
+    @given(label_lists)
+    def test_self_agreement_is_one(self, labels):
+        assert cohen_kappa(labels, labels) == pytest.approx(1.0)

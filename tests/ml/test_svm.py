@@ -1,0 +1,83 @@
+"""Tests for the Pegasos linear SVMs."""
+
+import numpy as np
+import pytest
+
+from repro.ml.svm import LinearSVM, MulticlassLinearSVM
+
+
+def _linearly_separable(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, 5))
+    w = np.array([1.5, -2.0, 0.5, 0.0, 1.0])
+    y = (x @ w > 0).astype(np.int64)
+    return x, y
+
+
+class TestLinearSVM:
+    def test_learns_separable_data(self):
+        x, y = _linearly_separable()
+        model = LinearSVM(epochs=30, seed=1).fit(x, y)
+        accuracy = (model.predict(x) == y).mean()
+        assert accuracy > 0.95
+
+    def test_positive_weight_shifts_toward_positive_class(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((400, 4))
+        # Noisy, imbalanced positives: the class weight must matter.
+        y = ((x[:, 0] + 0.6 * rng.standard_normal(400)) > 1.0).astype(np.int64)
+        plain = LinearSVM(epochs=20, seed=0).fit(x, y)
+        weighted = LinearSVM(epochs=20, positive_weight=8.0, seed=0).fit(x, y)
+        assert weighted.predict(x).sum() >= plain.predict(x).sum()
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            LinearSVM().predict(np.zeros((1, 2)))
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            LinearSVM().fit(np.zeros(3), np.zeros(3))
+        with pytest.raises(ValueError):
+            LinearSVM().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            LinearSVM(reg_lambda=0.0)
+        with pytest.raises(ValueError):
+            LinearSVM(epochs=0)
+
+    def test_decision_function_sign_matches_predict(self):
+        x, y = _linearly_separable(80)
+        model = LinearSVM(epochs=10, seed=2).fit(x, y)
+        scores = model.decision_function(x)
+        assert np.array_equal(model.predict(x), (scores >= 0).astype(np.int64))
+
+    def test_weight_norm_bounded_by_pegasos_radius(self):
+        x, y = _linearly_separable(100)
+        model = LinearSVM(reg_lambda=1e-2, epochs=15, seed=0).fit(x, y)
+        assert np.linalg.norm(model.weights) <= 1.0 / np.sqrt(1e-2) + 1e-6
+
+
+class TestMulticlassLinearSVM:
+    def test_learns_three_clusters(self):
+        rng = np.random.default_rng(5)
+        centers = np.array([[4, 0], [-4, 0], [0, 4]], dtype=float)
+        x = np.vstack([center + rng.standard_normal((60, 2)) for center in centers])
+        y = np.repeat([10, 20, 30], 60)  # non-contiguous labels
+        model = MulticlassLinearSVM(epochs=30, seed=1).fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.95
+
+    def test_predicts_original_label_values(self):
+        x = np.array([[1.0], [-1.0]] * 20)
+        y = np.array(["alpha", "beta"] * 20)
+        model = MulticlassLinearSVM(epochs=20, seed=0).fit(x, y)
+        assert set(model.predict(x)) <= {"alpha", "beta"}
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            MulticlassLinearSVM().predict(np.zeros((1, 2)))
+
+    def test_decision_function_shape(self):
+        x, y = _linearly_separable(50)
+        model = MulticlassLinearSVM(epochs=5).fit(x, y)
+        assert model.decision_function(x).shape == (50, 2)

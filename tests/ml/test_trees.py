@@ -1,0 +1,122 @@
+"""Tests for decision trees, random forest and grid search."""
+
+import numpy as np
+import pytest
+
+from repro.ml.grid_search import GridSearch
+from repro.ml.random_forest import RandomForest
+from repro.ml.tree import DecisionTree
+
+
+def _xor_data(n=200, seed=0):
+    """XOR — unlearnable for linear models, easy for depth-2 trees."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, size=(n, 2))
+    y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(np.int64)
+    return x, y
+
+
+class TestDecisionTree:
+    def test_learns_xor(self):
+        x, y = _xor_data()
+        tree = DecisionTree(max_depth=4, seed=0).fit(x, y)
+        assert (tree.predict(x) == y).mean() > 0.95
+
+    def test_pure_node_stops_growing(self):
+        x = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([1, 1, 1])
+        tree = DecisionTree().fit(x, y)
+        assert tree.depth() == 0
+
+    def test_max_depth_respected(self):
+        x, y = _xor_data(300, seed=2)
+        tree = DecisionTree(max_depth=2, seed=0).fit(x, y)
+        assert tree.depth() <= 2
+
+    def test_predict_proba_sums_to_one(self):
+        x, y = _xor_data(100)
+        tree = DecisionTree(max_depth=3).fit(x, y)
+        proba = tree.predict_proba(x)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            DecisionTree().predict(np.zeros((1, 2)))
+
+    def test_zero_samples_raises(self):
+        with pytest.raises(ValueError):
+            DecisionTree().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_string_labels(self):
+        x = np.array([[0.0], [1.0]] * 10)
+        y = np.array(["no", "yes"] * 10)
+        tree = DecisionTree(max_depth=2).fit(x, y)
+        assert set(tree.predict(x)) <= {"no", "yes"}
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            DecisionTree(max_depth=0)
+
+
+class TestRandomForest:
+    def test_learns_xor(self):
+        x, y = _xor_data(300, seed=4)
+        forest = RandomForest(n_trees=10, max_depth=5, seed=0).fit(x, y)
+        assert (forest.predict(x) == y).mean() > 0.95
+
+    def test_proba_shape_and_normalization(self):
+        x, y = _xor_data(80)
+        forest = RandomForest(n_trees=5, seed=1).fit(x, y)
+        proba = forest.predict_proba(x)
+        assert proba.shape == (80, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_handles_class_missing_from_bootstrap(self):
+        # Single rare class: some bootstrap samples will not contain it.
+        x = np.vstack([np.zeros((40, 2)), np.ones((2, 2))])
+        y = np.array([0] * 40 + [1] * 2)
+        forest = RandomForest(n_trees=8, seed=3).fit(x, y)
+        assert forest.predict_proba(x).shape == (42, 2)
+
+    def test_max_features_sqrt(self):
+        forest = RandomForest(max_features="sqrt")
+        assert forest._resolve_max_features(9) == 3
+
+    def test_max_features_invalid(self):
+        forest = RandomForest(max_features="bogus")
+        with pytest.raises(ValueError):
+            forest._resolve_max_features(4)
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            RandomForest().predict(np.zeros((1, 2)))
+
+    def test_invalid_n_trees(self):
+        with pytest.raises(ValueError):
+            RandomForest(n_trees=0)
+
+
+class TestGridSearch:
+    def test_selects_best_on_validation(self):
+        x, y = _xor_data(200, seed=6)
+        search = GridSearch(
+            factory=lambda **p: DecisionTree(seed=0, **p),
+            param_grid={"max_depth": [1, 6]},
+        )
+        search.fit(x[:150], y[:150], x[150:], y[150:])
+        assert search.best_params == {"max_depth": 6}
+        assert len(search.history) == 2
+
+    def test_predict_uses_best(self):
+        x, y = _xor_data(200, seed=7)
+        search = GridSearch(
+            factory=lambda **p: DecisionTree(seed=0, **p),
+            param_grid={"max_depth": [1, 6]},
+        ).fit(x[:150], y[:150], x[150:], y[150:])
+        accuracy = (search.predict(x[150:]) == y[150:]).mean()
+        assert accuracy > 0.8
+
+    def test_requires_fit(self):
+        search = GridSearch(factory=DecisionTree, param_grid={})
+        with pytest.raises(RuntimeError):
+            search.predict(np.zeros((1, 2)))

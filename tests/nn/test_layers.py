@@ -1,0 +1,171 @@
+"""Tests for nn layers, attention and the Transformer encoder."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear, Module, Sequential
+from repro.nn.tensor import Tensor
+from repro.nn.transformer import TransformerEncoder
+
+
+class TestLinear:
+    def test_shape(self):
+        layer = Linear(4, 3)
+        out = layer(Tensor(np.zeros((2, 4))))
+        assert out.shape == (2, 3)
+
+    def test_no_bias(self):
+        layer = Linear(4, 3, bias=False)
+        assert layer.bias is None
+        out = layer(Tensor(np.zeros((2, 4))))
+        assert np.allclose(out.data, 0.0)
+
+    def test_gradients_flow_to_parameters(self):
+        layer = Linear(3, 2, seed=1)
+        loss = layer(Tensor(np.ones((4, 3)))).sum()
+        loss.backward()
+        assert layer.weight.grad is not None
+        assert layer.bias is not None and layer.bias.grad is not None
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = Embedding(10, 4)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_gradient_accumulates_per_row(self):
+        emb = Embedding(5, 2, seed=0)
+        out = emb(np.array([0, 0, 1]))
+        out.sum().backward()
+        assert np.allclose(emb.weight.grad[0], 2.0)  # used twice
+        assert np.allclose(emb.weight.grad[1], 1.0)
+        assert np.allclose(emb.weight.grad[2], 0.0)
+
+
+class TestLayerNorm:
+    def test_output_normalized(self):
+        norm = LayerNorm(8)
+        x = Tensor(np.random.default_rng(0).standard_normal((3, 8)) * 5 + 2)
+        out = norm(x).numpy()
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_parameters_are_trainable(self):
+        norm = LayerNorm(4)
+        names = [name for name, _ in norm.named_parameters()]
+        assert names == ["gain", "shift"]
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        dropout = Dropout(0.5)
+        dropout.eval()
+        x = Tensor(np.ones((4, 4)))
+        assert np.array_equal(dropout(x).numpy(), x.numpy())
+
+    def test_train_mode_zeroes_and_rescales(self):
+        dropout = Dropout(0.5, seed=0)
+        out = dropout(Tensor(np.ones((100, 100)))).numpy()
+        assert set(np.unique(out)) <= {0.0, 2.0}
+        assert abs(out.mean() - 1.0) < 0.05  # inverted dropout preserves scale
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestModule:
+    def test_parameters_discovered_in_nested_structures(self):
+        model = Sequential(Linear(2, 2), Sequential(Linear(2, 2)))
+        assert len(list(model.parameters())) == 4
+
+    def test_named_parameters_deterministic(self):
+        model = Sequential(Linear(2, 2, seed=0))
+        first = [name for name, _ in model.named_parameters()]
+        second = [name for name, _ in model.named_parameters()]
+        assert first == second
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Dropout(0.5), Sequential(Dropout(0.5)))
+        model.eval()
+        assert not model.modules[0].training
+        assert not model.modules[1].modules[0].training
+
+    def test_zero_grad(self):
+        layer = Linear(2, 2)
+        layer(Tensor(np.ones((1, 2)))).sum().backward()
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_num_parameters(self):
+        layer = Linear(3, 2)
+        assert layer.num_parameters() == 3 * 2 + 2
+
+
+class TestAttention:
+    def test_output_shape(self):
+        attention = MultiHeadSelfAttention(8, 2, seed=0)
+        out = attention(Tensor(np.random.default_rng(0).standard_normal((2, 5, 8))))
+        assert out.shape == (2, 5, 8)
+
+    def test_dim_head_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(7, 2)
+
+    def test_padding_mask_blocks_information(self):
+        # Changing a masked position must not affect unmasked outputs.
+        attention = MultiHeadSelfAttention(8, 2, seed=0)
+        rng = np.random.default_rng(1)
+        hidden = rng.standard_normal((1, 4, 8))
+        mask = np.array([[False, False, False, True]])
+        out_a = attention(Tensor(hidden), mask).numpy()
+        hidden_changed = hidden.copy()
+        hidden_changed[0, 3] += 100.0
+        out_b = attention(Tensor(hidden_changed), mask).numpy()
+        assert np.allclose(out_a[0, :3], out_b[0, :3], atol=1e-9)
+
+    def test_bad_mask_shape_raises(self):
+        attention = MultiHeadSelfAttention(8, 2)
+        with pytest.raises(ValueError):
+            attention(Tensor(np.zeros((1, 4, 8))), np.zeros((2, 4), dtype=bool))
+
+
+class TestTransformerEncoder:
+    @pytest.fixture(scope="class")
+    def encoder(self):
+        return TransformerEncoder(
+            vocab_size=50, dim=16, n_heads=2, n_layers=2, max_length=10, seed=0
+        )
+
+    def test_encode_shape(self, encoder):
+        out = encoder.encode(np.array([[2, 5, 6, 0], [2, 7, 0, 0]]))
+        assert out.shape == (2, 4, 16)
+
+    def test_pool_takes_first_position(self, encoder):
+        encoder.eval()  # dropout off so the two forwards agree
+        ids = np.array([[2, 5, 6, 0]])
+        full = encoder.encode(ids).numpy()
+        pooled = encoder.pool(ids).numpy()
+        assert np.allclose(full[:, 0], pooled)
+
+    def test_too_long_sequence_raises(self, encoder):
+        with pytest.raises(ValueError):
+            encoder.encode(np.zeros((1, 11), dtype=np.int64))
+
+    def test_one_dim_input_raises(self, encoder):
+        with pytest.raises(ValueError):
+            encoder.encode(np.zeros(4, dtype=np.int64))
+
+    def test_padding_mask(self, encoder):
+        assert np.array_equal(
+            encoder.padding_mask(np.array([[2, 0]])), np.array([[False, True]])
+        )
+
+    def test_padding_invariance(self, encoder):
+        # Extra padding must not change the [CLS] representation.
+        encoder.eval()
+        short = encoder.pool(np.array([[2, 5, 6]])).numpy()
+        padded = encoder.pool(np.array([[2, 5, 6, 0, 0, 0]])).numpy()
+        assert np.allclose(short, padded, atol=1e-9)

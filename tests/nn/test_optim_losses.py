@@ -1,0 +1,200 @@
+"""Tests for optimizers, schedules, losses and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, Sequential
+from repro.nn.losses import cross_entropy, log_softmax, supervised_contrastive_loss
+from repro.nn.optim import SGD, Adam, WarmupLinearSchedule
+from repro.nn.serialization import load_state_dict, save_module, state_dict
+from repro.nn.tensor import Tensor
+
+
+class TestWarmupLinearSchedule:
+    def test_warmup_rises_linearly(self):
+        schedule = WarmupLinearSchedule(1.0, warmup_steps=10, total_steps=100)
+        assert schedule.lr_at(5) == pytest.approx(0.5)
+        assert schedule.lr_at(10) == pytest.approx(1.0)
+
+    def test_decays_to_zero(self):
+        schedule = WarmupLinearSchedule(1.0, warmup_steps=10, total_steps=100)
+        assert schedule.lr_at(100) == pytest.approx(0.0)
+        assert schedule.lr_at(55) == pytest.approx(0.5)
+
+    def test_clamps_out_of_range_steps(self):
+        schedule = WarmupLinearSchedule(1.0, warmup_steps=0, total_steps=10)
+        assert schedule.lr_at(0) == schedule.lr_at(1)
+        assert schedule.lr_at(999) == 0.0
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            WarmupLinearSchedule(1.0, warmup_steps=5, total_steps=0)
+        with pytest.raises(ValueError):
+            WarmupLinearSchedule(1.0, warmup_steps=20, total_steps=10)
+
+
+def _quadratic_problem():
+    target = np.array([3.0, -2.0])
+    parameter = Tensor(np.zeros(2), requires_grad=True)
+
+    def loss_fn():
+        diff = parameter - Tensor(target)
+        return (diff * diff).sum()
+
+    return parameter, loss_fn, target
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize("make_optimizer", [
+        lambda params: SGD(params, lr=0.1),
+        lambda params: SGD(params, lr=0.05, momentum=0.9),
+        lambda params: Adam(params, lr=0.3),
+    ])
+    def test_converges_on_quadratic(self, make_optimizer):
+        parameter, loss_fn, target = _quadratic_problem()
+        optimizer = make_optimizer([parameter])
+        for _ in range(200):
+            loss = loss_fn()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert np.allclose(parameter.data, target, atol=2e-2)
+
+    def test_empty_parameters_raises(self):
+        with pytest.raises(ValueError):
+            SGD([])
+
+    def test_schedule_drives_adam(self):
+        parameter, loss_fn, _ = _quadratic_problem()
+        schedule = WarmupLinearSchedule(0.5, warmup_steps=5, total_steps=50)
+        optimizer = Adam([parameter], lr=schedule)
+        loss = loss_fn()
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        assert optimizer.step_count == 1
+
+    def test_skips_parameters_without_grad(self):
+        used = Tensor(np.zeros(2), requires_grad=True)
+        unused = Tensor(np.ones(2), requires_grad=True)
+        optimizer = Adam([used, unused], lr=0.1)
+        (used * 2.0).sum().backward()
+        optimizer.step()
+        assert np.allclose(unused.data, 1.0)
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_classes(self):
+        logits = Tensor(np.zeros((4, 3)), requires_grad=True)
+        loss = cross_entropy(logits, np.array([0, 1, 2, 0]))
+        assert loss.item() == pytest.approx(np.log(3))
+
+    def test_perfect_logits_near_zero_loss(self):
+        logits = np.full((2, 2), -50.0)
+        logits[0, 1] = 50.0
+        logits[1, 0] = 50.0
+        loss = cross_entropy(Tensor(logits, requires_grad=True), np.array([1, 0]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_class_weights_reweight_examples(self):
+        logits = Tensor(np.zeros((2, 2)), requires_grad=True)
+        labels = np.array([0, 1])
+        unweighted = cross_entropy(logits, labels).item()
+        weighted = cross_entropy(
+            logits, labels, class_weights=np.array([1.0, 3.0])
+        ).item()
+        assert unweighted == pytest.approx(weighted)  # symmetric logits
+
+    def test_label_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 2))), np.array([0]))
+
+    def test_log_softmax_rows_normalize(self):
+        x = Tensor(np.random.default_rng(0).standard_normal((3, 5)))
+        log_probs = log_softmax(x).numpy()
+        assert np.allclose(np.exp(log_probs).sum(axis=1), 1.0)
+
+    def test_gradient_direction(self):
+        logits = Tensor(np.zeros((1, 2)), requires_grad=True)
+        cross_entropy(logits, np.array([1])).backward()
+        assert logits.grad[0, 0] > 0  # pushes wrong class down
+        assert logits.grad[0, 1] < 0
+
+
+class TestSupConLoss:
+    def test_clustered_embeddings_lower_loss(self):
+        rng = np.random.default_rng(0)
+        labels = np.array([0, 0, 1, 1])
+        clustered = np.array([[5.0, 0], [5.1, 0], [0, 5.0], [0, 5.1]])
+        scattered = rng.standard_normal((4, 2)) * 3
+        loss_clustered = supervised_contrastive_loss(
+            Tensor(clustered, requires_grad=True), labels
+        ).item()
+        loss_scattered = supervised_contrastive_loss(
+            Tensor(scattered, requires_grad=True), labels
+        ).item()
+        assert loss_clustered < loss_scattered
+
+    def test_no_positives_gives_zero(self):
+        embeddings = Tensor(np.random.default_rng(1).standard_normal((3, 4)),
+                            requires_grad=True)
+        loss = supervised_contrastive_loss(embeddings, np.array([0, 1, 2]))
+        assert loss.item() == 0.0
+        loss.backward()  # must stay differentiable
+
+    def test_single_example_raises(self):
+        with pytest.raises(ValueError):
+            supervised_contrastive_loss(Tensor(np.zeros((1, 4))), np.array([0]))
+
+    def test_label_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            supervised_contrastive_loss(Tensor(np.zeros((2, 4))), np.array([0]))
+
+    def test_training_pulls_same_label_together(self):
+        rng = np.random.default_rng(2)
+        embeddings = Tensor(rng.standard_normal((8, 4)), requires_grad=True)
+        labels = np.array([0, 0, 1, 1, 2, 2, 3, 3])
+        optimizer = Adam([embeddings], lr=0.05)
+        initial = supervised_contrastive_loss(embeddings, labels).item()
+        for _ in range(60):
+            loss = supervised_contrastive_loss(embeddings, labels)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert supervised_contrastive_loss(embeddings, labels).item() < initial
+
+
+class TestSerialization:
+    def test_state_roundtrip(self, tmp_path):
+        model = Sequential(Linear(3, 4, seed=0), Linear(4, 2, seed=1))
+        snapshot = state_dict(model)
+        for _, parameter in model.named_parameters():
+            parameter.data += 1.0
+        load_state_dict(model, snapshot)
+        assert np.allclose(state_dict(model)["modules.0.weight"],
+                           snapshot["modules.0.weight"])
+
+    def test_file_roundtrip(self, tmp_path):
+        model = Sequential(Linear(3, 2, seed=0))
+        path = tmp_path / "model.npz"
+        save_module(model, path)
+        clone = Sequential(Linear(3, 2, seed=99))
+        from repro.nn.serialization import load_module
+
+        load_module(clone, path)
+        assert np.allclose(
+            state_dict(clone)["modules.0.weight"],
+            state_dict(model)["modules.0.weight"],
+        )
+
+    def test_mismatched_keys_raise(self):
+        model = Sequential(Linear(3, 2))
+        with pytest.raises(KeyError):
+            load_state_dict(model, {"bogus": np.zeros(2)})
+
+    def test_mismatched_shape_raises(self):
+        model = Sequential(Linear(3, 2))
+        snapshot = state_dict(model)
+        snapshot["modules.0.weight"] = np.zeros((5, 5))
+        with pytest.raises(ValueError):
+            load_state_dict(model, snapshot)

@@ -1,0 +1,153 @@
+"""Tests for the MiniLM checkpoint and the lexical feature helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nn.pretrain import (
+    N_LEXICAL_FEATURES,
+    MiniLM,
+    PairHead,
+    digit_piece_ids,
+    lexical_overlap_features,
+)
+from repro.nn.tensor import Tensor
+from repro.text.vocabulary import SubwordTokenizer
+
+TEXTS = [
+    "exatron vortexdisk 2tb internal hard drive",
+    "exatron vortexdisk 4tb internal hard drive",
+    "veltrix stormrider graphics card 8gb",
+    "soniq tranquil wireless headphones",
+] * 6
+
+
+class TestLexicalFeatures:
+    def test_identical_sequences(self):
+        features = lexical_overlap_features([1, 2, 3], [1, 2, 3], {2})
+        assert features[0] == 1.0  # jaccard
+        assert features[2] == 0.0  # no contradiction
+
+    def test_digit_contradiction_flag(self):
+        # 5 and 6 are digit pieces on opposite sides only.
+        features = lexical_overlap_features([1, 5], [1, 6], {5, 6})
+        assert features[2] == 1.0
+
+    def test_no_contradiction_when_one_side_has_extra(self):
+        features = lexical_overlap_features([1, 5, 6], [1, 5], {5, 6})
+        assert features[2] == 0.0
+
+    def test_feature_length_constant(self):
+        assert len(lexical_overlap_features([], [], set())) == N_LEXICAL_FEATURES
+        assert len(lexical_overlap_features([1], [2], {1})) == N_LEXICAL_FEATURES
+
+    def test_hashed_intersection_encodes_which_pieces(self):
+        a = lexical_overlap_features([10, 20], [10, 20], set())
+        b = lexical_overlap_features([11, 21], [11, 21], set())
+        assert a != b  # same counts, different pieces -> different hashes
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=4000), max_size=30),
+        st.lists(st.integers(min_value=0, max_value=4000), max_size=30),
+    )
+    def test_symmetry_and_bounds(self, left, right):
+        digits = {i for i in range(0, 4001, 7)}
+        forward = lexical_overlap_features(left, right, digits)
+        backward = lexical_overlap_features(right, left, digits)
+        # Jaccard/shared/contradiction are symmetric; only-left/right swap.
+        assert forward[0] == backward[0]
+        assert forward[1] == backward[1]
+        assert forward[2] == backward[2]
+        assert forward[3] == backward[4] and forward[4] == backward[3]
+        assert all(0.0 <= value <= 1.0 for value in forward)
+
+    def test_digit_piece_ids(self):
+        tokenizer = SubwordTokenizer(vocab_size=256).train(["drive 2tb 7200rpm"])
+        digits = digit_piece_ids(tokenizer)
+        assert digits
+        for piece_id in digits:
+            piece = tokenizer.vocab.token_of(piece_id)
+            assert any(c.isdigit() for c in piece)
+
+
+class TestPairHead:
+    def test_output_shape(self):
+        head = PairHead(10, seed=0)
+        out = head(Tensor(np.zeros((4, 10))))
+        assert out.shape == (4, 2)
+
+    def test_parameters_discovered(self):
+        head = PairHead(10)
+        names = [name for name, _ in head.named_parameters()]
+        assert "hidden_layer.weight" in names and "output_layer.weight" in names
+
+    def test_can_learn_xor_of_features(self):
+        # "match iff f0 high AND f1 low" — a non-linear rule.
+        rng = np.random.default_rng(0)
+        x = rng.random((256, 4))
+        y = ((x[:, 0] > 0.5) & (x[:, 1] < 0.5)).astype(int)
+        head = PairHead(4, hidden=16, seed=1)
+        from repro.nn.losses import cross_entropy
+        from repro.nn.optim import Adam
+
+        optimizer = Adam(list(head.parameters()), lr=0.05)
+        for _ in range(150):
+            loss = cross_entropy(head(Tensor(x)), y)
+            head.zero_grad()
+            loss.backward()
+            optimizer.step()
+        predictions = np.argmax(head(Tensor(x)).numpy(), axis=1)
+        assert (predictions == y).mean() > 0.95
+
+
+class TestMiniLM:
+    @pytest.fixture(scope="class")
+    def lm(self):
+        return MiniLM(dim=16, n_layers=1, max_length=24, vocab_size=256, seed=0).pretrain(
+            TEXTS, steps=40
+        )
+
+    def test_pretrain_builds_tokenizer_and_encoder(self, lm):
+        assert lm.tokenizer is not None and lm.encoder is not None
+
+    def test_mlm_improves_masked_prediction(self):
+        # Loss after training should beat an untrained model's loss.
+        import numpy as np
+        from repro.nn.losses import cross_entropy
+        from repro.nn.layers import Linear
+        from repro.nn.tensor import no_grad
+
+        def masked_loss(model_steps):
+            lm = MiniLM(dim=16, n_layers=1, max_length=24, vocab_size=256, seed=3)
+            lm.pretrain(TEXTS, steps=model_steps)
+            return lm
+
+        # Direct comparison is awkward without exposing the MLM head, so we
+        # verify a weaker invariant: embeddings of in-domain tokens move
+        # away from initialization.
+        trained = masked_loss(60)
+        fresh = MiniLM(dim=16, n_layers=1, max_length=24, vocab_size=256, seed=3)
+        fresh.pretrain(TEXTS, steps=1)  # near-initialization baseline
+        diff = np.abs(
+            trained.encoder.token_embedding.weight.data
+            - fresh.encoder.token_embedding.weight.data
+        ).mean()
+        assert diff > 1e-4
+
+    def test_pretrain_matching_then_transfer_head(self, lm):
+        clusters = [
+            ("c1", "f1", ["exatron vortexdisk 2tb drive", "vortexdisk 2 tb hdd"]),
+            ("c2", "f1", ["exatron vortexdisk 4tb drive", "vortexdisk 4 tb hdd"]),
+            ("c3", "f2", ["soniq tranquil headphones", "tranquil bt headphones"]),
+        ]
+        lm.pretrain_matching(clusters, steps=20, pairs_per_side=4)
+        assert lm.pair_head is not None
+        target = PairHead(lm.dim + N_LEXICAL_FEATURES, seed=5)
+        before = target.hidden_layer.weight.data.copy()
+        lm.initialize_pair_head(target)
+        assert not np.allclose(before, target.hidden_layer.weight.data)
+
+    def test_empty_pretraining_corpus_raises(self):
+        with pytest.raises(ValueError):
+            MiniLM(dim=16, vocab_size=128).pretrain(["ab"], steps=1)

@@ -1,0 +1,194 @@
+"""Autograd correctness: every op is checked against numerical gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, no_grad
+
+
+def numeric_gradient(fn, array, eps=1e-6):
+    """Central-difference gradient of scalar-valued fn wrt array."""
+    grad = np.zeros_like(array)
+    it = np.nditer(array, flags=["multi_index"])
+    while not it.finished:
+        index = it.multi_index
+        original = array[index]
+        array[index] = original + eps
+        up = fn()
+        array[index] = original - eps
+        down = fn()
+        array[index] = original
+        grad[index] = (up - down) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_gradient(make_loss, parameter, atol=1e-6):
+    parameter.zero_grad()
+    loss = make_loss()
+    loss.backward()
+    analytic = parameter.grad.copy()
+    numeric = numeric_gradient(lambda: make_loss().item(), parameter.data)
+    assert np.allclose(analytic, numeric, atol=atol), (
+        f"max err {np.abs(analytic - numeric).max()}"
+    )
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestElementwiseOps:
+    @pytest.mark.parametrize("op", [
+        lambda x, y: x + y,
+        lambda x, y: x - y,
+        lambda x, y: x * y,
+        lambda x, y: x / (y + 3.0),
+    ])
+    def test_binary_ops(self, rng, op):
+        x = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        y = Tensor(rng.standard_normal((3, 4)) * 0.5, requires_grad=True)
+        check_gradient(lambda: op(x, y).sum(), x)
+        x.zero_grad()
+        check_gradient(lambda: op(x, y).sum(), y)
+
+    def test_broadcasting_row_vector(self, rng):
+        x = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal(3), requires_grad=True)
+        check_gradient(lambda: ((x + b) * 2.0).sum(), b)
+
+    def test_broadcasting_scalar(self, rng):
+        x = Tensor(rng.standard_normal((2, 2)), requires_grad=True)
+        check_gradient(lambda: (x * 3.0 + 1.0).sum(), x)
+
+    def test_pow(self, rng):
+        x = Tensor(np.abs(rng.standard_normal((3,))) + 0.5, requires_grad=True)
+        check_gradient(lambda: (x ** 3).sum(), x)
+
+    def test_rsub_rdiv(self, rng):
+        x = Tensor(np.abs(rng.standard_normal((3,))) + 1.0, requires_grad=True)
+        check_gradient(lambda: (1.0 - x).sum(), x)
+        x.zero_grad()
+        check_gradient(lambda: (2.0 / x).sum(), x)
+
+
+class TestMatrixOps:
+    def test_matmul(self, rng):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal((4, 2)), requires_grad=True)
+        check_gradient(lambda: (a @ b).sum(), a)
+        a.zero_grad()
+        check_gradient(lambda: (a @ b).sum(), b)
+
+    def test_batched_matmul(self, rng):
+        a = Tensor(rng.standard_normal((2, 3, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal((2, 4, 5)), requires_grad=True)
+        check_gradient(lambda: (a @ b).sum(), a)
+
+    def test_transpose(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 4)), requires_grad=True)
+        weights = rng.standard_normal((2, 4, 3))
+        check_gradient(lambda: (x.transpose(1, 2) * Tensor(weights)).sum(), x)
+
+    def test_reshape(self, rng):
+        x = Tensor(rng.standard_normal((2, 6)), requires_grad=True)
+        weights = rng.standard_normal((3, 4))
+        check_gradient(lambda: (x.reshape(3, 4) * Tensor(weights)).sum(), x)
+
+    def test_concat(self, rng):
+        a = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal((2, 2)), requires_grad=True)
+        weights = rng.standard_normal((2, 5))
+        check_gradient(lambda: (Tensor.concat([a, b], axis=1) * Tensor(weights)).sum(), a)
+        a.zero_grad()
+        check_gradient(lambda: (Tensor.concat([a, b], axis=1) * Tensor(weights)).sum(), b)
+
+    def test_gather_rows(self, rng):
+        table = Tensor(rng.standard_normal((5, 3)), requires_grad=True)
+        ids = np.array([[0, 2], [2, 4]])
+        weights = rng.standard_normal((2, 2, 3))
+        check_gradient(lambda: (table.gather_rows(ids) * Tensor(weights)).sum(), table)
+
+    def test_index_select_first(self, rng):
+        x = Tensor(rng.standard_normal((3, 4, 2)), requires_grad=True)
+        weights = rng.standard_normal((3, 2))
+        check_gradient(lambda: (x.index_select_first() * Tensor(weights)).sum(), x)
+
+
+class TestReductionsAndActivations:
+    @pytest.mark.parametrize("reduce_fn", [
+        lambda x: x.sum(),
+        lambda x: x.mean(),
+        lambda x: x.sum(axis=1).sum(),
+        lambda x: x.mean(axis=0, keepdims=True).sum(),
+    ])
+    def test_reductions(self, rng, reduce_fn):
+        x = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        check_gradient(lambda: reduce_fn(x), x)
+
+    @pytest.mark.parametrize("activation", [
+        lambda x: x.relu(),
+        lambda x: x.gelu(),
+        lambda x: x.tanh(),
+        lambda x: x.sigmoid(),
+        lambda x: x.exp(),
+        lambda x: x.softmax(axis=-1),
+    ])
+    def test_activations(self, rng, activation):
+        x = Tensor(rng.standard_normal((3, 4)) * 0.8 + 0.1, requires_grad=True)
+        weights = rng.standard_normal((3, 4))
+        check_gradient(lambda: (activation(x) * Tensor(weights)).sum(), x, atol=1e-5)
+
+    def test_log_sqrt(self, rng):
+        x = Tensor(np.abs(rng.standard_normal((3,))) + 0.5, requires_grad=True)
+        check_gradient(lambda: x.log().sum(), x)
+        x.zero_grad()
+        check_gradient(lambda: x.sqrt().sum(), x)
+
+    def test_masked_fill_blocks_gradient(self, rng):
+        x = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        mask = np.array([[True, False, False], [False, True, False]])
+        loss = x.masked_fill(mask, -9.0).sum()
+        loss.backward()
+        assert np.array_equal(x.grad[mask], np.zeros(mask.sum()))
+        assert np.array_equal(x.grad[~mask], np.ones((~mask).sum()))
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_on_reuse(self, rng):
+        x = Tensor(np.ones(3), requires_grad=True)
+        loss = (x * 2.0).sum() + (x * 3.0).sum()
+        loss.backward()
+        assert np.allclose(x.grad, 5.0)
+
+    def test_backward_on_non_scalar_requires_gradient(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            (x * 2.0).backward()
+
+    def test_backward_without_grad_flag_raises(self):
+        x = Tensor(np.ones(2))
+        with pytest.raises(RuntimeError):
+            (x.sum()).backward()
+
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = (x * 2.0).sum()
+        assert not out.requires_grad
+
+    def test_detach(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        detached = x.detach()
+        assert not detached.requires_grad
+        detached.data[0] = 99.0
+        assert x.data[0] == 1.0  # copy, not view
+
+    def test_diamond_graph_gradient(self, rng):
+        # y = x*2; z = y + y ; checks topological ordering correctness.
+        x = Tensor(rng.standard_normal(4), requires_grad=True)
+        y = x * 2.0
+        loss = (y + y).sum()
+        loss.backward()
+        assert np.allclose(x.grad, 4.0)

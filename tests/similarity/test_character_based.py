@@ -1,0 +1,87 @@
+"""Tests for repro.similarity.character_based."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.similarity.character_based import (
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+)
+
+words = st.text(alphabet="abcdefgh", max_size=12)
+
+
+class TestLevenshtein:
+    def test_classic_example(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+
+    def test_identity(self):
+        assert levenshtein_distance("abc", "abc") == 0
+
+    def test_empty_vs_word(self):
+        assert levenshtein_distance("", "abc") == 3
+        assert levenshtein_distance("abc", "") == 3
+
+    def test_similarity_range(self):
+        assert levenshtein_similarity("", "") == 1.0
+        assert levenshtein_similarity("abc", "xyz") == 0.0
+
+    @given(words, words)
+    def test_symmetry(self, a, b):
+        assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+
+    @given(words, words, words)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein_distance(a, c) <= (
+            levenshtein_distance(a, b) + levenshtein_distance(b, c)
+        )
+
+    @given(words, words)
+    def test_bounded_by_longest(self, a, b):
+        assert levenshtein_distance(a, b) <= max(len(a), len(b))
+
+
+class TestJaro:
+    def test_identity(self):
+        assert jaro_similarity("martha", "martha") == 1.0
+
+    def test_known_value(self):
+        # Classic MARTHA/MARHTA example: 0.944...
+        assert jaro_similarity("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_disjoint(self):
+        assert jaro_similarity("abc", "xyz") == 0.0
+
+    def test_empty(self):
+        assert jaro_similarity("", "abc") == 0.0
+
+    @given(words, words)
+    def test_symmetric_and_bounded(self, a, b):
+        forward = jaro_similarity(a, b)
+        assert math.isclose(forward, jaro_similarity(b, a), abs_tol=1e-12)
+        assert 0.0 <= forward <= 1.0
+
+
+class TestJaroWinkler:
+    def test_prefix_boost(self):
+        assert jaro_winkler_similarity("prefixab", "prefixcd") > jaro_similarity(
+            "prefixab", "prefixcd"
+        )
+
+    def test_known_value(self):
+        assert jaro_winkler_similarity("martha", "marhta") == pytest.approx(
+            0.9611, abs=1e-3
+        )
+
+    @given(words, words)
+    def test_at_least_jaro(self, a, b):
+        assert jaro_winkler_similarity(a, b) >= jaro_similarity(a, b) - 1e-12
+
+    @given(words, words)
+    def test_bounded(self, a, b):
+        assert 0.0 <= jaro_winkler_similarity(a, b) <= 1.0 + 1e-12

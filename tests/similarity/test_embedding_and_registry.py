@@ -1,0 +1,98 @@
+"""Tests for the LSA embedding model and the alternating metric registry."""
+
+import numpy as np
+import pytest
+
+from repro.similarity.embedding import LsaEmbeddingModel
+from repro.similarity.registry import SimilarityMetric, SimilarityRegistry
+
+TITLES = [
+    "exatron vortexdisk 2tb internal hard drive",
+    "exatron vortexdisk 4tb internal hard drive",
+    "exatron vortexdisk 8tb internal hard drive",
+    "veltrix stormrider graphics card 8gb gddr6",
+    "veltrix stormrider graphics card 12gb gddr6",
+    "soniq tranquil wireless headphones black",
+    "soniq tranquil wireless headphones white",
+    "lumora photon smartphone 128gb ocean blue",
+]
+
+
+class TestLsaEmbeddingModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return LsaEmbeddingModel(dim=8).fit(TITLES * 3)
+
+    def test_embedding_is_unit_or_zero(self, model):
+        vector = model.embed(TITLES[0])
+        assert np.linalg.norm(vector) == pytest.approx(1.0, abs=1e-6)
+
+    def test_oov_text_gives_zero_vector(self, model):
+        assert np.allclose(model.embed("zzz qqq www"), 0.0)
+
+    def test_similar_titles_closer_than_dissimilar(self, model):
+        same_family = model.similarity(TITLES[0], TITLES[1])
+        cross_domain = model.similarity(TITLES[0], TITLES[5])
+        assert same_family > cross_domain
+
+    def test_similarity_clipped(self, model):
+        value = model.similarity(TITLES[0], TITLES[0])
+        assert 0.0 <= value <= 1.0
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            LsaEmbeddingModel().embed("x")
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            LsaEmbeddingModel(dim=1)
+
+    def test_empty_corpus_raises(self):
+        with pytest.raises(ValueError):
+            LsaEmbeddingModel().fit([""])
+
+    def test_embed_many_shape(self, model):
+        matrix = model.embed_many(TITLES[:3])
+        assert matrix.shape == (3, 8)
+
+
+class TestSimilarityRegistry:
+    def test_symbolic_only_without_embedding(self):
+        registry = SimilarityRegistry()
+        assert registry.names == ["cosine", "dice", "generalized_jaccard"]
+
+    def test_embedding_added_when_model_given(self):
+        model = LsaEmbeddingModel(dim=4).fit(TITLES)
+        registry = SimilarityRegistry(embedding_model=model)
+        assert "lsa_embedding" in registry.names
+
+    def test_draw_covers_all_metrics(self):
+        registry = SimilarityRegistry(rng=np.random.default_rng(0))
+        drawn = {registry.draw().name for _ in range(100)}
+        assert drawn == set(registry.names)
+
+    def test_rank_candidates_descending(self):
+        registry = SimilarityRegistry(rng=np.random.default_rng(1))
+        metric = registry.metrics[0]
+        ranked = registry.rank_candidates(
+            TITLES[0], TITLES[1:], metric=metric
+        )
+        scores = [score for _, score in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_most_similar_finds_family_sibling(self):
+        registry = SimilarityRegistry(rng=np.random.default_rng(2))
+        top = registry.most_similar(
+            TITLES[0], TITLES[1:], top_k=1, metric=registry.metrics[0]
+        )
+        assert top == [0]  # the 4tb sibling
+
+    def test_pairwise_scores_symmetric_with_unit_diagonal(self):
+        registry = SimilarityRegistry(rng=np.random.default_rng(3))
+        matrix = registry.pairwise_scores(TITLES[:4], metric=registry.metrics[0])
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 1.0)
+
+    def test_custom_metric_callable(self):
+        metric = SimilarityMetric("const", lambda a, b: 0.5)
+        assert metric("x", "y") == 0.5

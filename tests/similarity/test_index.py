@@ -1,0 +1,91 @@
+"""Tests for the vectorized TitleSimilaritySearch index."""
+
+import numpy as np
+import pytest
+
+from repro.similarity.embedding import LsaEmbeddingModel
+from repro.similarity.index import TitleSimilaritySearch
+from repro.similarity.token_based import (
+    cosine_similarity,
+    dice_similarity,
+)
+
+TITLES = [
+    "exatron vortexdisk 2tb internal hard drive",
+    "exatron vortexdisk 4tb internal hard drive",
+    "veltrix stormrider graphics card 8gb",
+    "veltrix stormrider graphics card 12gb",
+    "soniq tranquil wireless headphones",
+    "unrelated garden chair wood brown",
+]
+
+
+@pytest.fixture(scope="module")
+def index():
+    return TitleSimilaritySearch(TITLES)
+
+
+class TestScores:
+    @pytest.mark.parametrize("metric,reference", [
+        ("cosine", cosine_similarity),
+        ("dice", dice_similarity),
+    ])
+    def test_matches_direct_metric(self, index, metric, reference):
+        scores = index.scores(0, metric)
+        for candidate in range(len(TITLES)):
+            expected = reference(TITLES[0], TITLES[candidate])
+            assert scores[candidate] == pytest.approx(expected, abs=1e-9)
+
+    def test_generalized_jaccard_top_candidates_exact(self, index):
+        from repro.similarity.token_based import generalized_jaccard_similarity
+
+        scores = index.scores(0, "generalized_jaccard")
+        # The top-ranked candidates are rescored exactly.
+        best = int(np.argmax(np.delete(scores, 0)))
+        best = best if best < 0 else best + 1
+        expected = generalized_jaccard_similarity(TITLES[0], TITLES[best])
+        assert scores[best] == pytest.approx(expected, abs=1e-9)
+
+    def test_embedding_metric_requires_model(self, index):
+        with pytest.raises(ValueError):
+            index.scores(0, "lsa_embedding")
+
+    def test_embedding_metric_with_model(self):
+        model = LsaEmbeddingModel(dim=4).fit(TITLES)
+        indexed = TitleSimilaritySearch(TITLES, embedding_model=model)
+        scores = indexed.scores(0, "lsa_embedding")
+        assert scores.shape == (len(TITLES),)
+        assert "lsa_embedding" in indexed.metric_names
+
+    def test_unknown_metric_raises(self, index):
+        with pytest.raises(ValueError):
+            index.scores(0, "nope")
+
+
+class TestTopK:
+    def test_excludes_query_itself(self, index):
+        top = index.top_k(0, "cosine", k=3)
+        assert 0 not in top
+
+    def test_finds_sibling_first(self, index):
+        top = index.top_k(0, "cosine", k=1)
+        assert top == [1]
+
+    def test_respects_exclude_mask(self, index):
+        exclude = np.zeros(len(TITLES), dtype=bool)
+        exclude[1] = True
+        top = index.top_k(0, "cosine", k=1, exclude=exclude)
+        assert top and top[0] != 1
+
+    def test_k_zero(self, index):
+        assert index.top_k(0, "cosine", k=0) == []
+
+    def test_k_larger_than_corpus(self, index):
+        top = index.top_k(0, "cosine", k=100)
+        assert len(top) == len(TITLES) - 1  # everything except the query
+
+    def test_ordering_is_descending(self, index):
+        top = index.top_k(0, "dice", k=4)
+        scores = index.scores(0, "dice")
+        values = [scores[i] for i in top]
+        assert values == sorted(values, reverse=True)

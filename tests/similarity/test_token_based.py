@@ -1,0 +1,81 @@
+"""Tests for repro.similarity.token_based."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.similarity.token_based import (
+    cosine_similarity,
+    dice_similarity,
+    generalized_jaccard_similarity,
+    jaccard_similarity,
+    overlap_coefficient,
+)
+
+token_lists = st.lists(
+    st.text(alphabet="abcdefgh123", min_size=1, max_size=6), min_size=0, max_size=8
+)
+
+ALL_METRICS = [
+    cosine_similarity,
+    dice_similarity,
+    jaccard_similarity,
+    generalized_jaccard_similarity,
+    overlap_coefficient,
+]
+
+
+class TestKnownValues:
+    def test_cosine(self):
+        # |A∩B|=2, |A|=3, |B|=3 -> 2/3
+        assert cosine_similarity("wd blue 2tb", "wd blue 4tb") == pytest.approx(2 / 3)
+
+    def test_dice(self):
+        assert dice_similarity("a b", "b c") == pytest.approx(2 * 1 / 4)
+
+    def test_jaccard(self):
+        assert jaccard_similarity("a b c", "b c d") == pytest.approx(2 / 4)
+
+    def test_overlap(self):
+        assert overlap_coefficient("a b", "a b c d") == pytest.approx(1.0)
+
+    def test_generalized_jaccard_exact_tokens_reduces_to_jaccard(self):
+        # Threshold 1.0 admits exact token matches only.
+        value = generalized_jaccard_similarity("a b c", "b c d", threshold=1.0)
+        assert value == pytest.approx(jaccard_similarity("a b c", "b c d"))
+
+    def test_generalized_jaccard_rewards_near_tokens(self):
+        soft = generalized_jaccard_similarity("sandisk ultra", "sandisc ultra")
+        hard = jaccard_similarity("sandisk ultra", "sandisc ultra")
+        assert soft > hard
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("metric", ALL_METRICS)
+    def test_both_empty(self, metric):
+        value = metric("", "")
+        assert value in (0.0, 1.0)  # defined, never NaN
+
+    @pytest.mark.parametrize("metric", ALL_METRICS)
+    def test_one_empty_is_zero(self, metric):
+        assert metric("something here", "") == 0.0
+
+    def test_accepts_pretokenized(self):
+        assert jaccard_similarity(["a", "b"], ["a", "b"]) == 1.0
+
+
+class TestProperties:
+    @pytest.mark.parametrize("metric", ALL_METRICS)
+    @given(left=token_lists, right=token_lists)
+    def test_range_and_symmetry(self, metric, left, right):
+        forward = metric(left, right)
+        backward = metric(right, left)
+        assert 0.0 <= forward <= 1.0 + 1e-9
+        assert math.isclose(forward, backward, abs_tol=1e-9)
+
+    @pytest.mark.parametrize("metric", ALL_METRICS)
+    @given(tokens=token_lists.filter(lambda t: len(t) > 0))
+    def test_identity_is_one(self, metric, tokens):
+        assert metric(tokens, tokens) == pytest.approx(1.0)

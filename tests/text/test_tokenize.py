@@ -1,0 +1,86 @@
+"""Tests for repro.text.tokenize."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.tokenize import char_ngrams, normalize_text, tokenize, word_shingles
+
+
+class TestNormalizeText:
+    def test_lowercases(self):
+        assert normalize_text("SanDisk ULTRA") == "sandisk ultra"
+
+    def test_strips_tags(self):
+        assert normalize_text("a <b>bold</b> move") == "a bold move"
+
+    def test_strips_punctuation(self):
+        assert normalize_text("2TB, 7200RPM!") == "2tb 7200rpm"
+
+    def test_collapses_whitespace(self):
+        assert normalize_text("a   b\t c") == "a b c"
+
+    def test_empty(self):
+        assert normalize_text("") == ""
+
+    def test_only_punctuation(self):
+        assert normalize_text("!!! ...") == ""
+
+    @given(st.text(max_size=100))
+    def test_never_raises_and_is_idempotent(self, text):
+        once = normalize_text(text)
+        assert normalize_text(once) == once
+
+
+class TestTokenize:
+    def test_basic(self):
+        assert tokenize("WD Blue 2TB") == ["wd", "blue", "2tb"]
+
+    def test_empty_gives_empty_list(self):
+        assert tokenize("") == []
+        assert tokenize("   ") == []
+
+    def test_hyphenated_model_code_splits(self):
+        assert tokenize("VD-2400") == ["vd", "2400"]
+
+    @given(st.text(max_size=200))
+    def test_tokens_contain_no_whitespace(self, text):
+        for token in tokenize(text):
+            assert token
+            assert " " not in token
+
+
+class TestWordShingles:
+    def test_bigrams(self):
+        assert word_shingles(["a", "b", "c"], size=2) == ["a b", "b c"]
+
+    def test_too_short_gives_empty(self):
+        assert word_shingles(["a"], size=2) == []
+
+    def test_size_equal_length(self):
+        assert word_shingles(["a", "b"], size=2) == ["a b"]
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(ValueError):
+            word_shingles(["a"], size=0)
+
+
+class TestCharNgrams:
+    def test_padded(self):
+        assert char_ngrams("ab", size=3) == ["^ab", "ab$"]
+
+    def test_unpadded(self):
+        assert char_ngrams("abcd", size=3, pad=False) == ["abc", "bcd"]
+
+    def test_short_text(self):
+        assert char_ngrams("", size=3, pad=False) == []
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            char_ngrams("abc", size=0)
+
+    @given(st.text(min_size=1, max_size=30), st.integers(min_value=1, max_value=5))
+    def test_count_matches_formula(self, text, size):
+        grams = char_ngrams(text, size=size, pad=False)
+        expected = max(len(text) - size + 1, 1) if text else 0
+        assert len(grams) == (expected if len(text) >= size else 1)

