@@ -5,7 +5,7 @@ splitting -> pair generation) on a fresh small corpus and prints the
 funnel each stage produces.
 """
 
-from repro.core import BenchmarkBuilder, BuildConfig
+from repro.core import BenchmarkBuilder, BuildConfig, build_profile
 from repro.core.dimensions import CornerCaseRatio
 
 
@@ -36,6 +36,12 @@ def test_figure2_creation_pipeline(benchmark):
     n_test = sum(len(d) for d in artifacts.benchmark.test_sets.values())
     print(f"(6) pair generation: {n_train:,} training pairs, {n_test:,} test pairs")
 
+    print("--- stage wall-clock ---")
+    for row in build_profile(artifacts):
+        share = f"{row.share:6.1%}" if not row.stage.startswith("ratio:") else ""
+        print(f"    {row.stage:<12} {row.seconds:8.3f}s {share}")
+
     assert artifacts.cleansing_report.after_outlier_removal > 0
     assert len(artifacts.benchmark.train_sets) == 9
     assert len(artifacts.benchmark.test_sets) == 9
+    assert artifacts.stage_timings["ratios"] > 0.0

@@ -19,11 +19,17 @@ from repro.core.datasets import LabeledPair, MulticlassDataset, PairDataset
 from repro.core.selection import ProductSelection, select_products
 from repro.core.splitting import OfferSplit, split_offers
 from repro.core.pairs import generate_pairs
-from repro.core.multiclass import build_multiclass_datasets
+from repro.core.multiclass import (
+    build_multiclass_datasets,
+    build_multiclass_eval,
+    build_multiclass_train,
+)
 from repro.core.benchmark import MulticlassTask, PairwiseTask, WDCProductsBenchmark
 from repro.core.builder import BenchmarkBuilder, BuildArtifacts, BuildConfig
 from repro.core.profiling import (
+    StageTimingRow,
     benchmark_totals,
+    build_profile,
     table1_statistics,
     table2_profile,
 )
@@ -46,6 +52,8 @@ __all__ = [
     "split_offers",
     "generate_pairs",
     "build_multiclass_datasets",
+    "build_multiclass_eval",
+    "build_multiclass_train",
     "WDCProductsBenchmark",
     "PairwiseTask",
     "MulticlassTask",
@@ -55,6 +63,8 @@ __all__ = [
     "table1_statistics",
     "table2_profile",
     "benchmark_totals",
+    "StageTimingRow",
+    "build_profile",
     "LabelQualityResult",
     "LabelQualityStudy",
 ]

@@ -1,20 +1,35 @@
 """End-to-end benchmark construction (the Figure-2 pipeline).
 
-``BenchmarkBuilder`` chains every stage: synthetic corpus generation →
-cleansing → grouping/curation → per-corner-case-ratio product selection →
-offer splitting → pair generation → multi-class datasets.  The returned
-:class:`BuildArtifacts` keeps all intermediate artifacts so profiling
-benchmarks and tests can inspect each stage.
+``BenchmarkBuilder`` chains every stage as an explicitly named step:
+
+1. ``corpus``    — synthetic corpus generation,
+2. ``cleansing`` — the Section-3.2 cleansing pipeline,
+3. ``grouping``  — DBSCAN grouping + curation,
+4. ``embedding`` — LSA embedding fit (the fastText stand-in),
+5. ``engine``    — the shared :class:`SimilarityEngine` precomputation
+   (one tokenization/incidence-matrix/embedding pass for the whole corpus),
+6. ``ratio:*``   — per-corner-case-ratio selection → splitting → pair
+   generation → multi-class datasets.
+
+The per-ratio builds are mutually independent: each derives its random
+streams by name from the master seed and only reads the shared artifacts,
+so stage 6 runs them concurrently on a thread pool (the engine's
+NumPy/SciPy kernels release the GIL).  Results are merged back in
+configuration order, which keeps a seeded build byte-identical whether
+parallelism is enabled or not.  Per-stage wall-clock timings are recorded
+in :attr:`BuildArtifacts.stage_timings`.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.cleansing.pipeline import CleansingPipeline, CleansingReport
 from repro.core.benchmark import WDCProductsBenchmark
+from repro.core.datasets import MulticlassDataset, PairDataset
 from repro.core.dimensions import CornerCaseRatio, DevSetSize, UnseenRatio
-from repro.core.multiclass import build_multiclass_datasets
+from repro.core.multiclass import build_multiclass_eval, build_multiclass_train
 from repro.core.pairs import generate_pairs
 from repro.core.selection import ProductSelection, select_products
 from repro.core.splitting import OfferSplit, split_offers
@@ -22,8 +37,10 @@ from repro.corpus.generator import CorpusConfig, CorpusGenerator, GeneratedCorpu
 from repro.corpus.schema import SyntheticCorpus
 from repro.grouping.curation import GroupedCorpus, group_products
 from repro.similarity.embedding import LsaEmbeddingModel
+from repro.similarity.engine import SimilarityEngine
 from repro.similarity.registry import SimilarityRegistry
 from repro.utils.rng import RngStream
+from repro.utils.timer import Timer
 
 __all__ = ["BuildConfig", "BuildArtifacts", "BenchmarkBuilder"]
 
@@ -39,11 +56,34 @@ class BuildConfig:
     n_products: int = 500
     n_similar: int = 4
     corner_case_ratios: tuple[CornerCaseRatio, ...] = tuple(CornerCaseRatio)
+    parallel_ratio_builds: bool = True
+    max_workers: int | None = None
 
     @classmethod
-    def small(cls, *, seed: int = 42) -> "BuildConfig":
-        """Reduced configuration for tests: 60 products per set."""
-        return cls(corpus=CorpusConfig.small(), seed=seed, n_products=60)
+    def small(cls, *, seed: int = 42, **overrides) -> "BuildConfig":
+        """Reduced configuration for tests: 60 products per set.
+
+        ``overrides`` may replace any field, including the small defaults.
+        """
+        fields = {"corpus": CorpusConfig.small(), "seed": seed, "n_products": 60}
+        fields.update(overrides)
+        return cls(**fields)
+
+
+@dataclass
+class _RatioArtifacts:
+    """Everything one corner-case ratio contributes to the benchmark."""
+
+    corner_cases: CornerCaseRatio
+    selections: dict[str, ProductSelection]
+    split: OfferSplit
+    train_sets: dict[DevSetSize, PairDataset]
+    valid_sets: dict[DevSetSize, PairDataset]
+    test_sets: dict[UnseenRatio, PairDataset]
+    multiclass_train: dict[DevSetSize, MulticlassDataset]
+    multiclass_valid: MulticlassDataset
+    multiclass_test: MulticlassDataset
+    elapsed: float
 
 
 @dataclass
@@ -61,6 +101,8 @@ class BuildArtifacts:
     splits: dict[CornerCaseRatio, OfferSplit] = field(default_factory=dict)
     benchmark: WDCProductsBenchmark = field(default_factory=WDCProductsBenchmark)
     embedding_model: LsaEmbeddingModel | None = None
+    engine: SimilarityEngine | None = None
+    stage_timings: dict[str, float] = field(default_factory=dict)
 
     def selected_cluster_ids(self) -> set[str]:
         """Products appearing in any selection (any ratio, any part)."""
@@ -103,46 +145,145 @@ class BenchmarkBuilder:
     def __init__(self, config: BuildConfig | None = None):
         self.config = config if config is not None else BuildConfig()
 
+    # ------------------------------------------------------------------ #
+    # Stages 1-5: shared artifacts
+    # ------------------------------------------------------------------ #
+    def _stage_corpus(self) -> GeneratedCorpus:
+        return CorpusGenerator(self.config.corpus).generate()
+
+    def _stage_cleansing(
+        self, generated: GeneratedCorpus
+    ) -> tuple[SyntheticCorpus, CleansingReport]:
+        pipeline = CleansingPipeline()
+        cleansed = pipeline.run(generated.corpus)
+        return cleansed, pipeline.report
+
+    def _stage_grouping(self, cleansed: SyntheticCorpus) -> GroupedCorpus:
+        return group_products(cleansed)
+
+    def _stage_embedding(self, cleansed: SyntheticCorpus) -> LsaEmbeddingModel:
+        # Embedding model for the metric registry, trained on corpus titles
+        # (the stand-in for the paper's fastText model).
+        return LsaEmbeddingModel(dim=32).fit(
+            [offer.title for offer in cleansed.offers]
+        )
+
+    def _stage_engine(
+        self,
+        cleansed: SyntheticCorpus,
+        grouped: GroupedCorpus,
+        embedding_model: LsaEmbeddingModel,
+    ) -> tuple[SimilarityEngine, dict[str, int], dict[str, int]]:
+        """One corpus-level engine plus the offer-id and cluster-id row maps."""
+        engine = SimilarityEngine(
+            [offer.title for offer in cleansed.offers],
+            embedding_model=embedding_model,
+        )
+        offer_rows = {
+            offer.offer_id: row for row, offer in enumerate(cleansed.offers)
+        }
+        cluster_rows: dict[str, int] = {}
+        for groups in (grouped.seen_groups, grouped.unseen_groups):
+            for group in groups:
+                for cluster in group.clusters:
+                    representative = cluster.representative_offer()
+                    cluster_rows[cluster.cluster_id] = offer_rows[
+                        representative.offer_id
+                    ]
+        return engine, offer_rows, cluster_rows
+
+    # ------------------------------------------------------------------ #
     def build(self) -> BuildArtifacts:
         config = self.config
         stream = RngStream(config.seed, "benchmark")
+        timings: dict[str, float] = {}
 
-        # Steps 1-2: corpus extraction and cleansing.
-        generated = CorpusGenerator(config.corpus).generate()
-        pipeline = CleansingPipeline()
-        cleansed = pipeline.run(generated.corpus)
+        with Timer() as timer:
+            generated = self._stage_corpus()
+        timings["corpus"] = timer.elapsed
 
-        # Step 3: grouping similar products (+ curation).
-        grouped = group_products(cleansed)
+        with Timer() as timer:
+            cleansed, cleansing_report = self._stage_cleansing(generated)
+        timings["cleansing"] = timer.elapsed
 
-        # Embedding model for the metric registry, trained on corpus titles
-        # (the stand-in for the paper's fastText model).
-        embedding_model = LsaEmbeddingModel(dim=32).fit(
-            [offer.title for offer in cleansed.offers]
-        )
+        with Timer() as timer:
+            grouped = self._stage_grouping(cleansed)
+        timings["grouping"] = timer.elapsed
+
+        with Timer() as timer:
+            embedding_model = self._stage_embedding(cleansed)
+        timings["embedding"] = timer.elapsed
+
+        with Timer() as timer:
+            engine, offer_rows, cluster_rows = self._stage_engine(
+                cleansed, grouped, embedding_model
+            )
+        timings["engine"] = timer.elapsed
 
         artifacts = BuildArtifacts(
             config=config,
             generated=generated,
             cleansed=cleansed,
-            cleansing_report=pipeline.report,
+            cleansing_report=cleansing_report,
             grouped=grouped,
             embedding_model=embedding_model,
+            engine=engine,
+            stage_timings=timings,
         )
 
-        # Steps 4-6 per corner-case ratio.
-        for corner_cases in config.corner_case_ratios:
-            self._build_ratio(artifacts, corner_cases, embedding_model, stream)
+        # Stage 6 per corner-case ratio: independent, hence parallelizable.
+        ratios = list(config.corner_case_ratios)
+        with Timer() as timer:
+            if config.parallel_ratio_builds and len(ratios) > 1:
+                workers = config.max_workers or len(ratios)
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    ratio_results = list(
+                        pool.map(
+                            lambda cc: self._build_ratio(
+                                cc,
+                                grouped,
+                                embedding_model,
+                                engine,
+                                offer_rows,
+                                cluster_rows,
+                                stream,
+                            ),
+                            ratios,
+                        )
+                    )
+            else:
+                ratio_results = [
+                    self._build_ratio(
+                        cc,
+                        grouped,
+                        embedding_model,
+                        engine,
+                        offer_rows,
+                        cluster_rows,
+                        stream,
+                    )
+                    for cc in ratios
+                ]
+        timings["ratios"] = timer.elapsed
+
+        # Merge in configuration order so dict ordering — and therefore the
+        # serialized benchmark — is independent of completion order.
+        for result in ratio_results:
+            self._merge_ratio(artifacts, result)
+            timings[f"ratio:{result.corner_cases.label}"] = result.elapsed
         return artifacts
 
     # ------------------------------------------------------------------ #
     def _build_ratio(
         self,
-        artifacts: BuildArtifacts,
         corner_cases: CornerCaseRatio,
+        grouped: GroupedCorpus,
         embedding_model: LsaEmbeddingModel,
+        engine: SimilarityEngine,
+        offer_rows: dict[str, int],
+        cluster_rows: dict[str, int],
         stream: RngStream,
-    ) -> None:
+    ) -> _RatioArtifacts:
         config = self.config
         ratio_name = corner_cases.label
         registry = SimilarityRegistry(
@@ -150,62 +291,108 @@ class BenchmarkBuilder:
             rng=stream.generator("registry", ratio_name),
         )
 
-        # Step 4: product selection (seen and unseen sets of n_products).
-        selections: dict[str, ProductSelection] = {}
-        for part in ("seen", "unseen"):
-            selections[part] = select_products(
-                artifacts.grouped,
-                part=part,
-                corner_case_ratio=corner_cases.value,
-                n_products=config.n_products,
-                n_similar=config.n_similar,
+        with Timer() as timer:
+            # Step 4: product selection (seen and unseen sets of n_products).
+            selections: dict[str, ProductSelection] = {}
+            for part in ("seen", "unseen"):
+                selections[part] = select_products(
+                    grouped,
+                    part=part,
+                    corner_case_ratio=corner_cases.value,
+                    n_products=config.n_products,
+                    n_similar=config.n_similar,
+                    registry=registry,
+                    rng=stream.generator("selection", ratio_name, part),
+                    engine=engine,
+                    cluster_rows=cluster_rows,
+                )
+
+            # Step 5: offer splitting (incl. the three test product sets).
+            split = split_offers(
+                selections["seen"],
+                selections["unseen"],
                 registry=registry,
-                rng=stream.generator("selection", ratio_name, part),
+                rng=stream.generator("splitting", ratio_name),
+                engine=engine,
+                offer_rows=offer_rows,
             )
-            artifacts.selections[(corner_cases, part)] = selections[part]
 
-        # Step 5: offer splitting (incl. the three test product sets).
-        split = split_offers(
-            selections["seen"],
-            selections["unseen"],
-            registry=registry,
-            rng=stream.generator("splitting", ratio_name),
+            # Step 6: pair generation for every development size and test
+            # set, plus the multi-class datasets (valid/test built once —
+            # they do not depend on the development-set size).
+            train_sets: dict[DevSetSize, PairDataset] = {}
+            valid_sets: dict[DevSetSize, PairDataset] = {}
+            multiclass_train: dict[DevSetSize, MulticlassDataset] = {}
+            for dev_size in DevSetSize:
+                pair_rng = stream.generator("pairs", ratio_name, dev_size.value)
+                train_sets[dev_size] = generate_pairs(
+                    split.train_offers(dev_size),
+                    name=f"train-{ratio_name}-{dev_size.value}",
+                    corner_negatives_per_offer=dev_size.corner_negatives_per_offer,
+                    rng=pair_rng,
+                    engine=engine,
+                    offer_rows=offer_rows,
+                )
+                valid_sets[dev_size] = generate_pairs(
+                    split.valid_offers(),
+                    name=f"valid-{ratio_name}-{dev_size.value}",
+                    corner_negatives_per_offer=dev_size.corner_negatives_per_offer,
+                    rng=pair_rng,
+                    engine=engine,
+                    offer_rows=offer_rows,
+                )
+                multiclass_train[dev_size] = build_multiclass_train(
+                    split,
+                    dev_size=dev_size,
+                    name_prefix=f"multiclass-{ratio_name}",
+                )
+            multiclass_valid, multiclass_test = build_multiclass_eval(
+                split, name_prefix=f"multiclass-{ratio_name}"
+            )
+
+            test_sets: dict[UnseenRatio, PairDataset] = {}
+            for unseen in UnseenRatio:
+                test_rng = stream.generator("pairs", ratio_name, "test", unseen.label)
+                test_sets[unseen] = generate_pairs(
+                    split.test_offers(unseen),
+                    name=f"test-{ratio_name}-{unseen.label.lower()}",
+                    corner_negatives_per_offer=_TEST_CORNER_NEGATIVES,
+                    rng=test_rng,
+                    engine=engine,
+                    offer_rows=offer_rows,
+                )
+
+        return _RatioArtifacts(
+            corner_cases=corner_cases,
+            selections=selections,
+            split=split,
+            train_sets=train_sets,
+            valid_sets=valid_sets,
+            test_sets=test_sets,
+            multiclass_train=multiclass_train,
+            multiclass_valid=multiclass_valid,
+            multiclass_test=multiclass_test,
+            elapsed=timer.elapsed,
         )
-        artifacts.splits[corner_cases] = split
 
-        # Step 6: pair generation for every development size and test set.
+    @staticmethod
+    def _merge_ratio(artifacts: BuildArtifacts, result: _RatioArtifacts) -> None:
+        corner_cases = result.corner_cases
+        for part, selection in result.selections.items():
+            artifacts.selections[(corner_cases, part)] = selection
+        artifacts.splits[corner_cases] = result.split
         benchmark = artifacts.benchmark
         for dev_size in DevSetSize:
-            pair_rng = stream.generator("pairs", ratio_name, dev_size.value)
-            benchmark.train_sets[(corner_cases, dev_size)] = generate_pairs(
-                split.train_offers(dev_size),
-                name=f"train-{ratio_name}-{dev_size.value}",
-                corner_negatives_per_offer=dev_size.corner_negatives_per_offer,
-                rng=pair_rng,
-                embedding_model=embedding_model,
+            benchmark.train_sets[(corner_cases, dev_size)] = result.train_sets[
+                dev_size
+            ]
+            benchmark.valid_sets[(corner_cases, dev_size)] = result.valid_sets[
+                dev_size
+            ]
+            benchmark.multiclass_train[(corner_cases, dev_size)] = (
+                result.multiclass_train[dev_size]
             )
-            benchmark.valid_sets[(corner_cases, dev_size)] = generate_pairs(
-                split.valid_offers(),
-                name=f"valid-{ratio_name}-{dev_size.value}",
-                corner_negatives_per_offer=dev_size.corner_negatives_per_offer,
-                rng=pair_rng,
-                embedding_model=embedding_model,
-            )
-            train, valid, test = build_multiclass_datasets(
-                split,
-                dev_size=dev_size,
-                name_prefix=f"multiclass-{ratio_name}",
-            )
-            benchmark.multiclass_train[(corner_cases, dev_size)] = train
-            benchmark.multiclass_valid[corner_cases] = valid
-            benchmark.multiclass_test[corner_cases] = test
-
+        benchmark.multiclass_valid[corner_cases] = result.multiclass_valid
+        benchmark.multiclass_test[corner_cases] = result.multiclass_test
         for unseen in UnseenRatio:
-            test_rng = stream.generator("pairs", ratio_name, "test", unseen.label)
-            benchmark.test_sets[(corner_cases, unseen)] = generate_pairs(
-                split.test_offers(unseen),
-                name=f"test-{ratio_name}-{unseen.label.lower()}",
-                corner_negatives_per_offer=_TEST_CORNER_NEGATIVES,
-                rng=test_rng,
-                embedding_model=embedding_model,
-            )
+            benchmark.test_sets[(corner_cases, unseen)] = result.test_sets[unseen]

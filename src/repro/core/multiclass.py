@@ -13,30 +13,41 @@ from repro.core.datasets import MulticlassDataset
 from repro.core.dimensions import DevSetSize, UnseenRatio
 from repro.core.splitting import OfferSplit
 
-__all__ = ["build_multiclass_datasets"]
+__all__ = [
+    "build_multiclass_datasets",
+    "build_multiclass_eval",
+    "build_multiclass_train",
+]
 
 
-def build_multiclass_datasets(
+def build_multiclass_train(
     split: OfferSplit,
     *,
     dev_size: DevSetSize,
     name_prefix: str = "multiclass",
-) -> tuple[MulticlassDataset, MulticlassDataset, MulticlassDataset]:
-    """Return (train, valid, test) multi-class datasets for ``dev_size``.
+) -> MulticlassDataset:
+    """The multi-class training set for one development-set size."""
+    train_entries = split.train_offers(dev_size)
+    return MulticlassDataset(
+        name=f"{name_prefix}-train-{dev_size.value}",
+        offers=[offer for _, offer in train_entries],
+        labels=[cluster_id for cluster_id, _ in train_entries],
+    )
+
+
+def build_multiclass_eval(
+    split: OfferSplit,
+    *,
+    name_prefix: str = "multiclass",
+) -> tuple[MulticlassDataset, MulticlassDataset]:
+    """The (valid, test) multi-class sets — independent of the dev size.
 
     The test set is always the fully *seen* test set — multi-class
     matching recognizes a previously known set of products, so unseen
     products have no label in the space.
     """
-    train_entries = split.train_offers(dev_size)
     valid_entries = split.valid_offers()
     test_entries = split.test_offers(UnseenRatio.SEEN)
-
-    train = MulticlassDataset(
-        name=f"{name_prefix}-train-{dev_size.value}",
-        offers=[offer for _, offer in train_entries],
-        labels=[cluster_id for cluster_id, _ in train_entries],
-    )
     valid = MulticlassDataset(
         name=f"{name_prefix}-valid",
         offers=[offer for _, offer in valid_entries],
@@ -47,4 +58,16 @@ def build_multiclass_datasets(
         offers=[offer for _, offer in test_entries],
         labels=[cluster_id for cluster_id, _ in test_entries],
     )
+    return valid, test
+
+
+def build_multiclass_datasets(
+    split: OfferSplit,
+    *,
+    dev_size: DevSetSize,
+    name_prefix: str = "multiclass",
+) -> tuple[MulticlassDataset, MulticlassDataset, MulticlassDataset]:
+    """Return (train, valid, test) multi-class datasets for ``dev_size``."""
+    train = build_multiclass_train(split, dev_size=dev_size, name_prefix=name_prefix)
+    valid, test = build_multiclass_eval(split, name_prefix=name_prefix)
     return train, valid, test

@@ -19,6 +19,7 @@ import numpy as np
 from repro.core.datasets import LabeledPair, PairDataset
 from repro.corpus.schema import ProductOffer
 from repro.similarity.embedding import LsaEmbeddingModel
+from repro.similarity.engine import SimilarityEngine
 from repro.similarity.index import TitleSimilaritySearch
 
 __all__ = ["generate_pairs"]
@@ -32,20 +33,30 @@ def generate_pairs(
     random_negatives_per_offer: int = 1,
     rng: np.random.Generator,
     embedding_model: LsaEmbeddingModel | None = None,
+    engine: SimilarityEngine | None = None,
+    offer_rows: dict[str, int] | None = None,
 ) -> PairDataset:
     """Generate the labeled pair set for one split.
 
     ``entries`` are ``(cluster_id, offer)`` tuples; offers of the same
     cluster produce positives, offers of different clusters negatives.
+    With ``engine`` and ``offer_rows`` (offer id → engine row) the split's
+    similarity index is a cheap view over the shared corpus-level engine;
+    otherwise a standalone index is built from the split's titles.
     """
     if corner_negatives_per_offer < 0 or random_negatives_per_offer < 0:
         raise ValueError("negative counts must be non-negative")
 
     offers = [offer for _, offer in entries]
     cluster_ids = [cluster_id for cluster_id, _ in entries]
-    index = TitleSimilaritySearch(
-        [offer.title for offer in offers], embedding_model=embedding_model
-    )
+    if engine is not None and offer_rows is not None:
+        index = TitleSimilaritySearch.over_view(
+            engine, [offer_rows[offer.offer_id] for offer in offers]
+        )
+    else:
+        index = TitleSimilaritySearch(
+            [offer.title for offer in offers], embedding_model=embedding_model
+        )
     metric_names = index.metric_names
 
     dataset = PairDataset(name=name)
@@ -82,24 +93,40 @@ def generate_pairs(
 
     # ---------------------------------------------------------------- #
     # Negatives: per offer, the most similar offers from other clusters
-    # under an alternating metric, then random negatives.
+    # under an alternating metric, then random negatives.  The metric is
+    # drawn per offer up front, then the top-k searches run as one batch
+    # per metric — one sparse-matrix pass instead of one per offer.
     # ---------------------------------------------------------------- #
     cluster_array = np.array(cluster_ids)
     n = len(offers)
+    corner_candidates: dict[int, list[int]] = {}
+    if corner_negatives_per_offer > 0:
+        drawn = [
+            metric_names[int(rng.integers(len(metric_names)))] for _ in range(n)
+        ]
+        positions_by_metric: dict[str, list[int]] = defaultdict(list)
+        for position, metric in enumerate(drawn):
+            positions_by_metric[metric].append(position)
+        for metric in metric_names:
+            positions = positions_by_metric.get(metric)
+            if not positions:
+                continue
+            exclude = cluster_array[positions][:, None] == cluster_array[None, :]
+            # Over-fetch: some candidates may already be paired (mirrored
+            # pairs); the paper then takes "the next most similar pair".
+            batches = index.engine.top_k_batch(
+                positions,
+                metric,
+                k=corner_negatives_per_offer + 8,
+                exclude=exclude,
+            )
+            corner_candidates.update(zip(positions, batches))
+
     for position in range(n):
         same_cluster = cluster_array == cluster_array[position]
         if corner_negatives_per_offer > 0:
-            metric = metric_names[int(rng.integers(len(metric_names)))]
-            # Over-fetch: some candidates may already be paired (mirrored
-            # pairs); the paper then takes "the next most similar pair".
-            candidates = index.top_k(
-                position,
-                metric,
-                k=corner_negatives_per_offer + 8,
-                exclude=same_cluster,
-            )
             added = 0
-            for candidate in candidates:
+            for candidate in corner_candidates[position]:
                 if added >= corner_negatives_per_offer:
                     break
                 if add_pair(position, candidate, 0, "corner_negative"):

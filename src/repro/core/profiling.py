@@ -1,4 +1,4 @@
-"""Benchmark profiling (Section 4, Tables 1 and 2)."""
+"""Benchmark profiling (Section 4, Tables 1 and 2) and build-stage timing."""
 
 from __future__ import annotations
 
@@ -17,7 +17,40 @@ __all__ = [
     "Table2Row",
     "table2_profile",
     "benchmark_totals",
+    "StageTimingRow",
+    "build_profile",
 ]
+
+
+# --------------------------------------------------------------------- #
+# Pipeline stage timings
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class StageTimingRow:
+    """Wall-clock seconds of one named pipeline stage."""
+
+    stage: str
+    seconds: float
+    share: float  # fraction of the total build time
+
+
+def build_profile(artifacts) -> list[StageTimingRow]:
+    """Per-stage wall-clock profile of a :class:`BuildArtifacts`.
+
+    The ``ratio:*`` rows report each corner-case ratio's own build time;
+    with parallel ratio builds enabled their sum can exceed the ``ratios``
+    stage wall-clock, which is the point of running them concurrently.
+    Shares are computed against the sum of the top-level stages only.
+    """
+    timings: dict[str, float] = getattr(artifacts, "stage_timings", {})
+    total = sum(
+        seconds for stage, seconds in timings.items() if not stage.startswith("ratio:")
+    )
+    rows = []
+    for stage, seconds in timings.items():
+        share = seconds / total if total > 0 and not stage.startswith("ratio:") else 0.0
+        rows.append(StageTimingRow(stage=stage, seconds=seconds, share=share))
+    return rows
 
 
 # --------------------------------------------------------------------- #

@@ -6,6 +6,12 @@ similar product clusters from the same group — alternating randomly between
 similarity metrics to avoid selection bias — until the corner-case quota is
 met; fill the remainder with random products.  The procedure runs once on
 the seen part and once on the unseen part of the grouped corpus.
+
+Scoring routes through the shared :class:`SimilarityEngine`: each cluster
+is represented by one engine row (its representative offer), the per-group
+candidate slice is ranked in one vectorized call per drawn metric, and the
+ranking is cached so repeated draws of the same metric for the same seed
+never re-score.
 """
 
 from __future__ import annotations
@@ -16,9 +22,25 @@ import numpy as np
 
 from repro.corpus.schema import ProductCluster
 from repro.grouping.curation import GroupedCorpus, ProductGroup
-from repro.similarity.registry import SimilarityRegistry
+from repro.similarity.engine import SimilarityEngine
+from repro.similarity.registry import SimilarityMetric, SimilarityRegistry
 
 __all__ = ["ProductSelection", "select_products"]
+
+
+def _rank_rows(
+    engine: SimilarityEngine,
+    query_row: int,
+    candidate_rows: list[int],
+    metric: SimilarityMetric,
+) -> list[tuple[int, float]]:
+    """Engine ranking, falling back to the metric's own callable for
+    custom metrics the engine does not know."""
+    if metric.name in SimilarityEngine.METRICS:
+        return engine.rank(query_row, candidate_rows, metric.name)
+    return metric.rank(
+        engine.titles[query_row], [engine.titles[row] for row in candidate_rows]
+    )
 
 
 @dataclass
@@ -48,6 +70,8 @@ def _similar_clusters_in_group(
     seed: ProductCluster,
     group: ProductGroup,
     registry: SimilarityRegistry,
+    engine: SimilarityEngine,
+    cluster_rows: dict[str, int],
     *,
     n_similar: int,
     already_selected: set[str],
@@ -55,7 +79,8 @@ def _similar_clusters_in_group(
     """The ``n_similar`` most similar unselected clusters to ``seed``.
 
     Each pick draws a fresh metric from the registry, mirroring the paper's
-    "randomly alternating between the most similar examples".
+    "randomly alternating between the most similar examples"; the engine
+    ranks the group slice once per distinct metric.
     """
     candidates = [
         cluster
@@ -65,13 +90,17 @@ def _similar_clusters_in_group(
     ]
     if len(candidates) < n_similar:
         return []
-    query = seed.representative_title()
-    titles = [cluster.representative_title() for cluster in candidates]
+    query_row = cluster_rows[seed.cluster_id]
+    candidate_rows = [cluster_rows[cluster.cluster_id] for cluster in candidates]
+    rankings: dict[str, list[tuple[int, float]]] = {}
     chosen: list[ProductCluster] = []
     chosen_ids: set[str] = set()
     while len(chosen) < n_similar:
         metric = registry.draw()
-        ranked = registry.rank_candidates(query, titles, metric=metric)
+        ranked = rankings.get(metric.name)
+        if ranked is None:
+            ranked = _rank_rows(engine, query_row, candidate_rows, metric)
+            rankings[metric.name] = ranked
         picked = None
         for index, _score in ranked:
             candidate = candidates[index]
@@ -85,6 +114,18 @@ def _similar_clusters_in_group(
     return chosen
 
 
+def _local_engine(
+    groups: list[ProductGroup], registry: SimilarityRegistry
+) -> tuple[SimilarityEngine, dict[str, int]]:
+    """A representative-title engine when no corpus-level one is supplied."""
+    clusters = [cluster for group in groups for cluster in group.clusters]
+    engine = registry.engine_for(
+        [cluster.representative_title() for cluster in clusters]
+    )
+    rows = {cluster.cluster_id: row for row, cluster in enumerate(clusters)}
+    return engine, rows
+
+
 def select_products(
     grouped: GroupedCorpus,
     *,
@@ -94,8 +135,16 @@ def select_products(
     n_similar: int = 4,
     registry: SimilarityRegistry,
     rng: np.random.Generator,
+    engine: SimilarityEngine | None = None,
+    cluster_rows: dict[str, int] | None = None,
 ) -> ProductSelection:
-    """Select ``n_products`` clusters with the requested corner-case ratio."""
+    """Select ``n_products`` clusters with the requested corner-case ratio.
+
+    ``engine`` and ``cluster_rows`` (cluster id → engine row of the
+    cluster's representative offer) let the builder share one corpus-level
+    engine across all ratios; without them a local engine over the part's
+    representative titles is built on the fly.
+    """
     if part not in ("seen", "unseen"):
         raise ValueError(f"part must be 'seen' or 'unseen', got {part!r}")
     if not 0.0 <= corner_case_ratio <= 1.0:
@@ -104,6 +153,8 @@ def select_products(
     groups = list(grouped.useful_groups(part))
     if not groups:
         raise ValueError(f"no useful groups available in part {part!r}")
+    if engine is None or cluster_rows is None:
+        engine, cluster_rows = _local_engine(groups, registry)
     n_corner_target = int(round(n_products * corner_case_ratio))
     # Round the quota down to a whole number of (seed + n_similar) bundles.
     bundle = n_similar + 1
@@ -138,6 +189,8 @@ def select_products(
             seed,
             group,
             registry,
+            engine,
+            cluster_rows,
             n_similar=n_similar,
             already_selected=selected_ids | {seed.cluster_id},
         )

@@ -20,6 +20,7 @@ import numpy as np
 from repro.core.dimensions import DevSetSize, UnseenRatio
 from repro.core.selection import ProductSelection
 from repro.corpus.schema import ProductCluster, ProductOffer
+from repro.similarity.engine import SimilarityEngine
 from repro.similarity.registry import SimilarityRegistry
 
 __all__ = ["SplitProduct", "TestProduct", "OfferSplit", "split_offers"]
@@ -110,14 +111,22 @@ class OfferSplit:
 def _pairs_by_ascending_similarity(
     offers: list[ProductOffer],
     registry: SimilarityRegistry,
+    engine: SimilarityEngine,
+    offer_rows: dict[str, int],
 ) -> list[tuple[int, int]]:
     """All index pairs of ``offers`` sorted by increasing title similarity.
 
-    The metric is drawn at random per product, as in Section 3.5.
+    The metric is drawn at random per product, as in Section 3.5; the
+    scores come from one exact ``pairwise_matrix`` call on the engine.
     """
     metric = registry.draw()
+    if metric.name in SimilarityEngine.METRICS:
+        rows = [offer_rows[offer.offer_id] for offer in offers]
+        matrix = engine.pairwise_matrix(rows, metric.name)
+    else:  # custom registry metrics carry only a per-pair callable
+        matrix = metric.pairwise([offer.title for offer in offers])
     scored = [
-        (metric(offers[i].title, offers[j].title), i, j)
+        (float(matrix[i, j]), i, j)
         for i, j in itertools.combinations(range(len(offers)), 2)
     ]
     scored.sort(key=lambda item: (item[0], item[1], item[2]))
@@ -127,6 +136,8 @@ def _pairs_by_ascending_similarity(
 def _pick_disjoint_corner_pairs(
     offers: list[ProductOffer],
     registry: SimilarityRegistry,
+    engine: SimilarityEngine,
+    offer_rows: dict[str, int],
     rng: np.random.Generator,
 ) -> tuple[tuple[int, int], tuple[int, int]]:
     """Two disjoint offer pairs from the dissimilar (corner) side.
@@ -135,7 +146,7 @@ def _pick_disjoint_corner_pairs(
     list; it is widened until it contains two disjoint pairs (guaranteed to
     exist for clusters with >= 4 offers).
     """
-    ordered = _pairs_by_ascending_similarity(offers, registry)
+    ordered = _pairs_by_ascending_similarity(offers, registry, engine, offer_rows)
     slice_size = max(2, int(len(ordered) * _CORNER_SLICE))
     while slice_size <= len(ordered):
         corner_side = ordered[:slice_size]
@@ -162,6 +173,8 @@ def _split_seen_product(
     *,
     is_corner: bool,
     registry: SimilarityRegistry,
+    engine: SimilarityEngine,
+    offer_rows: dict[str, int],
     rng: np.random.Generator,
 ) -> SplitProduct:
     offers = list(cluster.offers)
@@ -174,7 +187,9 @@ def _split_seen_product(
         )
 
     if is_corner:
-        test_pair, valid_pair = _pick_disjoint_corner_pairs(offers, registry, rng)
+        test_pair, valid_pair = _pick_disjoint_corner_pairs(
+            offers, registry, engine, offer_rows, rng
+        )
     else:
         test_pair, valid_pair = _random_disjoint_pairs(len(offers), rng)
 
@@ -192,7 +207,7 @@ def _split_seen_product(
     # Nested medium (3 offers) and small (2 of the 3) training subsets; for
     # corner products the small pair is again drawn from the dissimilar side.
     if is_corner and len(train) >= 3:
-        ordered = _pairs_by_ascending_similarity(train, registry)
+        ordered = _pairs_by_ascending_similarity(train, registry, engine, offer_rows)
         slice_size = max(1, int(len(ordered) * _CORNER_SLICE))
         small_pair = ordered[int(rng.integers(slice_size))]
     else:
@@ -211,6 +226,8 @@ def _sample_unseen_offers(
     *,
     is_corner: bool,
     registry: SimilarityRegistry,
+    engine: SimilarityEngine,
+    offer_rows: dict[str, int],
     rng: np.random.Generator,
 ) -> tuple[ProductOffer, ProductOffer]:
     """Exactly two offers per unseen product (Figure 3, right)."""
@@ -222,7 +239,7 @@ def _sample_unseen_offers(
     if len(offers) == 2:
         return offers[0], offers[1]
     if is_corner:
-        ordered = _pairs_by_ascending_similarity(offers, registry)
+        ordered = _pairs_by_ascending_similarity(offers, registry, engine, offer_rows)
         slice_size = max(1, int(len(ordered) * _CORNER_SLICE))
         i, j = ordered[int(rng.integers(slice_size))]
         return offers[i], offers[j]
@@ -234,6 +251,8 @@ def _build_test_sets(
     seen_products: list[SplitProduct],
     unseen_selection: ProductSelection,
     registry: SimilarityRegistry,
+    engine: SimilarityEngine,
+    offer_rows: dict[str, int],
     rng: np.random.Generator,
 ) -> dict[UnseenRatio, list[TestProduct]]:
     """Materialize the three test sets (0% / 50% / 100% unseen).
@@ -255,7 +274,12 @@ def _build_test_sets(
     for cluster in unseen_selection.clusters:
         is_corner = unseen_selection.is_corner(cluster.cluster_id)
         offers = _sample_unseen_offers(
-            cluster, is_corner=is_corner, registry=registry, rng=rng
+            cluster,
+            is_corner=is_corner,
+            registry=registry,
+            engine=engine,
+            offer_rows=offer_rows,
+            rng=rng,
         )
         unseen_tests.append(
             TestProduct(
@@ -286,16 +310,42 @@ def _build_test_sets(
     }
 
 
+def _local_engine(
+    selections: tuple[ProductSelection, ...], registry: SimilarityRegistry
+) -> tuple[SimilarityEngine, dict[str, int]]:
+    """An offer-title engine when no corpus-level one is supplied."""
+    offers = [
+        offer
+        for selection in selections
+        for cluster in selection.clusters
+        for offer in cluster.offers
+    ]
+    engine = registry.engine_for([offer.title for offer in offers])
+    rows = {offer.offer_id: row for row, offer in enumerate(offers)}
+    return engine, rows
+
+
 def split_offers(
     seen_selection: ProductSelection,
     unseen_selection: ProductSelection,
     *,
     registry: SimilarityRegistry,
     rng: np.random.Generator,
+    engine: SimilarityEngine | None = None,
+    offer_rows: dict[str, int] | None = None,
 ) -> OfferSplit:
-    """Run the complete Section-3.5 splitting for one corner-case ratio."""
+    """Run the complete Section-3.5 splitting for one corner-case ratio.
+
+    ``engine`` and ``offer_rows`` (offer id → engine row) let the builder
+    share one corpus-level engine; without them a local engine over the
+    selections' offer titles is built on the fly.
+    """
     if seen_selection.part != "seen" or unseen_selection.part != "unseen":
         raise ValueError("selections must be (seen, unseen) in that order")
+    if engine is None or offer_rows is None:
+        engine, offer_rows = _local_engine(
+            (seen_selection, unseen_selection), registry
+        )
 
     split = OfferSplit(corner_case_ratio=seen_selection.corner_case_ratio)
     for cluster in seen_selection.clusters:
@@ -304,8 +354,12 @@ def split_offers(
                 cluster,
                 is_corner=seen_selection.is_corner(cluster.cluster_id),
                 registry=registry,
+                engine=engine,
+                offer_rows=offer_rows,
                 rng=rng,
             )
         )
-    split.test_sets = _build_test_sets(split.seen, unseen_selection, registry, rng)
+    split.test_sets = _build_test_sets(
+        split.seen, unseen_selection, registry, engine, offer_rows, rng
+    )
     return split

@@ -68,11 +68,15 @@ class ProductCluster:
     def titles(self) -> list[str]:
         return [offer.title for offer in self.offers]
 
-    def representative_title(self) -> str:
-        """The longest title — used as the cluster's query string."""
+    def representative_offer(self) -> ProductOffer:
+        """The offer with the longest title — the cluster's query offer."""
         if not self.offers:
             raise ValueError(f"cluster {self.cluster_id} is empty")
-        return max(self.titles(), key=len)
+        return max(self.offers, key=lambda offer: len(offer.title))
+
+    def representative_title(self) -> str:
+        """The longest title — used as the cluster's query string."""
+        return self.representative_offer().title
 
 
 class SyntheticCorpus:

@@ -23,6 +23,8 @@ from repro.similarity.character_based import (
     levenshtein_similarity,
 )
 from repro.similarity.embedding import LsaEmbeddingModel
+from repro.similarity.engine import SimilarityEngine
+from repro.similarity.index import TitleSimilaritySearch
 from repro.similarity.registry import SimilarityMetric, SimilarityRegistry
 
 __all__ = [
@@ -36,6 +38,8 @@ __all__ = [
     "levenshtein_distance",
     "levenshtein_similarity",
     "LsaEmbeddingModel",
+    "SimilarityEngine",
     "SimilarityMetric",
     "SimilarityRegistry",
+    "TitleSimilaritySearch",
 ]

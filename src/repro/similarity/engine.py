@@ -1,0 +1,420 @@
+"""The shared, vectorized similarity backend of the Figure-2 pipeline.
+
+Every similarity-hungry stage — corner-case selection (§3.4), offer
+splitting (§3.5) and pair generation (§3.6) — needs the same four title
+metrics (Cosine, Dice, Generalized Jaccard, LSA embedding) over the same
+title universe.  ``SimilarityEngine`` tokenizes that universe **once**,
+precomputes the sparse token-incidence matrix, the token-set sizes and the
+dense embedding matrix, and then serves every metric through batched
+NumPy/SciPy kernels:
+
+* ``scores_batch`` / ``scores`` — similarities of query rows against the
+  whole universe (Generalized Jaccard is rescored exactly on a
+  cosine-prefiltered candidate set, exactly like the paper's top-k use),
+* ``top_k_batch`` / ``top_k`` — most-similar lookups with exclusion masks,
+* ``rank`` — exact ranking of an explicit candidate subset for a query,
+* ``pairwise_matrix`` — exact symmetric similarity matrix of a subset,
+* ``view`` — a cheap sub-engine over a row subset (no re-tokenization),
+  which is how per-split pair generation and per-cluster splitting reuse
+  the corpus-level precomputation.
+
+The sparse/dense kernels release the GIL, so independent corner-case-ratio
+builds can share one engine across worker threads.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+from scipy.sparse import csr_matrix
+
+from repro.similarity.embedding import LsaEmbeddingModel
+from repro.similarity.token_based import generalized_jaccard_similarity
+from repro.text.tokenize import tokenize
+
+__all__ = ["SimilarityEngine"]
+
+_GEN_JACCARD_PREFILTER = 48
+_BATCH_ROWS = 256  # cap on dense (queries x universe) score blocks
+
+
+class SimilarityEngine:
+    """Precomputed batch similarity over a fixed title universe."""
+
+    METRICS = ("cosine", "dice", "generalized_jaccard", "lsa_embedding")
+
+    def __init__(
+        self,
+        titles: Sequence[str],
+        *,
+        embedding_model: LsaEmbeddingModel | None = None,
+        prefilter: int = _GEN_JACCARD_PREFILTER,
+    ) -> None:
+        self.titles = list(titles)
+        self.prefilter = prefilter
+        self.token_sets: list[set[str]] = [
+            set(tokenize(title)) for title in self.titles
+        ]
+
+        vocabulary: dict[str, int] = {}
+        rows: list[int] = []
+        cols: list[int] = []
+        for row, tokens in enumerate(self.token_sets):
+            for token in tokens:
+                col = vocabulary.setdefault(token, len(vocabulary))
+                rows.append(row)
+                cols.append(col)
+        n = len(self.titles)
+        self._matrix = csr_matrix(
+            (np.ones(len(rows)), (rows, cols)),
+            shape=(n, max(len(vocabulary), 1)),
+            dtype=np.float64,
+        )
+        self._set_sizes = np.array(
+            [len(tokens) for tokens in self.token_sets], dtype=np.float64
+        )
+
+        self._embeddings: np.ndarray | None = None
+        if embedding_model is not None:
+            self._embeddings = embedding_model.embed_many(self.titles)
+
+        # Canonical id per distinct token set: rows with identical token
+        # sets share an id, so the Generalized-Jaccard pair cache (shared
+        # with every view, safe under the GIL) dedupes duplicate titles.
+        canon: dict[frozenset, int] = {}
+        self._token_keys = np.array(
+            [
+                canon.setdefault(frozenset(tokens), len(canon))
+                for tokens in self.token_sets
+            ],
+            dtype=np.intp,
+        )
+        self._gj_cache: dict[tuple[int, int], float] = {}
+
+    @classmethod
+    def _from_parts(
+        cls,
+        titles: list[str],
+        token_sets: list[set[str]],
+        matrix: csr_matrix,
+        set_sizes: np.ndarray,
+        embeddings: np.ndarray | None,
+        prefilter: int,
+        token_keys: np.ndarray,
+        gj_cache: dict[tuple[int, int], float],
+    ) -> "SimilarityEngine":
+        engine = cls.__new__(cls)
+        engine.titles = titles
+        engine.prefilter = prefilter
+        engine.token_sets = token_sets
+        engine._matrix = matrix
+        engine._set_sizes = set_sizes
+        engine._embeddings = embeddings
+        engine._token_keys = token_keys
+        engine._gj_cache = gj_cache
+        return engine
+
+    def view(self, indices: Sequence[int]) -> "SimilarityEngine":
+        """A sub-engine over ``indices`` sharing this engine's precomputation.
+
+        The view is itself a full :class:`SimilarityEngine` whose universe is
+        the selected rows (in the given order); building it slices arrays
+        instead of re-tokenizing or re-embedding.
+        """
+        rows = np.asarray(list(indices), dtype=np.intp)
+        return SimilarityEngine._from_parts(
+            titles=[self.titles[int(i)] for i in rows],
+            token_sets=[self.token_sets[int(i)] for i in rows],
+            matrix=self._matrix[rows],
+            set_sizes=self._set_sizes[rows],
+            embeddings=None if self._embeddings is None else self._embeddings[rows],
+            prefilter=self.prefilter,
+            token_keys=self._token_keys[rows],
+            gj_cache=self._gj_cache,
+        )
+
+    def __len__(self) -> int:
+        return len(self.titles)
+
+    @property
+    def metric_names(self) -> tuple[str, ...]:
+        if self._embeddings is None:
+            return ("cosine", "dice", "generalized_jaccard")
+        return self.METRICS
+
+    # ------------------------------------------------------------------ #
+    # Batched query-vs-universe scoring
+    # ------------------------------------------------------------------ #
+    def _require_embeddings(self) -> np.ndarray:
+        if self._embeddings is None:
+            raise ValueError("engine built without an embedding model")
+        return self._embeddings
+
+    def _intersections_batch(self, query_rows: np.ndarray) -> np.ndarray:
+        """Token-intersection counts of each query row with all titles."""
+        block = self._matrix[query_rows] @ self._matrix.T
+        return np.asarray(block.todense())
+
+    def scores_batch(self, query_indices: Sequence[int], metric: str) -> np.ndarray:
+        """``(len(queries), len(universe))`` similarity block for ``metric``.
+
+        Generalized Jaccard scores are exact on each query's top
+        ``prefilter`` cosine candidates and fall back to plain Jaccard (a
+        lower bound) elsewhere — identical to the semantics the pair
+        generator has always used for top-k search.
+        """
+        queries = np.asarray(list(query_indices), dtype=np.intp)
+        if queries.size == 0:
+            return np.zeros((0, len(self)), dtype=np.float64)
+        if metric == "lsa_embedding":
+            embeddings = self._require_embeddings()
+            raw = embeddings[queries] @ embeddings.T
+            return np.clip(raw, 0.0, 1.0)
+        if metric not in ("cosine", "dice", "generalized_jaccard"):
+            raise ValueError(f"unknown metric: {metric!r}")
+
+        out = np.empty((queries.size, len(self)), dtype=np.float64)
+        sizes = self._set_sizes
+        for start in range(0, queries.size, _BATCH_ROWS):
+            chunk = queries[start : start + _BATCH_ROWS]
+            intersections = self._intersections_batch(chunk)
+            query_sizes = sizes[chunk][:, None]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                if metric == "cosine":
+                    scores = intersections / np.sqrt(
+                        np.maximum(sizes[None, :] * query_sizes, 1e-12)
+                    )
+                elif metric == "dice":
+                    denominator = sizes[None, :] + query_sizes
+                    scores = 2.0 * intersections / np.maximum(denominator, 1e-12)
+                    # Reference semantics: two empty token sets are identical.
+                    scores = np.where(denominator == 0.0, 1.0, scores)
+                else:
+                    scores = self._generalized_jaccard_block(
+                        chunk, intersections, query_sizes
+                    )
+            out[start : start + _BATCH_ROWS] = np.nan_to_num(scores, nan=0.0)
+        return out
+
+    def scores(self, query_index: int, metric: str) -> np.ndarray:
+        """Similarity of one query title to every title in the universe."""
+        return self.scores_batch([query_index], metric)[0]
+
+    def _generalized_jaccard_pair(self, row_a: int, row_b: int) -> float:
+        """Exact Generalized Jaccard of two rows, cached by token-set id."""
+        key_a = int(self._token_keys[row_a])
+        key_b = int(self._token_keys[row_b])
+        if key_a == key_b:
+            return 1.0
+        key = (key_a, key_b) if key_a < key_b else (key_b, key_a)
+        value = self._gj_cache.get(key)
+        if value is None:
+            value = generalized_jaccard_similarity(
+                self.token_sets[row_a], self.token_sets[row_b]
+            )
+            self._gj_cache[key] = value
+        return value
+
+    def _generalized_jaccard_block(
+        self,
+        query_rows: np.ndarray,
+        intersections: np.ndarray,
+        query_sizes: np.ndarray,
+    ) -> np.ndarray:
+        sizes = self._set_sizes
+        union = np.maximum(sizes[None, :] + query_sizes - intersections, 1e-12)
+        scores = intersections / union
+        cosine = intersections / np.sqrt(
+            np.maximum(sizes[None, :] * query_sizes, 1e-12)
+        )
+        prefilter = min(self.prefilter, len(self))
+        if prefilter <= 0:
+            return scores
+        # Exact rescoring of each query's strongest candidates.  The
+        # rescored values do not depend on the partition order, only on
+        # which candidates fall inside the prefilter.
+        if prefilter < cosine.shape[1]:
+            top_block = np.argpartition(-cosine, prefilter - 1, axis=1)[:, :prefilter]
+        else:
+            top_block = np.broadcast_to(
+                np.arange(cosine.shape[1]), cosine.shape
+            )
+        for local, query_row in enumerate(query_rows):
+            row = int(query_row)
+            for candidate in top_block[local]:
+                scores[local, candidate] = self._generalized_jaccard_pair(
+                    row, int(candidate)
+                )
+        return scores
+
+    # ------------------------------------------------------------------ #
+    # Top-k retrieval
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _select_top_k(scores: np.ndarray, k: int) -> list[int]:
+        """Top ``k`` finite entries ordered by (-score, index).
+
+        ``-inf`` marks excluded entries; the selection widens past them no
+        matter how many there are, so a large exclusion mask can never
+        starve the result below ``k`` while finite candidates remain.
+        """
+        valid = np.flatnonzero(scores > -np.inf)
+        k = min(k, valid.size)
+        if k <= 0:
+            return []
+        sub = scores[valid]
+        if k < valid.size:
+            kth_score = sub[np.argpartition(-sub, k - 1)[k - 1]]
+            tied = np.flatnonzero(sub >= kth_score)
+            order = np.lexsort((valid[tied], -sub[tied]))
+            chosen = valid[tied[order][:k]]
+        else:
+            order = np.lexsort((valid, -sub))
+            chosen = valid[order]
+        return [int(i) for i in chosen]
+
+    def top_k_batch(
+        self,
+        query_indices: Sequence[int],
+        metric: str,
+        *,
+        k: int,
+        exclude: np.ndarray | None = None,
+    ) -> list[list[int]]:
+        """Per-query top-``k`` most similar titles under ``metric``.
+
+        ``exclude`` is an optional boolean mask, either one row of shape
+        ``(len(universe),)`` shared by all queries or one row per query of
+        shape ``(len(queries), len(universe))``.  Each query excludes
+        itself.
+        """
+        queries = list(query_indices)
+        mask = None
+        if exclude is not None:
+            mask = np.asarray(exclude, dtype=bool)
+            if mask.ndim == 1:
+                mask = np.broadcast_to(mask, (len(queries), len(self)))
+        results: list[list[int]] = []
+        # Chunked so the dense score block stays bounded regardless of the
+        # number of queries.
+        for start in range(0, len(queries), _BATCH_ROWS):
+            chunk = queries[start : start + _BATCH_ROWS]
+            block = self.scores_batch(chunk, metric)
+            for row, query in enumerate(chunk):
+                scores = block[row]
+                scores[int(query)] = -np.inf
+                if mask is not None:
+                    scores[mask[start + row]] = -np.inf
+                results.append(self._select_top_k(scores, k))
+        return results
+
+    def top_k(
+        self,
+        query_index: int,
+        metric: str,
+        *,
+        k: int,
+        exclude: np.ndarray | None = None,
+    ) -> list[int]:
+        """Indices of the ``k`` most similar titles under ``metric``."""
+        return self.top_k_batch([query_index], metric, k=k, exclude=exclude)[0]
+
+    # ------------------------------------------------------------------ #
+    # Exact subset scoring (selection and splitting)
+    # ------------------------------------------------------------------ #
+    def _exact_subset_scores(
+        self, query_index: int, candidates: np.ndarray, metric: str
+    ) -> np.ndarray:
+        """Exact scores of ``query_index`` against explicit candidate rows.
+
+        Unlike :meth:`scores_batch`, Generalized Jaccard is exact for every
+        candidate here: candidate subsets on the selection/splitting path
+        are small (a DBSCAN group or one cluster's offers), and the paper
+        scores them exactly.
+        """
+        if metric == "lsa_embedding":
+            embeddings = self._require_embeddings()
+            raw = embeddings[candidates] @ embeddings[query_index]
+            return np.clip(raw, 0.0, 1.0)
+        if metric == "generalized_jaccard":
+            return np.array(
+                [
+                    self._generalized_jaccard_pair(query_index, int(c))
+                    for c in candidates
+                ],
+                dtype=np.float64,
+            )
+        query_row = self._matrix[query_index]
+        intersections = np.asarray(
+            (self._matrix[candidates] @ query_row.T).todense()
+        ).ravel()
+        sizes = self._set_sizes[candidates]
+        query_size = self._set_sizes[query_index]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            if metric == "cosine":
+                scores = intersections / np.sqrt(np.maximum(sizes * query_size, 1e-12))
+            elif metric == "dice":
+                scores = 2.0 * intersections / np.maximum(sizes + query_size, 1e-12)
+                # Reference semantics: two empty token sets are identical.
+                scores = np.where((sizes + query_size) == 0.0, 1.0, scores)
+            else:
+                raise ValueError(f"unknown metric: {metric!r}")
+        return np.nan_to_num(scores, nan=0.0)
+
+    def rank(
+        self, query_index: int, candidate_indices: Sequence[int], metric: str
+    ) -> list[tuple[int, float]]:
+        """Rank candidate rows by descending exact similarity to the query.
+
+        Returns ``(position, score)`` pairs where ``position`` indexes into
+        ``candidate_indices``; ties break toward the earlier position, the
+        ordering :class:`~repro.similarity.registry.SimilarityRegistry` has
+        always produced.
+        """
+        candidates = np.asarray(list(candidate_indices), dtype=np.intp)
+        if candidates.size == 0:
+            return []
+        scores = self._exact_subset_scores(query_index, candidates, metric)
+        order = np.lexsort((np.arange(candidates.size), -scores))
+        return [(int(pos), float(scores[pos])) for pos in order]
+
+    def pairwise_matrix(self, indices: Sequence[int], metric: str) -> np.ndarray:
+        """Exact symmetric similarity matrix of the given rows.
+
+        The diagonal is fixed at 1.0 (every title matches itself), matching
+        the registry's historical ``pairwise_scores`` contract.
+        """
+        rows = np.asarray(list(indices), dtype=np.intp)
+        m = rows.size
+        if m == 0:
+            return np.zeros((0, 0), dtype=np.float64)
+        if metric == "lsa_embedding":
+            embeddings = self._require_embeddings()[rows]
+            matrix = np.clip(embeddings @ embeddings.T, 0.0, 1.0)
+        elif metric == "generalized_jaccard":
+            matrix = np.zeros((m, m), dtype=np.float64)
+            for i in range(m):
+                row_i = int(rows[i])
+                for j in range(i + 1, m):
+                    score = self._generalized_jaccard_pair(row_i, int(rows[j]))
+                    matrix[i, j] = score
+                    matrix[j, i] = score
+        elif metric in ("cosine", "dice"):
+            block = self._matrix[rows]
+            intersections = np.asarray((block @ block.T).todense())
+            sizes = self._set_sizes[rows]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                if metric == "cosine":
+                    matrix = intersections / np.sqrt(
+                        np.maximum(np.outer(sizes, sizes), 1e-12)
+                    )
+                else:
+                    denominator = sizes[:, None] + sizes[None, :]
+                    matrix = 2.0 * intersections / np.maximum(denominator, 1e-12)
+                    matrix = np.where(denominator == 0.0, 1.0, matrix)
+            matrix = np.nan_to_num(matrix, nan=0.0)
+        else:
+            raise ValueError(f"unknown metric: {metric!r}")
+        np.fill_diagonal(matrix, 1.0)
+        return matrix

@@ -1,14 +1,11 @@
 """Vectorized title-similarity search for pair generation.
 
-Pair generation (Section 3.6) needs, for every offer, the most similar
-offers among thousands of candidates under a randomly drawn metric.
-Computing the symbolic metrics pairwise in Python would be quadratic in
-Python-call overhead, so this index precomputes a sparse binary
-token-incidence matrix and derives Cosine/Dice/Jaccard scores from the
-intersection counts with sparse linear algebra.  Generalized Jaccard —
-inherently pairwise — is evaluated exactly on a cosine-prefiltered
-candidate set, and the embedding metric scores through a dense
-matrix-vector product.
+Historically this module owned its own sparse token-incidence matrix; it
+is now a thin view over :class:`~repro.similarity.engine.SimilarityEngine`,
+which precomputes tokenization, set sizes and embeddings once and serves
+every metric through batched kernels.  The class is kept for its
+stable, pair-generation-shaped API (``scores`` / ``top_k`` over a fixed
+title list).
 """
 
 from __future__ import annotations
@@ -16,113 +13,53 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 import numpy as np
-from scipy.sparse import csr_matrix
 
 from repro.similarity.embedding import LsaEmbeddingModel
-from repro.similarity.token_based import generalized_jaccard_similarity
-from repro.text.tokenize import tokenize
+from repro.similarity.engine import SimilarityEngine
 
 __all__ = ["TitleSimilaritySearch"]
-
-_GEN_JACCARD_PREFILTER = 48
 
 
 class TitleSimilaritySearch:
     """Precomputed similarity search over a fixed list of titles."""
 
-    METRICS = ("cosine", "dice", "generalized_jaccard", "lsa_embedding")
+    METRICS = SimilarityEngine.METRICS
 
     def __init__(
         self,
         titles: Sequence[str],
         *,
         embedding_model: LsaEmbeddingModel | None = None,
+        engine: SimilarityEngine | None = None,
     ) -> None:
-        self.titles = list(titles)
-        self.token_sets = [set(tokenize(title)) for title in self.titles]
+        if engine is None:
+            engine = SimilarityEngine(titles, embedding_model=embedding_model)
+        elif len(engine) != len(titles):
+            raise ValueError(
+                f"engine covers {len(engine)} titles, got {len(titles)}"
+            )
+        self.engine = engine
+        self.titles = engine.titles
+        self.token_sets = engine.token_sets
 
-        vocabulary: dict[str, int] = {}
-        rows: list[int] = []
-        cols: list[int] = []
-        for row, tokens in enumerate(self.token_sets):
-            for token in tokens:
-                col = vocabulary.setdefault(token, len(vocabulary))
-                rows.append(row)
-                cols.append(col)
-        n = len(self.titles)
-        self._matrix = csr_matrix(
-            (np.ones(len(rows)), (rows, cols)),
-            shape=(n, max(len(vocabulary), 1)),
-            dtype=np.float64,
-        )
-        self._set_sizes = np.array(
-            [len(tokens) for tokens in self.token_sets], dtype=np.float64
-        )
-
-        self._embeddings: np.ndarray | None = None
-        if embedding_model is not None:
-            self._embeddings = embedding_model.embed_many(self.titles)
+    @classmethod
+    def over_view(
+        cls, engine: SimilarityEngine, indices: Sequence[int]
+    ) -> "TitleSimilaritySearch":
+        """An index over ``engine.view(indices)`` — no re-tokenization."""
+        view = engine.view(indices)
+        return cls(view.titles, engine=view)
 
     def __len__(self) -> int:
-        return len(self.titles)
+        return len(self.engine)
 
     @property
     def metric_names(self) -> tuple[str, ...]:
-        if self._embeddings is None:
-            return ("cosine", "dice", "generalized_jaccard")
-        return self.METRICS
-
-    # ------------------------------------------------------------------ #
-    def _intersections(self, query_index: int) -> np.ndarray:
-        """Token-intersection counts of the query with all titles."""
-        row = self._matrix[query_index]
-        return np.asarray((self._matrix @ row.T).todense()).ravel()
+        return self.engine.metric_names
 
     def scores(self, query_index: int, metric: str) -> np.ndarray:
         """Similarity of the query title to every indexed title."""
-        if metric == "lsa_embedding":
-            if self._embeddings is None:
-                raise ValueError("index built without an embedding model")
-            raw = self._embeddings @ self._embeddings[query_index]
-            return np.clip(raw, 0.0, 1.0)
-
-        intersections = self._intersections(query_index)
-        query_size = self._set_sizes[query_index]
-        sizes = self._set_sizes
-        with np.errstate(divide="ignore", invalid="ignore"):
-            if metric == "cosine":
-                scores = intersections / np.sqrt(np.maximum(sizes * query_size, 1e-12))
-            elif metric == "dice":
-                scores = 2.0 * intersections / np.maximum(sizes + query_size, 1e-12)
-            elif metric == "generalized_jaccard":
-                scores = self._generalized_jaccard_scores(
-                    query_index, intersections, query_size
-                )
-            else:
-                raise ValueError(f"unknown metric: {metric!r}")
-        return np.nan_to_num(scores, nan=0.0)
-
-    def _generalized_jaccard_scores(
-        self, query_index: int, intersections: np.ndarray, query_size: float
-    ) -> np.ndarray:
-        """Exact Generalized Jaccard on a cosine-prefiltered candidate set.
-
-        Scores outside the prefilter fall back to plain Jaccard (a lower
-        bound of Generalized Jaccard), preserving the ranking quality where
-        it matters — at the top.
-        """
-        union = np.maximum(self._set_sizes + query_size - intersections, 1e-12)
-        scores = intersections / union
-        cosine = intersections / np.sqrt(
-            np.maximum(self._set_sizes * query_size, 1e-12)
-        )
-        top = np.argsort(-cosine)[:_GEN_JACCARD_PREFILTER]
-        query_tokens = self.token_sets[query_index]
-        for candidate in top:
-            scores[candidate] = generalized_jaccard_similarity(
-                query_tokens, self.token_sets[int(candidate)]
-            )
-        return scores
+        return self.engine.scores(query_index, metric)
 
     def top_k(
         self,
@@ -136,17 +73,7 @@ class TitleSimilaritySearch:
 
         ``exclude`` is a boolean mask of candidates to skip (e.g. offers of
         the query's own cluster).  The query itself is always excluded.
+        The selection widens past excluded entries, so a large mask never
+        silently starves the result below ``k`` while candidates remain.
         """
-        scores = self.scores(query_index, metric)
-        scores[query_index] = -np.inf
-        if exclude is not None:
-            scores = np.where(exclude, -np.inf, scores)
-        k = min(k, len(scores))
-        if k <= 0:
-            return []
-        # Partition out a 2k buffer (some entries may be -inf-excluded),
-        # then rank the buffer exactly.
-        buffer_size = min(2 * k, len(scores) - 1)
-        candidates = np.argpartition(-scores, buffer_size)[: buffer_size + 1]
-        ranked = candidates[np.argsort(-scores[candidates], kind="stable")]
-        return [int(i) for i in ranked if np.isfinite(scores[i])][:k]
+        return self.engine.top_k(query_index, metric, k=k, exclude=exclude)

@@ -3,8 +3,13 @@
 "For each corner-case selection, we randomly draw from a set of similarity
 metrics to reduce selection bias."  ``SimilarityRegistry`` holds the four
 metrics (Cosine, Dice, Generalized Jaccard, embedding) and hands out a
-randomly chosen one per call, plus batch helpers for ranking candidate
-titles against a query title.
+randomly chosen one per call.  Scoring is delegated to
+:class:`~repro.similarity.engine.SimilarityEngine`: the builder path keeps
+one corpus-level engine and passes drawn metric *names* to it, while the
+registry's own convenience helpers (``rank_candidates`` / ``most_similar``
+/ ``pairwise_scores``) build a throwaway engine over their arguments so
+that even ad-hoc callers score through vectorized kernels instead of
+per-pair Python loops.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.similarity.embedding import LsaEmbeddingModel
+from repro.similarity.engine import SimilarityEngine
 from repro.similarity.token_based import (
     cosine_similarity,
     dice_similarity,
@@ -36,6 +42,30 @@ class SimilarityMetric:
     def __call__(self, left: str, right: str) -> float:
         return self.score(left, right)
 
+    # Per-pair fallbacks for metrics the engine has no kernel for.  Every
+    # consumer shares these so custom metrics keep the engine's exact
+    # tie-breaking: descending score, then ascending candidate position.
+    def rank(
+        self, query: str, candidates: Sequence[str]
+    ) -> list[tuple[int, float]]:
+        scores = [
+            (position, self(query, candidate))
+            for position, candidate in enumerate(candidates)
+        ]
+        scores.sort(key=lambda item: (-item[1], item[0]))
+        return scores
+
+    def pairwise(self, titles: Sequence[str]) -> np.ndarray:
+        n = len(titles)
+        matrix = np.zeros((n, n), dtype=np.float64)
+        for i in range(n):
+            matrix[i, i] = 1.0
+            for j in range(i + 1, n):
+                score = self(titles[i], titles[j])
+                matrix[i, j] = score
+                matrix[j, i] = score
+        return matrix
+
 
 class SimilarityRegistry:
     """Randomly alternating pool of similarity metrics.
@@ -52,6 +82,7 @@ class SimilarityRegistry:
         rng: np.random.Generator | None = None,
     ) -> None:
         self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.embedding_model = embedding_model
         self.metrics: list[SimilarityMetric] = [
             SimilarityMetric("cosine", cosine_similarity),
             SimilarityMetric("dice", dice_similarity),
@@ -71,6 +102,10 @@ class SimilarityRegistry:
         index = int(self.rng.integers(len(self.metrics)))
         return self.metrics[index]
 
+    def engine_for(self, titles: Sequence[str]) -> SimilarityEngine:
+        """A throwaway engine over ``titles`` carrying this registry's model."""
+        return SimilarityEngine(titles, embedding_model=self.embedding_model)
+
     def rank_candidates(
         self,
         query: str,
@@ -84,9 +119,14 @@ class SimilarityRegistry:
         random metric is drawn, mirroring the paper's alternating selection.
         """
         chosen = metric if metric is not None else self.draw()
-        scores = [(idx, chosen(query, candidate)) for idx, candidate in enumerate(candidates)]
-        scores.sort(key=lambda item: (-item[1], item[0]))
-        return scores
+        if chosen.name not in SimilarityEngine.METRICS:
+            # Custom metrics carry only a per-pair callable.
+            return chosen.rank(query, candidates)
+        # Embed only when the drawn metric actually needs the vectors.
+        model = self.embedding_model if chosen.name == "lsa_embedding" else None
+        engine = SimilarityEngine([query, *candidates], embedding_model=model)
+        ranked = engine.rank(0, range(1, len(engine)), chosen.name)
+        return [(position, score) for position, score in ranked]
 
     def most_similar(
         self,
@@ -104,12 +144,8 @@ class SimilarityRegistry:
         self, titles: Sequence[str], *, metric: SimilarityMetric
     ) -> np.ndarray:
         """Full symmetric similarity matrix for ``titles`` under ``metric``."""
-        n = len(titles)
-        matrix = np.zeros((n, n), dtype=np.float64)
-        for i in range(n):
-            matrix[i, i] = 1.0
-            for j in range(i + 1, n):
-                score = metric(titles[i], titles[j])
-                matrix[i, j] = score
-                matrix[j, i] = score
-        return matrix
+        if metric.name not in SimilarityEngine.METRICS:
+            return metric.pairwise(titles)
+        model = self.embedding_model if metric.name == "lsa_embedding" else None
+        engine = SimilarityEngine(titles, embedding_model=model)
+        return engine.pairwise_matrix(range(len(engine)), metric.name)

@@ -103,17 +103,35 @@ def generalized_jaccard_similarity(
     scoring at least ``threshold`` contribute their similarity to the
     intersection mass.  With exact-only matches this degrades to plain
     Jaccard.
+
+    Only score-1.0 pairs are identical-token pairs, and the greedy pass
+    consumes them before any softer pair, so shared tokens can be matched
+    outright and the quadratic soft-matching restricted to the symmetric
+    difference — a pure speedup with an unchanged result.
     """
-    a = sorted(_as_token_set(left))
-    b = sorted(_as_token_set(right))
+    a = _as_token_set(left)
+    b = _as_token_set(right)
     if not a and not b:
         return 1.0
     if not a or not b:
         return 0.0
+    n_a, n_b = len(a), len(b)
+
+    if threshold <= 1.0:
+        common = a & b
+        rest_a = sorted(a - common)
+        rest_b = sorted(b - common)
+        match_mass = float(len(common))
+        matches = len(common)
+    else:  # nothing can reach the threshold, not even identical tokens
+        rest_a = sorted(a)
+        rest_b = sorted(b)
+        match_mass = 0.0
+        matches = 0
 
     scored: list[tuple[float, str, str]] = []
-    for token_a in a:
-        for token_b in b:
+    for token_a in rest_a:
+        for token_b in rest_b:
             score = _soft_token_similarity(token_a, token_b)
             if score >= threshold:
                 scored.append((score, token_a, token_b))
@@ -121,8 +139,6 @@ def generalized_jaccard_similarity(
 
     used_a: set[str] = set()
     used_b: set[str] = set()
-    match_mass = 0.0
-    matches = 0
     for score, token_a, token_b in scored:
         if token_a in used_a or token_b in used_b:
             continue
@@ -130,4 +146,4 @@ def generalized_jaccard_similarity(
         used_b.add(token_b)
         match_mass += score
         matches += 1
-    return match_mass / (len(a) + len(b) - matches)
+    return match_mass / (n_a + n_b - matches)

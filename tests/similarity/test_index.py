@@ -89,3 +89,32 @@ class TestTopK:
         scores = index.scores(0, "dice")
         values = [scores[i] for i in top]
         assert values == sorted(values, reverse=True)
+
+    def test_large_exclude_mask_never_underfetches(self):
+        """Regression: a mask covering most of the corpus must not starve
+        the result below ``k`` while unexcluded candidates remain — the
+        selection has to widen past the excluded entries instead of relying
+        on a fixed over-fetch buffer."""
+        titles = [f"alpha beta gamma item{i:03d} common tokens" for i in range(40)]
+        index = TitleSimilaritySearch(titles)
+        exclude = np.ones(len(titles), dtype=bool)
+        survivors = [7, 21, 33]
+        for survivor in survivors:
+            exclude[survivor] = False
+        for k in (1, 2, 3):
+            top = index.top_k(0, "cosine", k=k, exclude=exclude)
+            assert len(top) == k
+            assert set(top) <= set(survivors)
+        # More than the available candidates: return all of them, ranked.
+        top = index.top_k(0, "cosine", k=10, exclude=exclude)
+        assert sorted(top) == survivors
+
+    def test_exclude_everything_returns_empty(self, index):
+        exclude = np.ones(len(TITLES), dtype=bool)
+        assert index.top_k(0, "cosine", k=3, exclude=exclude) == []
+
+    def test_top_k_ties_break_by_ascending_index(self):
+        titles = ["x y z", "x y q", "x y r", "x y s", "unrelated thing here"]
+        index = TitleSimilaritySearch(titles)
+        # Candidates 1-3 all share two of three tokens with the query.
+        assert index.top_k(0, "cosine", k=3) == [1, 2, 3]
