@@ -1,0 +1,94 @@
+"""Record build-stage and matcher timings into a JSON perf baseline.
+
+Runs the Figure-2 pipeline at smoke scale (``BuildConfig.small``), records
+every named build stage (including the ``cleansing:*`` sub-stages), then
+times the symbolic matchers' fit/predict — with featurization broken out —
+on one benchmark cell.  The output (``BENCH_baseline.json`` by default) is
+uploaded as a CI artifact on every run, giving future PRs a perf
+trajectory to compare against:
+
+    PYTHONPATH=src python benchmarks/record_timings.py --output BENCH_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.core.builder import BenchmarkBuilder, BuildConfig
+from repro.core.dimensions import CornerCaseRatio, DevSetSize, UnseenRatio
+from repro.core.profiling import build_profile
+from repro.eval.runner import EvalSettings, ExperimentRunner
+
+
+def _timed(fn) -> tuple[float, object]:
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def record(seed: int = 42) -> dict:
+    record: dict = {
+        "schema": 1,
+        "scale": "small",
+        "seed": seed,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+
+    build_seconds, artifacts = _timed(
+        lambda: BenchmarkBuilder(BuildConfig.small(seed=seed)).build()
+    )
+    record["build_wall_seconds"] = build_seconds
+    record["build_stages"] = {
+        row.stage: row.seconds for row in build_profile(artifacts)
+    }
+
+    runner = ExperimentRunner(artifacts, settings=EvalSettings.smoke())
+    task = artifacts.benchmark.pairwise(
+        CornerCaseRatio.CC50, DevSetSize.MEDIUM, UnseenRatio.SEEN
+    )
+    matchers: dict[str, dict[str, float]] = {}
+    for system in ("word_cooc", "magellan"):
+        matcher = runner.make_pairwise(system, seed=0)
+        timings: dict[str, float] = {}
+        timings["featurize_train"], _ = _timed(lambda: matcher._features(task.train))
+        timings["fit"], _ = _timed(lambda: matcher.fit(task.train, task.valid))
+        timings["predict_test"], _ = _timed(lambda: matcher.predict(task.test))
+        timings["n_train_pairs"] = len(task.train)
+        timings["n_test_pairs"] = len(task.test)
+        matchers[system] = timings
+    record["matchers"] = matchers
+    return record
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path("BENCH_baseline.json"),
+        help="where to write the timing baseline (default: BENCH_baseline.json)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    result = record(seed=args.seed)
+    args.output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+    for stage, seconds in sorted(
+        result["build_stages"].items(), key=lambda item: -item[1]
+    ):
+        print(f"  {stage:24s} {seconds:8.3f}s")
+    for system, timings in result["matchers"].items():
+        print(
+            f"  {system:24s} featurize={timings['featurize_train']:.3f}s "
+            f"fit={timings['fit']:.3f}s predict={timings['predict_test']:.3f}s"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -9,7 +9,7 @@ Four stages, applied in the paper's order:
 4. intra-cluster outlier removal via title word-occurrence statistics.
 """
 
-from repro.cleansing.language import CharNgramLanguageIdentifier
+from repro.cleansing.language import CharNgramLanguageIdentifier, default_identifier
 from repro.cleansing.latin import count_non_latin_characters, keep_latin_offer
 from repro.cleansing.dedup import dedup_key, deduplicate_offers, remove_short_offers
 from repro.cleansing.outliers import find_cluster_outliers
@@ -17,6 +17,7 @@ from repro.cleansing.pipeline import CleansingPipeline, CleansingReport
 
 __all__ = [
     "CharNgramLanguageIdentifier",
+    "default_identifier",
     "count_non_latin_characters",
     "keep_latin_offer",
     "dedup_key",

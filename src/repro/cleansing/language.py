@@ -6,17 +6,32 @@ English.  This module trains a multinomial Naive-Bayes classifier over
 character 1-3-grams from built-in seed vocabulary for English plus the four
 foreign languages the synthetic corpus injects — the same decision function
 (argmax language score) at a fraction of the model size.
+
+Scoring is vectorized: training materializes a ``(vocab x languages)``
+log-likelihood matrix, and :meth:`CharNgramLanguageIdentifier.scores_batch`
+reduces a whole corpus to one sparse n-gram count matrix times that matrix
+(out-of-vocabulary n-grams contribute a per-language default, counted once
+per text).  Per-word n-gram extraction is memoized — corpus text repeats
+the same words endlessly, so each distinct word is featurized once.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from collections import Counter
+
+import numpy as np
+from scipy.sparse import csr_matrix
 
 from repro.corpus.multilingual import FOREIGN_WORD_BANKS
 from repro.text.tokenize import char_ngrams
 
-__all__ = ["CharNgramLanguageIdentifier", "ENGLISH_SEED_WORDS"]
+__all__ = [
+    "CharNgramLanguageIdentifier",
+    "ENGLISH_SEED_WORDS",
+    "default_identifier",
+]
 
 # Commerce-flavoured English seed vocabulary; mirrors the domain the
 # classifier is applied to (offer titles and descriptions).
@@ -46,6 +61,22 @@ class CharNgramLanguageIdentifier:
         self._log_likelihoods: dict[str, dict[str, float]] = {}
         self._default_log_likelihood: dict[str, float] = {}
         self._trained = False
+        # Vectorized model (built by train()): feature -> column, the
+        # (vocab x languages) log-likelihood matrix, per-language defaults
+        # and priors.  Scoring caches one summed (languages,) vector per
+        # distinct *word* — corpus text repeats words endlessly, so the
+        # n-gram extraction for a word runs once, ever.
+        self._languages: tuple[str, ...] = ()
+        self._feature_index: dict[str, int] = {}
+        self._loglik_matrix: np.ndarray | None = None
+        self._default_row: np.ndarray | None = None
+        self._prior_row: np.ndarray | None = None
+        self._word_ids: dict[str, int] = {}
+        self._word_vectors: list[np.ndarray] = []
+        # Guards id assignment and matrix snapshots so a trained instance
+        # (notably the shared default identifier) is safe to score from
+        # concurrent threads.  Reads of already-published ids stay lock-free.
+        self._word_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     def _features(self, text: str) -> list[str]:
@@ -95,13 +126,81 @@ class CharNgramLanguageIdentifier:
             self._default_log_likelihood[language] = math.log(
                 self.alpha / denominator
             )
+
+        # Materialize the dense (vocab x languages) model for batch scoring.
+        self._languages = tuple(documents)
+        self._feature_index = {
+            feature: column for column, feature in enumerate(sorted(vocabulary))
+        }
+        matrix = np.empty((len(self._feature_index), len(self._languages)))
+        self._default_row = np.empty(len(self._languages))
+        self._prior_row = np.empty(len(self._languages))
+        for col, language in enumerate(self._languages):
+            likelihoods = self._log_likelihoods[language]
+            default = self._default_log_likelihood[language]
+            self._default_row[col] = default
+            self._prior_row[col] = self._log_priors[language]
+            column = np.full(len(self._feature_index), default)
+            for feature, value in likelihoods.items():
+                column[self._feature_index[feature]] = value
+            matrix[:, col] = column
+        self._loglik_matrix = matrix
+        self._word_ids = {}
+        self._word_vectors = []
         self._trained = True
         return self
 
-    def scores(self, text: str) -> dict[str, float]:
-        """Per-language log-probability scores for ``text``."""
+    @property
+    def languages(self) -> tuple[str, ...]:
+        return self._languages
+
+    def _require_trained(self) -> None:
         if not self._trained:
             raise RuntimeError("CharNgramLanguageIdentifier.train() must be called")
+
+    def _word_id(self, word: str) -> int:
+        """Id of ``word``'s cached per-language log-likelihood vector.
+
+        The vector is the sum of the word's n-gram likelihood rows plus the
+        default row for its out-of-vocabulary n-grams — everything the word
+        ever contributes to a text score, collapsed to ``len(languages)``
+        floats.
+        """
+        cached = self._word_ids.get(word)
+        if cached is None:
+            assert self._loglik_matrix is not None
+            columns = []
+            out_of_vocabulary = 0
+            for size in self.ngram_sizes:
+                for feature in char_ngrams(word, size=size):
+                    column = self._feature_index.get(feature)
+                    if column is None:
+                        out_of_vocabulary += 1
+                    else:
+                        columns.append(column)
+            if columns:
+                vector = self._loglik_matrix[columns].sum(axis=0)
+            else:
+                vector = np.zeros(len(self._languages))
+            if out_of_vocabulary:
+                vector = vector + out_of_vocabulary * self._default_row
+            with self._word_lock:
+                cached = self._word_ids.get(word)
+                if cached is None:
+                    cached = len(self._word_vectors)
+                    self._word_vectors.append(vector)
+                    self._word_ids[word] = cached
+        return cached
+
+    # ------------------------------------------------------------------ #
+    def scores(self, text: str) -> dict[str, float]:
+        """Per-language log-probability scores for ``text`` (reference).
+
+        Sums likelihoods feature by feature; the batched path regroups the
+        same terms through a matrix product, so the two agree to floating-
+        point reassociation error (~1e-12 relative), not bit-for-bit.
+        """
+        self._require_trained()
         features = self._features(text)
         result: dict[str, float] = {}
         for language, log_prior in self._log_priors.items():
@@ -112,6 +211,42 @@ class CharNgramLanguageIdentifier:
                 score += likelihoods.get(feature, default)
             result[language] = score
         return result
+
+    def scores_batch(self, texts: list[str]) -> np.ndarray:
+        """``(len(texts), len(self.languages))`` log-probability scores.
+
+        One sparse text-word count matrix times the cached
+        (words x languages) per-word score matrix: the n-gram likelihood
+        sums (including OOV defaults) are folded into each distinct word's
+        vector once, so repeated vocabulary costs one dict lookup.
+        """
+        self._require_trained()
+        n = len(texts)
+        rows: list[int] = []
+        word_columns: list[int] = []
+        word_id = self._word_id
+        for row, text in enumerate(texts):
+            words = text.lower().split()
+            if not words:
+                continue
+            rows.extend([row] * len(words))
+            word_columns.extend(word_id(word) for word in words)
+        with self._word_lock:  # consistent (id space, matrix) snapshot
+            n_words = len(self._word_vectors)
+            word_matrix = (
+                np.array(self._word_vectors)
+                if n_words
+                else np.zeros((1, len(self._languages)))
+            )
+        counts = csr_matrix(
+            (
+                np.ones(len(rows)),
+                (np.array(rows, dtype=np.intp), np.array(word_columns, dtype=np.intp)),
+            ),
+            shape=(n, max(n_words, 1)),
+            dtype=np.float64,
+        )
+        return np.asarray(counts @ word_matrix) + self._prior_row[None, :]
 
     def predict(self, text: str) -> str:
         """Language with the highest score; English wins exact ties.
@@ -141,3 +276,45 @@ class CharNgramLanguageIdentifier:
             default=float("-inf"),
         )
         return english >= best_foreign - margin
+
+    def is_english_batch(self, texts: list[str], *, margin: float = 0.0) -> np.ndarray:
+        """Vectorized :meth:`is_english` over ``texts`` (boolean mask)."""
+        self._require_trained()
+        keep = np.zeros(len(texts), dtype=bool)
+        nonblank = [row for row, text in enumerate(texts) if text.strip()]
+        if not nonblank:
+            return keep
+        scores = self.scores_batch([texts[row] for row in nonblank])
+        if "en" in self._languages:
+            english = scores[:, self._languages.index("en")]
+        else:
+            english = np.full(len(nonblank), -np.inf)
+        foreign_columns = [
+            col for col, language in enumerate(self._languages) if language != "en"
+        ]
+        if foreign_columns:
+            best_foreign = scores[:, foreign_columns].max(axis=1)
+        else:
+            best_foreign = np.full(len(nonblank), -np.inf)
+        keep[nonblank] = english >= best_foreign - margin
+        return keep
+
+
+_DEFAULT_IDENTIFIER: CharNgramLanguageIdentifier | None = None
+_DEFAULT_IDENTIFIER_LOCK = threading.Lock()
+
+
+def default_identifier() -> CharNgramLanguageIdentifier:
+    """The shared identifier trained on the built-in seed banks.
+
+    Training the NB model is deterministic and scoring is thread-safe (the
+    per-word vector cache publishes ids under a lock), so every
+    :class:`CleansingPipeline` shares one instance instead of re-fitting
+    per construction — and the cache warms across pipelines.
+    """
+    global _DEFAULT_IDENTIFIER
+    if _DEFAULT_IDENTIFIER is None:
+        with _DEFAULT_IDENTIFIER_LOCK:
+            if _DEFAULT_IDENTIFIER is None:
+                _DEFAULT_IDENTIFIER = CharNgramLanguageIdentifier().train()
+    return _DEFAULT_IDENTIFIER

@@ -3,11 +3,18 @@
 The paper keeps offers containing fewer than four non-Latin characters —
 tolerating the occasional non-Latin glyph inside model names and branding
 while removing titles written in non-Latin scripts.
+
+Counting is prefiltered with one C-level regex scan: codepoints below
+U+0250 (Basic Latin through Latin Extended-B) can never count, so the
+per-character Unicode-name classification — cached per distinct codepoint —
+only ever runs on the rare candidates a text actually contains.
 """
 
 from __future__ import annotations
 
+import re
 import unicodedata
+from functools import lru_cache
 
 from repro.corpus.schema import ProductOffer
 
@@ -15,7 +22,13 @@ __all__ = ["count_non_latin_characters", "keep_latin_offer"]
 
 _DEFAULT_THRESHOLD = 4
 
+# Any character that could possibly be non-Latin: everything above the
+# Latin Extended-B block.  The regex scan finds candidates in C; the
+# classification below then decides each distinct candidate once.
+_CANDIDATE_RE = re.compile("[ɐ-\U0010FFFF]")
 
+
+@lru_cache(maxsize=16384)
 def _is_non_latin(char: str) -> bool:
     """Alphabetic characters outside the Latin script count as non-Latin."""
     if not char.isalpha():
@@ -36,7 +49,7 @@ def count_non_latin_characters(text: str) -> int:
     >>> count_non_latin_characters("жесткий диск")
     11
     """
-    return sum(_is_non_latin(char) for char in text)
+    return sum(_is_non_latin(char) for char in _CANDIDATE_RE.findall(text))
 
 
 def keep_latin_offer(

@@ -205,6 +205,8 @@ class BenchmarkBuilder:
         with Timer() as timer:
             cleansed, cleansing_report = self._stage_cleansing(generated)
         timings["cleansing"] = timer.elapsed
+        for stage, seconds in cleansing_report.stage_seconds.items():
+            timings[f"cleansing:{stage}"] = seconds
 
         with Timer() as timer:
             grouped = self._stage_grouping(cleansed)

@@ -59,25 +59,30 @@ def generate_pairs(
         )
     metric_names = index.metric_names
 
-    dataset = PairDataset(name=name)
-    used_keys: set[tuple[str, str]] = set()
-    counter = 0
+    # Dedup runs on sorted integer pair keys (offer ids interned to dense
+    # ints) and pair materialization is deferred: the hot loops only touch
+    # int tuples, and the LabeledPair objects are built in one final pass.
+    id_index: dict[str, int] = {}
+    offer_keys = [
+        id_index.setdefault(offer.offer_id, len(id_index)) for offer in offers
+    ]
+    id_span = len(id_index)
+    used_keys: set[int] = set()
+    added: list[tuple[int, int, int, str]] = []
+    negatives = 0
 
     def add_pair(a: int, b: int, label: int, provenance: str) -> bool:
-        nonlocal counter
-        pair = LabeledPair(
-            pair_id=f"{name}-{counter:06d}",
-            offer_a=offers[a],
-            offer_b=offers[b],
-            label=label,
-            provenance=provenance,
-        )
-        key = pair.key()
-        if key in used_keys or pair.offer_a.offer_id == pair.offer_b.offer_id:
+        nonlocal negatives
+        key_a, key_b = offer_keys[a], offer_keys[b]
+        if key_a == key_b:  # the same offer on both sides
+            return False
+        key = key_a * id_span + key_b if key_a < key_b else key_b * id_span + key_a
+        if key in used_keys:
             return False
         used_keys.add(key)
-        dataset.pairs.append(pair)
-        counter += 1
+        added.append((a, b, label, provenance))
+        if label == 0:
+            negatives += 1
         return True
 
     # ---------------------------------------------------------------- #
@@ -123,21 +128,21 @@ def generate_pairs(
             corner_candidates.update(zip(positions, batches))
 
     for position in range(n):
-        same_cluster = cluster_array == cluster_array[position]
+        cluster = cluster_ids[position]
         if corner_negatives_per_offer > 0:
-            added = 0
+            quota = 0
             for candidate in corner_candidates[position]:
-                if added >= corner_negatives_per_offer:
+                if quota >= corner_negatives_per_offer:
                     break
                 if add_pair(position, candidate, 0, "corner_negative"):
-                    added += 1
+                    quota += 1
 
         added_random = 0
         attempts = 0
         while added_random < random_negatives_per_offer and attempts < 50:
             attempts += 1
             candidate = int(rng.integers(n))
-            if same_cluster[candidate]:
+            if cluster_ids[candidate] == cluster:
                 continue
             if add_pair(position, candidate, 0, "random_negative"):
                 added_random += 1
@@ -146,15 +151,24 @@ def generate_pairs(
     # negative quota, add random negatives so every split reaches its exact
     # target size (the paper's test sets contain exactly 4,500 pairs).
     target_negatives = n * (corner_negatives_per_offer + random_negatives_per_offer)
-    current_negatives = len(dataset.negatives())
     attempts = 0
-    while current_negatives < target_negatives and attempts < 50 * n:
+    while negatives < target_negatives and attempts < 50 * n:
         attempts += 1
         a = int(rng.integers(n))
         b = int(rng.integers(n))
         if cluster_ids[a] == cluster_ids[b]:
             continue
-        if add_pair(a, b, 0, "random_negative"):
-            current_negatives += 1
+        add_pair(a, b, 0, "random_negative")
 
+    dataset = PairDataset(name=name)
+    dataset.pairs = [
+        LabeledPair(
+            pair_id=f"{name}-{position:06d}",
+            offer_a=offers[a],
+            offer_b=offers[b],
+            label=label,
+            provenance=provenance,
+        )
+        for position, (a, b, label, provenance) in enumerate(added)
+    ]
     return dataset

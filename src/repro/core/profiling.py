@@ -37,18 +37,19 @@ class StageTimingRow:
 def build_profile(artifacts) -> list[StageTimingRow]:
     """Per-stage wall-clock profile of a :class:`BuildArtifacts`.
 
-    The ``ratio:*`` rows report each corner-case ratio's own build time;
-    with parallel ratio builds enabled their sum can exceed the ``ratios``
-    stage wall-clock, which is the point of running them concurrently.
-    Shares are computed against the sum of the top-level stages only.
+    Stage names containing ``:`` are *nested* breakdowns of a top-level
+    stage: ``ratio:*`` rows report each corner-case ratio's own build time
+    (with parallel ratio builds their sum can exceed the ``ratios``
+    wall-clock, which is the point of running them concurrently) and
+    ``cleansing:*`` rows split the cleansing stage into its five §3.2
+    sub-stages.  Shares are computed against the sum of the top-level
+    stages only; nested rows carry share 0.
     """
     timings: dict[str, float] = getattr(artifacts, "stage_timings", {})
-    total = sum(
-        seconds for stage, seconds in timings.items() if not stage.startswith("ratio:")
-    )
+    total = sum(seconds for stage, seconds in timings.items() if ":" not in stage)
     rows = []
     for stage, seconds in timings.items():
-        share = seconds / total if total > 0 and not stage.startswith("ratio:") else 0.0
+        share = seconds / total if total > 0 and ":" not in stage else 0.0
         rows.append(StageTimingRow(stage=stage, seconds=seconds, share=share))
     return rows
 

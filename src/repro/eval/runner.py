@@ -21,14 +21,20 @@ from repro.matchers.ditto import DittoMatcher
 from repro.matchers.hiergat import HierGATMatcher
 from repro.matchers.magellan import MagellanMatcher
 from repro.matchers.rsupcon import RSupConMatcher, RSupConMulticlass
+from repro.matchers.serialize import serialize_offer
 from repro.matchers.transformer import (
     TrainSettings,
     TransformerMatcher,
     TransformerMulticlass,
 )
-from repro.matchers.word_cooc import WordCoocMatcher, WordOccurrenceClassifier
+from repro.matchers.word_cooc import (
+    SERIALIZED_ATTRIBUTE,
+    WordCoocMatcher,
+    WordOccurrenceClassifier,
+)
 from repro.ml.metrics import PRF1
 from repro.nn.pretrain import MiniLM
+from repro.similarity.engine import SimilarityEngine
 
 __all__ = [
     "EvalSettings",
@@ -177,6 +183,38 @@ class ExperimentRunner:
         self.artifacts = artifacts
         self.settings = settings if settings is not None else EvalSettings.from_env()
         self._checkpoints: dict[int, MiniLM] = {}
+        self._featurization_backend: tuple[SimilarityEngine, dict[str, int]] | None = None
+
+    # ------------------------------------------------------------------ #
+    def featurization_backend(self) -> tuple[SimilarityEngine, dict[str, int]]:
+        """One corpus-level featurization engine shared by all matchers.
+
+        Reuses the build's :class:`SimilarityEngine` when present (its
+        title tokenization is already paid for) and registers the
+        description/brand/serialized attribute texts the symbolic matchers
+        featurize with.  Attribute token views build lazily on first use
+        and are then shared across every dataset, grid cell and seed.
+        """
+        if self._featurization_backend is None:
+            offers = self.artifacts.cleansed.offers
+            engine = self.artifacts.engine
+            if engine is None or len(engine) != len(offers):
+                engine = SimilarityEngine([offer.title for offer in offers])
+            if not engine.has_attribute("description"):
+                engine.register_attribute(
+                    "description", [offer.description for offer in offers]
+                )
+            if not engine.has_attribute("brand"):
+                engine.register_attribute("brand", [offer.brand for offer in offers])
+            if not engine.has_attribute(SERIALIZED_ATTRIBUTE):
+                engine.register_attribute(
+                    SERIALIZED_ATTRIBUTE, [serialize_offer(offer) for offer in offers]
+                )
+            offer_rows = {
+                offer.offer_id: row for row, offer in enumerate(offers)
+            }
+            self._featurization_backend = (engine, offer_rows)
+        return self._featurization_backend
 
     # ------------------------------------------------------------------ #
     def checkpoint(self, seed: int) -> MiniLM:
@@ -187,8 +225,6 @@ class ExperimentRunner:
         system in the paper starts from the same public checkpoint.
         """
         if seed not in self._checkpoints:
-            from repro.matchers.serialize import serialize_offer
-
             # Same serialization as the fine-tuned matchers, so the
             # checkpoint's input distribution matches fine-tuning.
             clusters = self.artifacts.pretraining_clusters(
@@ -213,11 +249,18 @@ class ExperimentRunner:
         return TrainSettings(step_budget=self.settings.step_budget)
 
     def make_pairwise(self, system: str, seed: int) -> PairwiseMatcher:
-        """Instantiate one pair-wise matching system."""
+        """Instantiate one pair-wise matching system.
+
+        The symbolic systems featurize through the shared corpus-level
+        engine, so they never re-tokenize an offer that any other matcher
+        (or dataset) has already touched.
+        """
         if system == "word_cooc":
-            return WordCoocMatcher(seed=seed)
+            engine, offer_rows = self.featurization_backend()
+            return WordCoocMatcher(seed=seed, engine=engine, offer_rows=offer_rows)
         if system == "magellan":
-            return MagellanMatcher(seed=seed)
+            engine, offer_rows = self.featurization_backend()
+            return MagellanMatcher(seed=seed, engine=engine, offer_rows=offer_rows)
         if system == "roberta":
             return TransformerMatcher(
                 settings=self._train_settings(), pretrained=self.checkpoint(seed), seed=seed
@@ -269,33 +312,29 @@ class ExperimentRunner:
         results = PairwiseResults()
         for system in systems:
             for corner_cases, dev_size in settings.resolved_pairwise_cells():
-                    per_unseen: dict[UnseenRatio, list[PRF1]] = {
-                        unseen: [] for unseen in settings.unseen_ratios
-                    }
-                    for seed in settings.seeds:
-                        matcher = self.make_pairwise(system, seed)
-                        task = benchmark.pairwise(
-                            corner_cases, dev_size, UnseenRatio.SEEN
-                        )
-                        matcher.fit(task.train, task.valid)
-                        for unseen in settings.unseen_ratios:
-                            variant = PairwiseVariant(corner_cases, dev_size, unseen)
-                            test = benchmark.test_sets[(corner_cases, unseen)]
-                            score = matcher.evaluate(test)
-                            per_unseen[unseen].append(score)
-                            results.per_seed[(system, variant, seed)] = score
+                per_unseen: dict[UnseenRatio, list[PRF1]] = {
+                    unseen: [] for unseen in settings.unseen_ratios
+                }
+                for seed in settings.seeds:
+                    matcher = self.make_pairwise(system, seed)
+                    task = benchmark.pairwise(corner_cases, dev_size, UnseenRatio.SEEN)
+                    matcher.fit(task.train, task.valid)
                     for unseen in settings.unseen_ratios:
                         variant = PairwiseVariant(corner_cases, dev_size, unseen)
-                        results.scores[(system, variant)] = _mean_prf1(
-                            per_unseen[unseen]
+                        test = benchmark.test_sets[(corner_cases, unseen)]
+                        score = matcher.evaluate(test)
+                        per_unseen[unseen].append(score)
+                        results.per_seed[(system, variant, seed)] = score
+                for unseen in settings.unseen_ratios:
+                    variant = PairwiseVariant(corner_cases, dev_size, unseen)
+                    results.scores[(system, variant)] = _mean_prf1(per_unseen[unseen])
+                    if progress:
+                        score = results.scores[(system, variant)]
+                        print(
+                            f"  {system:10s} {variant.name:24s} "
+                            f"F1={score.f1 * 100:.2f}",
+                            flush=True,
                         )
-                        if progress:
-                            score = results.scores[(system, variant)]
-                            print(
-                                f"  {system:10s} {variant.name:24s} "
-                                f"F1={score.f1 * 100:.2f}",
-                                flush=True,
-                            )
         return results
 
     def run_multiclass(

@@ -6,9 +6,18 @@ mirrors Magellan's automatic feature generation for the five benchmark
 attributes: token-set metrics for textual attributes, edit-based metrics
 for short strings, relative difference for the numeric price, and exact
 match for the currency code.
+
+Featurization runs through the batched kernels of
+:mod:`repro.similarity.features`: all token-set metrics of a
+:class:`~repro.core.datasets.PairDataset` come out of a few sparse matrix
+ops per attribute, and the edit metrics out of chunked NumPy DP kernels.
+``pair_features`` remains as the scalar reference implementation that the
+parity tests pin ``pair_features_batch`` against.
 """
 
 from __future__ import annotations
+
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -17,6 +26,12 @@ from repro.matchers.base import PairwiseMatcher
 from repro.ml.grid_search import GridSearch
 from repro.ml.random_forest import RandomForest
 from repro.similarity.character_based import jaro_winkler_similarity, levenshtein_similarity
+from repro.similarity.engine import SimilarityEngine
+from repro.similarity.features import (
+    AttributeView,
+    jaro_winkler_similarity_batch,
+    levenshtein_similarity_batch,
+)
 from repro.similarity.token_based import (
     cosine_similarity,
     dice_similarity,
@@ -24,7 +39,7 @@ from repro.similarity.token_based import (
     overlap_coefficient,
 )
 
-__all__ = ["MagellanMatcher"]
+__all__ = ["MagellanMatcher", "pair_features", "pair_features_batch"]
 
 _DEFAULT_GRID = {
     "n_trees": (15,),
@@ -32,6 +47,8 @@ _DEFAULT_GRID = {
 }
 
 _MISSING = -1.0  # Magellan encodes missing attribute values distinctly
+_TITLE_EDIT_PREFIX = 48  # edit metric on the raw string, capped for cost
+N_FEATURES = 11
 
 
 def _text_or_empty(value: str | None) -> str:
@@ -39,7 +56,11 @@ def _text_or_empty(value: str | None) -> str:
 
 
 def pair_features(pair: LabeledPair) -> list[float]:
-    """Attribute-wise similarity feature vector for one pair."""
+    """Attribute-wise similarity feature vector for one pair (reference).
+
+    This is the scalar reference; production featurization goes through
+    :func:`pair_features_batch`, which is parity-tested against it.
+    """
     a, b = pair.offer_a, pair.offer_b
     features: list[float] = []
 
@@ -48,7 +69,9 @@ def pair_features(pair: LabeledPair) -> list[float]:
     features.append(cosine_similarity(a.title, b.title))
     features.append(dice_similarity(a.title, b.title))
     features.append(overlap_coefficient(a.title, b.title))
-    features.append(levenshtein_similarity(a.title[:48], b.title[:48]))
+    features.append(
+        levenshtein_similarity(a.title[:_TITLE_EDIT_PREFIX], b.title[:_TITLE_EDIT_PREFIX])
+    )
 
     # description: token overlap (or missing indicator).
     if a.description and b.description:
@@ -80,6 +103,180 @@ def pair_features(pair: LabeledPair) -> list[float]:
     return features
 
 
+def _resolve_views(
+    pairs: Sequence[LabeledPair],
+    engine: SimilarityEngine | None,
+    offer_rows: dict[str, int] | None,
+) -> tuple[AttributeView, AttributeView, AttributeView, np.ndarray, np.ndarray]:
+    """Title/description/brand views plus per-side row arrays for ``pairs``.
+
+    With a corpus-level ``engine`` (and its ``offer_rows`` id → row map)
+    the views are the engine's cached attribute views — zero tokenization
+    here.  Otherwise a local universe over the dataset's unique offers is
+    built, which still featurizes each distinct offer once instead of once
+    per pair.
+    """
+    if (
+        engine is not None
+        and offer_rows is not None
+        and engine.has_attribute("description")
+        and engine.has_attribute("brand")
+        and all(
+            pair.offer_a.offer_id in offer_rows
+            and pair.offer_b.offer_id in offer_rows
+            for pair in pairs
+        )
+    ):
+        rows_a = np.array(
+            [offer_rows[pair.offer_a.offer_id] for pair in pairs], dtype=np.intp
+        )
+        rows_b = np.array(
+            [offer_rows[pair.offer_b.offer_id] for pair in pairs], dtype=np.intp
+        )
+        return (
+            engine.attribute_view("title"),
+            engine.attribute_view("description"),
+            engine.attribute_view("brand"),
+            rows_a,
+            rows_b,
+        )
+
+    index: dict[str, int] = {}
+    unique = []
+    for pair in pairs:
+        for offer in (pair.offer_a, pair.offer_b):
+            if offer.offer_id not in index:
+                index[offer.offer_id] = len(unique)
+                unique.append(offer)
+    rows_a = np.array([index[pair.offer_a.offer_id] for pair in pairs], dtype=np.intp)
+    rows_b = np.array([index[pair.offer_b.offer_id] for pair in pairs], dtype=np.intp)
+    title_view = AttributeView([offer.title for offer in unique])
+    description_view = AttributeView([offer.description for offer in unique])
+    brand_view = AttributeView([offer.brand for offer in unique])
+    return title_view, description_view, brand_view, rows_a, rows_b
+
+
+def pair_features_batch(
+    pairs: Sequence[LabeledPair],
+    *,
+    engine: SimilarityEngine | None = None,
+    offer_rows: dict[str, int] | None = None,
+) -> np.ndarray:
+    """Batched ``pair_features`` for a whole pair collection.
+
+    Token-set metrics run through sparse :class:`AttributeView` kernels,
+    edit metrics through the chunked char-array DP kernels (Jaro-Winkler
+    additionally deduplicated over distinct lowered brand pairs — brands
+    repeat heavily), and the numeric features are plain array arithmetic.
+    """
+    pairs = list(pairs)
+    if not pairs:
+        return np.zeros((0, N_FEATURES), dtype=np.float64)
+    n = len(pairs)
+    features = np.empty((n, N_FEATURES), dtype=np.float64)
+
+    title_view, description_view, brand_view, rows_a, rows_b = _resolve_views(
+        pairs, engine, offer_rows
+    )
+
+    # title: four token-set metrics + prefix-capped edit similarity.
+    features[:, 0:4] = title_view.pair_metrics(rows_a, rows_b)
+    titles_a = [title_view.texts[int(row)][:_TITLE_EDIT_PREFIX] for row in rows_a]
+    titles_b = [title_view.texts[int(row)][:_TITLE_EDIT_PREFIX] for row in rows_b]
+    features[:, 4] = levenshtein_similarity_batch(titles_a, titles_b)
+
+    # description: token metrics where both sides are present.
+    description_present = (
+        description_view.present[rows_a] & description_view.present[rows_b]
+    )
+    description_metrics = description_view.pair_metrics(
+        rows_a, rows_b, ("jaccard", "cosine")
+    )
+    features[:, 5] = np.where(description_present, description_metrics[:, 0], _MISSING)
+    features[:, 6] = np.where(description_present, description_metrics[:, 1], _MISSING)
+
+    # brand: exact + Jaro-Winkler on the lowered strings.  Distinct brands
+    # are few, so lowering is cached per view row and both features are
+    # computed per distinct (brand, brand) combination and scattered back.
+    lowered: dict[int, str] = {}
+
+    def _lowered_brand(row: int) -> str:
+        cached = lowered.get(row)
+        if cached is None:
+            cached = brand_view.texts[row].lower()
+            lowered[row] = cached
+        return cached
+
+    brands_a = [_lowered_brand(int(row)) for row in rows_a]
+    brands_b = [_lowered_brand(int(row)) for row in rows_b]
+    brand_present = brand_view.present[rows_a] & brand_view.present[rows_b]
+    brand_codes: dict[str, int] = {}
+    codes_a = np.array([brand_codes.setdefault(b, len(brand_codes)) for b in brands_a])
+    codes_b = np.array([brand_codes.setdefault(b, len(brand_codes)) for b in brands_b])
+    features[:, 7] = np.where(
+        brand_present, (codes_a == codes_b).astype(np.float64), _MISSING
+    )
+    pair_codes: dict[tuple[str, str], int] = {}
+    pair_index = np.array(
+        [
+            pair_codes.setdefault((left, right), len(pair_codes))
+            for left, right, present in zip(brands_a, brands_b, brand_present)
+            if present
+        ],
+        dtype=np.intp,
+    )
+    if pair_codes:
+        unique_pairs = list(pair_codes)
+        unique_jw = jaro_winkler_similarity_batch(
+            [left for left, _ in unique_pairs], [right for _, right in unique_pairs]
+        )
+        brand_jw = np.full(n, _MISSING, dtype=np.float64)
+        brand_jw[np.flatnonzero(brand_present)] = unique_jw[pair_index]
+        features[:, 8] = brand_jw
+    else:
+        features[:, 8] = _MISSING
+
+    # price: relative difference where both sides have a positive max.
+    prices_a = np.array(
+        [np.nan if pair.offer_a.price is None else pair.offer_a.price for pair in pairs]
+    )
+    prices_b = np.array(
+        [np.nan if pair.offer_b.price is None else pair.offer_b.price for pair in pairs]
+    )
+    with np.errstate(invalid="ignore", divide="ignore"):
+        price_max = np.maximum(prices_a, prices_b)
+        price_valid = ~np.isnan(prices_a) & ~np.isnan(prices_b) & (price_max > 0)
+        features[:, 9] = np.where(
+            price_valid, np.abs(prices_a - prices_b) / np.where(price_valid, price_max, 1.0), _MISSING
+        )
+
+    # priceCurrency: exact match where both sides are set.
+    currency_codes: dict[str, int] = {}
+    currencies_a = np.array(
+        [
+            currency_codes.setdefault(pair.offer_a.price_currency or "", len(currency_codes))
+            for pair in pairs
+        ]
+    )
+    currencies_b = np.array(
+        [
+            currency_codes.setdefault(pair.offer_b.price_currency or "", len(currency_codes))
+            for pair in pairs
+        ]
+    )
+    currency_present = np.array(
+        [
+            bool(pair.offer_a.price_currency) and bool(pair.offer_b.price_currency)
+            for pair in pairs
+        ],
+        dtype=bool,
+    )
+    features[:, 10] = np.where(
+        currency_present, (currencies_a == currencies_b).astype(np.float64), _MISSING
+    )
+    return features
+
+
 class MagellanMatcher(PairwiseMatcher):
     """Attribute similarity features + random forest, tuned by grid search."""
 
@@ -91,16 +288,25 @@ class MagellanMatcher(PairwiseMatcher):
         param_grid: dict | None = None,
         max_train_pairs: int | None = 10000,
         seed: int = 0,
+        engine: SimilarityEngine | None = None,
+        offer_rows: dict[str, int] | None = None,
     ) -> None:
         self.param_grid = dict(param_grid) if param_grid is not None else dict(_DEFAULT_GRID)
-        # Feature extraction is quadratic-ish in Python-call overhead; the
-        # cap subsamples very large training sets (None disables).
+        # Batched featurization is cheap, but very large training sets are
+        # still subsampled to bound forest training time (None disables).
         self.max_train_pairs = max_train_pairs
         self.seed = seed
+        # Optional corpus-level featurization backend: when set (the
+        # experiment runner threads it through), attribute tokenization is
+        # shared across every dataset and matcher on the same corpus.
+        self.engine = engine
+        self.offer_rows = offer_rows
         self.search: GridSearch | None = None
 
     def _features(self, dataset: PairDataset) -> np.ndarray:
-        return np.array([pair_features(pair) for pair in dataset], dtype=np.float64)
+        return pair_features_batch(
+            dataset.pairs, engine=self.engine, offer_rows=self.offer_rows
+        )
 
     def fit(self, train: PairDataset, valid: PairDataset) -> "MagellanMatcher":
         pairs = train.pairs

@@ -4,6 +4,14 @@ Pair-wise: binary word *co-occurrence* between the two entity descriptions
 feeds a binary LinearSVM.  Multi-class: binary word *occurrence* of the
 single offer feeds a one-vs-rest LinearSVM.  Both variants grid-search
 their hyper-parameters on the validation split, as in the paper.
+
+Featurization is batched: serialized offers form an
+:class:`~repro.similarity.features.AttributeView` (each distinct offer is
+tokenized once), the view's vocabulary is folded through the hashing
+vectorizer in one pass, and the binary (co-)occurrence features are sparse
+matrix products.  With a corpus-level engine threaded in by the runner
+(attribute ``"serialized"``), tokenization is shared across every dataset
+of the experiment grid.
 """
 
 from __future__ import annotations
@@ -16,14 +24,19 @@ from repro.matchers.serialize import serialize_offer
 from repro.ml.grid_search import GridSearch
 from repro.ml.metrics import micro_f1
 from repro.ml.svm import LinearSVM, MulticlassLinearSVM
+from repro.similarity.engine import SimilarityEngine
+from repro.similarity.features import AttributeView
 from repro.text.vectorize import HashingVectorizer
 
-__all__ = ["WordCoocMatcher", "WordOccurrenceClassifier"]
+__all__ = ["WordCoocMatcher", "WordOccurrenceClassifier", "SERIALIZED_ATTRIBUTE"]
 
 _DEFAULT_GRID = {
     "reg_lambda": (1e-3, 1e-4),
     "positive_weight": (2.0, 4.0),
 }
+
+# Engine attribute under which the runner registers serialize_offer texts.
+SERIALIZED_ATTRIBUTE = "serialized"
 
 
 class WordCoocMatcher(PairwiseMatcher):
@@ -38,17 +51,48 @@ class WordCoocMatcher(PairwiseMatcher):
         param_grid: dict | None = None,
         epochs: int = 15,
         seed: int = 0,
+        engine: SimilarityEngine | None = None,
+        offer_rows: dict[str, int] | None = None,
     ) -> None:
         self.vectorizer = HashingVectorizer(n_features=n_features)
         self.param_grid = dict(param_grid) if param_grid is not None else dict(_DEFAULT_GRID)
         self.epochs = epochs
         self.seed = seed
+        self.engine = engine
+        self.offer_rows = offer_rows
         self.search: GridSearch | None = None
 
     def _features(self, dataset: PairDataset) -> np.ndarray:
-        left = [serialize_offer(pair.offer_a) for pair in dataset]
-        right = [serialize_offer(pair.offer_b) for pair in dataset]
-        return self.vectorizer.transform_pair_cooccurrence(left, right)
+        pairs = dataset.pairs
+        if not pairs:
+            return np.zeros((0, self.vectorizer.n_features), dtype=np.float32)
+        if (
+            self.engine is not None
+            and self.offer_rows is not None
+            and self.engine.has_attribute(SERIALIZED_ATTRIBUTE)
+            and all(
+                pair.offer_a.offer_id in self.offer_rows
+                and pair.offer_b.offer_id in self.offer_rows
+                for pair in pairs
+            )
+        ):
+            view = self.engine.attribute_view(SERIALIZED_ATTRIBUTE)
+            rows_a = [self.offer_rows[pair.offer_a.offer_id] for pair in pairs]
+            rows_b = [self.offer_rows[pair.offer_b.offer_id] for pair in pairs]
+        else:
+            index: dict[str, int] = {}
+            texts: list[str] = []
+            for pair in pairs:
+                for offer in (pair.offer_a, pair.offer_b):
+                    if offer.offer_id not in index:
+                        index[offer.offer_id] = len(texts)
+                        texts.append(serialize_offer(offer))
+            view = AttributeView(texts)
+            rows_a = [index[pair.offer_a.offer_id] for pair in pairs]
+            rows_b = [index[pair.offer_b.offer_id] for pair in pairs]
+        hashed = view.hashed_incidence(self.vectorizer)
+        cooccurrence = hashed[rows_a].multiply(hashed[rows_b])
+        return np.asarray(cooccurrence.todense(), dtype=np.float32)
 
     def fit(self, train: PairDataset, valid: PairDataset) -> "WordCoocMatcher":
         train_x = self._features(train)
@@ -94,9 +138,9 @@ class WordOccurrenceClassifier(MulticlassMatcher):
         self._labels: list[str] = []
 
     def _features(self, dataset: MulticlassDataset) -> np.ndarray:
-        return self.vectorizer.transform(
-            [serialize_offer(offer) for offer in dataset.offers]
-        )
+        view = AttributeView([serialize_offer(offer) for offer in dataset.offers])
+        hashed = view.hashed_incidence(self.vectorizer)
+        return np.asarray(hashed.todense(), dtype=np.float32)
 
     def fit(
         self, train: MulticlassDataset, valid: MulticlassDataset

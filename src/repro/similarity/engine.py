@@ -16,7 +16,12 @@ NumPy/SciPy kernels:
 * ``pairwise_matrix`` — exact symmetric similarity matrix of a subset,
 * ``view`` — a cheap sub-engine over a row subset (no re-tokenization),
   which is how per-split pair generation and per-cluster splitting reuse
-  the corpus-level precomputation.
+  the corpus-level precomputation,
+* ``attribute_view`` / ``pair_features_batch`` — the matcher-facing
+  featurization layer: per-attribute sparse token views (title built-in,
+  further attributes registered with ``register_attribute``) whose
+  token-set metrics over N explicit pairs are a handful of sparse matrix
+  ops (see :mod:`repro.similarity.features`).
 
 The sparse/dense kernels release the GIL, so independent corner-case-ratio
 builds can share one engine across worker threads.
@@ -24,12 +29,13 @@ builds can share one engine across worker threads.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 from scipy.sparse import csr_matrix
 
 from repro.similarity.embedding import LsaEmbeddingModel
+from repro.similarity.features import TOKEN_METRICS, AttributeView
 from repro.similarity.token_based import generalized_jaccard_similarity
 from repro.text.tokenize import tokenize
 
@@ -50,6 +56,7 @@ class SimilarityEngine:
         *,
         embedding_model: LsaEmbeddingModel | None = None,
         prefilter: int = _GEN_JACCARD_PREFILTER,
+        attributes: Mapping[str, Sequence[str | None]] | None = None,
     ) -> None:
         self.titles = list(titles)
         self.prefilter = prefilter
@@ -66,6 +73,7 @@ class SimilarityEngine:
                 rows.append(row)
                 cols.append(col)
         n = len(self.titles)
+        self.vocabulary = vocabulary
         self._matrix = csr_matrix(
             (np.ones(len(rows)), (rows, cols)),
             shape=(n, max(len(vocabulary), 1)),
@@ -74,6 +82,12 @@ class SimilarityEngine:
         self._set_sizes = np.array(
             [len(tokens) for tokens in self.token_sets], dtype=np.float64
         )
+
+        self._attributes: dict[str, list[str | None]] = {}
+        self._attribute_views: dict[str, AttributeView] = {}
+        if attributes:
+            for name, texts in attributes.items():
+                self.register_attribute(name, texts)
 
         self._embeddings: np.ndarray | None = None
         if embedding_model is not None:
@@ -108,11 +122,14 @@ class SimilarityEngine:
         engine.titles = titles
         engine.prefilter = prefilter
         engine.token_sets = token_sets
+        engine.vocabulary = {}
         engine._matrix = matrix
         engine._set_sizes = set_sizes
         engine._embeddings = embeddings
         engine._token_keys = token_keys
         engine._gj_cache = gj_cache
+        engine._attributes = {}
+        engine._attribute_views = {}
         return engine
 
     def view(self, indices: Sequence[int]) -> "SimilarityEngine":
@@ -120,10 +137,12 @@ class SimilarityEngine:
 
         The view is itself a full :class:`SimilarityEngine` whose universe is
         the selected rows (in the given order); building it slices arrays
-        instead of re-tokenizing or re-embedding.
+        instead of re-tokenizing or re-embedding.  Registered attributes
+        carry over, and any already-built attribute view is sliced rather
+        than rebuilt.
         """
         rows = np.asarray(list(indices), dtype=np.intp)
-        return SimilarityEngine._from_parts(
+        engine = SimilarityEngine._from_parts(
             titles=[self.titles[int(i)] for i in rows],
             token_sets=[self.token_sets[int(i)] for i in rows],
             matrix=self._matrix[rows],
@@ -133,6 +152,15 @@ class SimilarityEngine:
             token_keys=self._token_keys[rows],
             gj_cache=self._gj_cache,
         )
+        engine.vocabulary = self.vocabulary
+        engine._attributes = {
+            name: [texts[int(i)] for i in rows]
+            for name, texts in self._attributes.items()
+        }
+        engine._attribute_views = {
+            name: view.slice(rows) for name, view in self._attribute_views.items()
+        }
+        return engine
 
     def __len__(self) -> int:
         return len(self.titles)
@@ -142,6 +170,67 @@ class SimilarityEngine:
         if self._embeddings is None:
             return ("cosine", "dice", "generalized_jaccard")
         return self.METRICS
+
+    # ------------------------------------------------------------------ #
+    # Per-attribute featurization views
+    # ------------------------------------------------------------------ #
+    def register_attribute(self, name: str, texts: Sequence[str | None]) -> None:
+        """Attach a per-row textual attribute (description, brand, …).
+
+        Registration only stores the texts; the sparse token view is built
+        lazily on first :meth:`attribute_view` access and cached, so every
+        matcher sharing the engine tokenizes each attribute at most once.
+        """
+        texts = list(texts)
+        if len(texts) != len(self):
+            raise ValueError(
+                f"attribute {name!r} has {len(texts)} rows, engine has {len(self)}"
+            )
+        self._attributes[name] = texts
+        self._attribute_views.pop(name, None)
+
+    def has_attribute(self, name: str) -> bool:
+        return name == "title" or name in self._attributes
+
+    def attribute_names(self) -> tuple[str, ...]:
+        return ("title", *self._attributes)
+
+    def attribute_view(self, name: str = "title") -> AttributeView:
+        """The cached sparse token view over ``name``'s texts.
+
+        ``"title"`` wraps this engine's own incidence matrix (no extra
+        tokenization); other attributes must have been registered.
+        """
+        cached = self._attribute_views.get(name)
+        if cached is None:
+            if name in self._attributes:
+                cached = AttributeView(self._attributes[name])
+            elif name == "title":
+                cached = AttributeView.over_engine_titles(self)
+            else:
+                raise KeyError(
+                    f"unknown attribute {name!r}; registered: {self.attribute_names()}"
+                )
+            self._attribute_views[name] = cached
+        return cached
+
+    def pair_features_batch(
+        self,
+        pairs: Sequence[tuple[int, int]],
+        *,
+        attribute: str = "title",
+        metrics: Sequence[str] = TOKEN_METRICS,
+    ) -> np.ndarray:
+        """Token-set metric features for N explicit ``(row_a, row_b)`` pairs.
+
+        Returns a ``(len(pairs), len(metrics))`` block computed by the
+        attribute's sparse pair kernel — the batched replacement for
+        calling the scalar metric functions pair by pair.
+        """
+        pair_array = np.asarray(list(pairs), dtype=np.intp).reshape(-1, 2)
+        return self.attribute_view(attribute).pair_metrics(
+            pair_array[:, 0], pair_array[:, 1], metrics
+        )
 
     # ------------------------------------------------------------------ #
     # Batched query-vs-universe scoring

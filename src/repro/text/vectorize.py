@@ -79,6 +79,11 @@ class HashingVectorizer:
             value = ((value ^ byte) * 16777619) & 0xFFFFFFFF
         return value % self.n_features
 
+    def token_buckets(self, tokens: Sequence[str]) -> np.ndarray:
+        """Bucket index of each token — the vocabulary-level hashing pass
+        used by the batched featurizers to hash each distinct token once."""
+        return np.array([self._bucket(token) for token in tokens], dtype=np.intp)
+
     def transform(self, texts: Sequence[str]) -> np.ndarray:
         matrix = np.zeros((len(texts), self.n_features), dtype=np.float32)
         for row, text in enumerate(texts):

@@ -9,6 +9,7 @@ from repro.cleansing import (
     count_non_latin_characters,
     dedup_key,
     deduplicate_offers,
+    default_identifier,
     find_cluster_outliers,
     keep_latin_offer,
     remove_short_offers,
@@ -64,6 +65,56 @@ class TestLanguageIdentifier:
         strict = identifier.is_english(text, margin=0.0)
         lenient = identifier.is_english(text, margin=50.0)
         assert lenient or not strict  # margin can only keep more
+
+
+class TestBatchedScoring:
+    """The batched NB kernel against the per-text reference scorer."""
+
+    _TEXTS = [
+        "fast shipping and warranty included with this drive",
+        "kostenloser versand und garantie für die festplatte",
+        "livraison gratuite et garantie pour le disque",
+        "Exatron VortexDisk VD-2400 2TB",
+        "",
+        "   ",
+        "mit drive",
+        "garantie versand lieferung qualität",
+    ]
+
+    @pytest.fixture(scope="class")
+    def identifier(self):
+        return CharNgramLanguageIdentifier().train()
+
+    def test_scores_batch_matches_scores(self, identifier):
+        batch = identifier.scores_batch(self._TEXTS)
+        assert batch.shape == (len(self._TEXTS), len(identifier.languages))
+        reference = np.array(
+            [
+                [identifier.scores(text)[language] for language in identifier.languages]
+                for text in self._TEXTS
+            ]
+        )
+        # The matmul regroups the same sums; agreement is to fp
+        # reassociation error, far inside any decision margin.
+        np.testing.assert_allclose(batch, reference, rtol=1e-9, atol=1e-6)
+
+    @pytest.mark.parametrize("margin", [0.0, 4.0, 50.0])
+    def test_is_english_batch_matches_scalar(self, identifier, margin):
+        batch = identifier.is_english_batch(self._TEXTS, margin=margin)
+        reference = [identifier.is_english(text, margin=margin) for text in self._TEXTS]
+        assert batch.tolist() == reference
+
+    def test_requires_training(self):
+        with pytest.raises(RuntimeError):
+            CharNgramLanguageIdentifier().scores_batch(["hello"])
+        with pytest.raises(RuntimeError):
+            CharNgramLanguageIdentifier().is_english_batch(["hello"])
+
+    def test_default_identifier_is_shared(self):
+        first = CleansingPipeline()
+        second = CleansingPipeline()
+        assert first.language_identifier is second.language_identifier
+        assert first.language_identifier is default_identifier()
 
 
 class TestLatinFilter:
@@ -172,3 +223,33 @@ class TestPipeline:
         n_before = len(generated_small.corpus)
         CleansingPipeline().run(generated_small.corpus)
         assert len(generated_small.corpus) == n_before
+
+    def test_batched_filters_match_scalar_decisions(self, generated_small):
+        """The masked pipeline keeps exactly the offers the per-offer
+        scalar criteria would keep (the byte-identical-build guarantee)."""
+        pipeline = CleansingPipeline()
+        cleansed = pipeline.run(generated_small.corpus)
+        identifier = pipeline.language_identifier
+        offers = [
+            offer
+            for offer in generated_small.corpus.offers
+            if identifier.is_english(
+                offer.combined_text()[:200], margin=pipeline.language_margin
+            )
+        ]
+        offers = [
+            offer
+            for offer in offers
+            if keep_latin_offer(offer, threshold=pipeline.non_latin_threshold)
+        ]
+        scalar_ids = {offer.offer_id for offer in offers}
+        assert pipeline.report.after_latin == len(scalar_ids)
+        assert {o.offer_id for o in cleansed.offers} <= scalar_ids
+
+    def test_stage_seconds_recorded(self, generated_small):
+        pipeline = CleansingPipeline()
+        pipeline.run(generated_small.corpus)
+        assert set(pipeline.report.stage_seconds) == {
+            "language", "latin", "dedup", "short", "outliers",
+        }
+        assert all(seconds >= 0.0 for seconds in pipeline.report.stage_seconds.values())

@@ -1,0 +1,125 @@
+"""Parity tests: batched matcher featurization vs the scalar references.
+
+The batched `pair_features_batch` must reproduce the per-pair
+`pair_features` reference to 1e-9 on randomized offers covering every
+missing-attribute branch, both with a local featurization universe and
+through a corpus-level engine with registered attribute views.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.datasets import LabeledPair, PairDataset
+from repro.corpus.schema import ProductOffer
+from repro.matchers.magellan import MagellanMatcher, pair_features, pair_features_batch
+from repro.matchers.serialize import serialize_offer
+from repro.matchers.word_cooc import SERIALIZED_ATTRIBUTE, WordCoocMatcher
+from repro.similarity.engine import SimilarityEngine
+
+_TITLE_WORDS = (
+    "wd blue vortex drive 2tb ssd fast premium steel espresso machine new "
+    "ultra sandisk 64gb microsdxc wireless router"
+).split()
+
+
+def _random_offer(rng, index):
+    title = " ".join(rng.choice(_TITLE_WORDS) for _ in range(rng.randrange(1, 9)))
+    return ProductOffer(
+        offer_id=f"offer-{index}",
+        cluster_id=f"cluster-{index % 7}",
+        title=title,
+        description=rng.choice(
+            [None, "", "great drive for storage", "!!!", title + " extended"]
+        ),
+        brand=rng.choice([None, "", "Exatron", "exaTRON", "VortexCo", "Ω-Brand"]),
+        price=rng.choice([None, 0.0, 10.0, 99.5, 100.0, 2499.0]),
+        price_currency=rng.choice([None, "", "USD", "EUR", "GBP"]),
+    )
+
+
+@pytest.fixture(scope="module")
+def random_pairs():
+    rng = random.Random(42)
+    offers = [_random_offer(rng, i) for i in range(90)]
+    pairs = [
+        LabeledPair(f"pair-{k}", rng.choice(offers), rng.choice(offers), k % 2)
+        for k in range(700)
+    ]
+    # Make sure an identical pair (every feature's 1.0/0.0 branch) is in.
+    pairs.append(LabeledPair("pair-self", offers[0], offers[0], 1))
+    return offers, pairs
+
+
+class TestMagellanBatchParity:
+    def test_local_universe_parity(self, random_pairs):
+        _, pairs = random_pairs
+        batch = pair_features_batch(pairs)
+        reference = np.array([pair_features(pair) for pair in pairs])
+        np.testing.assert_allclose(batch, reference, atol=1e-9)
+
+    def test_engine_backend_parity(self, random_pairs):
+        offers, pairs = random_pairs
+        engine = SimilarityEngine([offer.title for offer in offers])
+        engine.register_attribute(
+            "description", [offer.description for offer in offers]
+        )
+        engine.register_attribute("brand", [offer.brand for offer in offers])
+        offer_rows = {offer.offer_id: row for row, offer in enumerate(offers)}
+        batch = pair_features_batch(pairs, engine=engine, offer_rows=offer_rows)
+        reference = np.array([pair_features(pair) for pair in pairs])
+        np.testing.assert_allclose(batch, reference, atol=1e-9)
+
+    def test_unresolvable_offer_falls_back(self, random_pairs):
+        offers, pairs = random_pairs
+        engine = SimilarityEngine([offer.title for offer in offers[:5]])
+        engine.register_attribute(
+            "description", [offer.description for offer in offers[:5]]
+        )
+        engine.register_attribute("brand", [offer.brand for offer in offers[:5]])
+        offer_rows = {offer.offer_id: row for row, offer in enumerate(offers[:5])}
+        # Pairs reference offers outside the engine -> local fallback.
+        batch = pair_features_batch(pairs, engine=engine, offer_rows=offer_rows)
+        reference = np.array([pair_features(pair) for pair in pairs])
+        np.testing.assert_allclose(batch, reference, atol=1e-9)
+
+    def test_empty_dataset(self):
+        assert pair_features_batch([]).shape == (0, 11)
+
+    def test_matcher_features_use_batch(self, random_pairs):
+        _, pairs = random_pairs
+        dataset = PairDataset(name="t", pairs=list(pairs))
+        features = MagellanMatcher()._features(dataset)
+        reference = np.array([pair_features(pair) for pair in pairs])
+        np.testing.assert_allclose(features, reference, atol=1e-9)
+
+
+class TestWordCoocBatchParity:
+    def test_cooccurrence_parity(self, random_pairs):
+        _, pairs = random_pairs
+        dataset = PairDataset(name="t", pairs=list(pairs))
+        matcher = WordCoocMatcher()
+        batch = matcher._features(dataset)
+        reference = matcher.vectorizer.transform_pair_cooccurrence(
+            [serialize_offer(pair.offer_a) for pair in pairs],
+            [serialize_offer(pair.offer_b) for pair in pairs],
+        )
+        np.testing.assert_array_equal(batch, reference)
+        assert batch.dtype == np.float32
+
+    def test_engine_backend_parity(self, random_pairs):
+        offers, pairs = random_pairs
+        dataset = PairDataset(name="t", pairs=list(pairs))
+        engine = SimilarityEngine([offer.title for offer in offers])
+        engine.register_attribute(
+            SERIALIZED_ATTRIBUTE, [serialize_offer(offer) for offer in offers]
+        )
+        offer_rows = {offer.offer_id: row for row, offer in enumerate(offers)}
+        matcher = WordCoocMatcher(engine=engine, offer_rows=offer_rows)
+        batch = matcher._features(dataset)
+        reference = matcher.vectorizer.transform_pair_cooccurrence(
+            [serialize_offer(pair.offer_a) for pair in pairs],
+            [serialize_offer(pair.offer_b) for pair in pairs],
+        )
+        np.testing.assert_array_equal(batch, reference)

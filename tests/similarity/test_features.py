@@ -1,0 +1,193 @@
+"""Parity tests for the batched featurization kernels.
+
+Every kernel in ``similarity/features.py`` is pinned against its scalar
+reference implementation at 1e-9 (most agree exactly) on randomized
+inputs that exercise the edge branches: empty strings, identical strings,
+empty token sets, unicode, and missing attributes.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.similarity.character_based import (
+    jaro_winkler_similarity,
+    levenshtein_similarity,
+)
+from repro.similarity.engine import SimilarityEngine
+from repro.similarity.features import (
+    TOKEN_METRICS,
+    AttributeView,
+    jaro_winkler_similarity_batch,
+    levenshtein_similarity_batch,
+)
+from repro.similarity.token_based import (
+    cosine_similarity,
+    dice_similarity,
+    jaccard_similarity,
+    overlap_coefficient,
+)
+from repro.text.vectorize import HashingVectorizer
+
+_WORDS = (
+    "wd blue vortex 2tb drive ssd premium steel espresso machine router "
+    "gaming 64gb screen fast ultra"
+).split()
+
+
+def _random_strings(rng, count, *, alphabet="abcdefg", max_length=14):
+    strings = [
+        "".join(rng.choice(alphabet) for _ in range(rng.randrange(0, max_length)))
+        for _ in range(count)
+    ]
+    strings += ["", "kitten", "sitting", "same", "same", "prefix-match", "prefix-mismatch", "Ω3", "ωμέγα"]
+    return strings
+
+
+def _random_texts(rng, count):
+    texts = [
+        " ".join(rng.choice(_WORDS) for _ in range(rng.randrange(0, 9)))
+        for _ in range(count)
+    ]
+    texts += ["", "!!!", "wd blue 2tb", "wd blue 2tb"]
+    return texts
+
+
+class TestCharKernels:
+    def test_levenshtein_parity(self):
+        rng = random.Random(7)
+        lefts = _random_strings(rng, 300)
+        rights = list(reversed(_random_strings(rng, 300)))
+        batch = levenshtein_similarity_batch(lefts, rights)
+        reference = [levenshtein_similarity(l, r) for l, r in zip(lefts, rights)]
+        np.testing.assert_allclose(batch, reference, atol=1e-9)
+
+    def test_jaro_winkler_parity(self):
+        rng = random.Random(11)
+        lefts = _random_strings(rng, 300)
+        rights = list(reversed(_random_strings(rng, 300)))
+        batch = jaro_winkler_similarity_batch(lefts, rights)
+        reference = [jaro_winkler_similarity(l, r) for l, r in zip(lefts, rights)]
+        np.testing.assert_allclose(batch, reference, atol=1e-9)
+
+    def test_empty_inputs(self):
+        assert levenshtein_similarity_batch([], []).shape == (0,)
+        assert jaro_winkler_similarity_batch([], []).shape == (0,)
+
+    def test_misaligned_raises(self):
+        with pytest.raises(ValueError):
+            levenshtein_similarity_batch(["a"], [])
+        with pytest.raises(ValueError):
+            jaro_winkler_similarity_batch(["a"], [])
+
+
+class TestAttributeView:
+    @pytest.fixture(scope="class")
+    def view_and_texts(self):
+        rng = random.Random(3)
+        texts = _random_texts(rng, 60)
+        return AttributeView(texts), texts
+
+    def test_pair_metrics_parity(self, view_and_texts):
+        view, texts = view_and_texts
+        rng = random.Random(5)
+        rows_a = [rng.randrange(len(texts)) for _ in range(400)]
+        rows_b = [rng.randrange(len(texts)) for _ in range(400)]
+        batch = view.pair_metrics(rows_a, rows_b)
+        scalar = {
+            "jaccard": jaccard_similarity,
+            "cosine": cosine_similarity,
+            "dice": dice_similarity,
+            "overlap": overlap_coefficient,
+        }
+        for col, metric in enumerate(TOKEN_METRICS):
+            reference = [
+                scalar[metric](texts[a], texts[b]) for a, b in zip(rows_a, rows_b)
+            ]
+            np.testing.assert_allclose(batch[:, col], reference, atol=1e-9)
+
+    def test_none_texts_are_absent_empty_sets(self):
+        view = AttributeView([None, "", "wd blue", "!!!"])
+        assert not view.present[0] and not view.present[1]
+        assert view.present[2] and view.present[3]
+        # "!!!" is present but tokenizes to nothing.
+        metrics = view.pair_metrics([3], [3])
+        assert metrics[0, 0] == 1.0  # jaccard of two empty sets
+        assert metrics[0, 1] == 0.0  # cosine with an empty side
+
+    def test_metric_subset_and_unknown(self, view_and_texts):
+        view, _ = view_and_texts
+        block = view.pair_metrics([0, 1], [1, 0], ("cosine",))
+        assert block.shape == (2, 1)
+        with pytest.raises(ValueError):
+            view.pair_metrics([0], [0], ("bogus",))
+
+    def test_slice_matches_rebuild(self, view_and_texts):
+        view, texts = view_and_texts
+        rows = np.array([4, 0, 9], dtype=np.intp)
+        sliced = view.slice(rows)
+        rebuilt = AttributeView([texts[i] for i in rows])
+        np.testing.assert_allclose(
+            sliced.pair_metrics([0, 1], [2, 2]), rebuilt.pair_metrics([0, 1], [2, 2])
+        )
+
+    def test_hashed_incidence_matches_transform(self, view_and_texts):
+        view, texts = view_and_texts
+        vectorizer = HashingVectorizer(n_features=128)
+        hashed = np.asarray(view.hashed_incidence(vectorizer).todense())
+        np.testing.assert_array_equal(hashed, vectorizer.transform(view.texts))
+
+
+class TestEngineAttributeViews:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        rng = random.Random(13)
+        titles = _random_texts(rng, 40)
+        engine = SimilarityEngine([t or "placeholder" for t in titles])
+        engine.register_attribute(
+            "description", [None if i % 3 == 0 else f"desc {t}" for i, t in enumerate(titles)]
+        )
+        return engine
+
+    def test_title_view_shares_matrix(self, engine):
+        view = engine.attribute_view("title")
+        assert view._matrix is engine._matrix  # no re-tokenization
+
+    def test_title_view_hashing_matches_transform(self, engine):
+        vectorizer = HashingVectorizer(n_features=64)
+        hashed = np.asarray(
+            engine.attribute_view("title").hashed_incidence(vectorizer).todense()
+        )
+        np.testing.assert_array_equal(hashed, vectorizer.transform(engine.titles))
+
+    def test_registered_attribute_roundtrip(self, engine):
+        assert engine.has_attribute("description")
+        assert not engine.has_attribute("brand")
+        assert set(engine.attribute_names()) == {"title", "description"}
+        with pytest.raises(KeyError):
+            engine.attribute_view("brand")
+
+    def test_register_length_mismatch_raises(self, engine):
+        with pytest.raises(ValueError):
+            engine.register_attribute("bad", ["only one"])
+
+    def test_pair_features_batch_matches_view(self, engine):
+        pairs = [(0, 1), (2, 2), (5, 9)]
+        block = engine.pair_features_batch(pairs, attribute="description")
+        view = engine.attribute_view("description")
+        np.testing.assert_allclose(
+            block, view.pair_metrics([a for a, _ in pairs], [b for _, b in pairs])
+        )
+
+    def test_view_slices_attributes(self, engine):
+        rows = [3, 1, 7]
+        sub = engine.view(rows)
+        assert sub.has_attribute("description")
+        parent = engine.attribute_view("description")
+        child = sub.attribute_view("description")
+        assert child.texts == [parent.texts[i] for i in rows]
+        np.testing.assert_allclose(
+            child.pair_metrics([0, 1], [2, 0]),
+            parent.pair_metrics([rows[0], rows[1]], [rows[2], rows[0]]),
+        )
