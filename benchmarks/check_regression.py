@@ -1,0 +1,83 @@
+"""Fail CI when a recorded build stage regresses past the committed baseline.
+
+``record_timings.py`` writes the per-stage build timings of a smoke-scale
+run; this script compares such a fresh recording against the baseline
+committed in-tree (``BENCH_baseline.json``) and exits non-zero when any
+build stage exceeds ``tolerance`` times its baseline.  The tolerance is
+deliberately generous (default 2.5x) because CI runners are noisy and
+slower than the machines baselines are recorded on — the gate is meant to
+catch order-of-magnitude regressions (an accidentally de-vectorized hot
+loop), not single-digit-percent drift.  Stages below ``--floor`` seconds
+in the baseline are held to the floor instead of their own tiny timing,
+so sub-millisecond stages cannot trip the gate on scheduler jitter:
+
+    PYTHONPATH=src python benchmarks/record_timings.py --output BENCH_current.json
+    python benchmarks/check_regression.py \
+        --baseline BENCH_baseline.json --current BENCH_current.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def compare(
+    baseline: dict, current: dict, *, tolerance: float, floor: float
+) -> list[str]:
+    """Human-readable failure lines, empty when every stage is in budget."""
+    failures: list[str] = []
+    baseline_stages = baseline.get("build_stages", {})
+    current_stages = current.get("build_stages", {})
+    for stage, base_seconds in sorted(baseline_stages.items()):
+        seconds = current_stages.get(stage)
+        if seconds is None:
+            failures.append(f"{stage}: missing from the current recording")
+            continue
+        budget = tolerance * max(base_seconds, floor)
+        if seconds > budget:
+            failures.append(
+                f"{stage}: {seconds:.3f}s exceeds {budget:.3f}s "
+                f"({tolerance}x baseline {base_seconds:.3f}s)"
+            )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, default=Path("BENCH_baseline.json"))
+    parser.add_argument("--current", type=Path, required=True)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.5,
+        help="maximum allowed current/baseline ratio per stage (default 2.5)",
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=0.05,
+        help="baseline seconds floor per stage, absorbs timing jitter on "
+        "near-instant stages (default 0.05)",
+    )
+    args = parser.parse_args()
+
+    baseline = json.loads(args.baseline.read_text())
+    current = json.loads(args.current.read_text())
+    failures = compare(
+        baseline, current, tolerance=args.tolerance, floor=args.floor
+    )
+    stages = len(baseline.get("build_stages", {}))
+    if failures:
+        print(f"perf regression: {len(failures)} of {stages} stages over budget")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(f"all {stages} build stages within {args.tolerance}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

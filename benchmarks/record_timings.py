@@ -30,9 +30,29 @@ def _timed(fn) -> tuple[float, object]:
     return time.perf_counter() - start, result
 
 
+def _memoize_features(matcher) -> None:
+    """Cache ``matcher._features`` per dataset object.
+
+    The featurization stages are timed explicitly below; without the memo,
+    ``fit`` would silently featurize the same datasets again, double-doing
+    the work and folding it into the ``fit`` timing — the recorded stages
+    are only additive when each dataset is featurized exactly once.
+    """
+    base = matcher._features
+    cache: dict[int, object] = {}
+
+    def cached(dataset):
+        key = id(dataset)
+        if key not in cache:
+            cache[key] = base(dataset)
+        return cache[key]
+
+    matcher._features = cached
+
+
 def record(seed: int = 42) -> dict:
     record: dict = {
-        "schema": 1,
+        "schema": 2,  # 2: featurize/fit stages are additive (no double work)
         "scale": "small",
         "seed": seed,
         "python": platform.python_version(),
@@ -54,8 +74,11 @@ def record(seed: int = 42) -> dict:
     matchers: dict[str, dict[str, float]] = {}
     for system in ("word_cooc", "magellan"):
         matcher = runner.make_pairwise(system, seed=0)
+        _memoize_features(matcher)
         timings: dict[str, float] = {}
         timings["featurize_train"], _ = _timed(lambda: matcher._features(task.train))
+        timings["featurize_valid"], _ = _timed(lambda: matcher._features(task.valid))
+        # Featurization is memoized above, so this times model fitting only.
         timings["fit"], _ = _timed(lambda: matcher.fit(task.train, task.valid))
         timings["predict_test"], _ = _timed(lambda: matcher.predict(task.test))
         timings["n_train_pairs"] = len(task.train)
@@ -85,7 +108,8 @@ def main() -> None:
         print(f"  {stage:24s} {seconds:8.3f}s")
     for system, timings in result["matchers"].items():
         print(
-            f"  {system:24s} featurize={timings['featurize_train']:.3f}s "
+            f"  {system:24s} featurize={timings['featurize_train']:.3f}s"
+            f"+{timings['featurize_valid']:.3f}s "
             f"fit={timings['fit']:.3f}s predict={timings['predict_test']:.3f}s"
         )
 

@@ -58,6 +58,9 @@ class BuildConfig:
     corner_case_ratios: tuple[CornerCaseRatio, ...] = tuple(CornerCaseRatio)
     parallel_ratio_builds: bool = True
     max_workers: int | None = None
+    # Bound on the engine's per-corpus Generalized-Jaccard pair cache; the
+    # cache is shared (lock-protected) by every concurrent ratio build.
+    gj_cache_entries: int = 1 << 20
 
     @classmethod
     def small(cls, *, seed: int = 42, **overrides) -> "BuildConfig":
@@ -178,6 +181,7 @@ class BenchmarkBuilder:
         engine = SimilarityEngine(
             [offer.title for offer in cleansed.offers],
             embedding_model=embedding_model,
+            gj_cache_entries=self.config.gj_cache_entries,
         )
         offer_rows = {
             offer.offer_id: row for row, offer in enumerate(cleansed.offers)

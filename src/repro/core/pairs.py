@@ -104,6 +104,19 @@ def generate_pairs(
     # ---------------------------------------------------------------- #
     cluster_array = np.array(cluster_ids)
     n = len(offers)
+    # Number of distinct cross-cluster pairs the split can ever produce:
+    # once ``negatives`` reaches it, every further search or random draw is
+    # guaranteed fruitless (all negative pairs are cross-cluster and
+    # deduped), so the loops below use it as their exhaustion bound.
+    cluster_counts: dict[str, int] = defaultdict(int)
+    for cluster_id in cluster_ids:
+        cluster_counts[cluster_id] += 1
+    max_cross_pairs = n * (n - 1) // 2 - sum(
+        size * (size - 1) // 2 for size in cluster_counts.values()
+    )
+
+    base_fetch = corner_negatives_per_offer + 8
+    drawn: list[str] = []
     corner_candidates: dict[int, list[int]] = {}
     if corner_negatives_per_offer > 0:
         drawn = [
@@ -122,7 +135,7 @@ def generate_pairs(
             batches = index.engine.top_k_batch(
                 positions,
                 metric,
-                k=corner_negatives_per_offer + 8,
+                k=base_fetch,
                 exclude=exclude,
             )
             corner_candidates.update(zip(positions, batches))
@@ -131,15 +144,44 @@ def generate_pairs(
         cluster = cluster_ids[position]
         if corner_negatives_per_offer > 0:
             quota = 0
-            for candidate in corner_candidates[position]:
-                if quota >= corner_negatives_per_offer:
+            candidates = corner_candidates[position]
+            consumed = 0
+            fetch = base_fetch
+            while quota < corner_negatives_per_offer:
+                for candidate in candidates[consumed:]:
+                    if add_pair(position, candidate, 0, "corner_negative"):
+                        quota += 1
+                        if quota >= corner_negatives_per_offer:
+                            break
+                consumed = len(candidates)
+                if quota >= corner_negatives_per_offer or fetch >= n:
                     break
-                if add_pair(position, candidate, 0, "corner_negative"):
-                    quota += 1
+                if len(candidates) < fetch:
+                    # The search already returned every cross-cluster
+                    # candidate; widening cannot surface more.
+                    break
+                # The fixed over-fetch was fully consumed by deduped or
+                # mirrored pairs: widen the search and take the next most
+                # similar offers (top-k ordering is deterministic, so the
+                # wider result extends the previous one as a prefix)
+                # rather than falling back to random negatives.
+                fetch = min(2 * fetch, n)
+                candidates = index.engine.top_k(
+                    position,
+                    drawn[position],
+                    k=fetch,
+                    exclude=cluster_array == cluster_array[position],
+                )
+                if len(candidates) <= consumed:
+                    break  # the cross-cluster universe itself is exhausted
 
         added_random = 0
         attempts = 0
-        while added_random < random_negatives_per_offer and attempts < 50:
+        while (
+            added_random < random_negatives_per_offer
+            and negatives < max_cross_pairs
+            and attempts < 50
+        ):
             attempts += 1
             candidate = int(rng.integers(n))
             if cluster_ids[candidate] == cluster:
@@ -152,7 +194,11 @@ def generate_pairs(
     # target size (the paper's test sets contain exactly 4,500 pairs).
     target_negatives = n * (corner_negatives_per_offer + random_negatives_per_offer)
     attempts = 0
-    while negatives < target_negatives and attempts < 50 * n:
+    while (
+        negatives < target_negatives
+        and negatives < max_cross_pairs
+        and attempts < 50 * n
+    ):
         attempts += 1
         a = int(rng.integers(n))
         b = int(rng.integers(n))

@@ -35,14 +35,19 @@ import numpy as np
 from scipy.sparse import csr_matrix
 
 from repro.similarity.embedding import LsaEmbeddingModel
-from repro.similarity.features import TOKEN_METRICS, AttributeView
-from repro.similarity.token_based import generalized_jaccard_similarity
+from repro.similarity.features import (
+    TOKEN_METRICS,
+    AttributeView,
+    BoundedPairCache,
+    generalized_jaccard_batch,
+)
 from repro.text.tokenize import tokenize
 
 __all__ = ["SimilarityEngine"]
 
 _GEN_JACCARD_PREFILTER = 48
 _BATCH_ROWS = 256  # cap on dense (queries x universe) score blocks
+_GJ_CACHE_ENTRIES = 1 << 20  # per-corpus Generalized-Jaccard pair cache bound
 
 
 class SimilarityEngine:
@@ -57,6 +62,7 @@ class SimilarityEngine:
         embedding_model: LsaEmbeddingModel | None = None,
         prefilter: int = _GEN_JACCARD_PREFILTER,
         attributes: Mapping[str, Sequence[str | None]] | None = None,
+        gj_cache_entries: int = _GJ_CACHE_ENTRIES,
     ) -> None:
         self.titles = list(titles)
         self.prefilter = prefilter
@@ -94,8 +100,8 @@ class SimilarityEngine:
             self._embeddings = embedding_model.embed_many(self.titles)
 
         # Canonical id per distinct token set: rows with identical token
-        # sets share an id, so the Generalized-Jaccard pair cache (shared
-        # with every view, safe under the GIL) dedupes duplicate titles.
+        # sets share an id, so the Generalized-Jaccard pair cache (bounded,
+        # lock-protected, shared with every view) dedupes duplicate titles.
         canon: dict[frozenset, int] = {}
         self._token_keys = np.array(
             [
@@ -104,7 +110,7 @@ class SimilarityEngine:
             ],
             dtype=np.intp,
         )
-        self._gj_cache: dict[tuple[int, int], float] = {}
+        self._gj_cache = BoundedPairCache(gj_cache_entries)
 
     @classmethod
     def _from_parts(
@@ -116,7 +122,7 @@ class SimilarityEngine:
         embeddings: np.ndarray | None,
         prefilter: int,
         token_keys: np.ndarray,
-        gj_cache: dict[tuple[int, int], float],
+        gj_cache: BoundedPairCache,
     ) -> "SimilarityEngine":
         engine = cls.__new__(cls)
         engine.titles = titles
@@ -290,20 +296,25 @@ class SimilarityEngine:
         """Similarity of one query title to every title in the universe."""
         return self.scores_batch([query_index], metric)[0]
 
-    def _generalized_jaccard_pair(self, row_a: int, row_b: int) -> float:
-        """Exact Generalized Jaccard of two rows, cached by token-set id."""
-        key_a = int(self._token_keys[row_a])
-        key_b = int(self._token_keys[row_b])
-        if key_a == key_b:
-            return 1.0
-        key = (key_a, key_b) if key_a < key_b else (key_b, key_a)
-        value = self._gj_cache.get(key)
-        if value is None:
-            value = generalized_jaccard_similarity(
-                self.token_sets[row_a], self.token_sets[row_b]
-            )
-            self._gj_cache[key] = value
-        return value
+    def generalized_jaccard_pairs(
+        self, rows_a: Sequence[int], rows_b: Sequence[int]
+    ) -> np.ndarray:
+        """Exact Generalized Jaccard of aligned row pairs, batched and cached.
+
+        Pairs are deduped on the corpus-global canonical token-set ids (so
+        duplicate titles score once) and served through the per-corpus
+        bounded cache every view shares; see
+        :func:`~repro.similarity.features.generalized_jaccard_batch`.
+        """
+        rows_a = np.asarray(rows_a, dtype=np.intp).ravel()
+        rows_b = np.asarray(rows_b, dtype=np.intp).ravel()
+        sets = self.token_sets
+        return generalized_jaccard_batch(
+            [sets[int(row)] for row in rows_a],
+            [sets[int(row)] for row in rows_b],
+            keys=(self._token_keys[rows_a], self._token_keys[rows_b]),
+            cache=self._gj_cache,
+        )
 
     def _generalized_jaccard_block(
         self,
@@ -329,12 +340,12 @@ class SimilarityEngine:
             top_block = np.broadcast_to(
                 np.arange(cosine.shape[1]), cosine.shape
             )
-        for local, query_row in enumerate(query_rows):
-            row = int(query_row)
-            for candidate in top_block[local]:
-                scores[local, candidate] = self._generalized_jaccard_pair(
-                    row, int(candidate)
-                )
+        n_queries, width = top_block.shape
+        candidates = np.ascontiguousarray(top_block).ravel()
+        values = self.generalized_jaccard_pairs(
+            np.repeat(query_rows, width), candidates
+        )
+        scores[np.repeat(np.arange(n_queries), width), candidates] = values
         return scores
 
     # ------------------------------------------------------------------ #
@@ -427,12 +438,8 @@ class SimilarityEngine:
             raw = embeddings[candidates] @ embeddings[query_index]
             return np.clip(raw, 0.0, 1.0)
         if metric == "generalized_jaccard":
-            return np.array(
-                [
-                    self._generalized_jaccard_pair(query_index, int(c))
-                    for c in candidates
-                ],
-                dtype=np.float64,
+            return self.generalized_jaccard_pairs(
+                np.full(candidates.size, query_index, dtype=np.intp), candidates
             )
         query_row = self._matrix[query_index]
         intersections = np.asarray(
@@ -483,12 +490,13 @@ class SimilarityEngine:
             matrix = np.clip(embeddings @ embeddings.T, 0.0, 1.0)
         elif metric == "generalized_jaccard":
             matrix = np.zeros((m, m), dtype=np.float64)
-            for i in range(m):
-                row_i = int(rows[i])
-                for j in range(i + 1, m):
-                    score = self._generalized_jaccard_pair(row_i, int(rows[j]))
-                    matrix[i, j] = score
-                    matrix[j, i] = score
+            upper_i, upper_j = np.triu_indices(m, k=1)
+            if upper_i.size:
+                scores = self.generalized_jaccard_pairs(
+                    rows[upper_i], rows[upper_j]
+                )
+                matrix[upper_i, upper_j] = scores
+                matrix[upper_j, upper_i] = scores
         elif metric in ("cosine", "dice"):
             block = self._matrix[rows]
             intersections = np.asarray((block @ block.T).todense())

@@ -21,6 +21,14 @@ for *pair-shaped* workloads:
   loop run position-wise across the batch (the per-string inner scan
   becomes a masked argmax), followed by vectorized transposition counting
   and prefix boosting.
+* :func:`generalized_jaccard_batch` — Generalized Jaccard with soft token
+  matching over N explicit set pairs.  Requested pairs are deduped by
+  canonical token-set key, every needed symmetric-difference token pair is
+  scored through :func:`jaro_winkler_similarity_batch` in one pass, and
+  the greedy threshold matching runs as a masked argmax across all pairs
+  at once — the batched replacement for the engine's per-pair rescoring
+  loop.  :class:`BoundedPairCache` is its thread-safe, bounded score cache
+  (one per corpus, shared by every engine view).
 
 All kernels are drop-in parity replacements for the scalar functions in
 ``similarity/token_based.py`` and ``similarity/character_based.py``; the
@@ -29,16 +37,21 @@ test-suite pins them together at 1e-9.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+import threading
+from collections.abc import Iterable, Sequence
+from itertools import islice
 
 import numpy as np
 from scipy.sparse import csr_matrix
 
+from repro.similarity.token_based import DEFAULT_SOFT_THRESHOLD
 from repro.text.tokenize import tokenize
 
 __all__ = [
     "AttributeView",
+    "BoundedPairCache",
     "TOKEN_METRICS",
+    "generalized_jaccard_batch",
     "levenshtein_similarity_batch",
     "jaro_winkler_similarity_batch",
 ]
@@ -47,6 +60,7 @@ TOKEN_METRICS = ("jaccard", "cosine", "dice", "overlap")
 
 _PAIR_CHUNK = 8192  # rows per sparse pair-product block
 _CHAR_CHUNK = 2048  # strings per char-kernel DP block
+_GREEDY_CELL_BUDGET = 1 << 23  # dense cells per greedy-matching block (~64 MB)
 
 
 # --------------------------------------------------------------------- #
@@ -232,18 +246,26 @@ class AttributeView:
 # Chunked char-array kernels
 # --------------------------------------------------------------------- #
 def _encode_strings(strings: Sequence[str]) -> tuple[np.ndarray, np.ndarray]:
-    """Pad ``strings`` into an int32 code-point matrix (+1 so 0 is padding)."""
+    """Pad ``strings`` into an int32 code-point matrix (+1 so 0 is padding).
+
+    The whole chunk is encoded as one concatenated UTF-32 buffer and
+    scattered into the padded matrix by offset — one ``encode`` per chunk
+    instead of one per string.
+    """
     lens = np.array([len(s) for s in strings], dtype=np.intp)
     width = max(int(lens.max()) if lens.size else 0, 1)
     codes = np.zeros((len(strings), width), dtype=np.int32)
-    for row, text in enumerate(strings):
-        if text:
-            codes[row, : len(text)] = (
-                np.frombuffer(text.encode("utf-32-le"), dtype=np.uint32).astype(
-                    np.int32
-                )
-                + 1
+    joined = "".join(strings)
+    if joined:
+        flat = (
+            np.frombuffer(joined.encode("utf-32-le"), dtype=np.uint32).astype(
+                np.int32
             )
+            + 1
+        )
+        offsets = np.concatenate(([0], np.cumsum(lens)[:-1]))
+        rows = np.repeat(np.arange(len(strings)), lens)
+        codes[rows, np.arange(len(joined)) - offsets[rows]] = flat
     return codes, lens
 
 
@@ -402,3 +424,300 @@ def _compact_matched(
     rows, cols = np.nonzero(matched)
     out[rows, positions[rows, cols]] = codes[rows, cols]
     return out
+
+
+# --------------------------------------------------------------------- #
+# Batched Generalized Jaccard
+# --------------------------------------------------------------------- #
+class BoundedPairCache:
+    """Thread-safe bounded LRU cache over canonical ``(lo, hi)`` pair keys.
+
+    One instance belongs to one corpus: keys must be stable across every
+    consumer sharing the cache (the engine uses its corpus-global canonical
+    token-set ids, which :meth:`SimilarityEngine.view` slices preserve), and
+    all cached values must come from the same scoring configuration (the
+    engine always scores at the default soft-match threshold).  Eviction is
+    least-recently-used, so the hot pairs of concurrent ratio builds stay
+    resident while one-off pairs age out.
+    """
+
+    def __init__(self, capacity: int = 1 << 20) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._data: dict[tuple[int, int], float] = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def get_many(
+        self, keys: Iterable[tuple[int, int]]
+    ) -> dict[tuple[int, int], float]:
+        """The cached subset of ``keys``; every hit is marked recently used."""
+        hits: dict[tuple[int, int], float] = {}
+        with self._lock:
+            data = self._data
+            for key in keys:
+                value = data.get(key)
+                if value is not None:
+                    del data[key]  # re-insert to refresh recency
+                    data[key] = value
+                    hits[key] = value
+        return hits
+
+    def put_many(
+        self, items: Iterable[tuple[tuple[int, int], float]]
+    ) -> None:
+        with self._lock:
+            data = self._data
+            for key, value in items:
+                data[key] = value
+            excess = len(data) - self.capacity
+            if excess > 0:
+                for key in list(islice(iter(data), excess)):
+                    del data[key]
+
+
+TokenSets = Sequence[str | Iterable[str]]
+
+
+def _as_token_set(value: str | Iterable[str]) -> set[str]:
+    if isinstance(value, str):
+        return set(tokenize(value))
+    if isinstance(value, set):
+        return value
+    return set(value)
+
+
+def generalized_jaccard_batch(
+    lefts: TokenSets,
+    rights: TokenSets,
+    *,
+    threshold: float = DEFAULT_SOFT_THRESHOLD,
+    keys: tuple[Sequence[int], Sequence[int]] | None = None,
+    cache: BoundedPairCache | None = None,
+) -> np.ndarray:
+    """Vectorized ``generalized_jaccard_similarity`` over aligned pairs.
+
+    ``lefts``/``rights`` hold raw strings (tokenized internally) or
+    pre-built token sets.  ``keys`` are optional canonical token-set ids
+    per side — rows with equal ids must have equal token sets — which let
+    the engine dedupe duplicate titles without re-hashing; without them,
+    pairs are canonicalized by frozenset.  Each distinct unordered key
+    pair is scored once, through ``cache`` when given (the cache key is
+    the canonical pair, so callers must pass corpus-stable ids and a
+    consistent ``threshold``).
+
+    The scoring itself batches the paper's soft matching: identical
+    tokens are matched outright, every symmetric-difference token pair is
+    scored through :func:`jaro_winkler_similarity_batch` in one deduped
+    pass, and the greedy descending-score matching runs as a masked
+    argmax across all set pairs simultaneously.
+    """
+    if len(lefts) != len(rights):
+        raise ValueError("left and right token-set lists must be aligned")
+    sets_l = [_as_token_set(value) for value in lefts]
+    sets_r = [_as_token_set(value) for value in rights]
+    n = len(sets_l)
+    out = np.empty(n, dtype=np.float64)
+    if n == 0:
+        return out
+
+    if keys is None:
+        canon: dict[frozenset, int] = {}
+        keys_a = np.array(
+            [canon.setdefault(frozenset(s), len(canon)) for s in sets_l],
+            dtype=np.intp,
+        )
+        keys_b = np.array(
+            [canon.setdefault(frozenset(s), len(canon)) for s in sets_r],
+            dtype=np.intp,
+        )
+    else:
+        keys_a = np.asarray(keys[0], dtype=np.intp)
+        keys_b = np.asarray(keys[1], dtype=np.intp)
+        if keys_a.shape != (n,) or keys_b.shape != (n,):
+            raise ValueError("keys must align with the pair lists")
+
+    sizes_a = np.array([len(s) for s in sets_l], dtype=np.intp)
+    sizes_b = np.array([len(s) for s in sets_r], dtype=np.intp)
+    both_empty = (sizes_a == 0) & (sizes_b == 0)
+    any_empty = (sizes_a == 0) | (sizes_b == 0)
+    identical = keys_a == keys_b
+    out[any_empty] = 0.0
+    out[both_empty] = 1.0
+    # Identical non-empty sets match fully at any reachable threshold; a
+    # threshold above 1.0 rejects even identical tokens (scalar semantics).
+    out[identical & ~any_empty] = 1.0 if threshold <= 1.0 else 0.0
+
+    hard = np.flatnonzero(~identical & ~any_empty)
+    if hard.size == 0:
+        return out
+
+    # Dedup on canonical unordered key pairs; remember one representative
+    # row per distinct pair (its orientation is the one scored, exactly as
+    # the scalar cache stored the first-seen orientation).
+    slots: dict[tuple[int, int], int] = {}
+    slot_of = np.empty(hard.size, dtype=np.intp)
+    unique_keys: list[tuple[int, int]] = []
+    representatives: list[int] = []
+    for position, index in enumerate(hard):
+        key_a = int(keys_a[index])
+        key_b = int(keys_b[index])
+        key = (key_a, key_b) if key_a < key_b else (key_b, key_a)
+        slot = slots.get(key)
+        if slot is None:
+            slot = len(unique_keys)
+            slots[key] = slot
+            unique_keys.append(key)
+            representatives.append(int(index))
+        slot_of[position] = slot
+
+    values = np.empty(len(unique_keys), dtype=np.float64)
+    if cache is not None:
+        cached = cache.get_many(unique_keys)
+        missing = [
+            slot for slot, key in enumerate(unique_keys) if key not in cached
+        ]
+        for slot, key in enumerate(unique_keys):
+            if key in cached:
+                values[slot] = cached[key]
+    else:
+        missing = list(range(len(unique_keys)))
+    if missing:
+        computed = _generalized_jaccard_unique(
+            [(sets_l[representatives[s]], sets_r[representatives[s]]) for s in missing],
+            threshold=threshold,
+        )
+        values[missing] = computed
+        if cache is not None:
+            cache.put_many(
+                (unique_keys[s], float(score))
+                for s, score in zip(missing, computed)
+            )
+    out[hard] = values[slot_of]
+    return out
+
+
+def _generalized_jaccard_unique(
+    set_pairs: list[tuple[set[str], set[str]]], *, threshold: float
+) -> np.ndarray:
+    """Score distinct, non-trivial (non-empty, non-identical) set pairs.
+
+    Shared tokens are matched outright (only score-1.0 pairs are
+    identical-token pairs, and the greedy pass consumes them first), so
+    the soft matching is restricted to the symmetric difference — unless
+    the threshold exceeds 1.0, where not even identical tokens match and
+    the full sets enter the (then fruitless) soft pass.
+    """
+    n_pairs = len(set_pairs)
+    rest_a: list[list[str]] = []
+    rest_b: list[list[str]] = []
+    mass = np.empty(n_pairs, dtype=np.float64)
+    matches = np.empty(n_pairs, dtype=np.intp)
+    total_sizes = np.empty(n_pairs, dtype=np.float64)
+    for p, (a, b) in enumerate(set_pairs):
+        if threshold <= 1.0:
+            common = a & b
+            rest_a.append(sorted(a - common))
+            rest_b.append(sorted(b - common))
+            base = len(common)
+        else:
+            rest_a.append(sorted(a))
+            rest_b.append(sorted(b))
+            base = 0
+        mass[p] = float(base)
+        matches[p] = base
+        total_sizes[p] = len(a) + len(b)
+
+    len_a = np.array([len(rest) for rest in rest_a], dtype=np.intp)
+    len_b = np.array([len(rest) for rest in rest_b], dtype=np.intp)
+    counts = len_a * len_b
+    total = int(counts.sum())
+    if total:
+        # Rank-order the token vocabulary so integer order equals the
+        # lexicographic order the scalar greedy tie-break uses.
+        vocab = sorted(
+            {token for rests in (rest_a, rest_b) for rest in rests for token in rest}
+        )
+        rank = {token: i for i, token in enumerate(vocab)}
+        ids_a = np.fromiter(
+            (rank[token] for rest in rest_a for token in rest),
+            dtype=np.int64,
+            count=int(len_a.sum()),
+        )
+        ids_b = np.fromiter(
+            (rank[token] for rest in rest_b for token in rest),
+            dtype=np.int64,
+            count=int(len_b.sum()),
+        )
+        offsets_a = np.concatenate(([0], np.cumsum(len_a)[:-1]))
+        offsets_b = np.concatenate(([0], np.cumsum(len_b)[:-1]))
+        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+
+        # The full cross product rest_a x rest_b of every pair, flattened
+        # row-major so index order equals (token_a, token_b) lex order.
+        pair_idx = np.repeat(np.arange(n_pairs), counts)
+        within = np.arange(total) - starts[pair_idx]
+        i_a = within // len_b[pair_idx]
+        i_b = within - i_a * len_b[pair_idx]
+        left_ids = ids_a[offsets_a[pair_idx] + i_a]
+        right_ids = ids_b[offsets_b[pair_idx] + i_b]
+
+        # One Jaro-Winkler pass over the distinct token pairs, canonically
+        # ordered (JW is symmetric; ordering doubles the dedup rate).
+        n_vocab = len(vocab)
+        lo = np.minimum(left_ids, right_ids)
+        hi = np.maximum(left_ids, right_ids)
+        combos, inverse = np.unique(lo * n_vocab + hi, return_inverse=True)
+        pair_scores = jaro_winkler_similarity_batch(
+            [vocab[int(i)] for i in combos // n_vocab],
+            [vocab[int(i)] for i in combos % n_vocab],
+        )
+        element_scores = pair_scores[inverse]
+
+        # Greedy threshold matching, one masked argmax per round across a
+        # bounded block of set pairs.  Blocks are padded to the chunk-wide
+        # max rest sizes, so chunk boundaries follow a dense-cell budget —
+        # one pathologically long title cannot inflate the padding of
+        # thousands of small pairs into a multi-GB allocation.
+        start = 0
+        while start < n_pairs:
+            stop = start + 1
+            max_a = int(len_a[start])
+            max_b = int(len_b[start])
+            while stop < n_pairs and stop - start < _PAIR_CHUNK:
+                next_a = max(max_a, int(len_a[stop]))
+                next_b = max(max_b, int(len_b[stop]))
+                if (stop - start + 1) * next_a * next_b > _GREEDY_CELL_BUDGET:
+                    break
+                max_a, max_b = next_a, next_b
+                stop += 1
+            chunk_total = int(counts[start:stop].sum())
+            if chunk_total == 0:
+                start = stop
+                continue
+            element_start = int(starts[start])
+            elements = slice(element_start, element_start + chunk_total)
+            block = np.full((stop - start, max_a, max_b), -np.inf)
+            block[
+                pair_idx[elements] - start, i_a[elements], i_b[elements]
+            ] = element_scores[elements]
+            block[block < threshold] = -np.inf
+            flat = block.reshape(stop - start, max_a * max_b)
+            row_range = np.arange(stop - start)
+            while True:
+                best = flat.argmax(axis=1)
+                best_scores = flat[row_range, best]
+                live = np.flatnonzero(best_scores >= threshold)
+                if live.size == 0:
+                    break
+                chosen = best[live]
+                mass[start + live] += best_scores[live]
+                matches[start + live] += 1
+                block[live, chosen // max_b, :] = -np.inf
+                block[live, :, chosen % max_b] = -np.inf
+            start = stop
+    return mass / (total_sizes - matches)

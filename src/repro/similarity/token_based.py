@@ -34,6 +34,7 @@ def _soft_token_similarity(left: str, right: str) -> float:
     return _cached_jaro_winkler(left, right)
 
 __all__ = [
+    "DEFAULT_SOFT_THRESHOLD",
     "cosine_similarity",
     "dice_similarity",
     "jaccard_similarity",
@@ -42,6 +43,12 @@ __all__ = [
 ]
 
 TokensOrText = str | Sequence[str]
+
+# Minimum Jaro-Winkler similarity for a soft token match (the
+# py_stringmatching default).  Shared with the batched kernel in
+# ``similarity/features.py``, which is parity-pinned against the scalar
+# function below.
+DEFAULT_SOFT_THRESHOLD = 0.8
 
 
 def _as_token_set(value: TokensOrText) -> set[str]:
@@ -95,7 +102,7 @@ def generalized_jaccard_similarity(
     left: TokensOrText,
     right: TokensOrText,
     *,
-    threshold: float = 0.8,
+    threshold: float = DEFAULT_SOFT_THRESHOLD,
 ) -> float:
     """Generalized Jaccard with soft token matching (py_stringmatching semantics).
 

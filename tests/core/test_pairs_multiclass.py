@@ -86,6 +86,113 @@ class TestGeneratePairs:
             )
 
 
+class TestCornerNegativeExhaustion:
+    """Regression: a consumed over-fetch must widen the search, not go random."""
+
+    @pytest.fixture()
+    def crowded_entries(self):
+        """Nine decoys whose top corner negative is the late ``target`` offer.
+
+        Every offer sits in its own cluster.  The decoys (positions 0-8)
+        share three tokens with the target and one unique junk token, so the
+        target is each decoy's most similar cross-cluster offer under every
+        metric; the two ``next`` offers (positions 10-11) overlap the target
+        on only two tokens.  By the time the target's own turn comes, all
+        nine pairs of its ``k + 8 = 9`` over-fetched candidates are already
+        used (mirrored), which used to trigger the random fallback.
+        """
+        junk = [
+            "zebra", "quartz", "willow", "ember", "falcon",
+            "nimbus", "orchid", "pylon", "raven",
+        ]
+        rows = [(f"d{i}", f"alpha beta gamma {junk[i]}") for i in range(9)]
+        rows.append(("target", "alpha beta gamma"))
+        rows.append(("next-one", "alpha beta omega"))
+        rows.append(("next-two", "alpha beta sigma"))
+        return [
+            (cluster, _offer(f"o{i}", cluster, title))
+            for i, (cluster, title) in enumerate(rows)
+        ]
+
+    def test_exhausted_overfetch_widens_to_next_most_similar(self, crowded_entries):
+        dataset = generate_pairs(
+            crowded_entries, name="t", corner_negatives_per_offer=1,
+            random_negatives_per_offer=0, rng=np.random.default_rng(7),
+        )
+        target = crowded_entries[9][1]
+        by_provenance = {}
+        for pair in dataset.negatives():
+            ids = {pair.offer_a.offer_id, pair.offer_b.offer_id}
+            by_provenance.setdefault(pair.provenance, []).append(ids)
+        # Every negative honours "take the next most similar pair": nothing
+        # fell back to random.
+        assert set(by_provenance) == {"corner_negative"}
+        assert len(by_provenance["corner_negative"]) == len(crowded_entries)
+        # The nine decoys all paired with the target first ...
+        decoy_pairs = [
+            ids for ids in by_provenance["corner_negative"]
+            if target.offer_id in ids and ids & {f"o{i}" for i in range(9)}
+        ]
+        assert len(decoy_pairs) == 9
+        # ... so the target's own quota came from the widened re-query:
+        # its next most similar unused offer, o10, with corner provenance.
+        assert {"o9", "o10"} in by_provenance["corner_negative"]
+
+    def test_exhausted_overfetch_keeps_quota_exact(self, crowded_entries):
+        dataset = generate_pairs(
+            crowded_entries, name="t", corner_negatives_per_offer=1,
+            random_negatives_per_offer=0, rng=np.random.default_rng(8),
+        )
+        assert len(dataset.negatives()) == len(crowded_entries)
+
+
+class TestTopUpEarlyExit:
+    """Regression: exhausted cross-cluster splits must not burn RNG draws."""
+
+    def test_single_cluster_split_consumes_no_rng(self):
+        entries = [
+            ("only", _offer("a", "only", "exatron vortex 2tb")),
+            ("only", _offer("b", "only", "exatron vortex 4tb")),
+        ]
+        rng = np.random.default_rng(123)
+        untouched = np.random.default_rng(123)
+        dataset = generate_pairs(
+            entries, name="t", corner_negatives_per_offer=0,
+            random_negatives_per_offer=1, rng=rng,
+        )
+        assert len(dataset.positives()) == 1
+        assert len(dataset.negatives()) == 0
+        # No cross-cluster pair exists, so neither the per-offer loop nor
+        # the top-up loop may draw from the stream at all.
+        assert rng.bit_generator.state == untouched.bit_generator.state
+
+    def test_single_cluster_split_with_corner_negatives_terminates(self):
+        entries = [
+            ("only", _offer("a", "only", "exatron vortex 2tb")),
+            ("only", _offer("b", "only", "exatron vortex 4tb")),
+        ]
+        dataset = generate_pairs(
+            entries, name="t", corner_negatives_per_offer=2,
+            random_negatives_per_offer=1, rng=np.random.default_rng(5),
+        )
+        assert len(dataset.negatives()) == 0
+
+    def test_exhaustion_mid_topup_stops_at_cross_pair_capacity(self):
+        # Two tiny clusters: 2 x 2 offers -> 4 cross pairs in total, but the
+        # requested quota is far larger; the loops must stop at capacity.
+        entries = [
+            ("a", _offer("a0", "a", "exatron vortex 2tb")),
+            ("a", _offer("a1", "a", "exatron vortex 4tb")),
+            ("b", _offer("b0", "b", "soniq tranquil headphones")),
+            ("b", _offer("b1", "b", "soniq tranquil earbuds")),
+        ]
+        dataset = generate_pairs(
+            entries, name="t", corner_negatives_per_offer=3,
+            random_negatives_per_offer=3, rng=np.random.default_rng(9),
+        )
+        assert len(dataset.negatives()) == 4
+
+
 class TestDatasetContainers:
     def test_pair_key_is_unordered(self):
         a, b = _offer("x", "c", "t"), _offer("y", "c", "t")
