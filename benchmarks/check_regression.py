@@ -25,9 +25,28 @@ from pathlib import Path
 
 
 def compare(
-    baseline: dict, current: dict, *, tolerance: float, floor: float
+    baseline: dict,
+    current: dict,
+    *,
+    tolerance: float,
+    floor: float,
+    min_positive_recall: float = 0.999,
+    min_corner_recall: float = 0.95,
+    min_join_positive_recall: float = 0.95,
 ) -> list[str]:
-    """Human-readable failure lines, empty when every stage is in budget."""
+    """Human-readable failure lines, empty when every stage is in budget.
+
+    Besides the per-stage timing budgets, a baseline that records a
+    ``blocking`` section gates the blocking *recall*: candidate blocking
+    is only a valid pair-set replacement while it keeps recovering the
+    materialized positives and ≥95% of the corner negatives.  Two
+    recordings are gated: the training-shaped ``recall`` (group
+    positives completed — its positive recall is 1.0 by construction, so
+    its gate only catches a broken completion) and the raw ``join_recall``
+    (no completion), which is where a degraded top-k join would actually
+    show up.  Recall is deterministic for a fixed seed, so these floors
+    are tight, not noise-padded.
+    """
     failures: list[str] = []
     baseline_stages = baseline.get("build_stages", {})
     current_stages = current.get("build_stages", {})
@@ -42,6 +61,31 @@ def compare(
                 f"{stage}: {seconds:.3f}s exceeds {budget:.3f}s "
                 f"({tolerance}x baseline {base_seconds:.3f}s)"
             )
+    if "blocking" in baseline:
+        blocking = current.get("blocking", {})
+        recall = blocking.get("recall")
+        join = blocking.get("join_recall")
+        if recall is None or join is None:
+            failures.append("blocking: recall missing from the current recording")
+        else:
+            positives = recall.get("positive_recall", 0.0)
+            if positives < min_positive_recall:
+                failures.append(
+                    f"blocking: completed positive recall {positives:.4f} "
+                    f"below {min_positive_recall} (group completion broken)"
+                )
+            join_positives = join.get("positive_recall", 0.0)
+            if join_positives < min_join_positive_recall:
+                failures.append(
+                    f"blocking: join positive recall {join_positives:.4f} "
+                    f"below {min_join_positive_recall}"
+                )
+            corners = join.get("corner_negative_recall", 0.0)
+            if corners < min_corner_recall:
+                failures.append(
+                    f"blocking: join corner-negative recall {corners:.4f} "
+                    f"below {min_corner_recall}"
+                )
     return failures
 
 
@@ -62,20 +106,50 @@ def main() -> int:
         help="baseline seconds floor per stage, absorbs timing jitter on "
         "near-instant stages (default 0.05)",
     )
+    parser.add_argument(
+        "--min-positive-recall",
+        type=float,
+        default=0.999,
+        help="minimum blocking positive recall (default 0.999; the group "
+        "completion makes 1.0 the deterministic expectation)",
+    )
+    parser.add_argument(
+        "--min-corner-recall",
+        type=float,
+        default=0.95,
+        help="minimum blocking corner-negative recall of the raw join "
+        "(default 0.95)",
+    )
+    parser.add_argument(
+        "--min-join-positive-recall",
+        type=float,
+        default=0.95,
+        help="minimum positive recall of the raw top-k join, before "
+        "group-positive completion (default 0.95)",
+    )
     args = parser.parse_args()
 
     baseline = json.loads(args.baseline.read_text())
     current = json.loads(args.current.read_text())
     failures = compare(
-        baseline, current, tolerance=args.tolerance, floor=args.floor
+        baseline,
+        current,
+        tolerance=args.tolerance,
+        floor=args.floor,
+        min_positive_recall=args.min_positive_recall,
+        min_corner_recall=args.min_corner_recall,
+        min_join_positive_recall=args.min_join_positive_recall,
     )
     stages = len(baseline.get("build_stages", {}))
     if failures:
-        print(f"perf regression: {len(failures)} of {stages} stages over budget")
+        print(f"perf regression: {len(failures)} checks failed over {stages} stages")
         for line in failures:
             print(f"  {line}")
         return 1
-    print(f"all {stages} build stages within {args.tolerance}x of baseline")
+    print(
+        f"all {stages} build stages within {args.tolerance}x of baseline"
+        + ("; blocking recall in budget" if "blocking" in baseline else "")
+    )
     return 0
 
 

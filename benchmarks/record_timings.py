@@ -1,11 +1,13 @@
 """Record build-stage and matcher timings into a JSON perf baseline.
 
-Runs the Figure-2 pipeline at smoke scale (``BuildConfig.small``), records
-every named build stage (including the ``cleansing:*`` sub-stages), then
+Runs the Figure-2 pipeline at smoke scale (``BuildConfig.small``) with the
+blocking stage enabled, records every named build stage (including the
+``cleansing:*`` sub-stages and the corpus-level ``blocking`` join), the
+blocking recall of one split against its materialized pair sets, then
 times the symbolic matchers' fit/predict — with featurization broken out —
 on one benchmark cell.  The output (``BENCH_baseline.json`` by default) is
-uploaded as a CI artifact on every run, giving future PRs a perf
-trajectory to compare against:
+uploaded as a CI artifact on every run, giving future PRs a perf and
+recall trajectory to compare against:
 
     PYTHONPATH=src python benchmarks/record_timings.py --output BENCH_baseline.json
 """
@@ -18,10 +20,13 @@ import platform
 import time
 from pathlib import Path
 
+from repro.blocking import CandidateBlocker, blocking_recall
 from repro.core.builder import BenchmarkBuilder, BuildConfig
 from repro.core.dimensions import CornerCaseRatio, DevSetSize, UnseenRatio
 from repro.core.profiling import build_profile
 from repro.eval.runner import EvalSettings, ExperimentRunner
+
+BLOCKING_K = 25
 
 
 def _timed(fn) -> tuple[float, object]:
@@ -50,9 +55,49 @@ def _memoize_features(matcher) -> None:
     matcher._features = cached
 
 
+def _blocking_recall(runner: ExperimentRunner) -> dict:
+    """Split-level blocking recall vs the materialized CC50/medium train set.
+
+    Two recordings: the raw top-k join union over all engine metrics, and
+    the training-shaped variant with ground-truth group positives
+    completed (the acceptance gate: 100% positives, ≥95% corner
+    negatives).
+    """
+    artifacts = runner.artifacts
+    engine, offer_rows = runner.featurization_backend()
+    entries = artifacts.splits[CornerCaseRatio.CC50].train_offers(DevSetSize.MEDIUM)
+    reference = artifacts.benchmark.train_sets[
+        (CornerCaseRatio.CC50, DevSetSize.MEDIUM)
+    ]
+    blocker = CandidateBlocker.over_entries(engine, entries, offer_rows)
+    metrics = blocker.engine.metric_names
+    seconds, reports = _timed(
+        lambda: (
+            blocking_recall(
+                blocker.candidates(
+                    k=BLOCKING_K, metrics=metrics, include_group_positives=True
+                ),
+                reference,
+            ),
+            blocking_recall(
+                blocker.candidates(k=BLOCKING_K, metrics=metrics), reference
+            ),
+        )
+    )
+    completed, join_only = reports
+    return {
+        "k": BLOCKING_K,
+        "seconds": seconds,
+        "recall": completed.as_dict(),
+        "join_recall": join_only.as_dict(),
+    }
+
+
 def record(seed: int = 42) -> dict:
     record: dict = {
-        "schema": 2,  # 2: featurize/fit stages are additive (no double work)
+        # 3: build runs the blocking stage; blocking recall is recorded
+        # 2: featurize/fit stages are additive (no double work)
+        "schema": 3,
         "scale": "small",
         "seed": seed,
         "python": platform.python_version(),
@@ -60,7 +105,9 @@ def record(seed: int = 42) -> dict:
     }
 
     build_seconds, artifacts = _timed(
-        lambda: BenchmarkBuilder(BuildConfig.small(seed=seed)).build()
+        lambda: BenchmarkBuilder(
+            BuildConfig.small(seed=seed, blocking_top_k=BLOCKING_K)
+        ).build()
     )
     record["build_wall_seconds"] = build_seconds
     record["build_stages"] = {
@@ -68,6 +115,7 @@ def record(seed: int = 42) -> dict:
     }
 
     runner = ExperimentRunner(artifacts, settings=EvalSettings.smoke())
+    record["blocking"] = _blocking_recall(runner)
     task = artifacts.benchmark.pairwise(
         CornerCaseRatio.CC50, DevSetSize.MEDIUM, UnseenRatio.SEEN
     )
@@ -106,6 +154,14 @@ def main() -> None:
         result["build_stages"].items(), key=lambda item: -item[1]
     ):
         print(f"  {stage:24s} {seconds:8.3f}s")
+    blocking = result["blocking"]
+    print(
+        f"  blocking recall @k={blocking['k']}: "
+        f"positives={blocking['recall']['positive_recall']:.4f} "
+        f"corner={blocking['recall']['corner_negative_recall']:.4f} "
+        f"(join only: {blocking['join_recall']['positive_recall']:.4f}/"
+        f"{blocking['join_recall']['corner_negative_recall']:.4f})"
+    )
     for system, timings in result["matchers"].items():
         print(
             f"  {system:24s} featurize={timings['featurize_train']:.3f}s"

@@ -1,0 +1,12 @@
+"""Candidate blocking over the similarity engine (no materialized pairs)."""
+
+from repro.blocking.candidates import BlockedPair, BlockedPairSet, CandidateBlocker
+from repro.blocking.recall import BlockingRecallReport, blocking_recall
+
+__all__ = [
+    "BlockedPair",
+    "BlockedPairSet",
+    "CandidateBlocker",
+    "BlockingRecallReport",
+    "blocking_recall",
+]

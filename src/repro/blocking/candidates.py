@@ -1,0 +1,339 @@
+"""Engine-backed candidate blocking (the materialization-free pair source).
+
+The paper's benchmark hands every matcher pre-materialized pair sets; this
+module is the stage that removes that requirement.  A
+:class:`CandidateBlocker` runs a batched top-k sparse join over a
+:class:`~repro.similarity.engine.SimilarityEngine`'s token-incidence
+matrix — chunked sparse row products, so the dense score block stays
+bounded no matter how many offers are blocked — and yields a
+:class:`BlockedPairSet` of scored candidate pairs with per-metric
+provenance.  Same-cluster candidates can be kept (matcher training wants
+the positives *and* the hard cross-cluster negatives the join surfaces) or
+excluded by integer group id, compared chunk by chunk instead of through
+the dense ``(queries, universe)`` boolean mask the pair generator used to
+build.
+
+Blocked candidates label themselves from cluster identity, so
+``BlockedPairSet.to_dataset`` produces a normal
+:class:`~repro.core.datasets.PairDataset` any pair-wise matcher can train
+and evaluate on — see
+:meth:`repro.eval.runner.ExperimentRunner.run_pairwise_from_blocking`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.datasets import LabeledPair, PairDataset
+from repro.corpus.schema import ProductOffer
+from repro.similarity.engine import SimilarityEngine
+
+__all__ = ["BlockedPair", "BlockedPairSet", "CandidateBlocker"]
+
+
+@dataclass(frozen=True)
+class BlockedPair:
+    """One candidate pair surfaced by blocking.
+
+    ``query_row``/``rank`` record provenance: the pair first appeared as
+    the ``rank``-th candidate (0-based) of ``query_row``'s top-k list
+    under ``metric``.  ``row_a < row_b`` always; ``score`` is the
+    similarity under the surfacing metric.
+    """
+
+    row_a: int
+    row_b: int
+    score: float
+    metric: str
+    query_row: int
+    rank: int
+
+
+class BlockedPairSet:
+    """The deduplicated candidate pairs of one blocking sweep."""
+
+    def __init__(
+        self,
+        blocker: "CandidateBlocker",
+        pairs: list[BlockedPair],
+        *,
+        k: int,
+        metrics: tuple[str, ...],
+        n_queries: int,
+    ) -> None:
+        self.blocker = blocker
+        self.pairs = pairs
+        self.k = k
+        self.metrics = metrics
+        self.n_queries = n_queries
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self) -> Iterator[BlockedPair]:
+        return iter(self.pairs)
+
+    def pair_keys(self) -> set[tuple[str, str]]:
+        """Unordered offer-id keys, comparable to ``LabeledPair.key()``."""
+        ids = self.blocker.offer_ids
+        if ids is None:
+            raise ValueError("blocker was built without offers")
+        keys: set[tuple[str, str]] = set()
+        for pair in self.pairs:
+            a, b = ids[pair.row_a], ids[pair.row_b]
+            keys.add((a, b) if a <= b else (b, a))
+        return keys
+
+    def to_dataset(self, name: str) -> PairDataset:
+        """Label candidates from cluster identity into a ``PairDataset``.
+
+        Pairs keep their surfacing order; provenance records the metric
+        (``"blocking:cosine"`` …) so downstream profiling can distinguish
+        blocked pairs from materialized ones.
+        """
+        offers = self.blocker.offers
+        labels = self.blocker.group_labels
+        if offers is None or labels is None:
+            raise ValueError(
+                "to_dataset needs a blocker built with offers and group labels"
+            )
+        dataset = PairDataset(name=name)
+        dataset.pairs = [
+            LabeledPair(
+                pair_id=f"{name}-{position:06d}",
+                offer_a=offers[pair.row_a],
+                offer_b=offers[pair.row_b],
+                label=int(labels[pair.row_a] == labels[pair.row_b]),
+                provenance=f"blocking:{pair.metric}",
+            )
+            for position, pair in enumerate(self.pairs)
+        ]
+        return dataset
+
+    def summary(self) -> dict[str, int]:
+        labels = self.blocker.group_labels
+        positives = 0
+        if labels is not None:
+            positives = sum(
+                1
+                for pair in self.pairs
+                if labels[pair.row_a] == labels[pair.row_b]
+            )
+        return {
+            "all": len(self.pairs),
+            "pos": positives,
+            "neg": len(self.pairs) - positives,
+        }
+
+
+class CandidateBlocker:
+    """Batched top-k candidate join over one engine's title universe.
+
+    ``offers`` and ``group_labels`` (one cluster/product label per engine
+    row) are optional: without them the blocker still yields row-indexed
+    pairs, but labeling (``to_dataset``) and offer-id keying
+    (``pair_keys``) need them.
+    """
+
+    def __init__(
+        self,
+        engine: SimilarityEngine,
+        *,
+        offers: Sequence[ProductOffer] | None = None,
+        group_labels: Sequence[str] | None = None,
+    ) -> None:
+        if offers is not None and len(offers) != len(engine):
+            raise ValueError(
+                f"{len(offers)} offers for an engine of {len(engine)} rows"
+            )
+        if group_labels is not None and len(group_labels) != len(engine):
+            raise ValueError(
+                f"{len(group_labels)} group labels for an engine of "
+                f"{len(engine)} rows"
+            )
+        self.engine = engine
+        self.offers = None if offers is None else list(offers)
+        self.group_labels = None if group_labels is None else list(group_labels)
+        self.offer_ids = (
+            None
+            if self.offers is None
+            else [offer.offer_id for offer in self.offers]
+        )
+        self._group_ids: np.ndarray | None = (
+            None
+            if self.group_labels is None
+            else np.unique(np.asarray(self.group_labels), return_inverse=True)[1]
+        )
+        # Candidate pairs dedup on *offer identity* when known: a split
+        # carrying the same offer id on two rows must neither pair an
+        # offer with itself nor emit the same offer pair twice.  Without
+        # offer ids, row identity is the best available key.
+        if self.offer_ids is not None:
+            interned: dict[str, int] = {}
+            self._pair_keys_by_row = np.array(
+                [
+                    interned.setdefault(offer_id, len(interned))
+                    for offer_id in self.offer_ids
+                ],
+                dtype=np.intp,
+            )
+            self._key_span = len(interned)
+        else:
+            self._pair_keys_by_row = np.arange(len(engine), dtype=np.intp)
+            self._key_span = len(engine)
+
+    @classmethod
+    def over_entries(
+        cls,
+        engine: SimilarityEngine,
+        entries: Sequence[tuple[str, ProductOffer]],
+        offer_rows: dict[str, int],
+    ) -> "CandidateBlocker":
+        """A blocker over one split's ``(cluster_id, offer)`` entries.
+
+        The split becomes a cheap :meth:`SimilarityEngine.view` over the
+        corpus-level engine — no re-tokenization — and candidates are
+        confined to the split, so blocked training pairs can never leak
+        offers from another split.
+        """
+        rows = [offer_rows[offer.offer_id] for _, offer in entries]
+        return cls(
+            engine.view(rows),
+            offers=[offer for _, offer in entries],
+            group_labels=[cluster_id for cluster_id, _ in entries],
+        )
+
+    def __len__(self) -> int:
+        return len(self.engine)
+
+    def candidates(
+        self,
+        query_rows: Sequence[int] | None = None,
+        *,
+        k: int,
+        metrics: Sequence[str] = ("cosine",),
+        exclude_same_group: bool = False,
+        include_group_positives: bool = False,
+    ) -> BlockedPairSet:
+        """Top-``k`` candidates of every query row under each metric.
+
+        Results merge across metrics and mirrored queries on unordered
+        offer-identity pairs (row pairs when the blocker has no offers) —
+        a pair surfaced from both sides, under two metrics, or through a
+        duplicated offer id appears once, attributed to its first
+        surfacing (metrics in the given order, queries in the given
+        order, then by rank), and an offer never pairs with its own
+        duplicate row.  With ``exclude_same_group`` the query's own
+        cluster is masked by group id; the default keeps same-cluster
+        candidates, which is what labeled matcher training wants.
+
+        ``include_group_positives`` appends every within-group pair the
+        join did not surface (metric ``"group"``, rank ``-1``, cosine
+        score): supervised training data takes its positives from the
+        ground-truth clusters and lets the join supply the hard
+        negatives, so no positive is ever lost to a low-similarity noise
+        offer.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        queries = (
+            np.arange(len(self.engine), dtype=np.intp)
+            if query_rows is None
+            else np.asarray(list(query_rows), dtype=np.intp)
+        )
+        group_ids = self._group_ids
+        if (exclude_same_group or include_group_positives) and group_ids is None:
+            raise ValueError(
+                "exclude_same_group/include_group_positives need group labels"
+            )
+        if exclude_same_group and include_group_positives:
+            raise ValueError(
+                "exclude_same_group and include_group_positives are exclusive"
+            )
+
+        row_keys = self._pair_keys_by_row
+        key_span = self._key_span
+        seen: set[int] = set()
+
+        def pair_key(a: int, b: int) -> int | None:
+            key_a, key_b = int(row_keys[a]), int(row_keys[b])
+            if key_a == key_b:  # the same offer on both rows
+                return None
+            return (
+                key_a * key_span + key_b
+                if key_a < key_b
+                else key_b * key_span + key_a
+            )
+
+        pairs: list[BlockedPair] = []
+        for metric in metrics:
+            batches = self.engine.top_k_scores_batch(
+                queries,
+                metric,
+                k=k,
+                exclude_groups=(
+                    (group_ids[queries], group_ids)
+                    if exclude_same_group
+                    else None
+                ),
+            )
+            for query, (chosen, scores) in zip(queries, batches):
+                query = int(query)
+                for rank, (candidate, score) in enumerate(zip(chosen, scores)):
+                    key = pair_key(query, candidate)
+                    if key is None or key in seen:
+                        continue
+                    seen.add(key)
+                    a, b = (
+                        (query, candidate)
+                        if query < candidate
+                        else (candidate, query)
+                    )
+                    pairs.append(
+                        BlockedPair(
+                            row_a=a,
+                            row_b=b,
+                            score=float(score),
+                            metric=metric,
+                            query_row=query,
+                            rank=rank,
+                        )
+                    )
+        if include_group_positives:
+            members_by_group: dict[int, list[int]] = {}
+            for row, group in enumerate(group_ids):
+                members_by_group.setdefault(int(group), []).append(row)
+            missing: list[tuple[int, int]] = []
+            for group in sorted(members_by_group):
+                members = members_by_group[group]
+                for i, a in enumerate(members):
+                    for b in members[i + 1 :]:
+                        key = pair_key(a, b)
+                        if key is not None and key not in seen:
+                            seen.add(key)
+                            missing.append((a, b))
+            if missing:
+                scores = self.engine.pair_features_batch(
+                    missing, metrics=("cosine",)
+                )[:, 0]
+                pairs.extend(
+                    BlockedPair(
+                        row_a=a,
+                        row_b=b,
+                        score=float(score),
+                        metric="group",
+                        query_row=a,
+                        rank=-1,
+                    )
+                    for (a, b), score in zip(missing, scores)
+                )
+        return BlockedPairSet(
+            self,
+            pairs,
+            k=k,
+            metrics=tuple(metrics),
+            n_queries=int(queries.size),
+        )

@@ -8,7 +8,10 @@
 4. ``embedding`` — LSA embedding fit (the fastText stand-in),
 5. ``engine``    — the shared :class:`SimilarityEngine` precomputation
    (one tokenization/incidence-matrix/embedding pass for the whole corpus),
-6. ``ratio:*``   — per-corner-case-ratio selection → splitting → pair
+6. ``blocking``  — optional (``BuildConfig.blocking_top_k > 0``): the
+   corpus-level top-k candidate join producing labeled blocked pairs for
+   materialization-free matcher training,
+7. ``ratio:*``   — per-corner-case-ratio selection → splitting → pair
    generation → multi-class datasets.
 
 The per-ratio builds are mutually independent: each derives its random
@@ -25,6 +28,7 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.blocking.candidates import BlockedPairSet, CandidateBlocker
 from repro.cleansing.pipeline import CleansingPipeline, CleansingReport
 from repro.core.benchmark import WDCProductsBenchmark
 from repro.core.datasets import MulticlassDataset, PairDataset
@@ -61,6 +65,12 @@ class BuildConfig:
     # Bound on the engine's per-corpus Generalized-Jaccard pair cache; the
     # cache is shared (lock-protected) by every concurrent ratio build.
     gj_cache_entries: int = 1 << 20
+    # When positive, the build runs an extra timed ``blocking`` stage: a
+    # corpus-level top-k candidate join (``CandidateBlocker``) whose
+    # blocked pair set is stored on the artifacts for materialization-free
+    # matcher training and blocking-recall evaluation.
+    blocking_top_k: int = 0
+    blocking_metrics: tuple[str, ...] = ("cosine",)
 
     @classmethod
     def small(cls, *, seed: int = 42, **overrides) -> "BuildConfig":
@@ -105,6 +115,8 @@ class BuildArtifacts:
     benchmark: WDCProductsBenchmark = field(default_factory=WDCProductsBenchmark)
     embedding_model: LsaEmbeddingModel | None = None
     engine: SimilarityEngine | None = None
+    blocker: CandidateBlocker | None = None
+    blocked_candidates: BlockedPairSet | None = None
     stage_timings: dict[str, float] = field(default_factory=dict)
 
     def selected_cluster_ids(self) -> set[str]:
@@ -196,6 +208,26 @@ class BenchmarkBuilder:
                     ]
         return engine, offer_rows, cluster_rows
 
+    def _stage_blocking(
+        self, cleansed: SyntheticCorpus, engine: SimilarityEngine
+    ) -> tuple[CandidateBlocker, BlockedPairSet]:
+        """Corpus-level candidate join: every offer's top-k most similar.
+
+        The blocked pair set is the materialization-free counterpart of
+        the pair datasets built in stage 6 — labeled candidates matchers
+        can train on without any pre-built pair sets.
+        """
+        offers = list(cleansed.offers)
+        blocker = CandidateBlocker(
+            engine,
+            offers=offers,
+            group_labels=[offer.cluster_id for offer in offers],
+        )
+        blocked = blocker.candidates(
+            k=self.config.blocking_top_k, metrics=self.config.blocking_metrics
+        )
+        return blocker, blocked
+
     # ------------------------------------------------------------------ #
     def build(self) -> BuildArtifacts:
         config = self.config
@@ -226,6 +258,13 @@ class BenchmarkBuilder:
             )
         timings["engine"] = timer.elapsed
 
+        blocker: CandidateBlocker | None = None
+        blocked: BlockedPairSet | None = None
+        if config.blocking_top_k > 0:
+            with Timer() as timer:
+                blocker, blocked = self._stage_blocking(cleansed, engine)
+            timings["blocking"] = timer.elapsed
+
         artifacts = BuildArtifacts(
             config=config,
             generated=generated,
@@ -234,6 +273,8 @@ class BenchmarkBuilder:
             grouped=grouped,
             embedding_model=embedding_model,
             engine=engine,
+            blocker=blocker,
+            blocked_candidates=blocked,
             stage_timings=timings,
         )
 

@@ -24,6 +24,11 @@ from repro.similarity.index import TitleSimilaritySearch
 
 __all__ = ["generate_pairs"]
 
+# Largest flat dedup mirror (id_span² boolean cells) the generator will
+# allocate for vectorized candidate consumption; larger splits keep the
+# set-only scalar path.  1 << 26 cells is a 64 MB array at ~8k offers.
+_DENSE_DEDUP_CELLS = 1 << 26
+
 
 def generate_pairs(
     entries: list[tuple[str, ProductOffer]],
@@ -62,12 +67,22 @@ def generate_pairs(
     # Dedup runs on sorted integer pair keys (offer ids interned to dense
     # ints) and pair materialization is deferred: the hot loops only touch
     # int tuples, and the LabeledPair objects are built in one final pass.
+    # ``used_dense`` mirrors ``used_keys`` as a flat boolean array so the
+    # corner-negative consumption can test candidate batches with one NumPy
+    # mask instead of per-candidate Python calls; splits too large for the
+    # dense mirror fall back to the scalar loop.
     id_index: dict[str, int] = {}
     offer_keys = [
         id_index.setdefault(offer.offer_id, len(id_index)) for offer in offers
     ]
     id_span = len(id_index)
+    offer_key_array = np.asarray(offer_keys, dtype=np.intp)
     used_keys: set[int] = set()
+    used_dense: np.ndarray | None = (
+        np.zeros(id_span * id_span, dtype=bool)
+        if id_span * id_span <= _DENSE_DEDUP_CELLS
+        else None
+    )
     added: list[tuple[int, int, int, str]] = []
     negatives = 0
 
@@ -80,10 +95,52 @@ def generate_pairs(
         if key in used_keys:
             return False
         used_keys.add(key)
+        if used_dense is not None:
+            used_dense[key] = True
         added.append((a, b, label, provenance))
         if label == 0:
             negatives += 1
         return True
+
+    def consume_corner_candidates(
+        position: int, candidates: list[int], start: int, need: int
+    ) -> int:
+        """Add up to ``need`` unused candidates from ``candidates[start:]``.
+
+        The vectorized equivalent of calling :func:`add_pair` candidate by
+        candidate: pair keys, dedup membership and first-occurrence-within-
+        batch handling are all NumPy masks, and only the chosen candidates
+        mutate the dedup state — exactly the pairs the scalar loop would
+        have added, in the same order.
+        """
+        nonlocal negatives
+        assert used_dense is not None
+        if need <= 0 or start >= len(candidates):
+            return 0
+        cand = np.asarray(candidates[start:], dtype=np.intp)
+        keys_c = offer_key_array[cand]
+        key_q = offer_keys[position]
+        lo = np.minimum(keys_c, key_q)
+        pair_keys = lo * id_span + (keys_c + key_q - lo)
+        usable = (keys_c != key_q) & ~used_dense[pair_keys]
+        order = np.flatnonzero(usable)
+        if order.size > 1:
+            # A pair key duplicated inside the batch (the same offer id
+            # under two candidate positions) is used by its first
+            # appearance only, as the scalar dedup would have it.
+            first = np.unique(pair_keys[order], return_index=True)[1]
+            if first.size != order.size:
+                keep = np.zeros(order.size, dtype=bool)
+                keep[first] = True
+                order = order[keep]
+        chosen = order[:need]
+        for index_chosen in chosen:
+            key = int(pair_keys[index_chosen])
+            used_keys.add(key)
+            used_dense[key] = True
+            added.append((position, int(cand[index_chosen]), 0, "corner_negative"))
+        negatives += int(chosen.size)
+        return int(chosen.size)
 
     # ---------------------------------------------------------------- #
     # Positives: all offer pairs inside each product cluster.
@@ -103,17 +160,26 @@ def generate_pairs(
     # per metric — one sparse-matrix pass instead of one per offer.
     # ---------------------------------------------------------------- #
     cluster_array = np.array(cluster_ids)
+    group_ids = np.unique(cluster_array, return_inverse=True)[1]
     n = len(offers)
-    # Number of distinct cross-cluster pairs the split can ever produce:
-    # once ``negatives`` reaches it, every further search or random draw is
-    # guaranteed fruitless (all negative pairs are cross-cluster and
-    # deduped), so the loops below use it as their exhaustion bound.
     cluster_counts: dict[str, int] = defaultdict(int)
     for cluster_id in cluster_ids:
         cluster_counts[cluster_id] += 1
-    max_cross_pairs = n * (n - 1) // 2 - sum(
-        size * (size - 1) // 2 for size in cluster_counts.values()
-    )
+    # Number of distinct cross-cluster pairs the split can ever produce:
+    # once ``negatives`` reaches it, every further search or random draw is
+    # guaranteed fruitless (all negative pairs are cross-cluster and
+    # deduped), so the loops below use it as their exhaustion bound.  The
+    # bound counts distinct *offer keys* — the identity ``add_pair`` dedups
+    # on — not split positions: a split carrying the same offer id twice
+    # must not inflate the bound, or the quota loops below would chase
+    # pairs that can never exist and burn their full attempt budgets.
+    keys_by_cluster: dict[str, set[int]] = defaultdict(set)
+    for cluster_id, key in zip(cluster_ids, offer_keys):
+        keys_by_cluster[cluster_id].add(key)
+    within_key_pairs: set[tuple[int, int]] = set()
+    for members in keys_by_cluster.values():
+        within_key_pairs.update(combinations(sorted(members), 2))
+    max_cross_pairs = id_span * (id_span - 1) // 2 - len(within_key_pairs)
 
     base_fetch = corner_negatives_per_offer + 8
     drawn: list[str] = []
@@ -129,14 +195,15 @@ def generate_pairs(
             positions = positions_by_metric.get(metric)
             if not positions:
                 continue
-            exclude = cluster_array[positions][:, None] == cluster_array[None, :]
+            # Same-cluster rows are excluded by group id, compared chunk by
+            # chunk inside the engine — no (positions, n) boolean matrix.
             # Over-fetch: some candidates may already be paired (mirrored
             # pairs); the paper then takes "the next most similar pair".
             batches = index.engine.top_k_batch(
                 positions,
                 metric,
                 k=base_fetch,
-                exclude=exclude,
+                exclude_groups=(group_ids[positions], group_ids),
             )
             corner_candidates.update(zip(positions, batches))
 
@@ -147,18 +214,34 @@ def generate_pairs(
             candidates = corner_candidates[position]
             consumed = 0
             fetch = base_fetch
+            # Every search for this offer draws from the same candidate
+            # universe: all rows outside its cluster.  Exhaustion is judged
+            # against that count, never against the length of one batch —
+            # a batch short for any other reason must not skip widening.
+            cross_universe = n - cluster_counts[cluster]
             while quota < corner_negatives_per_offer:
-                for candidate in candidates[consumed:]:
-                    if add_pair(position, candidate, 0, "corner_negative"):
-                        quota += 1
-                        if quota >= corner_negatives_per_offer:
-                            break
+                if used_dense is not None:
+                    quota += consume_corner_candidates(
+                        position,
+                        candidates,
+                        consumed,
+                        corner_negatives_per_offer - quota,
+                    )
+                else:
+                    for candidate in candidates[consumed:]:
+                        if add_pair(position, candidate, 0, "corner_negative"):
+                            quota += 1
+                            if quota >= corner_negatives_per_offer:
+                                break
                 consumed = len(candidates)
-                if quota >= corner_negatives_per_offer or fetch >= n:
+                if quota >= corner_negatives_per_offer:
                     break
-                if len(candidates) < fetch:
-                    # The search already returned every cross-cluster
-                    # candidate; widening cannot surface more.
+                if consumed >= cross_universe:
+                    # Every cross-cluster candidate has been seen: truly
+                    # exhausted.  (A batch that is merely *short* — fewer
+                    # rows than requested without covering the universe —
+                    # falls through to the re-query below instead of
+                    # silently ending the search.)
                     break
                 # The fixed over-fetch was fully consumed by deduped or
                 # mirrored pairs: widen the search and take the next most

@@ -3,11 +3,16 @@
 from __future__ import annotations
 
 import os
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.blocking.candidates import CandidateBlocker
+from repro.core.benchmark import PairwiseTask
 from repro.core.builder import BuildArtifacts
+from repro.core.datasets import PairDataset
+from repro.corpus.schema import ProductOffer
 from repro.core.dimensions import (
     ALL_MULTICLASS_VARIANTS,
     CornerCaseRatio,
@@ -215,6 +220,142 @@ class ExperimentRunner:
             }
             self._featurization_backend = (engine, offer_rows)
         return self._featurization_backend
+
+    # ------------------------------------------------------------------ #
+    # Blocking-sourced candidates (no materialized pair sets)
+    # ------------------------------------------------------------------ #
+    def blocked_dataset(
+        self,
+        entries: list[tuple[str, ProductOffer]],
+        name: str,
+        *,
+        k: int = 10,
+        metrics: Sequence[str] | None = None,
+    ) -> PairDataset:
+        """A labeled pair set blocked from one split's raw offers.
+
+        The split becomes a view over the shared featurization engine and
+        its candidate pairs come from the top-``k`` join (union over
+        ``metrics``, default all engine metrics) plus the ground-truth
+        within-cluster positives — no benchmark pair set is read.
+        """
+        engine, offer_rows = self.featurization_backend()
+        blocker = CandidateBlocker.over_entries(engine, entries, offer_rows)
+        if metrics is None:
+            metrics = blocker.engine.metric_names
+        blocked = blocker.candidates(
+            k=k, metrics=metrics, include_group_positives=True
+        )
+        return blocked.to_dataset(name)
+
+    def blocked_pairwise(
+        self,
+        corner_cases: CornerCaseRatio,
+        dev_size: DevSetSize,
+        unseen: UnseenRatio = UnseenRatio.SEEN,
+        *,
+        k: int = 10,
+        metrics: Sequence[str] | None = None,
+    ) -> PairwiseTask:
+        """One pair-wise variant with all three splits blocked, not read.
+
+        Train, validation and test candidates are generated from the raw
+        split offers through the blocking join; the benchmark's
+        materialized pair sets are never touched, so this is the path a
+        million-offer corpus without pre-built pairs would take.
+        """
+        split = self.artifacts.splits[corner_cases]
+        variant = PairwiseVariant(corner_cases, dev_size, unseen)
+        prefix = f"blocked-{variant.name}"
+        return PairwiseTask(
+            variant=variant,
+            train=self.blocked_dataset(
+                split.train_offers(dev_size), f"{prefix}-train", k=k, metrics=metrics
+            ),
+            valid=self.blocked_dataset(
+                split.valid_offers(), f"{prefix}-valid", k=k, metrics=metrics
+            ),
+            test=self.blocked_dataset(
+                split.test_offers(unseen), f"{prefix}-test", k=k, metrics=metrics
+            ),
+        )
+
+    def run_pairwise_from_blocking(
+        self,
+        systems: tuple[str, ...] = ("word_cooc", "magellan"),
+        *,
+        k: int = 10,
+        metrics: Sequence[str] | None = None,
+        progress: bool = False,
+    ) -> PairwiseResults:
+        """Train/evaluate pair-wise systems on blocking-generated candidates.
+
+        The mirror of :meth:`run_pairwise` for corpora without
+        materialized pair sets: every (train, valid, test) cell is blocked
+        on demand from the raw split offers.  Each split is blocked at
+        most once across systems, seeds and unseen ratios — train/valid
+        depend only on (cc, dev); only the test split varies with the
+        unseen ratio.
+        """
+        settings = self.settings
+        results = PairwiseResults()
+        train_sets: dict[tuple[CornerCaseRatio, DevSetSize], PairDataset] = {}
+        valid_sets: dict[CornerCaseRatio, PairDataset] = {}
+        test_sets: dict[tuple[CornerCaseRatio, UnseenRatio], PairDataset] = {}
+
+        def fit_sets_for(cc, dev):
+            split = self.artifacts.splits[cc]
+            if (cc, dev) not in train_sets:
+                train_sets[(cc, dev)] = self.blocked_dataset(
+                    split.train_offers(dev),
+                    f"blocked-{cc.label}-{dev.value}-train",
+                    k=k,
+                    metrics=metrics,
+                )
+            if cc not in valid_sets:
+                valid_sets[cc] = self.blocked_dataset(
+                    split.valid_offers(), f"blocked-{cc.label}-valid", k=k, metrics=metrics
+                )
+            return train_sets[(cc, dev)], valid_sets[cc]
+
+        def test_set_for(cc, unseen):
+            key = (cc, unseen)
+            if key not in test_sets:
+                split = self.artifacts.splits[cc]
+                test_sets[key] = self.blocked_dataset(
+                    split.test_offers(unseen),
+                    f"blocked-{cc.label}-test-{unseen.label.lower()}",
+                    k=k,
+                    metrics=metrics,
+                )
+            return test_sets[key]
+
+        for system in systems:
+            for corner_cases, dev_size in settings.resolved_pairwise_cells():
+                per_unseen: dict[UnseenRatio, list[PRF1]] = {
+                    unseen: [] for unseen in settings.unseen_ratios
+                }
+                for seed in settings.seeds:
+                    matcher = self.make_pairwise(system, seed)
+                    train, valid = fit_sets_for(corner_cases, dev_size)
+                    matcher.fit(train, valid)
+                    for unseen in settings.unseen_ratios:
+                        variant = PairwiseVariant(corner_cases, dev_size, unseen)
+                        test = test_set_for(corner_cases, unseen)
+                        score = matcher.evaluate(test)
+                        per_unseen[unseen].append(score)
+                        results.per_seed[(system, variant, seed)] = score
+                for unseen in settings.unseen_ratios:
+                    variant = PairwiseVariant(corner_cases, dev_size, unseen)
+                    results.scores[(system, variant)] = _mean_prf1(per_unseen[unseen])
+                    if progress:
+                        score = results.scores[(system, variant)]
+                        print(
+                            f"  {system:10s} {variant.name:24s} "
+                            f"F1={score.f1 * 100:.2f} (blocked)",
+                            flush=True,
+                        )
+        return results
 
     # ------------------------------------------------------------------ #
     def checkpoint(self, seed: int) -> MiniLM:

@@ -381,13 +381,42 @@ class SimilarityEngine:
         *,
         k: int,
         exclude: np.ndarray | None = None,
+        exclude_groups: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> list[list[int]]:
         """Per-query top-``k`` most similar titles under ``metric``.
 
         ``exclude`` is an optional boolean mask, either one row of shape
         ``(len(universe),)`` shared by all queries or one row per query of
-        shape ``(len(queries), len(universe))``.  Each query excludes
-        itself.
+        shape ``(len(queries), len(universe))``.  ``exclude_groups`` is the
+        memory-bounded alternative for the common "skip my own cluster"
+        case: a ``(query_group_ids, universe_group_ids)`` pair of integer
+        arrays under which each query excludes every universe row sharing
+        its group id.  The comparison happens per score chunk, so no
+        ``(len(queries), len(universe))`` boolean matrix is ever
+        materialized.  Each query always excludes itself.
+        """
+        return [
+            indices
+            for indices, _ in self.top_k_scores_batch(
+                query_indices, metric, k=k, exclude=exclude,
+                exclude_groups=exclude_groups,
+            )
+        ]
+
+    def top_k_scores_batch(
+        self,
+        query_indices: Sequence[int],
+        metric: str,
+        *,
+        k: int,
+        exclude: np.ndarray | None = None,
+        exclude_groups: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> list[tuple[list[int], np.ndarray]]:
+        """:meth:`top_k_batch` plus each candidate's similarity score.
+
+        Returns one ``(indices, scores)`` pair per query with ``scores``
+        aligned to ``indices`` — the entry point for consumers (candidate
+        blocking) that need the ranked scores, not just the ranking.
         """
         queries = list(query_indices)
         mask = None
@@ -395,18 +424,39 @@ class SimilarityEngine:
             mask = np.asarray(exclude, dtype=bool)
             if mask.ndim == 1:
                 mask = np.broadcast_to(mask, (len(queries), len(self)))
-        results: list[list[int]] = []
+        query_groups = universe_groups = None
+        if exclude_groups is not None:
+            query_groups = np.asarray(exclude_groups[0]).ravel()
+            universe_groups = np.asarray(exclude_groups[1]).ravel()
+            if query_groups.size != len(queries):
+                raise ValueError(
+                    f"exclude_groups has {query_groups.size} query groups, "
+                    f"got {len(queries)} queries"
+                )
+            if universe_groups.size != len(self):
+                raise ValueError(
+                    f"exclude_groups covers {universe_groups.size} universe "
+                    f"rows, engine has {len(self)}"
+                )
+        results: list[tuple[list[int], np.ndarray]] = []
         # Chunked so the dense score block stays bounded regardless of the
         # number of queries.
         for start in range(0, len(queries), _BATCH_ROWS):
             chunk = queries[start : start + _BATCH_ROWS]
             block = self.scores_batch(chunk, metric)
+            if universe_groups is not None:
+                group_mask = (
+                    query_groups[start : start + _BATCH_ROWS, None]
+                    == universe_groups[None, :]
+                )
+                block[group_mask] = -np.inf
             for row, query in enumerate(chunk):
                 scores = block[row]
                 scores[int(query)] = -np.inf
                 if mask is not None:
                     scores[mask[start + row]] = -np.inf
-                results.append(self._select_top_k(scores, k))
+                chosen = self._select_top_k(scores, k)
+                results.append((chosen, scores[chosen]))
         return results
 
     def top_k(

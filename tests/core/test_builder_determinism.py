@@ -6,6 +6,8 @@ derives its random streams by name from the master seed and results are
 merged in configuration order, so scheduling must not leak into the data.
 """
 
+import hashlib
+
 import pytest
 
 from repro.core import BenchmarkBuilder, BuildConfig
@@ -99,3 +101,32 @@ class TestRebuildIdentity:
             assert _pair_dataset_fingerprint(dataset) == _pair_dataset_fingerprint(
                 rebuilt.benchmark.train_sets[key]
             )
+
+
+class TestCrossRevisionIdentity:
+    """Pin the seeded small build's pair sets byte-for-byte across PRs.
+
+    The hash was recorded before the corner-negative consumption loop was
+    vectorized and the exclusion masks moved to group ids; any change to
+    it means a seeded build no longer reproduces the committed revision's
+    pair sets and must be called out explicitly (as PR 1 did when batching
+    reordered the pair RNG stream).
+    """
+
+    EXPECTED_SHA256 = (
+        "73446628d27a7ec47087e8a472edf82b790be0f1d06efb04d3482e705478154d"
+    )
+
+    def test_small_build_pair_sets_fingerprint(self, artifacts_small):
+        digest = hashlib.sha256()
+        benchmark = artifacts_small.benchmark
+        for attribute in ("train_sets", "valid_sets", "test_sets"):
+            for dataset in getattr(benchmark, attribute).values():
+                digest.update(dataset.name.encode())
+                for pair in dataset.pairs:
+                    digest.update(
+                        f"{pair.pair_id}|{pair.offer_a.offer_id}|"
+                        f"{pair.offer_b.offer_id}|{pair.label}|"
+                        f"{pair.provenance}\n".encode()
+                    )
+        assert digest.hexdigest() == self.EXPECTED_SHA256

@@ -193,6 +193,116 @@ class TestTopUpEarlyExit:
         assert len(dataset.negatives()) == 4
 
 
+class TestDuplicateOfferIds:
+    """Regression: the exhaustion bound counts offer *keys*, not positions.
+
+    ``add_pair`` dedups on interned offer ids, so a split carrying the
+    same offer id twice has fewer reachable cross pairs than its position
+    count suggests.  An overcounted bound kept the random/top-up loops
+    spinning through their full attempt budgets on draws that could never
+    produce a new pair.
+    """
+
+    def test_bound_over_distinct_keys_stops_rng_exactly(self):
+        entries = [
+            ("a", _offer("x", "a", "exatron vortex 2tb")),
+            ("a", _offer("x", "a", "exatron vortex 2tb")),
+            ("b", _offer("y", "b", "soniq tranquil headphones")),
+        ]
+        rng = np.random.default_rng(31)
+        dataset = generate_pairs(
+            entries, name="t", corner_negatives_per_offer=0,
+            random_negatives_per_offer=1, rng=rng,
+        )
+        # One distinct cross pair (x, y) exists — and was found.
+        assert len(dataset.negatives()) == 1
+        # Replay the only RNG consumer: position 0 drew candidates until it
+        # hit position 2 (the sole cross-cluster offer).  Afterwards the
+        # split is at capacity, so neither the remaining per-offer loops
+        # nor the top-up loop may draw again — the overcounted bound
+        # (3 positions -> capacity 2) burned up to 50 + 150 dead draws.
+        control = np.random.default_rng(31)
+        while int(control.integers(3)) != 2:
+            pass
+        assert rng.bit_generator.state == control.bit_generator.state
+
+    def test_duplicate_candidate_keys_dedupe_within_batch(self):
+        entries = [
+            ("a", _offer("x", "a", "alpha beta gamma")),
+            ("b", _offer("y", "b", "alpha beta delta")),
+            ("b", _offer("y", "b", "alpha beta delta")),
+            ("c", _offer("z", "c", "alpha epsilon zeta")),
+        ]
+        dataset = generate_pairs(
+            entries, name="t", corner_negatives_per_offer=2,
+            random_negatives_per_offer=0, rng=np.random.default_rng(32),
+        )
+        keys = [pair.key() for pair in dataset]
+        assert len(keys) == len(set(keys))
+        # All three distinct cross pairs appear, each exactly once, even
+        # though offer y occupies two candidate positions.
+        negatives = dataset.negatives()
+        assert {pair.key() for pair in negatives} == {
+            ("x", "y"), ("x", "z"), ("y", "z"),
+        }
+        assert all(pair.provenance == "corner_negative" for pair in negatives)
+
+
+class TestWideningInvariant:
+    """Regression: a short *initial* batch must widen, not end the search.
+
+    The widening loop used to treat ``len(candidates) < fetch`` as proof
+    of cross-cluster exhaustion.  That invariant belongs to the search
+    result, not the loop: when the first batch is short for any other
+    reason, wider candidates exist and must still be fetched.
+    """
+
+    def test_short_initial_batch_still_widens(self, entries, monkeypatch):
+        from repro.similarity.engine import SimilarityEngine
+
+        original = SimilarityEngine.top_k_batch
+        base_fetch = 1 + 8  # corner_negatives_per_offer + over-fetch
+
+        def truncated(self, queries, metric, *, k, **kwargs):
+            results = original(self, queries, metric, k=k, **kwargs)
+            if k == base_fetch:  # only the initial batched search
+                return [r[:1] for r in results]
+            return results
+
+        monkeypatch.setattr(SimilarityEngine, "top_k_batch", truncated)
+        dataset = generate_pairs(
+            entries, name="t", corner_negatives_per_offer=1,
+            random_negatives_per_offer=0, rng=np.random.default_rng(11),
+        )
+        negatives = dataset.negatives()
+        # Every offer met its corner quota through the widened re-query;
+        # nothing fell through to the random top-up.
+        assert len(negatives) == len(entries)
+        assert {pair.provenance for pair in negatives} == {"corner_negative"}
+
+
+class TestConsumptionVectorization:
+    """The NumPy candidate consumption equals the scalar add_pair loop."""
+
+    def test_scalar_fallback_produces_identical_pairs(self, entries, monkeypatch):
+        def fingerprint(dataset):
+            return [
+                (p.offer_a.offer_id, p.offer_b.offer_id, p.label, p.provenance)
+                for p in dataset
+            ]
+
+        vectorized = generate_pairs(
+            entries, name="t", corner_negatives_per_offer=2,
+            random_negatives_per_offer=1, rng=np.random.default_rng(21),
+        )
+        monkeypatch.setattr("repro.core.pairs._DENSE_DEDUP_CELLS", 0)
+        scalar = generate_pairs(
+            entries, name="t", corner_negatives_per_offer=2,
+            random_negatives_per_offer=1, rng=np.random.default_rng(21),
+        )
+        assert fingerprint(vectorized) == fingerprint(scalar)
+
+
 class TestDatasetContainers:
     def test_pair_key_is_unordered(self):
         a, b = _offer("x", "c", "t"), _offer("y", "c", "t")

@@ -94,6 +94,57 @@ class TestRunnerFactories:
         for variant in smoke_variants:
             assert results.get("word_cooc", variant) is not None
 
+
+class TestBlockingBackedTraining:
+    """Acceptance: symbolic matchers train/evaluate with no materialized pairs."""
+
+    @pytest.fixture(scope="class")
+    def runner(self, artifacts_small):
+        return ExperimentRunner(artifacts_small, settings=EvalSettings.smoke())
+
+    def test_blocked_task_reads_no_benchmark_pair_sets(self, runner):
+        task = runner.blocked_pairwise(
+            CornerCaseRatio.CC50, DevSetSize.MEDIUM, UnseenRatio.SEEN, k=5
+        )
+        benchmark_sets = {
+            id(dataset)
+            for collection in (
+                runner.artifacts.benchmark.train_sets,
+                runner.artifacts.benchmark.valid_sets,
+                runner.artifacts.benchmark.test_sets,
+            )
+            for dataset in collection.values()
+        }
+        for dataset in (task.train, task.valid, task.test):
+            assert id(dataset) not in benchmark_sets
+            assert len(dataset) > 0
+            assert all(p.provenance.startswith("blocking:") for p in dataset)
+        # Ground-truth positives are completed, so training sees matches.
+        assert len(task.train.positives()) > 0
+        # Blocked splits never mix offers across train/valid/test.
+        split = runner.artifacts.splits[CornerCaseRatio.CC50]
+        train_ids = {o.offer_id for o in task.train.offers()}
+        valid_ids = {o.offer_id for o in task.valid.offers()}
+        assert train_ids <= {
+            o.offer_id for _, o in split.train_offers(DevSetSize.MEDIUM)
+        }
+        assert not (train_ids & valid_ids)
+
+    @pytest.mark.parametrize("system", ["word_cooc", "magellan"])
+    def test_symbolic_systems_train_from_blocking(self, runner, system):
+        results = runner.run_pairwise_from_blocking((system,), k=10)
+        for unseen in UnseenRatio:
+            variant = PairwiseVariant(CornerCaseRatio.CC50, DevSetSize.MEDIUM, unseen)
+            score = results.get(system, variant)
+            assert score is not None
+            assert 0.0 <= score.f1 <= 1.0
+        seen = results.get(
+            system, PairwiseVariant(CornerCaseRatio.CC50, DevSetSize.MEDIUM, UnseenRatio.SEEN)
+        )
+        # The matcher must actually learn signal from blocked candidates,
+        # not degenerate to all-negative predictions.
+        assert seen.f1 > 0.15
+
     def test_smoke_multiclass_runs(self, runner):
         results = runner.run_multiclass(("word_occ",))
         variant = MulticlassVariant(CornerCaseRatio.CC50, DevSetSize.MEDIUM)
