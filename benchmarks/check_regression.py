@@ -9,9 +9,18 @@ slower than the machines baselines are recorded on — the gate is meant to
 catch order-of-magnitude regressions (an accidentally de-vectorized hot
 loop), not single-digit-percent drift.  Stages below ``--floor`` seconds
 in the baseline are held to the floor instead of their own tiny timing,
-so sub-millisecond stages cannot trip the gate on scheduler jitter:
+so sub-millisecond stages cannot trip the gate on scheduler jitter.
 
-    PYTHONPATH=src python benchmarks/record_timings.py --output BENCH_current.json
+Schema-4 baselines with a ``sharding`` section additionally gate the
+sharded session: its ``shard:*`` / ``sweep:*`` stage rows get the same
+per-stage budgets, and the *merged* blocking recall (per-shard split
+joins + cross-shard sweeps against the merged benchmark) is held to the
+same floors as the single-corpus join.  The default-scale
+``shard_scaling`` section is informational only (CI smoke runs never
+record it) and is ignored here.
+
+    PYTHONPATH=src python benchmarks/record_timings.py --shards 2 \
+        --output BENCH_current.json
     python benchmarks/check_regression.py \
         --baseline BENCH_baseline.json --current BENCH_current.json
 """
@@ -22,6 +31,75 @@ import argparse
 import json
 import sys
 from pathlib import Path
+
+
+def _stage_failures(
+    baseline_stages: dict,
+    current_stages: dict,
+    *,
+    tolerance: float,
+    floor: float,
+    label: str = "",
+) -> list[str]:
+    failures: list[str] = []
+    prefix = f"{label}:" if label else ""
+    for stage, base_seconds in sorted(baseline_stages.items()):
+        seconds = current_stages.get(stage)
+        if seconds is None:
+            failures.append(
+                f"{prefix}{stage}: missing from the current recording"
+            )
+            continue
+        budget = tolerance * max(base_seconds, floor)
+        if seconds > budget:
+            failures.append(
+                f"{prefix}{stage}: {seconds:.3f}s exceeds {budget:.3f}s "
+                f"({tolerance}x baseline {base_seconds:.3f}s)"
+            )
+    return failures
+
+
+def _recall_failures(
+    section: dict,
+    *,
+    label: str,
+    min_positive_recall: float,
+    min_corner_recall: float,
+    min_join_positive_recall: float,
+) -> list[str]:
+    """Floor checks for one {recall, join_recall} recording.
+
+    Two recordings are gated: the training-shaped ``recall`` (group
+    positives completed — its positive recall is 1.0 by construction, so
+    its gate only catches a broken completion) and the raw ``join_recall``
+    (no completion), which is where a degraded top-k join would actually
+    show up.  Recall is deterministic for a fixed seed, so these floors
+    are tight, not noise-padded.
+    """
+    recall = section.get("recall")
+    join = section.get("join_recall")
+    if recall is None or join is None:
+        return [f"{label}: recall missing from the current recording"]
+    failures: list[str] = []
+    positives = recall.get("positive_recall", 0.0)
+    if positives < min_positive_recall:
+        failures.append(
+            f"{label}: completed positive recall {positives:.4f} "
+            f"below {min_positive_recall} (group completion broken)"
+        )
+    join_positives = join.get("positive_recall", 0.0)
+    if join_positives < min_join_positive_recall:
+        failures.append(
+            f"{label}: join positive recall {join_positives:.4f} "
+            f"below {min_join_positive_recall}"
+        )
+    corners = join.get("corner_negative_recall", 0.0)
+    if corners < min_corner_recall:
+        failures.append(
+            f"{label}: join corner-negative recall {corners:.4f} "
+            f"below {min_corner_recall}"
+        )
+    return failures
 
 
 def compare(
@@ -37,54 +115,58 @@ def compare(
     """Human-readable failure lines, empty when every stage is in budget.
 
     Besides the per-stage timing budgets, a baseline that records a
-    ``blocking`` section gates the blocking *recall*: candidate blocking
+    ``blocking`` section gates the blocking *recall* (candidate blocking
     is only a valid pair-set replacement while it keeps recovering the
-    materialized positives and ≥95% of the corner negatives.  Two
-    recordings are gated: the training-shaped ``recall`` (group
-    positives completed — its positive recall is 1.0 by construction, so
-    its gate only catches a broken completion) and the raw ``join_recall``
-    (no completion), which is where a degraded top-k join would actually
-    show up.  Recall is deterministic for a fixed seed, so these floors
-    are tight, not noise-padded.
+    materialized positives and ≥95% of the corner negatives), and a
+    baseline with a ``sharding`` section gates the sharded session's
+    stage rows and merged recall with the same budgets and floors.
     """
-    failures: list[str] = []
-    baseline_stages = baseline.get("build_stages", {})
-    current_stages = current.get("build_stages", {})
-    for stage, base_seconds in sorted(baseline_stages.items()):
-        seconds = current_stages.get(stage)
-        if seconds is None:
-            failures.append(f"{stage}: missing from the current recording")
-            continue
-        budget = tolerance * max(base_seconds, floor)
-        if seconds > budget:
-            failures.append(
-                f"{stage}: {seconds:.3f}s exceeds {budget:.3f}s "
-                f"({tolerance}x baseline {base_seconds:.3f}s)"
-            )
+    failures = _stage_failures(
+        baseline.get("build_stages", {}),
+        current.get("build_stages", {}),
+        tolerance=tolerance,
+        floor=floor,
+    )
+    recall_floors = dict(
+        min_positive_recall=min_positive_recall,
+        min_corner_recall=min_corner_recall,
+        min_join_positive_recall=min_join_positive_recall,
+    )
     if "blocking" in baseline:
-        blocking = current.get("blocking", {})
-        recall = blocking.get("recall")
-        join = blocking.get("join_recall")
-        if recall is None or join is None:
-            failures.append("blocking: recall missing from the current recording")
+        failures.extend(
+            _recall_failures(
+                current.get("blocking", {}), label="blocking", **recall_floors
+            )
+        )
+    if "sharding" in baseline:
+        sharding = current.get("sharding")
+        if sharding is None:
+            failures.append(
+                "sharding: missing from the current recording "
+                "(run record_timings.py --shards N)"
+            )
         else:
-            positives = recall.get("positive_recall", 0.0)
-            if positives < min_positive_recall:
+            base_sharding = baseline["sharding"]
+            if sharding.get("n_shards") != base_sharding.get("n_shards"):
                 failures.append(
-                    f"blocking: completed positive recall {positives:.4f} "
-                    f"below {min_positive_recall} (group completion broken)"
+                    f"sharding: recorded {sharding.get('n_shards')} shards, "
+                    f"baseline has {base_sharding.get('n_shards')} — stage "
+                    "rows are not comparable"
                 )
-            join_positives = join.get("positive_recall", 0.0)
-            if join_positives < min_join_positive_recall:
-                failures.append(
-                    f"blocking: join positive recall {join_positives:.4f} "
-                    f"below {min_join_positive_recall}"
+            else:
+                failures.extend(
+                    _stage_failures(
+                        base_sharding.get("build_stages", {}),
+                        sharding.get("build_stages", {}),
+                        tolerance=tolerance,
+                        floor=floor,
+                        label="sharding",
+                    )
                 )
-            corners = join.get("corner_negative_recall", 0.0)
-            if corners < min_corner_recall:
-                failures.append(
-                    f"blocking: join corner-negative recall {corners:.4f} "
-                    f"below {min_corner_recall}"
+                failures.extend(
+                    _recall_failures(
+                        sharding, label="sharding", **recall_floors
+                    )
                 )
     return failures
 
@@ -140,15 +222,22 @@ def main() -> int:
         min_corner_recall=args.min_corner_recall,
         min_join_positive_recall=args.min_join_positive_recall,
     )
-    stages = len(baseline.get("build_stages", {}))
+    stages = len(baseline.get("build_stages", {})) + len(
+        baseline.get("sharding", {}).get("build_stages", {})
+    )
     if failures:
         print(f"perf regression: {len(failures)} checks failed over {stages} stages")
         for line in failures:
             print(f"  {line}")
         return 1
+    gates = []
+    if "blocking" in baseline:
+        gates.append("blocking recall")
+    if "sharding" in baseline:
+        gates.append("sharded stages + merged recall")
     print(
         f"all {stages} build stages within {args.tolerance}x of baseline"
-        + ("; blocking recall in budget" if "blocking" in baseline else "")
+        + (f"; {', '.join(gates)} in budget" if gates else "")
     )
     return 0
 

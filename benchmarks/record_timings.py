@@ -1,21 +1,42 @@
-"""Record build-stage and matcher timings into a JSON perf baseline.
+"""Record build-stage, sharding and matcher timings into a JSON baseline.
 
 Runs the Figure-2 pipeline at smoke scale (``BuildConfig.small``) with the
 blocking stage enabled, records every named build stage (including the
 ``cleansing:*`` sub-stages and the corpus-level ``blocking`` join), the
 blocking recall of one split against its materialized pair sets, then
 times the symbolic matchers' fit/predict — with featurization broken out —
-on one benchmark cell.  The output (``BENCH_baseline.json`` by default) is
-uploaded as a CI artifact on every run, giving future PRs a perf and
-recall trajectory to compare against:
+on one benchmark cell.  With ``--shards N`` a second, sharded recording
+rides along (schema 4): an N-shard :class:`ShardedBenchmarkSession` over
+the same small base config builds its shards in worker processes, runs the
+cross-shard blocking sweep, and records the ``shard:*`` / ``sweep:*``
+stage rows, the sharded-vs-single build wall-clock, and the *merged*
+blocking recall (per-shard split joins + cross-shard sweeps, measured
+against the merged benchmark) that ``check_regression.py`` gates with the
+same floors as the single-corpus join.
 
-    PYTHONPATH=src python benchmarks/record_timings.py --output BENCH_baseline.json
+``--shard-scaling N`` additionally runs the default-scale scaling probe
+and stores it under ``shard_scaling`` (informational: CI smoke runs never
+record it, so it is compared by humans, not gated).  The probe records
+two equal-total-offers comparisons: the *partitioned* one (N shards over
+the default scale vs the default single build — on a multi-core machine
+the process pool wins this outright; on one core the linear per-offer
+work just moves between processes, and the recorded ``cpu_count`` says
+which regime the numbers come from) and the *scale-out* one (N shards at
+2× the default scale vs the equal-size single-corpus build, which
+**cannot complete at all**: single-corpus corner-case selection exhausts
+its pool just past the default scale, while every shard selects locally
+and never does — the recorded ``single_build_error`` is the monolith's
+actual failure).
+
+    PYTHONPATH=src python benchmarks/record_timings.py --shards 2 \
+        --output BENCH_baseline.json
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -25,6 +46,7 @@ from repro.core.builder import BenchmarkBuilder, BuildConfig
 from repro.core.dimensions import CornerCaseRatio, DevSetSize, UnseenRatio
 from repro.core.profiling import build_profile
 from repro.eval.runner import EvalSettings, ExperimentRunner
+from repro.shard import ShardPlan, ShardedBenchmarkSession
 
 BLOCKING_K = 25
 
@@ -71,19 +93,17 @@ def _blocking_recall(runner: ExperimentRunner) -> dict:
     ]
     blocker = CandidateBlocker.over_entries(engine, entries, offer_rows)
     metrics = blocker.engine.metric_names
-    seconds, reports = _timed(
-        lambda: (
-            blocking_recall(
-                blocker.candidates(
-                    k=BLOCKING_K, metrics=metrics, include_group_positives=True
-                ),
-                reference,
-            ),
-            blocking_recall(
-                blocker.candidates(k=BLOCKING_K, metrics=metrics), reference
-            ),
+
+    def _both_shapes():
+        # One raw join serves both recordings (with_group_positives
+        # completes it without re-running the top-k sweep).
+        join = blocker.candidates(k=BLOCKING_K, metrics=metrics)
+        return (
+            blocking_recall(join.with_group_positives(), reference),
+            blocking_recall(join, reference),
         )
-    )
+
+    seconds, reports = _timed(_both_shapes)
     completed, join_only = reports
     return {
         "k": BLOCKING_K,
@@ -93,11 +113,135 @@ def _blocking_recall(runner: ExperimentRunner) -> dict:
     }
 
 
-def record(seed: int = 42) -> dict:
+def _merged_recall(session) -> tuple[dict, dict]:
+    """Merged split-scoped recall of the CC50/medium cell (both shapes)."""
+    completed, join_only = session.split_candidates(
+        CornerCaseRatio.CC50, DevSetSize.MEDIUM, k=BLOCKING_K
+    )
+    reference = session.merged_benchmark.train_sets[
+        (CornerCaseRatio.CC50, DevSetSize.MEDIUM)
+    ]
+    return (
+        blocking_recall(completed, reference).as_dict(),
+        blocking_recall(join_only, reference).as_dict(),
+    )
+
+
+def _record_sharding(
+    n_shards: int, seed: int, base: BuildConfig, scale: str
+) -> dict:
+    """One sharded session vs one single-corpus build of the same base.
+
+    The plan partitions the base scale across shards (exact balanced
+    shares), so the session covers the single build's total offers; the
+    single build runs without a blocking stage so ``single_build_seconds``
+    vs ``sharded_build_seconds`` compares pure corpus-pipeline work (the
+    sweep is reported separately — it has no single-corpus counterpart).
+    The session runs *first*: its workers fork from a parent that has not
+    yet materialized the single build's multi-GB object graph — forking
+    after it would trigger copy-on-write storms (every child GC touches
+    inherited refcount pages) that bill the pool for memory the shards
+    never use.
+    """
+    plan = ShardPlan.create(n_shards, base_config=base, seed=seed)
+    session_seconds, session = _timed(
+        lambda: ShardedBenchmarkSession(plan, executor="process").build()
+    )
+    single_seconds, single = _timed(lambda: BenchmarkBuilder(base).build())
+    recall, join_recall = _merged_recall(session)
+    timings = session.stage_timings
+    return {
+        "n_shards": n_shards,
+        "scale": scale,
+        "k": BLOCKING_K,
+        "cpu_count": os.cpu_count(),
+        "single_build_seconds": single_seconds,
+        "single_total_offers": len(single.cleansed.offers),
+        "sharded_build_seconds": timings["shards"],
+        "sweep_seconds": timings["sweep"],
+        "session_wall_seconds": session_seconds,
+        "build_speedup": single_seconds / timings["shards"],
+        "sharded_total_offers": session.total_offers(),
+        "build_stages": dict(timings),
+        "merged_candidates": session.merged_candidates.summary(),
+        "recall": recall,
+        "join_recall": join_recall,
+    }
+
+
+def _scaled_config(base: BuildConfig, factor: int) -> BuildConfig:
+    from dataclasses import replace
+
+    return replace(
+        base,
+        corpus=replace(
+            base.corpus,
+            families_per_category_seen=(
+                base.corpus.families_per_category_seen * factor
+            ),
+            families_per_category_unseen=(
+                base.corpus.families_per_category_unseen * factor
+            ),
+        ),
+        n_products=base.n_products * factor,
+    )
+
+
+def _record_shard_scaling(n_shards: int, seed: int) -> dict:
+    """The default-scale probe: partitioned parity + scale-out feasibility.
+
+    ``partitioned`` shards the default scale N ways (equal total offers to
+    the default build); ``scale_out`` doubles the scale and shows the
+    structural result: the equal-size *single-corpus* build fails corner
+    selection (its selectable corner-case pool grows sublinearly and is
+    exhausted just past the default scale), while the N-shard session —
+    each shard selecting locally at a proven per-corpus ratio — completes
+    build and cross-shard sweep with the merged recall floors intact.
+    """
+    result: dict = {
+        "n_shards": n_shards,
+        "cpu_count": os.cpu_count(),
+        "partitioned": _record_sharding(
+            n_shards, seed, BuildConfig(seed=seed), "default"
+        ),
+    }
+    factor = 2
+    scaled = _scaled_config(BuildConfig(seed=seed), factor)
+    plan = ShardPlan.create(n_shards, base_config=scaled, seed=seed)
+    session_seconds, session = _timed(
+        lambda: ShardedBenchmarkSession(plan, executor="process").build()
+    )
+    recall, join_recall = _merged_recall(session)
+    scale_out: dict = {
+        "scale_factor": factor,
+        "sharded_build_seconds": session.stage_timings["shards"],
+        "sweep_seconds": session.stage_timings["sweep"],
+        "session_wall_seconds": session_seconds,
+        "sharded_total_offers": session.total_offers(),
+        "merged_candidates": session.merged_candidates.summary(),
+        "recall": recall,
+        "join_recall": join_recall,
+    }
+    try:
+        single_seconds, single = _timed(
+            lambda: BenchmarkBuilder(scaled).build()
+        )
+        scale_out["single_build_seconds"] = single_seconds
+        scale_out["single_total_offers"] = len(single.cleansed.offers)
+    except ValueError as error:
+        scale_out["single_build_seconds"] = None
+        scale_out["single_build_error"] = str(error)
+    result["scale_out"] = scale_out
+    return result
+
+
+def record(seed: int = 42, shards: int = 0, shard_scaling: int = 0) -> dict:
     record: dict = {
+        # 4: --shards rides a sharded session along (shard:*/sweep:* rows,
+        #    merged recall, sharded-vs-single build wall-clock)
         # 3: build runs the blocking stage; blocking recall is recorded
         # 2: featurize/fit stages are additive (no double work)
-        "schema": 3,
+        "schema": 4,
         "scale": "small",
         "seed": seed,
         "python": platform.python_version(),
@@ -133,7 +277,33 @@ def record(seed: int = 42) -> dict:
         timings["n_test_pairs"] = len(task.test)
         matchers[system] = timings
     record["matchers"] = matchers
+
+    if shards > 0:
+        record["sharding"] = _record_sharding(
+            shards, seed, BuildConfig.small(seed=seed), "small"
+        )
+    if shard_scaling > 0:
+        record["shard_scaling"] = _record_shard_scaling(shard_scaling, seed)
     return record
+
+
+def _print_sharding(label: str, section: dict) -> None:
+    print(
+        f"  {label}: {section['n_shards']} shards ({section['scale']} scale) "
+        f"build {section['sharded_build_seconds']:.2f}s vs single "
+        f"{section['single_build_seconds']:.2f}s "
+        f"({section['build_speedup']:.2f}x), sweep "
+        f"{section['sweep_seconds']:.2f}s, offers "
+        f"{section['sharded_total_offers']} vs "
+        f"{section['single_total_offers']}"
+    )
+    print(
+        f"    merged recall @k={section['k']}: "
+        f"positives={section['recall']['positive_recall']:.4f} "
+        f"corner={section['recall']['corner_negative_recall']:.4f} "
+        f"(join only: {section['join_recall']['positive_recall']:.4f}/"
+        f"{section['join_recall']['corner_negative_recall']:.4f})"
+    )
 
 
 def main() -> None:
@@ -145,9 +315,25 @@ def main() -> None:
         help="where to write the timing baseline (default: BENCH_baseline.json)",
     )
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="record an N-shard small-scale session alongside the single "
+        "build (schema 4 'sharding' section, gated by check_regression)",
+    )
+    parser.add_argument(
+        "--shard-scaling",
+        type=int,
+        default=0,
+        help="also run the default-scale scaling probe with N shards "
+        "('shard_scaling' section, informational — takes minutes)",
+    )
     args = parser.parse_args()
 
-    result = record(seed=args.seed)
+    result = record(
+        seed=args.seed, shards=args.shards, shard_scaling=args.shard_scaling
+    )
     args.output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.output}")
     for stage, seconds in sorted(
@@ -167,6 +353,22 @@ def main() -> None:
             f"  {system:24s} featurize={timings['featurize_train']:.3f}s"
             f"+{timings['featurize_valid']:.3f}s "
             f"fit={timings['fit']:.3f}s predict={timings['predict_test']:.3f}s"
+        )
+    if "sharding" in result:
+        _print_sharding("sharding", result["sharding"])
+    if "shard_scaling" in result:
+        scaling = result["shard_scaling"]
+        _print_sharding("shard_scaling (partitioned)", scaling["partitioned"])
+        scale_out = scaling["scale_out"]
+        if scale_out.get("single_build_seconds") is None:
+            single = f"single FAILED: {scale_out.get('single_build_error')}"
+        else:
+            single = f"single {scale_out['single_build_seconds']:.2f}s"
+        print(
+            f"  shard_scaling (scale-out {scale_out['scale_factor']}x): "
+            f"build {scale_out['sharded_build_seconds']:.2f}s, sweep "
+            f"{scale_out['sweep_seconds']:.2f}s, offers "
+            f"{scale_out['sharded_total_offers']} — {single}"
         )
 
 

@@ -128,6 +128,62 @@ class BlockedPairSet:
             "neg": len(self.pairs) - positives,
         }
 
+    def with_group_positives(self) -> "BlockedPairSet":
+        """This set plus every within-group pair the join did not surface.
+
+        The completion that ``candidates(include_group_positives=True)``
+        applies, factored out so one raw join can serve both the gated
+        join-only recall recording and the training-shaped completed set
+        without running the top-k sweep twice.  Returns a new set; pairs
+        keep their order with the completed positives appended (metric
+        ``"group"``, rank ``-1``, cosine score), exactly as the inline
+        completion has always ordered them.
+        """
+        blocker = self.blocker
+        group_ids = blocker._group_ids
+        if group_ids is None:
+            raise ValueError("with_group_positives needs group labels")
+        seen = {
+            key
+            for pair in self.pairs
+            if (key := blocker._pair_key(pair.row_a, pair.row_b)) is not None
+        }
+        pairs = list(self.pairs)
+        members_by_group: dict[int, list[int]] = {}
+        for row, group in enumerate(group_ids):
+            members_by_group.setdefault(int(group), []).append(row)
+        missing: list[tuple[int, int]] = []
+        for group in sorted(members_by_group):
+            members = members_by_group[group]
+            for i, a in enumerate(members):
+                for b in members[i + 1 :]:
+                    key = blocker._pair_key(a, b)
+                    if key is not None and key not in seen:
+                        seen.add(key)
+                        missing.append((a, b))
+        if missing:
+            scores = blocker.engine.pair_features_batch(
+                missing, metrics=("cosine",)
+            )[:, 0]
+            pairs.extend(
+                BlockedPair(
+                    row_a=a,
+                    row_b=b,
+                    score=float(score),
+                    metric="group",
+                    query_row=a,
+                    rank=-1,
+                )
+                for (a, b), score in zip(missing, scores)
+            )
+        return BlockedPairSet(
+            blocker,
+            pairs,
+            k=self.k,
+            metrics=self.metrics,
+            n_queries=self.n_queries,
+        )
+
 
 class CandidateBlocker:
     """Batched top-k candidate join over one engine's title universe.
@@ -136,6 +192,14 @@ class CandidateBlocker:
     row) are optional: without them the blocker still yields row-indexed
     pairs, but labeling (``to_dataset``) and offer-id keying
     (``pair_keys``) need them.
+
+    When the engine's universe spans *multiple corpora* (e.g. a
+    :meth:`SimilarityEngine.concat` over several shards' engines), offer
+    ids and cluster labels must be globally namespaced by the caller
+    (``s<shard>:<id>``): raw per-corpus ids collide across shards, which
+    would both merge unrelated clusters into one group id and make the
+    offer-identity dedup treat distinct offers as duplicates of each
+    other.  See :mod:`repro.shard` for the namespacing helpers.
     """
 
     def __init__(
@@ -209,6 +273,21 @@ class CandidateBlocker:
     def __len__(self) -> int:
         return len(self.engine)
 
+    def _pair_key(self, a: int, b: int) -> int | None:
+        """Unordered offer-identity dedup key of rows ``a``/``b``.
+
+        ``None`` when both rows carry the same offer (never a pair).
+        """
+        row_keys = self._pair_keys_by_row
+        key_a, key_b = int(row_keys[a]), int(row_keys[b])
+        if key_a == key_b:  # the same offer on both rows
+            return None
+        return (
+            key_a * self._key_span + key_b
+            if key_a < key_b
+            else key_b * self._key_span + key_a
+        )
+
     def candidates(
         self,
         query_rows: Sequence[int] | None = None,
@@ -216,6 +295,7 @@ class CandidateBlocker:
         k: int,
         metrics: Sequence[str] = ("cosine",),
         exclude_same_group: bool = False,
+        exclude_same_partition: Sequence[int] | np.ndarray | None = None,
         include_group_positives: bool = False,
     ) -> BlockedPairSet:
         """Top-``k`` candidates of every query row under each metric.
@@ -229,6 +309,15 @@ class CandidateBlocker:
         duplicate row.  With ``exclude_same_group`` the query's own
         cluster is masked by group id; the default keeps same-cluster
         candidates, which is what labeled matcher training wants.
+
+        ``exclude_same_partition`` (one integer partition id per universe
+        row) restricts every query to candidates from a *different*
+        partition: the cross-corpus join, where the universe concatenates
+        several shards' rows and only cross-shard pairs are wanted — each
+        shard's offers query every other shard's sub-universe, and
+        within-shard pairs are left to that shard's own join.  The
+        comparison rides the engine's chunked group exclusion, so no
+        ``(queries, universe)`` boolean matrix is materialized.
 
         ``include_group_positives`` appends every within-group pair the
         join did not surface (metric ``"group"``, rank ``-1``, cosine
@@ -253,20 +342,36 @@ class CandidateBlocker:
             raise ValueError(
                 "exclude_same_group and include_group_positives are exclusive"
             )
+        partition = None
+        if exclude_same_partition is not None:
+            if exclude_same_group:
+                raise ValueError(
+                    "exclude_same_group and exclude_same_partition are "
+                    "exclusive (a partition already masks the query's own "
+                    "sub-universe, clusters and all)"
+                )
+            if include_group_positives:
+                raise ValueError(
+                    "exclude_same_partition and include_group_positives are "
+                    "exclusive (groups never span partitions, so completing "
+                    "them would re-admit the same-partition pairs the "
+                    "restriction excludes)"
+                )
+            partition = np.asarray(exclude_same_partition).ravel()
+            if partition.size != len(self.engine):
+                raise ValueError(
+                    f"exclude_same_partition covers {partition.size} rows, "
+                    f"engine has {len(self.engine)}"
+                )
 
-        row_keys = self._pair_keys_by_row
-        key_span = self._key_span
         seen: set[int] = set()
+        pair_key = self._pair_key
 
-        def pair_key(a: int, b: int) -> int | None:
-            key_a, key_b = int(row_keys[a]), int(row_keys[b])
-            if key_a == key_b:  # the same offer on both rows
-                return None
-            return (
-                key_a * key_span + key_b
-                if key_a < key_b
-                else key_b * key_span + key_a
-            )
+        exclude_groups = None
+        if exclude_same_group:
+            exclude_groups = (group_ids[queries], group_ids)
+        elif partition is not None:
+            exclude_groups = (partition[queries], partition)
 
         pairs: list[BlockedPair] = []
         for metric in metrics:
@@ -274,11 +379,7 @@ class CandidateBlocker:
                 queries,
                 metric,
                 k=k,
-                exclude_groups=(
-                    (group_ids[queries], group_ids)
-                    if exclude_same_group
-                    else None
-                ),
+                exclude_groups=exclude_groups,
             )
             for query, (chosen, scores) in zip(queries, batches):
                 query = int(query)
@@ -302,38 +403,13 @@ class CandidateBlocker:
                             rank=rank,
                         )
                     )
-        if include_group_positives:
-            members_by_group: dict[int, list[int]] = {}
-            for row, group in enumerate(group_ids):
-                members_by_group.setdefault(int(group), []).append(row)
-            missing: list[tuple[int, int]] = []
-            for group in sorted(members_by_group):
-                members = members_by_group[group]
-                for i, a in enumerate(members):
-                    for b in members[i + 1 :]:
-                        key = pair_key(a, b)
-                        if key is not None and key not in seen:
-                            seen.add(key)
-                            missing.append((a, b))
-            if missing:
-                scores = self.engine.pair_features_batch(
-                    missing, metrics=("cosine",)
-                )[:, 0]
-                pairs.extend(
-                    BlockedPair(
-                        row_a=a,
-                        row_b=b,
-                        score=float(score),
-                        metric="group",
-                        query_row=a,
-                        rank=-1,
-                    )
-                    for (a, b), score in zip(missing, scores)
-                )
-        return BlockedPairSet(
+        blocked = BlockedPairSet(
             self,
             pairs,
             k=k,
             metrics=tuple(metrics),
             n_queries=int(queries.size),
         )
+        if include_group_positives:
+            blocked = blocked.with_group_positives()
+        return blocked

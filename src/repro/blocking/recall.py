@@ -67,12 +67,20 @@ class BlockingRecallReport:
 
 
 def blocking_recall(
-    blocked: BlockedPairSet, reference: PairDataset
+    blocked: "BlockedPairSet | object", reference: PairDataset
 ) -> BlockingRecallReport:
     """How much of ``reference`` the blocked candidate set recovers.
 
     Pairs are matched on unordered offer-id keys, so the comparison is
     independent of row order and of which side was the blocking query.
+    ``blocked`` may be any candidate set exposing ``pair_keys()``, ``k``,
+    ``metrics`` and ``__len__`` — a single sweep's
+    :class:`~repro.blocking.candidates.BlockedPairSet` or the merged
+    per-shard + cross-shard set of a
+    :class:`~repro.shard.ShardedBenchmarkSession`
+    (:class:`~repro.shard.merge.MergedCandidates`); for a merged set the
+    reference should be the correspondingly namespaced merged benchmark
+    dataset.
     """
     candidate_keys = blocked.pair_keys()
     per_provenance: dict[str, list[int]] = {}

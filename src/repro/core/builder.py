@@ -1,6 +1,8 @@
 """End-to-end benchmark construction (the Figure-2 pipeline).
 
-``BenchmarkBuilder`` chains every stage as an explicitly named step:
+The canonical entry point is :func:`build_one_corpus`, a module-level
+stage runner that takes one :class:`BuildConfig` and chains every stage as
+an explicitly named step:
 
 1. ``corpus``    — synthetic corpus generation,
 2. ``cleansing`` — the Section-3.2 cleansing pipeline,
@@ -14,9 +16,16 @@
 7. ``ratio:*``   — per-corner-case-ratio selection → splitting → pair
    generation → multi-class datasets.
 
+Being module-level (and therefore picklable), :func:`build_one_corpus` is
+also the unit of work a :class:`~repro.shard.ShardedBenchmarkSession`
+ships to worker *processes* — the corpus-level stages are serial Python,
+so the corpus itself is the parallel unit beyond the ratio thread pool.
+:class:`BenchmarkBuilder` remains as the single-corpus special case: a
+thin compatible wrapper whose ``build()`` delegates here.
+
 The per-ratio builds are mutually independent: each derives its random
 streams by name from the master seed and only reads the shared artifacts,
-so stage 6 runs them concurrently on a thread pool (the engine's
+so stage 7 runs them concurrently on a thread pool (the engine's
 NumPy/SciPy kernels release the GIL).  Results are merged back in
 configuration order, which keeps a seeded build byte-identical whether
 parallelism is enabled or not.  Per-stage wall-clock timings are recorded
@@ -42,11 +51,16 @@ from repro.corpus.schema import SyntheticCorpus
 from repro.grouping.curation import GroupedCorpus, group_products
 from repro.similarity.embedding import LsaEmbeddingModel
 from repro.similarity.engine import SimilarityEngine
-from repro.similarity.registry import SimilarityRegistry
+from repro.similarity.registry import SimilarityRegistry, validate_metric_names
 from repro.utils.rng import RngStream
 from repro.utils.timer import Timer
 
-__all__ = ["BuildConfig", "BuildArtifacts", "BenchmarkBuilder"]
+__all__ = [
+    "BuildConfig",
+    "BuildArtifacts",
+    "BenchmarkBuilder",
+    "build_one_corpus",
+]
 
 _TEST_CORNER_NEGATIVES = 3  # test & large-validation setting of Section 3.6
 
@@ -72,15 +86,24 @@ class BuildConfig:
     blocking_top_k: int = 0
     blocking_metrics: tuple[str, ...] = ("cosine",)
 
+    def __post_init__(self) -> None:
+        validate_metric_names(
+            self.blocking_metrics, context="BuildConfig.blocking_metrics"
+        )
+
     @classmethod
     def small(cls, *, seed: int = 42, **overrides) -> "BuildConfig":
         """Reduced configuration for tests: 60 products per set.
 
-        ``overrides`` may replace any field, including the small defaults.
+        ``overrides`` may replace any field.  Explicit overrides always
+        win over the small defaults — in particular a caller-supplied
+        ``corpus`` is used verbatim instead of the ``CorpusConfig.small()``
+        default.
         """
-        fields = {"corpus": CorpusConfig.small(), "seed": seed, "n_products": 60}
-        fields.update(overrides)
-        return cls(**fields)
+        overrides.setdefault("corpus", CorpusConfig.small())
+        overrides.setdefault("n_products", 60)
+        overrides.setdefault("seed", seed)
+        return cls(**overrides)
 
 
 @dataclass
@@ -154,292 +177,320 @@ class BuildArtifacts:
         return result
 
 
-class BenchmarkBuilder:
-    """Runs the six pipeline steps of Figure 2."""
+# --------------------------------------------------------------------- #
+# Stages 1-6: shared artifacts
+# --------------------------------------------------------------------- #
+def _stage_corpus(config: BuildConfig) -> GeneratedCorpus:
+    return CorpusGenerator(config.corpus).generate()
 
-    def __init__(self, config: BuildConfig | None = None):
-        self.config = config if config is not None else BuildConfig()
 
-    # ------------------------------------------------------------------ #
-    # Stages 1-5: shared artifacts
-    # ------------------------------------------------------------------ #
-    def _stage_corpus(self) -> GeneratedCorpus:
-        return CorpusGenerator(self.config.corpus).generate()
+def _stage_cleansing(
+    generated: GeneratedCorpus,
+) -> tuple[SyntheticCorpus, CleansingReport]:
+    pipeline = CleansingPipeline()
+    cleansed = pipeline.run(generated.corpus)
+    return cleansed, pipeline.report
 
-    def _stage_cleansing(
-        self, generated: GeneratedCorpus
-    ) -> tuple[SyntheticCorpus, CleansingReport]:
-        pipeline = CleansingPipeline()
-        cleansed = pipeline.run(generated.corpus)
-        return cleansed, pipeline.report
 
-    def _stage_grouping(self, cleansed: SyntheticCorpus) -> GroupedCorpus:
-        return group_products(cleansed)
+def _stage_grouping(cleansed: SyntheticCorpus) -> GroupedCorpus:
+    return group_products(cleansed)
 
-    def _stage_embedding(self, cleansed: SyntheticCorpus) -> LsaEmbeddingModel:
-        # Embedding model for the metric registry, trained on corpus titles
-        # (the stand-in for the paper's fastText model).
-        return LsaEmbeddingModel(dim=32).fit(
-            [offer.title for offer in cleansed.offers]
-        )
 
-    def _stage_engine(
-        self,
-        cleansed: SyntheticCorpus,
-        grouped: GroupedCorpus,
-        embedding_model: LsaEmbeddingModel,
-    ) -> tuple[SimilarityEngine, dict[str, int], dict[str, int]]:
-        """One corpus-level engine plus the offer-id and cluster-id row maps."""
-        engine = SimilarityEngine(
-            [offer.title for offer in cleansed.offers],
-            embedding_model=embedding_model,
-            gj_cache_entries=self.config.gj_cache_entries,
-        )
-        offer_rows = {
-            offer.offer_id: row for row, offer in enumerate(cleansed.offers)
-        }
-        cluster_rows: dict[str, int] = {}
-        for groups in (grouped.seen_groups, grouped.unseen_groups):
-            for group in groups:
-                for cluster in group.clusters:
-                    representative = cluster.representative_offer()
-                    cluster_rows[cluster.cluster_id] = offer_rows[
-                        representative.offer_id
-                    ]
-        return engine, offer_rows, cluster_rows
+def _stage_embedding(cleansed: SyntheticCorpus) -> LsaEmbeddingModel:
+    # Embedding model for the metric registry, trained on corpus titles
+    # (the stand-in for the paper's fastText model).
+    return LsaEmbeddingModel(dim=32).fit(
+        [offer.title for offer in cleansed.offers]
+    )
 
-    def _stage_blocking(
-        self, cleansed: SyntheticCorpus, engine: SimilarityEngine
-    ) -> tuple[CandidateBlocker, BlockedPairSet]:
-        """Corpus-level candidate join: every offer's top-k most similar.
 
-        The blocked pair set is the materialization-free counterpart of
-        the pair datasets built in stage 6 — labeled candidates matchers
-        can train on without any pre-built pair sets.
-        """
-        offers = list(cleansed.offers)
-        blocker = CandidateBlocker(
-            engine,
-            offers=offers,
-            group_labels=[offer.cluster_id for offer in offers],
-        )
-        blocked = blocker.candidates(
-            k=self.config.blocking_top_k, metrics=self.config.blocking_metrics
-        )
-        return blocker, blocked
-
-    # ------------------------------------------------------------------ #
-    def build(self) -> BuildArtifacts:
-        config = self.config
-        stream = RngStream(config.seed, "benchmark")
-        timings: dict[str, float] = {}
-
-        with Timer() as timer:
-            generated = self._stage_corpus()
-        timings["corpus"] = timer.elapsed
-
-        with Timer() as timer:
-            cleansed, cleansing_report = self._stage_cleansing(generated)
-        timings["cleansing"] = timer.elapsed
-        for stage, seconds in cleansing_report.stage_seconds.items():
-            timings[f"cleansing:{stage}"] = seconds
-
-        with Timer() as timer:
-            grouped = self._stage_grouping(cleansed)
-        timings["grouping"] = timer.elapsed
-
-        with Timer() as timer:
-            embedding_model = self._stage_embedding(cleansed)
-        timings["embedding"] = timer.elapsed
-
-        with Timer() as timer:
-            engine, offer_rows, cluster_rows = self._stage_engine(
-                cleansed, grouped, embedding_model
-            )
-        timings["engine"] = timer.elapsed
-
-        blocker: CandidateBlocker | None = None
-        blocked: BlockedPairSet | None = None
-        if config.blocking_top_k > 0:
-            with Timer() as timer:
-                blocker, blocked = self._stage_blocking(cleansed, engine)
-            timings["blocking"] = timer.elapsed
-
-        artifacts = BuildArtifacts(
-            config=config,
-            generated=generated,
-            cleansed=cleansed,
-            cleansing_report=cleansing_report,
-            grouped=grouped,
-            embedding_model=embedding_model,
-            engine=engine,
-            blocker=blocker,
-            blocked_candidates=blocked,
-            stage_timings=timings,
-        )
-
-        # Stage 6 per corner-case ratio: independent, hence parallelizable.
-        ratios = list(config.corner_case_ratios)
-        with Timer() as timer:
-            if config.parallel_ratio_builds and len(ratios) > 1:
-                workers = config.max_workers or len(ratios)
-                with ThreadPoolExecutor(max_workers=workers) as pool:
-                    ratio_results = list(
-                        pool.map(
-                            lambda cc: self._build_ratio(
-                                cc,
-                                grouped,
-                                embedding_model,
-                                engine,
-                                offer_rows,
-                                cluster_rows,
-                                stream,
-                            ),
-                            ratios,
-                        )
-                    )
-            else:
-                ratio_results = [
-                    self._build_ratio(
-                        cc,
-                        grouped,
-                        embedding_model,
-                        engine,
-                        offer_rows,
-                        cluster_rows,
-                        stream,
-                    )
-                    for cc in ratios
+def _stage_engine(
+    config: BuildConfig,
+    cleansed: SyntheticCorpus,
+    grouped: GroupedCorpus,
+    embedding_model: LsaEmbeddingModel,
+) -> tuple[SimilarityEngine, dict[str, int], dict[str, int]]:
+    """One corpus-level engine plus the offer-id and cluster-id row maps."""
+    engine = SimilarityEngine(
+        [offer.title for offer in cleansed.offers],
+        embedding_model=embedding_model,
+        gj_cache_entries=config.gj_cache_entries,
+    )
+    offer_rows = {
+        offer.offer_id: row for row, offer in enumerate(cleansed.offers)
+    }
+    cluster_rows: dict[str, int] = {}
+    for groups in (grouped.seen_groups, grouped.unseen_groups):
+        for group in groups:
+            for cluster in group.clusters:
+                representative = cluster.representative_offer()
+                cluster_rows[cluster.cluster_id] = offer_rows[
+                    representative.offer_id
                 ]
-        timings["ratios"] = timer.elapsed
+    return engine, offer_rows, cluster_rows
 
-        # Merge in configuration order so dict ordering — and therefore the
-        # serialized benchmark — is independent of completion order.
-        for result in ratio_results:
-            self._merge_ratio(artifacts, result)
-            timings[f"ratio:{result.corner_cases.label}"] = result.elapsed
-        return artifacts
 
-    # ------------------------------------------------------------------ #
-    def _build_ratio(
-        self,
-        corner_cases: CornerCaseRatio,
-        grouped: GroupedCorpus,
-        embedding_model: LsaEmbeddingModel,
-        engine: SimilarityEngine,
-        offer_rows: dict[str, int],
-        cluster_rows: dict[str, int],
-        stream: RngStream,
-    ) -> _RatioArtifacts:
-        config = self.config
-        ratio_name = corner_cases.label
-        registry = SimilarityRegistry(
-            embedding_model=embedding_model,
-            rng=stream.generator("registry", ratio_name),
+def _stage_blocking(
+    config: BuildConfig, cleansed: SyntheticCorpus, engine: SimilarityEngine
+) -> tuple[CandidateBlocker, BlockedPairSet]:
+    """Corpus-level candidate join: every offer's top-k most similar.
+
+    The blocked pair set is the materialization-free counterpart of
+    the pair datasets built in stage 7 — labeled candidates matchers
+    can train on without any pre-built pair sets.
+    """
+    offers = list(cleansed.offers)
+    blocker = CandidateBlocker(
+        engine,
+        offers=offers,
+        group_labels=[offer.cluster_id for offer in offers],
+    )
+    blocked = blocker.candidates(
+        k=config.blocking_top_k, metrics=config.blocking_metrics
+    )
+    return blocker, blocked
+
+
+# --------------------------------------------------------------------- #
+# Stage 7: one corner-case ratio
+# --------------------------------------------------------------------- #
+def _build_ratio(
+    config: BuildConfig,
+    corner_cases: CornerCaseRatio,
+    grouped: GroupedCorpus,
+    embedding_model: LsaEmbeddingModel,
+    engine: SimilarityEngine,
+    offer_rows: dict[str, int],
+    cluster_rows: dict[str, int],
+    stream: RngStream,
+) -> _RatioArtifacts:
+    ratio_name = corner_cases.label
+    registry = SimilarityRegistry(
+        embedding_model=embedding_model,
+        rng=stream.generator("registry", ratio_name),
+    )
+
+    with Timer() as timer:
+        # Step 4: product selection (seen and unseen sets of n_products).
+        selections: dict[str, ProductSelection] = {}
+        for part in ("seen", "unseen"):
+            selections[part] = select_products(
+                grouped,
+                part=part,
+                corner_case_ratio=corner_cases.value,
+                n_products=config.n_products,
+                n_similar=config.n_similar,
+                registry=registry,
+                rng=stream.generator("selection", ratio_name, part),
+                engine=engine,
+                cluster_rows=cluster_rows,
+            )
+
+        # Step 5: offer splitting (incl. the three test product sets).
+        split = split_offers(
+            selections["seen"],
+            selections["unseen"],
+            registry=registry,
+            rng=stream.generator("splitting", ratio_name),
+            engine=engine,
+            offer_rows=offer_rows,
         )
 
-        with Timer() as timer:
-            # Step 4: product selection (seen and unseen sets of n_products).
-            selections: dict[str, ProductSelection] = {}
-            for part in ("seen", "unseen"):
-                selections[part] = select_products(
-                    grouped,
-                    part=part,
-                    corner_case_ratio=corner_cases.value,
-                    n_products=config.n_products,
-                    n_similar=config.n_similar,
-                    registry=registry,
-                    rng=stream.generator("selection", ratio_name, part),
-                    engine=engine,
-                    cluster_rows=cluster_rows,
-                )
+        # Step 6: pair generation for every development size and test
+        # set, plus the multi-class datasets (valid/test built once —
+        # they do not depend on the development-set size).
+        train_sets: dict[DevSetSize, PairDataset] = {}
+        valid_sets: dict[DevSetSize, PairDataset] = {}
+        multiclass_train: dict[DevSetSize, MulticlassDataset] = {}
+        for dev_size in DevSetSize:
+            pair_rng = stream.generator("pairs", ratio_name, dev_size.value)
+            train_sets[dev_size] = generate_pairs(
+                split.train_offers(dev_size),
+                name=f"train-{ratio_name}-{dev_size.value}",
+                corner_negatives_per_offer=dev_size.corner_negatives_per_offer,
+                rng=pair_rng,
+                engine=engine,
+                offer_rows=offer_rows,
+            )
+            valid_sets[dev_size] = generate_pairs(
+                split.valid_offers(),
+                name=f"valid-{ratio_name}-{dev_size.value}",
+                corner_negatives_per_offer=dev_size.corner_negatives_per_offer,
+                rng=pair_rng,
+                engine=engine,
+                offer_rows=offer_rows,
+            )
+            multiclass_train[dev_size] = build_multiclass_train(
+                split,
+                dev_size=dev_size,
+                name_prefix=f"multiclass-{ratio_name}",
+            )
+        multiclass_valid, multiclass_test = build_multiclass_eval(
+            split, name_prefix=f"multiclass-{ratio_name}"
+        )
 
-            # Step 5: offer splitting (incl. the three test product sets).
-            split = split_offers(
-                selections["seen"],
-                selections["unseen"],
-                registry=registry,
-                rng=stream.generator("splitting", ratio_name),
+        test_sets: dict[UnseenRatio, PairDataset] = {}
+        for unseen in UnseenRatio:
+            test_rng = stream.generator("pairs", ratio_name, "test", unseen.label)
+            test_sets[unseen] = generate_pairs(
+                split.test_offers(unseen),
+                name=f"test-{ratio_name}-{unseen.label.lower()}",
+                corner_negatives_per_offer=_TEST_CORNER_NEGATIVES,
+                rng=test_rng,
                 engine=engine,
                 offer_rows=offer_rows,
             )
 
-            # Step 6: pair generation for every development size and test
-            # set, plus the multi-class datasets (valid/test built once —
-            # they do not depend on the development-set size).
-            train_sets: dict[DevSetSize, PairDataset] = {}
-            valid_sets: dict[DevSetSize, PairDataset] = {}
-            multiclass_train: dict[DevSetSize, MulticlassDataset] = {}
-            for dev_size in DevSetSize:
-                pair_rng = stream.generator("pairs", ratio_name, dev_size.value)
-                train_sets[dev_size] = generate_pairs(
-                    split.train_offers(dev_size),
-                    name=f"train-{ratio_name}-{dev_size.value}",
-                    corner_negatives_per_offer=dev_size.corner_negatives_per_offer,
-                    rng=pair_rng,
-                    engine=engine,
-                    offer_rows=offer_rows,
-                )
-                valid_sets[dev_size] = generate_pairs(
-                    split.valid_offers(),
-                    name=f"valid-{ratio_name}-{dev_size.value}",
-                    corner_negatives_per_offer=dev_size.corner_negatives_per_offer,
-                    rng=pair_rng,
-                    engine=engine,
-                    offer_rows=offer_rows,
-                )
-                multiclass_train[dev_size] = build_multiclass_train(
-                    split,
-                    dev_size=dev_size,
-                    name_prefix=f"multiclass-{ratio_name}",
-                )
-            multiclass_valid, multiclass_test = build_multiclass_eval(
-                split, name_prefix=f"multiclass-{ratio_name}"
-            )
+    return _RatioArtifacts(
+        corner_cases=corner_cases,
+        selections=selections,
+        split=split,
+        train_sets=train_sets,
+        valid_sets=valid_sets,
+        test_sets=test_sets,
+        multiclass_train=multiclass_train,
+        multiclass_valid=multiclass_valid,
+        multiclass_test=multiclass_test,
+        elapsed=timer.elapsed,
+    )
 
-            test_sets: dict[UnseenRatio, PairDataset] = {}
-            for unseen in UnseenRatio:
-                test_rng = stream.generator("pairs", ratio_name, "test", unseen.label)
-                test_sets[unseen] = generate_pairs(
-                    split.test_offers(unseen),
-                    name=f"test-{ratio_name}-{unseen.label.lower()}",
-                    corner_negatives_per_offer=_TEST_CORNER_NEGATIVES,
-                    rng=test_rng,
-                    engine=engine,
-                    offer_rows=offer_rows,
-                )
 
-        return _RatioArtifacts(
-            corner_cases=corner_cases,
-            selections=selections,
-            split=split,
-            train_sets=train_sets,
-            valid_sets=valid_sets,
-            test_sets=test_sets,
-            multiclass_train=multiclass_train,
-            multiclass_valid=multiclass_valid,
-            multiclass_test=multiclass_test,
-            elapsed=timer.elapsed,
+def _merge_ratio(artifacts: BuildArtifacts, result: _RatioArtifacts) -> None:
+    corner_cases = result.corner_cases
+    for part, selection in result.selections.items():
+        artifacts.selections[(corner_cases, part)] = selection
+    artifacts.splits[corner_cases] = result.split
+    benchmark = artifacts.benchmark
+    for dev_size in DevSetSize:
+        benchmark.train_sets[(corner_cases, dev_size)] = result.train_sets[
+            dev_size
+        ]
+        benchmark.valid_sets[(corner_cases, dev_size)] = result.valid_sets[
+            dev_size
+        ]
+        benchmark.multiclass_train[(corner_cases, dev_size)] = (
+            result.multiclass_train[dev_size]
         )
+    benchmark.multiclass_valid[corner_cases] = result.multiclass_valid
+    benchmark.multiclass_test[corner_cases] = result.multiclass_test
+    for unseen in UnseenRatio:
+        benchmark.test_sets[(corner_cases, unseen)] = result.test_sets[unseen]
 
-    @staticmethod
-    def _merge_ratio(artifacts: BuildArtifacts, result: _RatioArtifacts) -> None:
-        corner_cases = result.corner_cases
-        for part, selection in result.selections.items():
-            artifacts.selections[(corner_cases, part)] = selection
-        artifacts.splits[corner_cases] = result.split
-        benchmark = artifacts.benchmark
-        for dev_size in DevSetSize:
-            benchmark.train_sets[(corner_cases, dev_size)] = result.train_sets[
-                dev_size
+
+# --------------------------------------------------------------------- #
+def build_one_corpus(config: BuildConfig) -> BuildArtifacts:
+    """Run every pipeline stage for one corpus and return its artifacts.
+
+    This is the reusable stage runner behind both
+    :meth:`BenchmarkBuilder.build` (the single-shard special case) and the
+    per-shard worker processes of a
+    :class:`~repro.shard.ShardedBenchmarkSession` — it is module-level and
+    takes only a picklable :class:`BuildConfig`, so it can be shipped to a
+    :class:`~concurrent.futures.ProcessPoolExecutor` unchanged.
+    """
+    stream = RngStream(config.seed, "benchmark")
+    timings: dict[str, float] = {}
+
+    with Timer() as timer:
+        generated = _stage_corpus(config)
+    timings["corpus"] = timer.elapsed
+
+    with Timer() as timer:
+        cleansed, cleansing_report = _stage_cleansing(generated)
+    timings["cleansing"] = timer.elapsed
+    for stage, seconds in cleansing_report.stage_seconds.items():
+        timings[f"cleansing:{stage}"] = seconds
+
+    with Timer() as timer:
+        grouped = _stage_grouping(cleansed)
+    timings["grouping"] = timer.elapsed
+
+    with Timer() as timer:
+        embedding_model = _stage_embedding(cleansed)
+    timings["embedding"] = timer.elapsed
+
+    with Timer() as timer:
+        engine, offer_rows, cluster_rows = _stage_engine(
+            config, cleansed, grouped, embedding_model
+        )
+    timings["engine"] = timer.elapsed
+
+    blocker: CandidateBlocker | None = None
+    blocked: BlockedPairSet | None = None
+    if config.blocking_top_k > 0:
+        with Timer() as timer:
+            blocker, blocked = _stage_blocking(config, cleansed, engine)
+        timings["blocking"] = timer.elapsed
+
+    artifacts = BuildArtifacts(
+        config=config,
+        generated=generated,
+        cleansed=cleansed,
+        cleansing_report=cleansing_report,
+        grouped=grouped,
+        embedding_model=embedding_model,
+        engine=engine,
+        blocker=blocker,
+        blocked_candidates=blocked,
+        stage_timings=timings,
+    )
+
+    # Stage 7 per corner-case ratio: independent, hence parallelizable.
+    ratios = list(config.corner_case_ratios)
+    with Timer() as timer:
+        if config.parallel_ratio_builds and len(ratios) > 1:
+            workers = config.max_workers or len(ratios)
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                ratio_results = list(
+                    pool.map(
+                        lambda cc: _build_ratio(
+                            config,
+                            cc,
+                            grouped,
+                            embedding_model,
+                            engine,
+                            offer_rows,
+                            cluster_rows,
+                            stream,
+                        ),
+                        ratios,
+                    )
+                )
+        else:
+            ratio_results = [
+                _build_ratio(
+                    config,
+                    cc,
+                    grouped,
+                    embedding_model,
+                    engine,
+                    offer_rows,
+                    cluster_rows,
+                    stream,
+                )
+                for cc in ratios
             ]
-            benchmark.valid_sets[(corner_cases, dev_size)] = result.valid_sets[
-                dev_size
-            ]
-            benchmark.multiclass_train[(corner_cases, dev_size)] = (
-                result.multiclass_train[dev_size]
-            )
-        benchmark.multiclass_valid[corner_cases] = result.multiclass_valid
-        benchmark.multiclass_test[corner_cases] = result.multiclass_test
-        for unseen in UnseenRatio:
-            benchmark.test_sets[(corner_cases, unseen)] = result.test_sets[unseen]
+    timings["ratios"] = timer.elapsed
+
+    # Merge in configuration order so dict ordering — and therefore the
+    # serialized benchmark — is independent of completion order.
+    for result in ratio_results:
+        _merge_ratio(artifacts, result)
+        timings[f"ratio:{result.corner_cases.label}"] = result.elapsed
+    return artifacts
+
+
+class BenchmarkBuilder:
+    """The single-corpus entry point: one config, one benchmark.
+
+    A thin wrapper over :func:`build_one_corpus`, kept for compatibility
+    and as the single-shard special case of the sharded session API
+    (:class:`~repro.shard.ShardedBenchmarkSession` schedules many of these
+    stage runs across worker processes).
+    """
+
+    def __init__(self, config: BuildConfig | None = None):
+        self.config = config if config is not None else BuildConfig()
+
+    def build(self) -> BuildArtifacts:
+        return build_one_corpus(self.config)

@@ -5,8 +5,12 @@ from __future__ import annotations
 import os
 from collections.abc import Sequence
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # circular-import-free hint for from_session
+    from repro.shard.session import ShardedArtifacts
 
 from repro.blocking.candidates import CandidateBlocker
 from repro.core.benchmark import PairwiseTask
@@ -177,7 +181,15 @@ class MulticlassResults:
 
 
 class ExperimentRunner:
-    """Trains the matching systems across the benchmark grid."""
+    """Trains the matching systems across the benchmark grid.
+
+    ``artifacts`` is either a single-corpus
+    :class:`~repro.core.builder.BuildArtifacts` or the merged view of a
+    sharded session (:class:`~repro.shard.MergedArtifacts`, obtained via
+    :meth:`from_session`) — the runner only reads ``benchmark``,
+    ``cleansed``, ``engine``, ``splits`` and ``pretraining_clusters``,
+    which both provide.
+    """
 
     def __init__(
         self,
@@ -189,6 +201,24 @@ class ExperimentRunner:
         self.settings = settings if settings is not None else EvalSettings.from_env()
         self._checkpoints: dict[int, MiniLM] = {}
         self._featurization_backend: tuple[SimilarityEngine, dict[str, int]] | None = None
+
+    @classmethod
+    def from_session(
+        cls,
+        session: "ShardedArtifacts",
+        *,
+        settings: EvalSettings | None = None,
+    ) -> "ExperimentRunner":
+        """A runner over a sharded session's merged benchmark view.
+
+        Training, evaluation and featurization run on the merged
+        (namespaced) datasets and the concatenated engine exactly as they
+        would on a single corpus.  Split-scoped blocking helpers
+        (:meth:`blocked_pairwise` …) stay per-shard: offer splits belong
+        to the shard that split its own corpus — construct a per-shard
+        runner from ``session.shards[i]`` for those.
+        """
+        return cls(session.merged_artifacts(), settings=settings)
 
     # ------------------------------------------------------------------ #
     def featurization_backend(self) -> tuple[SimilarityEngine, dict[str, int]]:

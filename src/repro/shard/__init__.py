@@ -1,0 +1,69 @@
+"""Multi-corpus sharding: process-pool builds + cross-shard blocking.
+
+The shard layer makes the *corpus* the parallel unit.  A
+:class:`ShardPlan` spawns N independent build configs from one session
+seed (``SeedSequence.spawn`` — shard identity is stable under shard count
+and ordering), a :class:`ShardedBenchmarkSession` builds them in worker
+processes and sweeps every shard pair with the engine-backed
+:class:`~repro.blocking.candidates.CandidateBlocker`, and the merged
+views (:class:`~repro.shard.merge.MergedCandidates`, merged benchmark /
+corpus / engine) plug into the existing recall and experiment runners
+unchanged.
+"""
+
+from repro.shard.merge import (
+    MergedCandidate,
+    MergedCandidates,
+    merge_benchmarks,
+    merge_candidate_sets,
+    merge_corpora,
+)
+from repro.shard.namespace import (
+    namespace_id,
+    namespace_multiclass_dataset,
+    namespace_offer,
+    namespace_offers,
+    namespace_pair_dataset,
+    shard_tag,
+)
+from repro.shard.plan import ShardPlan, partition_corpus_config
+from repro.shard.session import (
+    MergedArtifacts,
+    ShardedArtifacts,
+    ShardedBenchmarkSession,
+)
+from repro.shard.sweep import (
+    CROSS_SHARD_METRICS,
+    ShardUniverse,
+    cross_shard_blocker,
+    cross_shard_candidates,
+    shard_blocker,
+    shard_universe,
+    split_universe,
+)
+
+__all__ = [
+    "ShardPlan",
+    "partition_corpus_config",
+    "ShardedBenchmarkSession",
+    "ShardedArtifacts",
+    "MergedArtifacts",
+    "MergedCandidate",
+    "MergedCandidates",
+    "merge_benchmarks",
+    "merge_candidate_sets",
+    "merge_corpora",
+    "shard_tag",
+    "namespace_id",
+    "namespace_offer",
+    "namespace_offers",
+    "namespace_pair_dataset",
+    "namespace_multiclass_dataset",
+    "CROSS_SHARD_METRICS",
+    "ShardUniverse",
+    "cross_shard_blocker",
+    "cross_shard_candidates",
+    "shard_blocker",
+    "shard_universe",
+    "split_universe",
+]

@@ -1,0 +1,323 @@
+"""Merging per-shard and cross-shard results into one session view.
+
+Two merges happen at the end of a sharded session:
+
+* :func:`merge_candidate_sets` folds every shard's own blocking join and
+  every cross-shard sweep join into one deduplicated
+  :class:`MergedCandidates` set.  Each candidate carries directional
+  provenance ``shard:<i>→<j>:<metric>`` — the pair first surfaced as a
+  query from shard ``i`` against shard ``j``'s sub-universe under
+  ``metric`` (``i == j`` for within-shard candidates, metric ``group``
+  for ground-truth positives completed after the join).  Dedup runs on
+  globally namespaced unordered offer-id keys, and sets are consumed in
+  deterministic (shard, then shard-pair) order, so the merged set is
+  byte-identical regardless of worker count or completion order.
+
+* :func:`merge_benchmarks` / :func:`merge_corpora` build the merged
+  benchmark view: per-variant pair/multi-class datasets concatenated
+  across shards in shard order with namespaced offers, which a plain
+  :class:`~repro.eval.runner.ExperimentRunner` consumes unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.blocking.candidates import BlockedPairSet
+from repro.core.benchmark import WDCProductsBenchmark
+from repro.core.datasets import LabeledPair, MulticlassDataset, PairDataset
+from repro.corpus.schema import ProductOffer, SyntheticCorpus
+from repro.shard.namespace import namespace_id, namespace_offer, namespace_offers
+
+__all__ = [
+    "MergedCandidate",
+    "MergedCandidates",
+    "merge_candidate_sets",
+    "merge_benchmarks",
+    "merge_corpora",
+]
+
+
+@dataclass(frozen=True)
+class MergedCandidate:
+    """One candidate pair of the merged session-level set.
+
+    ``offer_a``/``offer_b`` are globally namespaced; ``provenance`` is
+    ``shard:<i>→<j>:<metric>`` with ``i`` the querying shard and ``j`` the
+    shard whose sub-universe surfaced the candidate.
+    """
+
+    offer_a: ProductOffer
+    offer_b: ProductOffer
+    label: int
+    score: float
+    metric: str
+    provenance: str
+
+
+class MergedCandidates:
+    """The session-wide deduplicated candidate set.
+
+    Duck-type compatible with
+    :class:`~repro.blocking.candidates.BlockedPairSet` where it matters
+    (``pair_keys`` / ``k`` / ``metrics`` / ``__len__`` / ``summary`` /
+    ``to_dataset``), so :func:`~repro.blocking.recall.blocking_recall`
+    measures it against a (merged, namespaced) reference unchanged.
+    """
+
+    def __init__(
+        self,
+        pairs: list[MergedCandidate],
+        *,
+        k: int,
+        metrics: tuple[str, ...],
+        n_shards: int,
+    ) -> None:
+        self.pairs = pairs
+        self.k = k
+        self.metrics = metrics
+        self.n_shards = n_shards
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self) -> Iterator[MergedCandidate]:
+        return iter(self.pairs)
+
+    def pair_keys(self) -> set[tuple[str, str]]:
+        """Unordered (namespaced) offer-id keys, as ``LabeledPair.key()``."""
+        keys: set[tuple[str, str]] = set()
+        for pair in self.pairs:
+            a, b = pair.offer_a.offer_id, pair.offer_b.offer_id
+            keys.add((a, b) if a <= b else (b, a))
+        return keys
+
+    def to_dataset(self, name: str) -> PairDataset:
+        """The merged candidates as one labeled ``PairDataset``."""
+        dataset = PairDataset(name=name)
+        dataset.pairs = [
+            LabeledPair(
+                pair_id=f"{name}-{position:07d}",
+                offer_a=pair.offer_a,
+                offer_b=pair.offer_b,
+                label=pair.label,
+                provenance=pair.provenance,
+            )
+            for position, pair in enumerate(self.pairs)
+        ]
+        return dataset
+
+    def summary(self) -> dict[str, int]:
+        positives = sum(pair.label for pair in self.pairs)
+        cross = sum(
+            1 for pair in self.pairs if not _is_within_shard(pair.provenance)
+        )
+        return {
+            "all": len(self.pairs),
+            "pos": positives,
+            "neg": len(self.pairs) - positives,
+            "cross_shard": cross,
+        }
+
+    def per_provenance_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for pair in self.pairs:
+            counts[pair.provenance] = counts.get(pair.provenance, 0) + 1
+        return counts
+
+
+def _is_within_shard(provenance: str) -> bool:
+    _, _, tail = provenance.partition(":")
+    direction, _, _ = tail.partition(":")
+    source, _, target = direction.partition("→")
+    return source == target
+
+
+def provenance_tag(query_shard: int, candidate_shard: int, metric: str) -> str:
+    """The canonical ``shard:<i>→<j>:<metric>`` provenance string."""
+    return f"shard:{int(query_shard)}→{int(candidate_shard)}:{metric}"
+
+
+def _blocked_to_merged(
+    blocked: BlockedPairSet,
+    shard_of_row: np.ndarray | int,
+    seen: set[tuple[str, str]],
+    out: list[MergedCandidate],
+) -> None:
+    """Append ``blocked``'s pairs (already namespaced) to the merge.
+
+    ``shard_of_row`` maps engine rows to shard ids — a scalar for a
+    within-shard set, the partition array for a cross-shard sweep.
+    """
+    offers = blocked.blocker.offers
+    labels = blocked.blocker.group_labels
+    if offers is None or labels is None:
+        raise ValueError("merging needs blockers built with offers and labels")
+    scalar_shard = shard_of_row if isinstance(shard_of_row, int) else None
+    for pair in blocked.pairs:
+        offer_a, offer_b = offers[pair.row_a], offers[pair.row_b]
+        a, b = offer_a.offer_id, offer_b.offer_id
+        key = (a, b) if a <= b else (b, a)
+        if key in seen:
+            continue
+        seen.add(key)
+        if scalar_shard is not None:
+            query_shard = candidate_shard = scalar_shard
+        else:
+            query_shard = int(shard_of_row[pair.query_row])
+            candidate = (
+                pair.row_b if pair.row_a == pair.query_row else pair.row_a
+            )
+            candidate_shard = int(shard_of_row[candidate])
+        out.append(
+            MergedCandidate(
+                offer_a=offer_a,
+                offer_b=offer_b,
+                label=int(labels[pair.row_a] == labels[pair.row_b]),
+                score=pair.score,
+                metric=pair.metric,
+                provenance=provenance_tag(
+                    query_shard, candidate_shard, pair.metric
+                ),
+            )
+        )
+
+
+def merge_candidate_sets(
+    shard_sets: Sequence[tuple[int, BlockedPairSet]],
+    cross_sets: Sequence[tuple[tuple[int, int], BlockedPairSet, np.ndarray]],
+    *,
+    k: int,
+    metrics: Sequence[str],
+    n_shards: int,
+) -> MergedCandidates:
+    """Fold per-shard joins and cross-shard sweeps into one candidate set.
+
+    ``shard_sets`` holds ``(shard, blocked)`` per shard; ``cross_sets``
+    holds ``((i, j), blocked, partition)`` per shard pair, with
+    ``partition`` mapping the combined engine's rows to shard ids.  Both
+    are consumed in the given order (the session passes shard order, then
+    lexicographic pair order), and all blockers must carry namespaced
+    offers/labels, so dedup keys are globally unique and the merge is
+    deterministic by construction.
+    """
+    seen: set[tuple[str, str]] = set()
+    pairs: list[MergedCandidate] = []
+    for shard, blocked in shard_sets:
+        _blocked_to_merged(blocked, int(shard), seen, pairs)
+    for _, blocked, partition in cross_sets:
+        _blocked_to_merged(blocked, partition, seen, pairs)
+    return MergedCandidates(
+        pairs, k=k, metrics=tuple(metrics), n_shards=n_shards
+    )
+
+
+# --------------------------------------------------------------------- #
+# Merged benchmark view
+# --------------------------------------------------------------------- #
+def _merge_pair_datasets(
+    datasets: Sequence[tuple[int, PairDataset]], name: str
+) -> PairDataset:
+    merged = PairDataset(name=name)
+    for shard, dataset in datasets:
+        merged.pairs.extend(
+            LabeledPair(
+                pair_id=namespace_id(shard, pair.pair_id),
+                offer_a=namespace_offer(pair.offer_a, shard),
+                offer_b=namespace_offer(pair.offer_b, shard),
+                label=pair.label,
+                provenance=pair.provenance,
+            )
+            for pair in dataset.pairs
+        )
+    return merged
+
+
+def _merge_multiclass(
+    datasets: Sequence[tuple[int, MulticlassDataset]], name: str
+) -> MulticlassDataset:
+    offers: list[ProductOffer] = []
+    labels: list[str] = []
+    for shard, dataset in datasets:
+        offers.extend(namespace_offers(dataset.offers, shard))
+        labels.extend(namespace_id(shard, label) for label in dataset.labels)
+    return MulticlassDataset(name=name, offers=offers, labels=labels)
+
+
+def merge_benchmarks(
+    benchmarks: Sequence[WDCProductsBenchmark],
+) -> WDCProductsBenchmark:
+    """Concatenate per-shard benchmarks into one namespaced benchmark.
+
+    Every shard must cover the same variant keys (the session spawns all
+    shards from one base config, so they do); datasets are concatenated in
+    shard order with ``s<i>:``-prefixed offer/pair ids and multi-class
+    labels, producing ``merged-``-named datasets an
+    :class:`~repro.eval.runner.ExperimentRunner` trains on unchanged.
+    """
+    if not benchmarks:
+        raise ValueError("merge_benchmarks needs at least one benchmark")
+    reference = benchmarks[0]
+    for other in benchmarks[1:]:
+        for attribute in (
+            "train_sets",
+            "valid_sets",
+            "test_sets",
+            "multiclass_train",
+            "multiclass_valid",
+            "multiclass_test",
+        ):
+            if set(getattr(other, attribute)) != set(
+                getattr(reference, attribute)
+            ):
+                raise ValueError(
+                    f"shard benchmarks disagree on {attribute} variants; "
+                    "merged views need homogeneous shard configs"
+                )
+    merged = WDCProductsBenchmark()
+    for attribute in ("train_sets", "valid_sets", "test_sets"):
+        target = getattr(merged, attribute)
+        for key, dataset in getattr(reference, attribute).items():
+            target[key] = _merge_pair_datasets(
+                [
+                    (shard, getattr(benchmark, attribute)[key])
+                    for shard, benchmark in enumerate(benchmarks)
+                ],
+                name=f"merged-{dataset.name}",
+            )
+    for attribute in ("multiclass_train", "multiclass_valid", "multiclass_test"):
+        target = getattr(merged, attribute)
+        for key, dataset in getattr(reference, attribute).items():
+            target[key] = _merge_multiclass(
+                [
+                    (shard, getattr(benchmark, attribute)[key])
+                    for shard, benchmark in enumerate(benchmarks)
+                ],
+                name=f"merged-{dataset.name}",
+            )
+    return merged
+
+
+def merge_corpora(
+    corpora: Sequence[SyntheticCorpus],
+) -> SyntheticCorpus:
+    """One namespaced corpus over every shard's cleansed offers.
+
+    Cluster metadata (category / family) carries over with namespaced
+    cluster and family ids, so cluster-level consumers (pre-training
+    cluster extraction, profiling) see the same structure they would on a
+    single corpus.
+    """
+    merged = SyntheticCorpus()
+    for shard, corpus in enumerate(corpora):
+        merged.extend(namespace_offers(corpus.offers, shard))
+        for cluster_id, (category, family_id) in corpus._cluster_meta.items():
+            merged.register_cluster_meta(
+                namespace_id(shard, cluster_id),
+                category=category,
+                family_id=namespace_id(shard, family_id),
+            )
+    return merged

@@ -1,0 +1,88 @@
+"""Global namespacing of per-shard identifiers.
+
+Every shard generates its corpus from the same catalog, so raw offer ids
+(``off-0000001``) and cluster ids (``seen-...``) collide across shards
+while naming *different* products.  As soon as rows from several shards
+meet in one universe — the cross-shard blocking sweep, the merged
+benchmark view — identifiers must become globally unique: ``s<shard>:``
+prefixes make equality checks (pair dedup, cluster labeling, group
+exclusion) correct across the whole session, and a uniform per-shard
+prefix preserves the lexicographic order within each shard, so sorted
+iteration stays deterministic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import replace
+
+from repro.core.datasets import LabeledPair, MulticlassDataset, PairDataset
+from repro.corpus.schema import ProductOffer
+
+__all__ = [
+    "shard_tag",
+    "namespace_id",
+    "namespace_offer",
+    "namespace_offers",
+    "namespace_pair_dataset",
+    "namespace_multiclass_dataset",
+]
+
+
+def shard_tag(shard: int) -> str:
+    """The canonical prefix of shard ``shard``: ``s0``, ``s1``, …"""
+    return f"s{int(shard)}"
+
+
+def namespace_id(shard: int, raw_id: str) -> str:
+    return f"{shard_tag(shard)}:{raw_id}"
+
+
+def namespace_offer(offer: ProductOffer, shard: int) -> ProductOffer:
+    """The offer with globally unique ``offer_id``/cluster ids."""
+    return replace(
+        offer,
+        offer_id=namespace_id(shard, offer.offer_id),
+        cluster_id=namespace_id(shard, offer.cluster_id),
+        true_cluster_id=(
+            None
+            if offer.true_cluster_id is None
+            else namespace_id(shard, offer.true_cluster_id)
+        ),
+    )
+
+
+def namespace_offers(
+    offers: Sequence[ProductOffer], shard: int
+) -> list[ProductOffer]:
+    return [namespace_offer(offer, shard) for offer in offers]
+
+
+def namespace_pair_dataset(
+    dataset: PairDataset, shard: int, *, name: str | None = None
+) -> PairDataset:
+    """The dataset with namespaced pair ids and offers (labels unchanged)."""
+    tag = shard_tag(shard)
+    renamed = PairDataset(name=name if name is not None else dataset.name)
+    renamed.pairs = [
+        LabeledPair(
+            pair_id=f"{tag}:{pair.pair_id}",
+            offer_a=namespace_offer(pair.offer_a, shard),
+            offer_b=namespace_offer(pair.offer_b, shard),
+            label=pair.label,
+            provenance=pair.provenance,
+        )
+        for pair in dataset.pairs
+    ]
+    return renamed
+
+
+def namespace_multiclass_dataset(
+    dataset: MulticlassDataset, shard: int, *, name: str | None = None
+) -> MulticlassDataset:
+    """The dataset with namespaced offers and (cluster-id) labels."""
+    return MulticlassDataset(
+        name=name if name is not None else dataset.name,
+        offers=namespace_offers(dataset.offers, shard),
+        labels=[namespace_id(shard, label) for label in dataset.labels],
+    )

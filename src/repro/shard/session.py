@@ -1,0 +1,376 @@
+"""The shard-native build/eval session.
+
+``ShardedBenchmarkSession`` turns the corpus into the parallel unit: a
+:class:`~repro.shard.plan.ShardPlan` fixes N independent per-shard build
+configs, :meth:`ShardedBenchmarkSession.build` runs
+:func:`~repro.core.builder.build_one_corpus` for each of them in worker
+**processes** (the corpus/cleansing/grouping stages are serial Python, so
+process isolation — not the ratio thread pool — is what parallelizes
+them), and a cross-shard blocking sweep joins every shard pair's
+universes into one deduplicated, provenance-tagged candidate set.  The
+result is a :class:`ShardedArtifacts`: per-shard
+:class:`~repro.core.builder.BuildArtifacts` plus merged session-level
+views (candidates, benchmark, corpus, engine) that existing consumers —
+:func:`~repro.blocking.recall.blocking_recall`,
+:class:`~repro.eval.runner.ExperimentRunner` — use unchanged.
+
+Determinism: shard seeds come from ``SeedSequence.spawn`` (independent of
+shard count and ordering), worker results are collected in plan order,
+and the sweep visits shard pairs lexicographically — a seeded session is
+byte-identical across worker counts, process-vs-serial execution and
+shard completion order (pinned in ``tests/shard/test_session.py``).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.blocking.candidates import BlockedPairSet
+from repro.core.benchmark import WDCProductsBenchmark
+from repro.core.builder import BuildArtifacts, build_one_corpus
+from repro.corpus.schema import SyntheticCorpus
+from repro.shard.merge import (
+    MergedCandidates,
+    merge_benchmarks,
+    merge_candidate_sets,
+    merge_corpora,
+)
+from repro.shard.plan import ShardPlan
+from repro.shard.namespace import namespace_id
+from repro.shard.sweep import (
+    CROSS_SHARD_METRICS,
+    cross_shard_candidates,
+    shard_universe,
+    split_universe,
+)
+from repro.similarity.engine import SimilarityEngine
+from repro.similarity.registry import validate_metric_names
+from repro.utils.timer import Timer
+
+__all__ = [
+    "ShardedBenchmarkSession",
+    "ShardedArtifacts",
+    "MergedArtifacts",
+]
+
+_EXECUTORS = ("process", "thread", "serial")
+
+
+def _sweep_universes(
+    universes,
+    *,
+    k: int,
+    cross_metrics: tuple[str, ...],
+    n_shards: int,
+    shard_metrics: tuple[str, ...] | None = None,
+    timings: dict[str, float] | None = None,
+) -> tuple[MergedCandidates, MergedCandidates]:
+    """Join every universe and every universe pair; merge both shapes.
+
+    The one sweep implementation behind the session's corpus-level sweep
+    and the split-scoped recall recipe: per-universe joins run under
+    ``shard_metrics`` (default: each universe engine's full metric set),
+    universe pairs under the token-only ``cross_metrics``, and the merged
+    sets record the union of every metric actually joined.  Returns
+    ``(completed, join_only)``; ``timings`` (when given) receives one
+    ``sweep:<i>→<j>`` row per join.
+    """
+    completed_sets: list[tuple[int, BlockedPairSet]] = []
+    join_sets: list[tuple[int, BlockedPairSet]] = []
+    used_metrics: dict[str, None] = {}
+    for universe in universes:
+        with Timer() as timer:
+            blocker = universe.blocker()
+            metrics = (
+                blocker.engine.metric_names
+                if shard_metrics is None
+                else shard_metrics
+            )
+            used_metrics.update(dict.fromkeys(metrics))
+            join = blocker.candidates(k=k, metrics=metrics)
+            join_sets.append((universe.shard, join))
+            completed_sets.append(
+                (universe.shard, join.with_group_positives())
+            )
+        if timings is not None:
+            timings[f"sweep:{universe.shard}→{universe.shard}"] = (
+                timer.elapsed
+            )
+    used_metrics.update(dict.fromkeys(cross_metrics))
+    cross_sets = []
+    for i in range(len(universes)):
+        for j in range(i + 1, len(universes)):
+            with Timer() as timer:
+                blocked, partition = cross_shard_candidates(
+                    universes[i], universes[j], k=k, metrics=cross_metrics
+                )
+            cross_sets.append(
+                ((universes[i].shard, universes[j].shard), blocked, partition)
+            )
+            if timings is not None:
+                timings[
+                    f"sweep:{universes[i].shard}→{universes[j].shard}"
+                ] = timer.elapsed
+    kwargs = dict(k=k, metrics=tuple(used_metrics), n_shards=n_shards)
+    return (
+        merge_candidate_sets(completed_sets, cross_sets, **kwargs),
+        merge_candidate_sets(join_sets, cross_sets, **kwargs),
+    )
+
+
+@dataclass
+class MergedArtifacts:
+    """The merged single-corpus view of a sharded session.
+
+    Structurally compatible with the slice of
+    :class:`~repro.core.builder.BuildArtifacts` that
+    :class:`~repro.eval.runner.ExperimentRunner` reads: ``benchmark``,
+    ``cleansed``, ``engine`` and ``pretraining_clusters``.  ``splits`` is
+    empty — offer splits are per-shard artifacts (each shard split its own
+    corpus); blocked-split workflows run on the shards, the merged view
+    serves whole-benchmark training/evaluation.
+    """
+
+    session: "ShardedArtifacts"
+    benchmark: WDCProductsBenchmark
+    cleansed: SyntheticCorpus
+    engine: SimilarityEngine | None
+    splits: dict = field(default_factory=dict)
+
+    def pretraining_clusters(self, serializer=None):
+        """Namespaced union of every shard's pre-training clusters."""
+        clusters = []
+        for shard, artifacts in enumerate(self.session.shards):
+            clusters.extend(
+                (
+                    namespace_id(shard, cluster_id),
+                    namespace_id(shard, family_id),
+                    texts,
+                )
+                for cluster_id, family_id, texts in (
+                    artifacts.pretraining_clusters(serializer)
+                )
+            )
+        return clusters
+
+
+class ShardedArtifacts:
+    """Everything a sharded session built.
+
+    ``shards[i]`` is shard ``i``'s complete single-corpus artifact set;
+    ``merged_candidates`` is the deduplicated per-shard + cross-shard
+    candidate set in its training shape (ground-truth group positives
+    completed) and ``merged_join_candidates`` the raw top-k join (the
+    shape blocking-recall floors gate).  The merged benchmark / corpus /
+    engine views build lazily and are cached.
+    """
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        shards: tuple[BuildArtifacts, ...],
+        *,
+        merged_candidates: MergedCandidates,
+        merged_join_candidates: MergedCandidates,
+        sweep_k: int,
+        sweep_metrics: tuple[str, ...],
+        stage_timings: dict[str, float],
+    ) -> None:
+        self.plan = plan
+        self.shards = shards
+        self.merged_candidates = merged_candidates
+        self.merged_join_candidates = merged_join_candidates
+        self.sweep_k = sweep_k
+        self.sweep_metrics = sweep_metrics
+        self.stage_timings = stage_timings
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def total_offers(self) -> int:
+        """Cleansed offers across all shards (the merged universe size)."""
+        return sum(len(shard.cleansed.offers) for shard in self.shards)
+
+    @cached_property
+    def merged_benchmark(self) -> WDCProductsBenchmark:
+        return merge_benchmarks([shard.benchmark for shard in self.shards])
+
+    @cached_property
+    def merged_corpus(self) -> SyntheticCorpus:
+        return merge_corpora([shard.cleansed for shard in self.shards])
+
+    @cached_property
+    def merged_engine(self) -> SimilarityEngine:
+        """One engine over all shards' rows (token metrics only)."""
+        return SimilarityEngine.concat(
+            [shard.engine for shard in self.shards]
+        )
+
+    def merged_artifacts(self) -> MergedArtifacts:
+        """The runner-facing merged view (see :class:`MergedArtifacts`)."""
+        return MergedArtifacts(
+            session=self,
+            benchmark=self.merged_benchmark,
+            cleansed=self.merged_corpus,
+            engine=self.merged_engine,
+        )
+
+    def split_candidates(
+        self,
+        corner_cases,
+        dev_size,
+        *,
+        k: int = 25,
+        cross_metrics: tuple[str, ...] | None = None,
+    ) -> tuple[MergedCandidates, MergedCandidates]:
+        """Merged split-scoped candidates of one (cc, dev) training cell.
+
+        Every shard's train split becomes a view-scoped universe (the
+        single-corpus ``CandidateBlocker.over_entries`` recipe the CI
+        recall floors were recorded with), joined within each shard under
+        the shard engine's full metric set and across shard pairs under
+        ``cross_metrics`` (default: the metrics the session's sweep ran
+        with, validated here so a bad name fails before any join runs).
+        Returns ``(completed, join_only)``: the training shape with
+        ground-truth group positives completed, and the raw top-k join
+        the recall floors gate.  Measure both against the merged
+        benchmark's train set of the same cell with
+        :func:`~repro.blocking.recall.blocking_recall`.
+        """
+        if cross_metrics is None:
+            cross_metrics = self.sweep_metrics
+        else:
+            cross_metrics = validate_metric_names(
+                cross_metrics,
+                available=CROSS_SHARD_METRICS,
+                context="split_candidates.cross_metrics (cross-shard joins "
+                "support the token metrics only)",
+            )
+        universes = [
+            split_universe(
+                artifacts,
+                shard,
+                artifacts.splits[corner_cases].train_offers(dev_size),
+            )
+            for shard, artifacts in enumerate(self.shards)
+        ]
+        return _sweep_universes(
+            universes,
+            k=k,
+            cross_metrics=cross_metrics,
+            n_shards=self.n_shards,
+        )
+
+
+class ShardedBenchmarkSession:
+    """Schedules shard builds and shard-pair joins for one plan."""
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        *,
+        sweep_k: int = 25,
+        sweep_metrics: tuple[str, ...] = ("cosine", "dice"),
+        shard_metrics: tuple[str, ...] | None = None,
+        executor: str = "process",
+        max_workers: int | None = None,
+    ) -> None:
+        if executor not in _EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {_EXECUTORS}, got {executor!r}"
+            )
+        # Cross-shard universes have no common embedding space, so the
+        # sweep validates against the token metrics only — and does so
+        # here, at construction time, not deep inside the sweep.  The
+        # default skips Generalized Jaccard: its exact rescoring is the
+        # one non-sparse-matmul cost, and the concat engines' pair caches
+        # start cold on every pair sweep.
+        self.sweep_metrics = validate_metric_names(
+            sweep_metrics,
+            available=CROSS_SHARD_METRICS,
+            context="ShardedBenchmarkSession.sweep_metrics "
+            "(cross-shard joins support the token metrics only: per-shard "
+            "LSA embeddings are not comparable across corpora)",
+        )
+        # Within a shard all of the shard engine's metrics apply (its own
+        # embedding space included); None = each shard's full metric set,
+        # the recipe the single-corpus recall floors were recorded with.
+        self.shard_metrics = (
+            None
+            if shard_metrics is None
+            else validate_metric_names(
+                shard_metrics,
+                context="ShardedBenchmarkSession.shard_metrics",
+            )
+        )
+        if sweep_k <= 0:
+            raise ValueError(f"sweep_k must be positive, got {sweep_k}")
+        self.plan = plan
+        self.sweep_k = sweep_k
+        self.executor = executor
+        self.max_workers = max_workers
+
+    # ------------------------------------------------------------------ #
+    def _build_shards(self) -> list[BuildArtifacts]:
+        """Run every shard's stage pipeline; collect in plan order.
+
+        Worker scheduling never reaches the results: futures are gathered
+        in submission (= plan) order whatever the completion order, and
+        each shard's streams derive from its own spawned seed.
+        """
+        configs = list(self.plan.shard_configs)
+        if self.executor == "serial" or len(configs) == 1:
+            return [build_one_corpus(config) for config in configs]
+        workers = self.max_workers or len(configs)
+        pool_cls = (
+            ProcessPoolExecutor
+            if self.executor == "process"
+            else ThreadPoolExecutor
+        )
+        with pool_cls(max_workers=workers) as pool:
+            return list(pool.map(build_one_corpus, configs))
+
+    def _sweep(
+        self, shards: list[BuildArtifacts], timings: dict[str, float]
+    ) -> tuple[MergedCandidates, MergedCandidates]:
+        """Per-shard joins + cross-shard pair sweeps, merged both ways."""
+        universes = [
+            shard_universe(artifacts, shard)
+            for shard, artifacts in enumerate(shards)
+        ]
+        return _sweep_universes(
+            universes,
+            k=self.sweep_k,
+            cross_metrics=self.sweep_metrics,
+            shard_metrics=self.shard_metrics,
+            n_shards=len(shards),
+            timings=timings,
+        )
+
+    # ------------------------------------------------------------------ #
+    def build(self) -> ShardedArtifacts:
+        """Build all shards, sweep all shard pairs, merge the results."""
+        timings: dict[str, float] = {}
+        with Timer() as timer:
+            shards = self._build_shards()
+        timings["shards"] = timer.elapsed
+        for shard, artifacts in enumerate(shards):
+            for stage, seconds in artifacts.stage_timings.items():
+                timings[f"shard:{shard}:{stage}"] = seconds
+
+        with Timer() as timer:
+            merged, merged_join = self._sweep(shards, timings)
+        timings["sweep"] = timer.elapsed
+
+        return ShardedArtifacts(
+            self.plan,
+            tuple(shards),
+            merged_candidates=merged,
+            merged_join_candidates=merged_join,
+            sweep_k=self.sweep_k,
+            sweep_metrics=self.sweep_metrics,
+            stage_timings=timings,
+        )

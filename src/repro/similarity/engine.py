@@ -138,6 +138,75 @@ class SimilarityEngine:
         engine._attribute_views = {}
         return engine
 
+    @classmethod
+    def concat(
+        cls,
+        engines: Sequence["SimilarityEngine"],
+        *,
+        prefilter: int | None = None,
+        gj_cache_entries: int = _GJ_CACHE_ENTRIES,
+    ) -> "SimilarityEngine":
+        """One combined engine over several engines' universes, in order.
+
+        The cross-shard counterpart of :meth:`view`: rows of the combined
+        engine are the concatenation of the input engines' rows, reusing
+        their token sets and set sizes so no title is re-tokenized.  Only
+        the incidence matrix is rebuilt (per-engine vocabularies differ, so
+        columns must be remapped onto one merged vocabulary) and token-set
+        keys are re-canonicalized globally, which lets the fresh
+        Generalized-Jaccard pair cache dedupe duplicate titles *across*
+        the inputs.
+
+        Embeddings are dropped: each input engine's LSA model is fitted on
+        its own corpus, so their vectors are not comparable — the combined
+        engine serves the token metrics only (``metric_names`` reflects
+        that).
+        """
+        if not engines:
+            raise ValueError("concat needs at least one engine")
+        titles = [title for engine in engines for title in engine.titles]
+        token_sets = [
+            tokens for engine in engines for tokens in engine.token_sets
+        ]
+        vocabulary: dict[str, int] = {}
+        rows: list[int] = []
+        cols: list[int] = []
+        for row, tokens in enumerate(token_sets):
+            for token in tokens:
+                cols.append(vocabulary.setdefault(token, len(vocabulary)))
+                rows.append(row)
+        matrix = csr_matrix(
+            (np.ones(len(rows)), (rows, cols)),
+            shape=(len(titles), max(len(vocabulary), 1)),
+            dtype=np.float64,
+        )
+        canon: dict[frozenset, int] = {}
+        token_keys = np.array(
+            [
+                canon.setdefault(frozenset(tokens), len(canon))
+                for tokens in token_sets
+            ],
+            dtype=np.intp,
+        )
+        combined = cls._from_parts(
+            titles=titles,
+            token_sets=token_sets,
+            matrix=matrix,
+            set_sizes=np.concatenate(
+                [engine._set_sizes for engine in engines]
+            ),
+            embeddings=None,
+            prefilter=(
+                min(engine.prefilter for engine in engines)
+                if prefilter is None
+                else prefilter
+            ),
+            token_keys=token_keys,
+            gj_cache=BoundedPairCache(gj_cache_entries),
+        )
+        combined.vocabulary = vocabulary
+        return combined
+
     def view(self, indices: Sequence[int]) -> "SimilarityEngine":
         """A sub-engine over ``indices`` sharing this engine's precomputation.
 

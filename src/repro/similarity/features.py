@@ -479,6 +479,18 @@ class BoundedPairCache:
                 for key in list(islice(iter(data), excess)):
                     del data[key]
 
+    # The lock is process-local: engines (and their caches) cross process
+    # boundaries when shard builds return from worker processes, so pickling
+    # ships the cached scores and rebuilds a fresh lock on the other side.
+    def __getstate__(self) -> dict:
+        with self._lock:
+            return {"capacity": self.capacity, "data": dict(self._data)}
+
+    def __setstate__(self, state: dict) -> None:
+        self.capacity = state["capacity"]
+        self._data = state["data"]
+        self._lock = threading.Lock()
+
 
 TokenSets = Sequence[str | Iterable[str]]
 

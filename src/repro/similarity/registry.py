@@ -27,9 +27,34 @@ from repro.similarity.token_based import (
     generalized_jaccard_similarity,
 )
 
-__all__ = ["SimilarityMetric", "SimilarityRegistry"]
+__all__ = ["SimilarityMetric", "SimilarityRegistry", "validate_metric_names"]
 
 ScoreFn = Callable[[str, str], float]
+
+
+def validate_metric_names(
+    metrics: Sequence[str],
+    *,
+    available: Sequence[str] = SimilarityEngine.METRICS,
+    context: str = "metrics",
+) -> tuple[str, ...]:
+    """Fail fast on metric names the engine/registry cannot score.
+
+    Config objects call this at construction time so a typo'd metric name
+    raises immediately — naming the unknown metric and the available ones —
+    instead of failing deep inside the blocking stage.  Returns the
+    validated names as a tuple.
+    """
+    names = tuple(metrics)
+    if not names:
+        raise ValueError(f"{context} must name at least one similarity metric")
+    for name in names:
+        if name not in available:
+            raise ValueError(
+                f"unknown similarity metric {name!r} in {context}; "
+                f"available: {', '.join(available)}"
+            )
+    return names
 
 
 @dataclass(frozen=True)
