@@ -13,11 +13,21 @@ so sub-millisecond stages cannot trip the gate on scheduler jitter.
 
 Schema-4 baselines with a ``sharding`` section additionally gate the
 sharded session: its ``shard:*`` / ``sweep:*`` stage rows get the same
-per-stage budgets, and the *merged* blocking recall (per-shard split
+per-stage budgets (schema 5 adds the signature sweep's
+``sweep:signatures`` / ``sweep:prune`` / ``sweep:rescore`` rows, so a
+de-vectorized index build or a silently disabled prune trips the gate
+like any other stage), and the *merged* blocking recall (per-shard split
 joins + cross-shard sweeps against the merged benchmark) is held to the
-same floors as the single-corpus join.  The default-scale
-``shard_scaling`` section is informational only (CI smoke runs never
-record it) and is ignored here.
+same floors as the single-corpus join.
+
+Baselines with a ``sweep_scaling`` section gate the sweep-scaling
+economics *within the current recording* (machine-independent, so no
+tolerance is involved): the N-shard signature sweep must beat the
+exhaustive sweep of the same corpus paired into N/2 shards on
+wall-clock, and must prune at least ``--min-prune-ratio`` of the shard
+pairs or of the rescored rows.  The default-scale ``shard_scaling``
+section is informational only (CI smoke runs never record it) and is
+ignored here.
 
     PYTHONPATH=src python benchmarks/record_timings.py --shards 2 \
         --output BENCH_current.json
@@ -102,6 +112,45 @@ def _recall_failures(
     return failures
 
 
+def _sweep_scaling_failures(
+    section: dict | None, *, min_prune_ratio: float
+) -> list[str]:
+    """The sweep-scaling assertions, evaluated on the current recording.
+
+    Both are intra-recording comparisons (signature vs exhaustive on the
+    same machine in the same run), so they are strict — a slower CI
+    runner slows both sides alike and cannot flip them.
+    """
+    if section is None:
+        return [
+            "sweep_scaling: missing from the current recording "
+            "(run record_timings.py --sweep-scaling N)"
+        ]
+    failures: list[str] = []
+    signature = section.get("signature_sweep_seconds")
+    exhaustive = section.get("exhaustive_paired_sweep_seconds")
+    if signature is None or exhaustive is None:
+        return ["sweep_scaling: sweep seconds missing from the recording"]
+    if signature >= exhaustive:
+        failures.append(
+            f"sweep_scaling: signature sweep at {section.get('n_shards')} "
+            f"shards took {signature:.2f}s, not below the exhaustive "
+            f"{section.get('paired_shards')}-shard sweep's "
+            f"{exhaustive:.2f}s — the signature index no longer pays for "
+            "itself"
+        )
+    stats = section.get("sweep_stats", {})
+    pruned = max(
+        stats.get("pair_prune_ratio", 0.0), stats.get("row_prune_ratio", 0.0)
+    )
+    if pruned < min_prune_ratio:
+        failures.append(
+            f"sweep_scaling: pruned {pruned:.1%} of shard pairs / rescored "
+            f"rows, below the {min_prune_ratio:.0%} floor"
+        )
+    return failures
+
+
 def compare(
     baseline: dict,
     current: dict,
@@ -111,6 +160,7 @@ def compare(
     min_positive_recall: float = 0.999,
     min_corner_recall: float = 0.95,
     min_join_positive_recall: float = 0.95,
+    min_prune_ratio: float = 0.5,
 ) -> list[str]:
     """Human-readable failure lines, empty when every stage is in budget.
 
@@ -168,6 +218,13 @@ def compare(
                         sharding, label="sharding", **recall_floors
                     )
                 )
+    if "sweep_scaling" in baseline:
+        failures.extend(
+            _sweep_scaling_failures(
+                current.get("sweep_scaling"),
+                min_prune_ratio=min_prune_ratio,
+            )
+        )
     return failures
 
 
@@ -209,6 +266,14 @@ def main() -> int:
         help="minimum positive recall of the raw top-k join, before "
         "group-positive completion (default 0.95)",
     )
+    parser.add_argument(
+        "--min-prune-ratio",
+        type=float,
+        default=0.5,
+        help="minimum fraction of shard pairs or rescored rows the "
+        "signature sweep must prune in the sweep_scaling probe "
+        "(default 0.5)",
+    )
     args = parser.parse_args()
 
     baseline = json.loads(args.baseline.read_text())
@@ -221,6 +286,7 @@ def main() -> int:
         min_positive_recall=args.min_positive_recall,
         min_corner_recall=args.min_corner_recall,
         min_join_positive_recall=args.min_join_positive_recall,
+        min_prune_ratio=args.min_prune_ratio,
     )
     stages = len(baseline.get("build_stages", {})) + len(
         baseline.get("sharding", {}).get("build_stages", {})
@@ -235,6 +301,8 @@ def main() -> int:
         gates.append("blocking recall")
     if "sharding" in baseline:
         gates.append("sharded stages + merged recall")
+    if "sweep_scaling" in baseline:
+        gates.append("sweep scaling + prune floor")
     print(
         f"all {stages} build stages within {args.tolerance}x of baseline"
         + (f"; {', '.join(gates)} in budget" if gates else "")

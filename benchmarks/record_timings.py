@@ -5,14 +5,33 @@ blocking stage enabled, records every named build stage (including the
 ``cleansing:*`` sub-stages and the corpus-level ``blocking`` join), the
 blocking recall of one split against its materialized pair sets, then
 times the symbolic matchers' fit/predict — with featurization broken out —
-on one benchmark cell.  With ``--shards N`` a second, sharded recording
-rides along (schema 4): an N-shard :class:`ShardedBenchmarkSession` over
-the same small base config builds its shards in worker processes, runs the
-cross-shard blocking sweep, and records the ``shard:*`` / ``sweep:*``
-stage rows, the sharded-vs-single build wall-clock, and the *merged*
-blocking recall (per-shard split joins + cross-shard sweeps, measured
-against the merged benchmark) that ``check_regression.py`` gates with the
-same floors as the single-corpus join.
+on one benchmark cell.  With ``--shards N`` a sharded recording rides
+along (the ``sharding`` section): an N-shard
+:class:`ShardedBenchmarkSession` over the same small base config builds
+its shards in worker processes, runs the signature-pruned cross-shard
+sweep, and records the ``shard:*`` / ``sweep:*`` stage rows (schema 5
+adds ``sweep:signatures`` / ``sweep:prune`` / ``sweep:rescore``), the
+session's :class:`~repro.shard.SweepPruneStats` with per-pair pruning
+ratios, the sharded-vs-single build wall-clock, and the *merged* blocking
+recall that ``check_regression.py`` gates with the same floors as the
+single-corpus join.
+
+Schema 5 also reorders the phases: every process-pool section runs
+*before* the parent materializes the small single build, the runner and
+the matcher featurizations.  The old order forked pool workers from a
+parent already holding the full artifact graph — copy-on-write storms
+(every child GC touches inherited refcount pages) billed the pool for
+tens of seconds of memory traffic the shards never use.  The recorded
+``pool_start_method`` says which fork regime the numbers come from.
+
+``--sweep-scaling N`` runs the default-scale sweep-scaling probe (the
+``sweep_scaling`` section, gated by ``check_regression.py``): one
+N-shard signature-mode session over the partitioned default scale, and
+one *exhaustive* cross-shard sweep over the same shards paired into N/2
+universes — same merged corpus, half the shard count, no extra builds.
+The probe asserts the tentpole economics: the signature sweep at N
+shards must beat the exhaustive sweep at N/2 shards on wall-clock, and
+must prune at least half of the shard pairs or rescored rows.
 
 ``--shard-scaling N`` additionally runs the default-scale scaling probe
 and stores it under ``shard_scaling`` (informational: CI smoke runs never
@@ -29,13 +48,15 @@ and never does — the recorded ``single_build_error`` is the monolith's
 actual failure).
 
     PYTHONPATH=src python benchmarks/record_timings.py --shards 2 \
-        --output BENCH_baseline.json
+        --sweep-scaling 8 --output BENCH_baseline.json
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
 import json
+import multiprocessing
 import os
 import platform
 import time
@@ -155,6 +176,7 @@ def _record_sharding(
         "scale": scale,
         "k": BLOCKING_K,
         "cpu_count": os.cpu_count(),
+        "pool_start_method": multiprocessing.get_start_method(),
         "single_build_seconds": single_seconds,
         "single_total_offers": len(single.cleansed.offers),
         "sharded_build_seconds": timings["shards"],
@@ -162,10 +184,83 @@ def _record_sharding(
         "session_wall_seconds": session_seconds,
         "build_speedup": single_seconds / timings["shards"],
         "sharded_total_offers": session.total_offers(),
+        "sweep_mode": session.sweep_mode,
+        "sweep_stats": session.sweep_stats.as_dict(),
         "build_stages": dict(timings),
         "merged_candidates": session.merged_candidates.summary(),
         "recall": recall,
         "join_recall": join_recall,
+    }
+
+
+def _record_sweep_scaling(n_shards: int, seed: int) -> dict:
+    """The sweep-scaling probe: signature at N shards vs exhaustive at N/2.
+
+    One signature-mode session builds the partitioned default scale N
+    ways and sweeps it; the *same* shard universes are then paired into
+    N/2 combined universes (byte-identical corpus, half the shard count,
+    zero extra builds) and swept exhaustively.  Comparing the two
+    cross-shard sweep wall-clocks isolates exactly the quadratic
+    component the signature index targets: per-shard self joins are
+    identical per row in both modes and excluded from both numbers.
+    ``check_regression.py`` asserts ``signature_sweep_seconds <
+    exhaustive_paired_sweep_seconds`` and the ≥50% pruning floor —
+    within one recording, so the gate is machine-independent.
+    """
+    if n_shards < 4 or n_shards % 2:
+        raise ValueError(
+            f"--sweep-scaling needs an even shard count >= 4, got {n_shards}"
+        )
+    from repro.shard import cross_shard_candidates, shard_universe
+    from repro.shard.sweep import ShardUniverse
+    from repro.similarity import SimilarityEngine
+
+    plan = ShardPlan.create(n_shards, base_config=BuildConfig(seed=seed), seed=seed)
+    session = ShardedBenchmarkSession(plan, executor="process").build()
+    timings = session.stage_timings
+    signature_sweep = (
+        timings.get("sweep:signatures", 0.0)
+        + timings["sweep:prune"]
+        + timings["sweep:rescore"]
+    )
+
+    universes = [
+        shard_universe(artifacts, shard)
+        for shard, artifacts in enumerate(session.shards)
+    ]
+    paired = [
+        ShardUniverse(
+            shard=first.shard,
+            engine=SimilarityEngine.concat([first.engine, second.engine]),
+            offers=first.offers + second.offers,
+            labels=first.labels + second.labels,
+        )
+        for first, second in zip(universes[0::2], universes[1::2])
+    ]
+    exhaustive_sweep = 0.0
+    for i in range(len(paired)):
+        for j in range(i + 1, len(paired)):
+            seconds, _ = _timed(
+                lambda a=paired[i], b=paired[j]: cross_shard_candidates(
+                    a, b, k=BLOCKING_K, metrics=session.sweep_metrics
+                )
+            )
+            exhaustive_sweep += seconds
+    return {
+        "n_shards": n_shards,
+        "paired_shards": n_shards // 2,
+        "scale": "default",
+        "k": BLOCKING_K,
+        "cpu_count": os.cpu_count(),
+        "pool_start_method": multiprocessing.get_start_method(),
+        "sharded_build_seconds": timings["shards"],
+        "signature_sweep_seconds": signature_sweep,
+        "signature_session_sweep_seconds": timings["sweep"],
+        "exhaustive_paired_sweep_seconds": exhaustive_sweep,
+        "sweep_speedup": (
+            exhaustive_sweep / signature_sweep if signature_sweep else None
+        ),
+        "sweep_stats": session.sweep_stats.as_dict(),
     }
 
 
@@ -235,18 +330,46 @@ def _record_shard_scaling(n_shards: int, seed: int) -> dict:
     return result
 
 
-def record(seed: int = 42, shards: int = 0, shard_scaling: int = 0) -> dict:
+def record(
+    seed: int = 42,
+    shards: int = 0,
+    shard_scaling: int = 0,
+    sweep_scaling: int = 0,
+) -> dict:
     record: dict = {
+        # 5: pool phases run before the parent builds anything big (fork
+        #    CoW bias fix), sweep:signatures/prune/rescore stage rows,
+        #    sweep_stats pruning ratios, the sweep_scaling probe and
+        #    pool_start_method
         # 4: --shards rides a sharded session along (shard:*/sweep:* rows,
         #    merged recall, sharded-vs-single build wall-clock)
         # 3: build runs the blocking stage; blocking recall is recorded
         # 2: featurize/fit stages are additive (no double work)
-        "schema": 4,
+        "schema": 5,
         "scale": "small",
         "seed": seed,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "pool_start_method": multiprocessing.get_start_method(),
     }
+
+    # Every process-pool phase runs first, while the parent is still
+    # small: forking from a parent that already holds the single build's
+    # artifact graph, the runner and two featurized matchers made the
+    # workers inherit (and CoW-copy, refcount write by refcount write)
+    # hundreds of MB they never read — the measured pool penalty was
+    # nearly half the sharded build wall-clock.
+    if shards > 0:
+        record["sharding"] = _record_sharding(
+            shards, seed, BuildConfig.small(seed=seed), "small"
+        )
+    if sweep_scaling > 0:
+        record["sweep_scaling"] = _record_sweep_scaling(sweep_scaling, seed)
+    if shard_scaling > 0:
+        record["shard_scaling"] = _record_shard_scaling(shard_scaling, seed)
+    # Drop the pool sections' object graphs before the serial phases so
+    # their allocations don't skew the single-build measurement either.
+    gc.collect()
 
     build_seconds, artifacts = _timed(
         lambda: BenchmarkBuilder(
@@ -277,13 +400,6 @@ def record(seed: int = 42, shards: int = 0, shard_scaling: int = 0) -> dict:
         timings["n_test_pairs"] = len(task.test)
         matchers[system] = timings
     record["matchers"] = matchers
-
-    if shards > 0:
-        record["sharding"] = _record_sharding(
-            shards, seed, BuildConfig.small(seed=seed), "small"
-        )
-    if shard_scaling > 0:
-        record["shard_scaling"] = _record_shard_scaling(shard_scaling, seed)
     return record
 
 
@@ -329,10 +445,22 @@ def main() -> None:
         help="also run the default-scale scaling probe with N shards "
         "('shard_scaling' section, informational — takes minutes)",
     )
+    parser.add_argument(
+        "--sweep-scaling",
+        type=int,
+        default=0,
+        help="run the sweep-scaling probe: an N-shard signature-mode "
+        "session at the partitioned default scale vs an exhaustive sweep "
+        "over the same shards paired N/2 ways ('sweep_scaling' section, "
+        "gated by check_regression)",
+    )
     args = parser.parse_args()
 
     result = record(
-        seed=args.seed, shards=args.shards, shard_scaling=args.shard_scaling
+        seed=args.seed,
+        shards=args.shards,
+        shard_scaling=args.shard_scaling,
+        sweep_scaling=args.sweep_scaling,
     )
     args.output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.output}")
@@ -356,6 +484,30 @@ def main() -> None:
         )
     if "sharding" in result:
         _print_sharding("sharding", result["sharding"])
+        stats = result["sharding"]["sweep_stats"]
+        print(
+            f"    sweep mode {stats['mode']}"
+            + (
+                f" @tau={stats['threshold']}: pairs skipped "
+                f"{stats['pairs_skipped']}/{stats['pairs_total']}, rows "
+                f"pruned {stats['row_prune_ratio']:.1%}, cells pruned "
+                f"{stats['cell_prune_ratio']:.1%}"
+                if stats["mode"] == "signature"
+                else ""
+            )
+        )
+    if "sweep_scaling" in result:
+        probe = result["sweep_scaling"]
+        stats = probe["sweep_stats"]
+        print(
+            f"  sweep_scaling: signature@{probe['n_shards']} "
+            f"{probe['signature_sweep_seconds']:.2f}s vs exhaustive@"
+            f"{probe['paired_shards']} "
+            f"{probe['exhaustive_paired_sweep_seconds']:.2f}s "
+            f"({probe['sweep_speedup']:.2f}x); rows pruned "
+            f"{stats['row_prune_ratio']:.1%}, cells pruned "
+            f"{stats['cell_prune_ratio']:.1%}"
+        )
     if "shard_scaling" in result:
         scaling = result["shard_scaling"]
         _print_sharding("shard_scaling (partitioned)", scaling["partitioned"])

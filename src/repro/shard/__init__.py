@@ -9,6 +9,14 @@ processes and sweeps every shard pair with the engine-backed
 views (:class:`~repro.shard.merge.MergedCandidates`, merged benchmark /
 corpus / engine) plug into the existing recall and experiment runners
 unchanged.
+
+The cross-shard sweep runs in ``"signature"`` mode by default: a global
+two-level :class:`SignatureIndex` (prefix signatures under a merged
+frequency order, per-token length windows) prunes shard pairs and row
+blocks before any engine concatenation — see
+:mod:`repro.shard.signature_index` and
+:mod:`repro.similarity.signatures`.  ``sweep_mode="exhaustive"``
+restores the historical full bipartite sweep.
 """
 
 from repro.shard.merge import (
@@ -28,10 +36,13 @@ from repro.shard.namespace import (
 )
 from repro.shard.plan import ShardPlan, partition_corpus_config
 from repro.shard.session import (
+    DEFAULT_SIGNATURE_THRESHOLD,
+    SWEEP_MODES,
     MergedArtifacts,
     ShardedArtifacts,
     ShardedBenchmarkSession,
 )
+from repro.shard.signature_index import SignatureIndex, SweepPruneStats
 from repro.shard.sweep import (
     CROSS_SHARD_METRICS,
     ShardUniverse,
@@ -48,6 +59,10 @@ __all__ = [
     "ShardedBenchmarkSession",
     "ShardedArtifacts",
     "MergedArtifacts",
+    "SignatureIndex",
+    "SweepPruneStats",
+    "SWEEP_MODES",
+    "DEFAULT_SIGNATURE_THRESHOLD",
     "MergedCandidate",
     "MergedCandidates",
     "merge_benchmarks",

@@ -25,11 +25,11 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from functools import cached_property
+from functools import cached_property, partial
 
 from repro.blocking.candidates import BlockedPairSet
 from repro.core.benchmark import WDCProductsBenchmark
-from repro.core.builder import BuildArtifacts, build_one_corpus
+from repro.core.builder import BuildArtifacts, BuildConfig, build_one_corpus
 from repro.corpus.schema import SyntheticCorpus
 from repro.shard.merge import (
     MergedCandidates,
@@ -39,6 +39,7 @@ from repro.shard.merge import (
 )
 from repro.shard.plan import ShardPlan
 from repro.shard.namespace import namespace_id
+from repro.shard.signature_index import SignatureIndex, SweepPruneStats
 from repro.shard.sweep import (
     CROSS_SHARD_METRICS,
     cross_shard_candidates,
@@ -47,15 +48,49 @@ from repro.shard.sweep import (
 )
 from repro.similarity.engine import SimilarityEngine
 from repro.similarity.registry import validate_metric_names
+from repro.similarity.signatures import RowSignatures, overlap_lower_bound
 from repro.utils.timer import Timer
 
 __all__ = [
     "ShardedBenchmarkSession",
     "ShardedArtifacts",
     "MergedArtifacts",
+    "DEFAULT_SIGNATURE_THRESHOLD",
+    "SWEEP_MODES",
 ]
 
 _EXECUTORS = ("process", "thread", "serial")
+
+SWEEP_MODES = ("signature", "exhaustive")
+
+# The default top-k admission threshold of the signature sweep: a
+# cross-shard candidate whose exact-token similarity cannot reach this
+# value is prunable without scoring.  At 0.97 the per-row prefix
+# collapses to (rarest token, near-equal set size) — the regime where
+# the index prunes most of the bilinear sweep while still guaranteeing
+# every near-duplicate cross-shard pair survives.  Cross-shard
+# candidates are hard negatives by construction (disjoint product
+# pools), so the threshold trades only the most marginal negatives for
+# sweep time — the merged recall floors are measured on within-shard
+# ground truth and cannot move.
+DEFAULT_SIGNATURE_THRESHOLD = 0.97
+
+
+def _build_one_shard(
+    config: BuildConfig, *, with_signatures: bool
+) -> tuple[BuildArtifacts, RowSignatures | None]:
+    """One shard's build plus (optionally) its signature summary.
+
+    Module-level so process pools can pickle it.  Building the summary
+    *here* means worker processes summarize the engines they just built;
+    the parent only merges summaries — it never re-walks N incidence
+    matrices before the sweep can start.
+    """
+    artifacts = build_one_corpus(config)
+    summary = None
+    if with_signatures and artifacts.engine is not None:
+        summary = RowSignatures.from_engine(artifacts.engine)
+    return artifacts, summary
 
 
 def _sweep_universes(
@@ -66,16 +101,30 @@ def _sweep_universes(
     n_shards: int,
     shard_metrics: tuple[str, ...] | None = None,
     timings: dict[str, float] | None = None,
-) -> tuple[MergedCandidates, MergedCandidates]:
+    sweep_mode: str = "signature",
+    signature_threshold: float = DEFAULT_SIGNATURE_THRESHOLD,
+    summaries: list[RowSignatures | None] | None = None,
+) -> tuple[MergedCandidates, MergedCandidates, SweepPruneStats]:
     """Join every universe and every universe pair; merge both shapes.
 
     The one sweep implementation behind the session's corpus-level sweep
     and the split-scoped recall recipe: per-universe joins run under
     ``shard_metrics`` (default: each universe engine's full metric set),
     universe pairs under the token-only ``cross_metrics``, and the merged
-    sets record the union of every metric actually joined.  Returns
-    ``(completed, join_only)``; ``timings`` (when given) receives one
-    ``sweep:<i>→<j>`` row per join.
+    sets record the union of every metric actually joined.
+
+    In ``"signature"`` mode (the default) the universe pairs are pruned
+    through a :class:`SignatureIndex` first: pairs with no possible
+    prefix collision are skipped without ever concatenating an engine,
+    and surviving pairs are rescored only over their signature-colliding
+    row blocks.  ``summaries`` optionally supplies worker-built
+    :class:`RowSignatures` (one per universe, ``None`` entries filled in
+    here); ``"exhaustive"`` mode is the historical full bipartite sweep.
+
+    Returns ``(completed, join_only, prune_stats)``; ``timings`` (when
+    given) receives one ``sweep:<i>→<j>`` row per executed join plus the
+    aggregate ``sweep:signatures`` / ``sweep:prune`` / ``sweep:rescore``
+    rows.
     """
     completed_sets: list[tuple[int, BlockedPairSet]] = []
     join_sets: list[tuple[int, BlockedPairSet]] = []
@@ -99,24 +148,83 @@ def _sweep_universes(
                 timer.elapsed
             )
     used_metrics.update(dict.fromkeys(cross_metrics))
+
+    n_universes = len(universes)
+    stats = SweepPruneStats(
+        mode=sweep_mode,
+        threshold=(
+            signature_threshold if sweep_mode == "signature" else None
+        ),
+        pairs_total=n_universes * (n_universes - 1) // 2,
+    )
+    index = None
+    if sweep_mode == "signature" and n_universes > 1:
+        with Timer() as timer:
+            filled = list(summaries) if summaries is not None else (
+                [None] * n_universes
+            )
+            for position, universe in enumerate(universes):
+                if filled[position] is None:
+                    filled[position] = RowSignatures.from_engine(
+                        universe.engine
+                    )
+            index = SignatureIndex(filled, threshold=signature_threshold)
+        if timings is not None:
+            timings["sweep:signatures"] = timer.elapsed
+
+    prune_seconds = 0.0
+    rescore_seconds = 0.0
     cross_sets = []
-    for i in range(len(universes)):
-        for j in range(i + 1, len(universes)):
+    for i in range(n_universes):
+        for j in range(i + 1, n_universes):
+            universe_i, universe_j = universes[i], universes[j]
+            label = f"{universe_i.shard}→{universe_j.shard}"
+            stats.rows_universe += len(universe_i) + len(universe_j)
+            stats.cells_universe += len(universe_i) * len(universe_j)
+            if index is not None:
+                with Timer() as timer:
+                    block = index.candidate_block(i, j)
+                prune_seconds += timer.elapsed
+                if block is None:
+                    stats.pairs_skipped += 1
+                    stats.per_pair[label] = "skipped"
+                    continue
+                rows_i, rows_j = block
+                stats.rows_rescored += rows_i.size + rows_j.size
+                stats.cells_rescored += rows_i.size * rows_j.size
+                stats.per_pair[label] = {
+                    "rows": int(rows_i.size + rows_j.size),
+                    "universe": len(universe_i) + len(universe_j),
+                    "rescored_fraction": (
+                        (rows_i.size + rows_j.size)
+                        / (len(universe_i) + len(universe_j))
+                    ),
+                }
+                if rows_i.size < len(universe_i):
+                    universe_i = universe_i.restrict(rows_i)
+                if rows_j.size < len(universe_j):
+                    universe_j = universe_j.restrict(rows_j)
+            else:
+                stats.rows_rescored += len(universe_i) + len(universe_j)
+                stats.cells_rescored += len(universe_i) * len(universe_j)
             with Timer() as timer:
                 blocked, partition = cross_shard_candidates(
-                    universes[i], universes[j], k=k, metrics=cross_metrics
+                    universe_i, universe_j, k=k, metrics=cross_metrics
                 )
+            rescore_seconds += timer.elapsed
             cross_sets.append(
-                ((universes[i].shard, universes[j].shard), blocked, partition)
+                ((universe_i.shard, universe_j.shard), blocked, partition)
             )
             if timings is not None:
-                timings[
-                    f"sweep:{universes[i].shard}→{universes[j].shard}"
-                ] = timer.elapsed
+                timings[f"sweep:{label}"] = timer.elapsed
+    if timings is not None:
+        timings["sweep:prune"] = prune_seconds
+        timings["sweep:rescore"] = rescore_seconds
     kwargs = dict(k=k, metrics=tuple(used_metrics), n_shards=n_shards)
     return (
         merge_candidate_sets(completed_sets, cross_sets, **kwargs),
         merge_candidate_sets(join_sets, cross_sets, **kwargs),
+        stats,
     )
 
 
@@ -177,6 +285,9 @@ class ShardedArtifacts:
         sweep_k: int,
         sweep_metrics: tuple[str, ...],
         stage_timings: dict[str, float],
+        sweep_mode: str = "signature",
+        signature_threshold: float | None = DEFAULT_SIGNATURE_THRESHOLD,
+        sweep_stats: SweepPruneStats | None = None,
     ) -> None:
         self.plan = plan
         self.shards = shards
@@ -185,6 +296,9 @@ class ShardedArtifacts:
         self.sweep_k = sweep_k
         self.sweep_metrics = sweep_metrics
         self.stage_timings = stage_timings
+        self.sweep_mode = sweep_mode
+        self.signature_threshold = signature_threshold
+        self.sweep_stats = sweep_stats
 
     @property
     def n_shards(self) -> int:
@@ -234,6 +348,9 @@ class ShardedArtifacts:
         the shard engine's full metric set and across shard pairs under
         ``cross_metrics`` (default: the metrics the session's sweep ran
         with, validated here so a bad name fails before any join runs).
+        The shard-pair sweep reuses the session's ``sweep_mode`` and
+        ``signature_threshold`` — split universes are views, so signature
+        summaries are rebuilt per split, scoped to the split's rows.
         Returns ``(completed, join_only)``: the training shape with
         ground-truth group positives completed, and the raw top-k join
         the recall floors gate.  Measure both against the merged
@@ -257,12 +374,19 @@ class ShardedArtifacts:
             )
             for shard, artifacts in enumerate(self.shards)
         ]
-        return _sweep_universes(
+        completed, join_only, _ = _sweep_universes(
             universes,
             k=k,
             cross_metrics=cross_metrics,
             n_shards=self.n_shards,
+            sweep_mode=self.sweep_mode,
+            signature_threshold=(
+                self.signature_threshold
+                if self.signature_threshold is not None
+                else DEFAULT_SIGNATURE_THRESHOLD
+            ),
         )
+        return completed, join_only
 
 
 class ShardedBenchmarkSession:
@@ -273,8 +397,10 @@ class ShardedBenchmarkSession:
         plan: ShardPlan,
         *,
         sweep_k: int = 25,
-        sweep_metrics: tuple[str, ...] = ("cosine", "dice"),
+        sweep_metrics: tuple[str, ...] = CROSS_SHARD_METRICS,
         shard_metrics: tuple[str, ...] | None = None,
+        sweep_mode: str = "signature",
+        signature_threshold: float = DEFAULT_SIGNATURE_THRESHOLD,
         executor: str = "process",
         max_workers: int | None = None,
     ) -> None:
@@ -282,12 +408,18 @@ class ShardedBenchmarkSession:
             raise ValueError(
                 f"executor must be one of {_EXECUTORS}, got {executor!r}"
             )
+        if sweep_mode not in SWEEP_MODES:
+            raise ValueError(
+                f"sweep_mode must be one of {SWEEP_MODES}, got {sweep_mode!r}"
+            )
+        # Validates the threshold range once, at construction time.
+        overlap_lower_bound(signature_threshold)
         # Cross-shard universes have no common embedding space, so the
         # sweep validates against the token metrics only — and does so
         # here, at construction time, not deep inside the sweep.  The
-        # default skips Generalized Jaccard: its exact rescoring is the
-        # one non-sparse-matmul cost, and the concat engines' pair caches
-        # start cold on every pair sweep.
+        # default is the full CROSS_SHARD_METRICS set: with the signature
+        # sweep pruning pairs and row blocks, Generalized Jaccard's exact
+        # rescoring no longer dominates the pair sweeps.
         self.sweep_metrics = validate_metric_names(
             sweep_metrics,
             available=CROSS_SHARD_METRICS,
@@ -310,32 +442,50 @@ class ShardedBenchmarkSession:
             raise ValueError(f"sweep_k must be positive, got {sweep_k}")
         self.plan = plan
         self.sweep_k = sweep_k
+        self.sweep_mode = sweep_mode
+        self.signature_threshold = signature_threshold
         self.executor = executor
         self.max_workers = max_workers
 
     # ------------------------------------------------------------------ #
-    def _build_shards(self) -> list[BuildArtifacts]:
+    def _build_shards(
+        self,
+    ) -> tuple[list[BuildArtifacts], list[RowSignatures | None]]:
         """Run every shard's stage pipeline; collect in plan order.
 
         Worker scheduling never reaches the results: futures are gathered
         in submission (= plan) order whatever the completion order, and
-        each shard's streams derive from its own spawned seed.
+        each shard's streams derive from its own spawned seed.  In
+        signature mode every worker also summarizes its freshly built
+        engine into :class:`RowSignatures` — the parent receives
+        ready-made summaries and only merges them.
         """
         configs = list(self.plan.shard_configs)
-        if self.executor == "serial" or len(configs) == 1:
-            return [build_one_corpus(config) for config in configs]
-        workers = self.max_workers or len(configs)
-        pool_cls = (
-            ProcessPoolExecutor
-            if self.executor == "process"
-            else ThreadPoolExecutor
+        build = partial(
+            _build_one_shard,
+            with_signatures=self.sweep_mode == "signature",
         )
-        with pool_cls(max_workers=workers) as pool:
-            return list(pool.map(build_one_corpus, configs))
+        if self.executor == "serial" or len(configs) == 1:
+            results = [build(config) for config in configs]
+        else:
+            workers = self.max_workers or len(configs)
+            pool_cls = (
+                ProcessPoolExecutor
+                if self.executor == "process"
+                else ThreadPoolExecutor
+            )
+            with pool_cls(max_workers=workers) as pool:
+                results = list(pool.map(build, configs))
+        shards = [artifacts for artifacts, _ in results]
+        summaries = [summary for _, summary in results]
+        return shards, summaries
 
     def _sweep(
-        self, shards: list[BuildArtifacts], timings: dict[str, float]
-    ) -> tuple[MergedCandidates, MergedCandidates]:
+        self,
+        shards: list[BuildArtifacts],
+        timings: dict[str, float],
+        summaries: list[RowSignatures | None] | None = None,
+    ) -> tuple[MergedCandidates, MergedCandidates, SweepPruneStats]:
         """Per-shard joins + cross-shard pair sweeps, merged both ways."""
         universes = [
             shard_universe(artifacts, shard)
@@ -348,6 +498,9 @@ class ShardedBenchmarkSession:
             shard_metrics=self.shard_metrics,
             n_shards=len(shards),
             timings=timings,
+            sweep_mode=self.sweep_mode,
+            signature_threshold=self.signature_threshold,
+            summaries=summaries,
         )
 
     # ------------------------------------------------------------------ #
@@ -355,14 +508,16 @@ class ShardedBenchmarkSession:
         """Build all shards, sweep all shard pairs, merge the results."""
         timings: dict[str, float] = {}
         with Timer() as timer:
-            shards = self._build_shards()
+            shards, summaries = self._build_shards()
         timings["shards"] = timer.elapsed
         for shard, artifacts in enumerate(shards):
             for stage, seconds in artifacts.stage_timings.items():
                 timings[f"shard:{shard}:{stage}"] = seconds
 
         with Timer() as timer:
-            merged, merged_join = self._sweep(shards, timings)
+            merged, merged_join, stats = self._sweep(
+                shards, timings, summaries
+            )
         timings["sweep"] = timer.elapsed
 
         return ShardedArtifacts(
@@ -373,4 +528,11 @@ class ShardedBenchmarkSession:
             sweep_k=self.sweep_k,
             sweep_metrics=self.sweep_metrics,
             stage_timings=timings,
+            sweep_mode=self.sweep_mode,
+            signature_threshold=(
+                self.signature_threshold
+                if self.sweep_mode == "signature"
+                else None
+            ),
+            sweep_stats=stats,
         )

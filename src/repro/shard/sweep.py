@@ -32,6 +32,7 @@ from repro.core.builder import BuildArtifacts
 from repro.corpus.schema import ProductOffer
 from repro.shard.namespace import namespace_id, namespace_offer, namespace_offers
 from repro.similarity.engine import SimilarityEngine
+from repro.similarity.registry import validate_metric_names
 
 __all__ = [
     "CROSS_SHARD_METRICS",
@@ -78,6 +79,22 @@ class ShardUniverse:
         """A namespaced blocker over this universe alone."""
         return CandidateBlocker(
             self.engine, offers=self.offers, group_labels=self.labels
+        )
+
+    def restrict(self, rows: Sequence[int] | np.ndarray) -> "ShardUniverse":
+        """This universe narrowed to ``rows`` (a signature-sweep block).
+
+        The engine becomes a cheap :meth:`SimilarityEngine.view` and the
+        offers/labels are sliced in the same order, so the restricted
+        universe joins exactly like the full one — the signature sweep
+        concatenates these instead of whole shards.
+        """
+        rows = np.asarray(rows, dtype=np.intp)
+        return ShardUniverse(
+            shard=self.shard,
+            engine=self.engine.view(rows),
+            offers=[self.offers[int(row)] for row in rows],
+            labels=[self.labels[int(row)] for row in rows],
         )
 
 
@@ -170,7 +187,7 @@ def cross_shard_candidates(
     universe_j: ShardUniverse,
     *,
     k: int,
-    metrics: tuple[str, ...] = ("cosine", "dice"),
+    metrics: tuple[str, ...] = CROSS_SHARD_METRICS,
 ) -> tuple[BlockedPairSet, np.ndarray]:
     """Top-``k`` cross-shard candidates between two universes, both ways.
 
@@ -179,7 +196,19 @@ def cross_shard_candidates(
     match across the partition — the sweep's value is surfacing the most
     confusable offer pairs *between* autonomous corpora, the candidates a
     merged-corpus matcher must learn to reject.
+
+    ``metrics`` defaults to — and is validated against —
+    ``CROSS_SHARD_METRICS``: the combined universe has no common
+    embedding space, so asking for ``lsa_embedding`` fails here, by
+    name, instead of deep inside the engine.
     """
+    metrics = validate_metric_names(
+        metrics,
+        available=CROSS_SHARD_METRICS,
+        context="cross_shard_candidates.metrics (cross-shard joins "
+        "support the token metrics only: per-shard LSA embeddings are "
+        "not comparable across corpora)",
+    )
     blocker, partition = cross_shard_blocker(universe_i, universe_j)
     blocked = blocker.candidates(
         k=k, metrics=metrics, exclude_same_partition=partition

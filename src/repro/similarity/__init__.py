@@ -26,6 +26,14 @@ from repro.similarity.embedding import LsaEmbeddingModel
 from repro.similarity.engine import SimilarityEngine
 from repro.similarity.index import TitleSimilaritySearch
 from repro.similarity.registry import SimilarityMetric, SimilarityRegistry
+from repro.similarity.signatures import (
+    SIGNATURE_SAFE_METRICS,
+    RowSignatures,
+    global_token_order,
+    length_window,
+    overlap_lower_bound,
+    prefix_lengths,
+)
 
 __all__ = [
     "cosine_similarity",
@@ -42,4 +50,10 @@ __all__ = [
     "SimilarityMetric",
     "SimilarityRegistry",
     "TitleSimilaritySearch",
+    "RowSignatures",
+    "SIGNATURE_SAFE_METRICS",
+    "global_token_order",
+    "length_window",
+    "overlap_lower_bound",
+    "prefix_lengths",
 ]

@@ -1,0 +1,221 @@
+"""Prefix/length signatures over a token-incidence matrix.
+
+The cross-shard sweep needs a way to decide *without scoring* that two
+rows cannot reach a similarity threshold.  This module provides the
+row-level half of the two-level signature scheme the shard layer builds
+on (in the spirit of the stable set-similarity-join literature — prefix
+filtering under a global token order plus length filtering):
+
+* a **global frequency order** over tokens (rarest first) merged from
+  per-universe document counts, so every universe's signatures speak the
+  same token language without sharing a vocabulary object,
+* per-row **prefix signatures**: each row's tokens sorted by that order,
+  truncated to the prefix length its set size and the admission
+  threshold imply, and
+* the **prefix-filter guarantee** backing both: for any two rows whose
+  cosine, Dice or Jaccard similarity reaches ``threshold``, the two
+  prefixes share at least one token, and the rows' set sizes lie within
+  each other's length window.
+
+The guarantee covers the *exact-token* metrics only.  Generalized
+Jaccard's soft token matching can lift a pair above the threshold
+through merely-similar tokens; on the blocking path that metric is
+cosine-prefiltered and falls back to plain Jaccard (a lower bound), so
+signature pruning treats it through its Jaccard/cosine bounds — a pair
+admitted *solely* by soft-token matches may be pruned.  Cross-shard
+candidates are hard negatives by construction, so this cannot move the
+benchmark's recall floors; it only thins the most marginal negatives.
+
+Why the cosine bound everywhere: for a threshold ``t`` the minimal
+overlap an admissible partner forces is ``t²·|x|`` under cosine,
+``t/(2-t)·|x|`` under Dice and ``t·|x|`` under Jaccard — the cosine
+bound is the smallest of the three for every ``t`` in (0, 1], so prefix
+lengths derived from it are superset-safe for all supported metrics.
+
+Everything is computed from the engine's existing sparse
+token-incidence matrix; no title is ever re-tokenized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.sparse import csr_matrix
+
+__all__ = [
+    "SIGNATURE_SAFE_METRICS",
+    "overlap_lower_bound",
+    "prefix_lengths",
+    "length_window",
+    "RowSignatures",
+    "global_token_order",
+]
+
+# The exact-token metrics the prefix-filter guarantee covers.  (The
+# blocking path's generalized_jaccard rides its cosine prefilter /
+# Jaccard fallback, both of which these bounds dominate.)
+SIGNATURE_SAFE_METRICS = ("cosine", "dice", "jaccard")
+
+# Floating-point slack applied to every bound so a score sitting exactly
+# on the threshold can never be pruned by rounding.
+_EPS = 1e-9
+
+
+def overlap_lower_bound(threshold: float) -> float:
+    """Minimal overlap fraction of ``|x|`` an admissible pair forces.
+
+    ``threshold²`` — the cosine bound, the loosest (hence superset-safe)
+    of the supported metrics' overlap bounds; see the module docstring.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError(
+            f"signature threshold must be in (0, 1], got {threshold}"
+        )
+    return threshold * threshold
+
+
+def prefix_lengths(set_sizes: np.ndarray, threshold: float) -> np.ndarray:
+    """Per-row prefix length: ``|x| - ⌈lb·|x|⌉ + 1`` (0 for empty rows).
+
+    A row only needs its ``p`` rarest tokens in the signature: any
+    admissible partner overlaps it in at least ``⌈lb·|x|⌉`` tokens, and
+    that many common tokens cannot all hide in the ``⌈lb·|x|⌉ - 1``
+    most frequent ones.
+    """
+    lb = overlap_lower_bound(threshold)
+    sizes = np.asarray(set_sizes, dtype=np.float64)
+    min_overlap = np.ceil(lb * sizes - _EPS)
+    lengths = np.where(sizes > 0, sizes - min_overlap + 1, 0.0)
+    return np.minimum(lengths, sizes).astype(np.intp)
+
+
+def length_window(
+    set_sizes: np.ndarray, threshold: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row ``(lo, hi)`` bounds on an admissible partner's set size.
+
+    Under cosine ≥ ``t``: ``t²·|x| ≤ |y| ≤ |x|/t²`` (symmetric in x/y),
+    which subsumes the Dice and Jaccard windows.  Empty rows get the
+    degenerate ``(0, 0)`` window — only another empty row can match them
+    (the engine scores two empty token sets as identical).
+    """
+    lb = overlap_lower_bound(threshold)
+    sizes = np.asarray(set_sizes, dtype=np.float64)
+    lo = lb * sizes - _EPS
+    hi = sizes / lb + _EPS
+    return np.where(sizes > 0, lo, 0.0), np.where(sizes > 0, hi, 0.0)
+
+
+def global_token_order(
+    counts: dict[str, int]
+) -> dict[str, int]:
+    """Token → global id, ordered by (ascending frequency, token).
+
+    Rarest tokens get the smallest ids, so sorted-by-id prefixes front
+    the most selective tokens — the ordering that makes prefix
+    collisions rare between unrelated rows.  Deterministic: ties break
+    on the token string, never on insertion order.
+    """
+    ordered = sorted(counts, key=lambda token: (counts[token], token))
+    return {token: position for position, token in enumerate(ordered)}
+
+
+@dataclass
+class RowSignatures:
+    """One universe's raw signature summary, before the global merge.
+
+    Everything the global index needs from a universe, in a picklable,
+    engine-free shape — workers build summaries next to their shard and
+    the parent merges them without touching the engines again:
+
+    * ``tokens`` / ``doc_counts`` — the universe's token table (matrix
+      column order) with per-token document frequencies,
+    * ``indptr`` / ``token_ids`` — the CSR structure of the incidence
+      matrix: row ``r``'s tokens are ``token_ids[indptr[r]:indptr[r+1]]``
+      (local ids, unordered),
+    * ``set_sizes`` — per-row token-set sizes.
+    """
+
+    tokens: list[str]
+    doc_counts: np.ndarray
+    indptr: np.ndarray
+    token_ids: np.ndarray
+    set_sizes: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.tokens) != self.doc_counts.size:
+            raise ValueError(
+                f"{len(self.tokens)} tokens with "
+                f"{self.doc_counts.size} document counts"
+            )
+        if self.indptr.size != self.n_rows + 1:
+            raise ValueError(
+                f"indptr of size {self.indptr.size} for "
+                f"{self.n_rows} rows"
+            )
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.set_sizes.size)
+
+    @classmethod
+    def from_engine(cls, engine) -> "RowSignatures":
+        """Summarize a :class:`SimilarityEngine`'s incidence matrix.
+
+        Works on corpus engines and views alike: a view's matrix keeps
+        the parent's columns, so its document counts cover exactly the
+        view's rows while the token table stays the parent vocabulary.
+        """
+        matrix: csr_matrix = engine._matrix.tocsr()
+        tokens = list(engine.vocabulary)
+        # The matrix pads to one column when the vocabulary is empty.
+        n_columns = max(len(tokens), 1)
+        if matrix.shape[1] != n_columns:
+            raise ValueError(
+                f"engine vocabulary has {len(tokens)} tokens but the "
+                f"incidence matrix has {matrix.shape[1]} columns"
+            )
+        doc_counts = np.asarray(
+            matrix.getnnz(axis=0)[: len(tokens)], dtype=np.int64
+        )
+        return cls(
+            tokens=tokens,
+            doc_counts=doc_counts,
+            indptr=np.asarray(matrix.indptr, dtype=np.intp),
+            token_ids=np.asarray(matrix.indices, dtype=np.intp),
+            set_sizes=np.asarray(engine._set_sizes, dtype=np.float64),
+        )
+
+    def token_count_map(self) -> dict[str, int]:
+        """``{token: document frequency}`` of this universe."""
+        return {
+            token: int(count)
+            for token, count in zip(self.tokens, self.doc_counts)
+        }
+
+    def prefix_entries(
+        self, local_to_global: np.ndarray, threshold: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(rows, global_ids)`` of every prefix membership.
+
+        Each row's tokens are mapped to global ids, sorted ascending
+        (rarest first under the global order), and truncated to the
+        row's threshold-derived prefix length.  Rows come back sorted,
+        so ``np.flatnonzero``-style consumers see deterministic order.
+        """
+        counts = np.diff(self.indptr)
+        rows = np.repeat(
+            np.arange(self.n_rows, dtype=np.intp), counts
+        )
+        if self.token_ids.size == 0:
+            empty = np.empty(0, dtype=np.intp)
+            return empty, empty
+        global_ids = local_to_global[self.token_ids]
+        order = np.lexsort((global_ids, rows))
+        sorted_ids = global_ids[order]
+        position_in_row = np.arange(rows.size, dtype=np.intp) - np.repeat(
+            self.indptr[:-1], counts
+        )
+        keep = position_in_row < prefix_lengths(self.set_sizes, threshold)[rows]
+        return rows[keep], sorted_ids[keep]

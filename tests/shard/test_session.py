@@ -77,9 +77,12 @@ class TestSessionDeterminism:
 
     # Recorded from the seeded serial session of this revision; any change
     # means a seeded sharded session no longer reproduces this revision's
-    # merged candidate set and must be called out explicitly.
+    # merged candidate set and must be called out explicitly.  Last
+    # re-pinned when the sweep defaults changed to CROSS_SHARD_METRICS
+    # (generalized_jaccard joined the cross-shard set) and signature
+    # pruning became the default sweep mode.
     EXPECTED_MERGED_SHA256 = (
-        "d64dad18e1d1f9ecbabf4e94f2217e5e1b6d77b473ed986ac103f5d26df8a4ab"
+        "b0c44624ccefda206ee7d7e2a74bb838a1a071f441b4cbd8a6ea4380738186f6"
     )
     EXPECTED_BENCHMARK_SHA256 = (
         "113d9e1f2a3759440167dbce87d5c2b298693af433dffcea02009b84ff926b1f"
@@ -249,6 +252,18 @@ class TestMergedViews:
             assert f"shard:{shard}:ratios" in timings
             assert f"sweep:{shard}→{shard}" in timings
         assert "sweep:0→1" in timings and "sweep:1→2" in timings
+        assert "sweep:signatures" in timings
+        assert "sweep:prune" in timings
+        assert "sweep:rescore" in timings
+
+    def test_session_exposes_signature_sweep_stats(self, serial_session):
+        assert serial_session.sweep_mode == "signature"
+        stats = serial_session.sweep_stats
+        assert stats is not None
+        assert stats.mode == "signature"
+        assert stats.pairs_total == N_SHARDS * (N_SHARDS - 1) // 2
+        assert stats.rows_rescored > 0
+        assert stats.rows_universe >= stats.rows_rescored
 
 
 class TestMergedRecallFloors:
