@@ -20,6 +20,12 @@ like any other stage), and the *merged* blocking recall (per-shard split
 joins + cross-shard sweeps against the merged benchmark) is held to the
 same floors as the single-corpus join.
 
+Schema-6 baselines with a ``chaos`` section gate the fault-injected
+chaos smoke *within the current recording*: the session with an injected
+worker crash and an injected over-budget hang must have completed
+through supervised retries (at least one retry per injected fault),
+undegraded, with the merged recall floors intact.
+
 Baselines with a ``sweep_scaling`` section gate the sweep-scaling
 economics *within the current recording* (machine-independent, so no
 tolerance is involved): the N-shard signature sweep must beat the
@@ -41,6 +47,54 @@ import argparse
 import json
 import sys
 from pathlib import Path
+
+# Oldest recording schema this gate understands.  Schema 6 added the
+# chaos section and the shard:retries / checkpoint:* stage rows; older
+# recordings are missing the fields the gates below read, so they fail
+# up front with a regenerate message instead of a KeyError mid-compare.
+MIN_SCHEMA = 6
+
+
+def _load_recording(path: Path, role: str) -> dict | str:
+    """The parsed recording, or a one-line refusal naming what is wrong.
+
+    Every refusal is actionable on its own: which file (baseline vs
+    current), what is broken (missing, truncated, pre-schema, stale
+    schema) and what to run to fix it.
+    """
+    regenerate = (
+        "regenerate it with: PYTHONPATH=src python "
+        "benchmarks/record_timings.py --shards 2 --sweep-scaling 8 "
+        f"--chaos 3 --output {path}"
+    )
+    if not path.exists():
+        return f"{role} recording {path} does not exist — {regenerate}"
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as error:
+        return f"{role} recording {path} is unreadable ({error}) — {regenerate}"
+    except json.JSONDecodeError as error:
+        return (
+            f"{role} recording {path} is not valid JSON (truncated "
+            f"write? {error.msg} at line {error.lineno}) — {regenerate}"
+        )
+    if not isinstance(payload, dict):
+        return (
+            f"{role} recording {path} is a JSON "
+            f"{type(payload).__name__}, not an object — {regenerate}"
+        )
+    schema = payload.get("schema")
+    if not isinstance(schema, int):
+        return (
+            f"{role} recording {path} carries no schema marker (predates "
+            f"schema versioning) — {regenerate}"
+        )
+    if schema < MIN_SCHEMA:
+        return (
+            f"{role} recording {path} uses schema {schema}, older than "
+            f"the oldest supported schema {MIN_SCHEMA} — {regenerate}"
+        )
+    return payload
 
 
 def _stage_failures(
@@ -151,6 +205,41 @@ def _sweep_scaling_failures(
     return failures
 
 
+def _chaos_failures(section: dict | None, *, recall_floors: dict) -> list[str]:
+    """The chaos-smoke assertions, evaluated on the current recording.
+
+    All intra-recording (no baseline timing involved): the fault-injected
+    session must have completed, recovered every injected fault through a
+    retry (so ``retries >= injected_faults``) without degrading, and its
+    merged recall must clear the same floors as the healthy session.
+    """
+    if section is None:
+        return [
+            "chaos: missing from the current recording "
+            "(run record_timings.py --chaos N)"
+        ]
+    if not section.get("completed"):
+        return [
+            "chaos: the fault-injected session did not complete — "
+            f"{section.get('error', 'no error recorded')}"
+        ]
+    failures: list[str] = []
+    expected = section.get("injected_faults", 1)
+    retries = section.get("retries", 0)
+    if retries < expected:
+        failures.append(
+            f"chaos: {retries} retries recorded for {expected} injected "
+            "faults — the supervisor did not retry every fault"
+        )
+    if section.get("degraded"):
+        failures.append(
+            "chaos: session completed degraded — a fault exhausted its "
+            "retry budget instead of recovering"
+        )
+    failures.extend(_recall_failures(section, label="chaos", **recall_floors))
+    return failures
+
+
 def compare(
     baseline: dict,
     current: dict,
@@ -225,6 +314,12 @@ def compare(
                 min_prune_ratio=min_prune_ratio,
             )
         )
+    if "chaos" in baseline:
+        failures.extend(
+            _chaos_failures(
+                current.get("chaos"), recall_floors=recall_floors
+            )
+        )
     return failures
 
 
@@ -276,8 +371,17 @@ def main() -> int:
     )
     args = parser.parse_args()
 
-    baseline = json.loads(args.baseline.read_text())
-    current = json.loads(args.current.read_text())
+    baseline = _load_recording(args.baseline, "baseline")
+    current = _load_recording(args.current, "current")
+    load_errors = [
+        recording
+        for recording in (baseline, current)
+        if isinstance(recording, str)
+    ]
+    if load_errors:
+        for line in load_errors:
+            print(line)
+        return 1
     failures = compare(
         baseline,
         current,
@@ -296,17 +400,36 @@ def main() -> int:
         for line in failures:
             print(f"  {line}")
         return 1
-    gates = []
-    if "blocking" in baseline:
-        gates.append("blocking recall")
-    if "sharding" in baseline:
-        gates.append("sharded stages + merged recall")
-    if "sweep_scaling" in baseline:
-        gates.append("sweep scaling + prune floor")
-    print(
-        f"all {stages} build stages within {args.tolerance}x of baseline"
-        + (f"; {', '.join(gates)} in budget" if gates else "")
+    recall_summary = (
+        f"pos>={args.min_positive_recall}, "
+        f"join-pos>={args.min_join_positive_recall}, "
+        f"corner>={args.min_corner_recall}"
     )
+    print(
+        f"checked {stages} stage budgets at {args.tolerance}x baseline "
+        f"(floor {args.floor}s)"
+    )
+    if "blocking" in baseline:
+        print(f"checked blocking recall floors ({recall_summary})")
+    if "sharding" in baseline:
+        print(
+            "checked sharded session stages + merged recall "
+            f"(same budgets, {recall_summary})"
+        )
+    if "sweep_scaling" in baseline:
+        print(
+            "checked sweep scaling (signature beats exhaustive, "
+            f"prune>={args.min_prune_ratio:.0%})"
+        )
+    if "chaos" in baseline:
+        chaos = current.get("chaos", {})
+        print(
+            "checked chaos smoke (completed via "
+            f"{chaos.get('retries', '?')} retries for "
+            f"{chaos.get('injected_faults', '?')} injected faults, "
+            f"undegraded, {recall_summary})"
+        )
+    print("all checks passed")
     return 0
 
 

@@ -33,6 +33,15 @@ The probe asserts the tentpole economics: the signature sweep at N
 shards must beat the exhaustive sweep at N/2 shards on wall-clock, and
 must prune at least half of the shard pairs or rescored rows.
 
+``--chaos N`` runs the chaos smoke (the ``chaos`` section, gated by
+``check_regression.py``): an N-shard (N ≥ 3) small-scale session with an
+injected worker crash (shard 1, attempt 1) and an injected hang pushing
+shard 2 past its wall-clock budget, run serially so the attempt ledger
+is deterministic.  The session must self-heal — complete via exactly one
+retry per fault, undegraded, with checkpoints written and the merged
+recall floors intact — which CI asserts on every push, not only when a
+fault happens to occur in the wild.
+
 ``--shard-scaling N`` additionally runs the default-scale scaling probe
 and stores it under ``shard_scaling`` (informational: CI smoke runs never
 record it, so it is compared by humans, not gated).  The probe records
@@ -67,9 +76,20 @@ from repro.core.builder import BenchmarkBuilder, BuildConfig
 from repro.core.dimensions import CornerCaseRatio, DevSetSize, UnseenRatio
 from repro.core.profiling import build_profile
 from repro.eval.runner import EvalSettings, ExperimentRunner
-from repro.shard import ShardPlan, ShardedBenchmarkSession
+from repro.shard import (
+    FaultPlan,
+    FaultSpec,
+    ShardPlan,
+    ShardedBenchmarkSession,
+)
 
 BLOCKING_K = 25
+
+# Chaos smoke fault geometry: the injected hang must overshoot the shard
+# timeout, and the timeout must leave honest small-scale shard builds
+# (~2-3s here) a generous margin on slow CI runners.
+CHAOS_TIMEOUT = 15.0
+CHAOS_SLEEP = 18.0
 
 
 def _timed(fn) -> tuple[float, object]:
@@ -264,6 +284,85 @@ def _record_sweep_scaling(n_shards: int, seed: int) -> dict:
     }
 
 
+def _record_chaos(n_shards: int, seed: int) -> dict:
+    """The chaos smoke: a fault-injected session must self-heal.
+
+    Injects a worker crash (shard 1, attempt 1) and a hang that drives
+    shard 2 past the ``CHAOS_TIMEOUT`` wall-clock budget, then requires
+    the session to complete through the supervisor's retries: exactly
+    one retry per fault (serial execution keeps the ledger
+    deterministic), no degradation, checkpoints saved, merged recall at
+    the same floors the healthy sharding section is held to.
+    ``check_regression.py`` gates all of that from the recorded section.
+    """
+    if n_shards < 3:
+        raise ValueError(
+            f"--chaos needs at least 3 shards (faults target shards 1 "
+            f"and 2), got {n_shards}"
+        )
+    import tempfile
+
+    # 30 products over 3 shards (the geometry the session determinism
+    # tests pin): the small corpus partitioned 3 ways can sustain 10
+    # selected products per shard, where the full small quota cannot.
+    plan = ShardPlan.create(
+        n_shards,
+        base_config=BuildConfig.small(seed=seed, n_products=30),
+        seed=seed,
+    )
+    faults = FaultPlan(
+        (
+            FaultSpec(shard=1, attempt=1, kind="crash"),
+            FaultSpec(shard=2, attempt=1, kind="sleep", seconds=CHAOS_SLEEP),
+        )
+    )
+    section: dict = {
+        "n_shards": n_shards,
+        "scale": "small",
+        "k": BLOCKING_K,
+        "injected_faults": len(faults.faults),
+        "shard_timeout": CHAOS_TIMEOUT,
+        "fault_plan": json.loads(faults.to_json()),
+    }
+    try:
+        with tempfile.TemporaryDirectory() as scratch:
+            seconds, session = _timed(
+                lambda: ShardedBenchmarkSession(
+                    plan,
+                    executor="serial",
+                    fault_plan=faults,
+                    shard_timeout=CHAOS_TIMEOUT,
+                    max_attempts=3,
+                    retry_backoff=0.1,
+                    checkpoint_dir=Path(scratch) / "checkpoints",
+                ).build()
+            )
+            recall, join_recall = _merged_recall(session)
+    except Exception as error:
+        section["completed"] = False
+        section["error"] = f"{type(error).__name__}: {error}"
+        return section
+    health = session.health
+    timings = session.stage_timings
+    section.update(
+        {
+            "completed": True,
+            "degraded": health.degraded,
+            "retries": health.retries,
+            "session_wall_seconds": seconds,
+            "health": health.as_dict(),
+            "build_stages": {
+                "shard:retries": timings["shard:retries"],
+                "checkpoint:load": timings["checkpoint:load"],
+                "checkpoint:save": timings["checkpoint:save"],
+            },
+            "recall": recall,
+            "join_recall": join_recall,
+        }
+    )
+    return section
+
+
 def _scaled_config(base: BuildConfig, factor: int) -> BuildConfig:
     from dataclasses import replace
 
@@ -335,8 +434,13 @@ def record(
     shards: int = 0,
     shard_scaling: int = 0,
     sweep_scaling: int = 0,
+    chaos: int = 0,
 ) -> dict:
     record: dict = {
+        # 6: fault tolerance — the chaos smoke section (fault-injected
+        #    session that must self-heal via supervised retries, gated),
+        #    and sessions record shard:retries (+ checkpoint:load/save
+        #    when checkpointing) stage rows
         # 5: pool phases run before the parent builds anything big (fork
         #    CoW bias fix), sweep:signatures/prune/rescore stage rows,
         #    sweep_stats pruning ratios, the sweep_scaling probe and
@@ -345,7 +449,7 @@ def record(
         #    merged recall, sharded-vs-single build wall-clock)
         # 3: build runs the blocking stage; blocking recall is recorded
         # 2: featurize/fit stages are additive (no double work)
-        "schema": 5,
+        "schema": 6,
         "scale": "small",
         "seed": seed,
         "python": platform.python_version(),
@@ -367,6 +471,8 @@ def record(
         record["sweep_scaling"] = _record_sweep_scaling(sweep_scaling, seed)
     if shard_scaling > 0:
         record["shard_scaling"] = _record_shard_scaling(shard_scaling, seed)
+    if chaos > 0:
+        record["chaos"] = _record_chaos(chaos, seed)
     # Drop the pool sections' object graphs before the serial phases so
     # their allocations don't skew the single-build measurement either.
     gc.collect()
@@ -454,6 +560,15 @@ def main() -> None:
         "over the same shards paired N/2 ways ('sweep_scaling' section, "
         "gated by check_regression)",
     )
+    parser.add_argument(
+        "--chaos",
+        type=int,
+        default=0,
+        help="run the chaos smoke: an N-shard (N >= 3) small session with "
+        "an injected worker crash and an injected over-budget hang that "
+        "must self-heal via supervised retries ('chaos' section, gated by "
+        "check_regression)",
+    )
     args = parser.parse_args()
 
     result = record(
@@ -461,6 +576,7 @@ def main() -> None:
         shards=args.shards,
         shard_scaling=args.shard_scaling,
         sweep_scaling=args.sweep_scaling,
+        chaos=args.chaos,
     )
     args.output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.output}")
@@ -508,6 +624,24 @@ def main() -> None:
             f"{stats['row_prune_ratio']:.1%}, cells pruned "
             f"{stats['cell_prune_ratio']:.1%}"
         )
+    if "chaos" in result:
+        chaos = result["chaos"]
+        if chaos.get("completed"):
+            print(
+                f"  chaos: {chaos['n_shards']} shards, "
+                f"{chaos['injected_faults']} faults injected, "
+                f"{chaos['retries']} retries, degraded={chaos['degraded']}, "
+                f"wall {chaos['session_wall_seconds']:.2f}s"
+            )
+            print(
+                f"    merged recall @k={chaos['k']}: "
+                f"positives={chaos['recall']['positive_recall']:.4f} "
+                f"corner={chaos['recall']['corner_negative_recall']:.4f} "
+                f"(join only: {chaos['join_recall']['positive_recall']:.4f}/"
+                f"{chaos['join_recall']['corner_negative_recall']:.4f})"
+            )
+        else:
+            print(f"  chaos: session FAILED — {chaos.get('error')}")
     if "shard_scaling" in result:
         scaling = result["shard_scaling"]
         _print_sharding("shard_scaling (partitioned)", scaling["partitioned"])

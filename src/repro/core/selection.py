@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.corpus.schema import ProductCluster
+from repro.errors import CornerSelectionError
 from repro.grouping.curation import GroupedCorpus, ProductGroup
 from repro.similarity.engine import SimilarityEngine
 from repro.similarity.registry import SimilarityMetric, SimilarityRegistry
@@ -168,10 +169,15 @@ def select_products(
     stalled_rounds = 0
     while len(selection.corner_cluster_ids) < n_corner_target:
         if stalled_rounds > len(group_order):
-            raise ValueError(
+            raise CornerSelectionError(
                 "not enough corner-case products: needed "
                 f"{n_corner_target}, found {len(selection.corner_cluster_ids)} "
-                f"in part {part!r}"
+                f"in part {part!r} (corner-case ratio {corner_case_ratio})",
+                needed=n_corner_target,
+                found=len(selection.corner_cluster_ids),
+                part=part,
+                corner_case_ratio=corner_case_ratio,
+                kind="corner",
             )
         group = group_order[cursor % len(group_order)]
         cursor += 1
@@ -212,9 +218,15 @@ def select_products(
     ]
     n_random = n_products - len(selection.clusters)
     if len(pool) < n_random:
-        raise ValueError(
+        raise CornerSelectionError(
             f"not enough random products to fill the selection: need "
-            f"{n_random}, pool has {len(pool)} (part {part!r})"
+            f"{n_random}, pool has {len(pool)} (part {part!r}, corner-case "
+            f"ratio {corner_case_ratio})",
+            needed=n_random,
+            found=len(pool),
+            part=part,
+            corner_case_ratio=corner_case_ratio,
+            kind="random_fill",
         )
     for index in rng.permutation(len(pool))[:n_random]:
         cluster = pool[int(index)]

@@ -1,0 +1,185 @@
+"""Typed errors for the build pipeline and the shard fault-tolerance layer.
+
+Failure *classification* is what lets a supervisor act sensibly: a worker
+crash or a hung build is transient (retry the same config — a seeded
+build is deterministic, so the retry reproduces exactly what the lost
+attempt would have produced), corner-case exhaustion is a deterministic
+property of the data (retrying the same seed fails the same way, so the
+retry must respawn the shard's seeds), and anything else is presumed a
+code bug (retrying cannot help and only hides the traceback).  The
+hierarchy encodes those three classes:
+
+* :class:`CornerSelectionError` — data exhaustion inside product
+  selection.  Subclasses :class:`ValueError` so every pre-existing
+  ``except ValueError`` caller keeps working, but carries the
+  needed/found counts and the corner-case ratio being built so a
+  supervisor (or a user reading the message) can tell "the corpus cannot
+  sustain this quota" apart from a genuine bug.
+* :class:`ShardBuildError` — the supervisor-facing wrapper: shard index,
+  attempt number, pipeline stage and elapsed seconds travel with the
+  error.  :class:`ShardCrashError` (worker process died / pool broke),
+  :class:`ShardTimeoutError` (wall-clock budget exceeded) and
+  :class:`ShardRetriesExhaustedError` (budget spent, final state) refine
+  it.
+* :class:`CheckpointError` — a shard checkpoint that exists but cannot
+  be trusted (manifest/payload fingerprint mismatch) when the caller
+  asked for strict verification.
+
+All shard errors cross process boundaries: worker exceptions are
+pickled back to the parent by ``concurrent.futures``, so every class
+with keyword state defines ``__reduce__``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "CornerSelectionError",
+    "ShardBuildError",
+    "ShardCrashError",
+    "ShardTimeoutError",
+    "ShardRetriesExhaustedError",
+    "CheckpointError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every typed error raised by this package."""
+
+
+class CornerSelectionError(ReproError, ValueError):
+    """Product selection ran out of usable corner-case (or filler) data.
+
+    Raised by :func:`repro.core.selection.select_products` when the
+    grouped corpus cannot sustain the requested quota — the "needed 800,
+    found 795" failure mode of scaled-up single-corpus builds.  This is
+    *data exhaustion*, not a code bug: the same seed deterministically
+    fails again, which is why shard supervisors respond by respawning
+    the shard's seeds instead of retrying verbatim.
+
+    Subclasses :class:`ValueError` for backward compatibility with every
+    caller written against the untyped raise.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        needed: int | None = None,
+        found: int | None = None,
+        part: str | None = None,
+        corner_case_ratio: float | None = None,
+        kind: str = "corner",
+    ) -> None:
+        super().__init__(message)
+        self.needed = needed
+        self.found = found
+        self.part = part
+        self.corner_case_ratio = corner_case_ratio
+        self.kind = kind
+
+    def __reduce__(self):
+        return (
+            _rebuild_corner_selection_error,
+            (
+                self.args[0] if self.args else "",
+                self.needed,
+                self.found,
+                self.part,
+                self.corner_case_ratio,
+                self.kind,
+            ),
+        )
+
+
+def _rebuild_corner_selection_error(
+    message, needed, found, part, corner_case_ratio, kind
+):
+    return CornerSelectionError(
+        message,
+        needed=needed,
+        found=found,
+        part=part,
+        corner_case_ratio=corner_case_ratio,
+        kind=kind,
+    )
+
+
+class ShardBuildError(ReproError):
+    """A shard build attempt failed.
+
+    Carries everything a supervisor's ledger needs: which shard, which
+    attempt (1-based), the pipeline stage the failure is attributed to,
+    and the attempt's elapsed wall-clock seconds.  The underlying
+    exception, when one exists, rides along as ``__cause__``.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        shard: int | None = None,
+        attempt: int | None = None,
+        stage: str | None = None,
+        elapsed: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.attempt = attempt
+        self.stage = stage
+        self.elapsed = elapsed
+
+    def __reduce__(self):
+        return (
+            _rebuild_shard_build_error,
+            (
+                type(self),
+                self.args[0] if self.args else "",
+                self.shard,
+                self.attempt,
+                self.stage,
+                self.elapsed,
+            ),
+        )
+
+
+def _rebuild_shard_build_error(cls, message, shard, attempt, stage, elapsed):
+    return cls(
+        message, shard=shard, attempt=attempt, stage=stage, elapsed=elapsed
+    )
+
+
+class ShardCrashError(ShardBuildError):
+    """The shard's worker died (broken process pool or simulated crash).
+
+    Transient by classification: the attempt never reported a result, so
+    retrying the *same* config reproduces exactly the build the crash
+    interrupted.  Note that one crashed worker breaks the whole pool —
+    sibling shards in flight surface as :class:`ShardCrashError` too and
+    are retried the same way.
+    """
+
+
+class ShardTimeoutError(ShardBuildError):
+    """The shard build exceeded its wall-clock budget.
+
+    Transient by classification (a hung worker, an overloaded machine):
+    the retry reuses the same config.  Process executors enforce the
+    budget preemptively (the hung worker is terminated with the pool);
+    serial and thread executors cannot preempt a running build and
+    classify post-hoc on the attempt's measured elapsed time.
+    """
+
+
+class ShardRetriesExhaustedError(ShardBuildError):
+    """A shard failed every attempt its retry budget allowed.
+
+    The final classification of a failed shard; ``__cause__`` is the
+    last attempt's error.  Under ``failure_policy="raise"`` the session
+    surfaces this, under ``"degrade"`` it is recorded in the
+    :class:`~repro.shard.supervisor.SessionHealth` report instead.
+    """
+
+
+class CheckpointError(ReproError):
+    """A shard checkpoint exists but failed verification."""

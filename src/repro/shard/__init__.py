@@ -19,6 +19,17 @@ blocks before any engine concatenation — see
 restores the historical full bipartite sweep.
 """
 
+from repro.shard.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    ShardCheckpointStore,
+    config_fingerprint,
+)
+from repro.shard.faults import (
+    FAULT_KINDS,
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    FaultSpec,
+)
 from repro.shard.merge import (
     MergedCandidate,
     MergedCandidates,
@@ -43,6 +54,15 @@ from repro.shard.session import (
     ShardedBenchmarkSession,
 )
 from repro.shard.signature_index import SignatureIndex, SweepPruneStats
+from repro.shard.supervisor import (
+    FAILURE_POLICIES,
+    AttemptRecord,
+    RetryPolicy,
+    SessionHealth,
+    ShardOutcome,
+    ShardSupervisor,
+    respawn_config,
+)
 from repro.shard.sweep import (
     CROSS_SHARD_METRICS,
     ShardUniverse,
@@ -59,6 +79,20 @@ __all__ = [
     "ShardedBenchmarkSession",
     "ShardedArtifacts",
     "MergedArtifacts",
+    "ShardSupervisor",
+    "RetryPolicy",
+    "AttemptRecord",
+    "ShardOutcome",
+    "SessionHealth",
+    "respawn_config",
+    "FAILURE_POLICIES",
+    "ShardCheckpointStore",
+    "config_fingerprint",
+    "CHECKPOINT_SCHEMA",
+    "FaultPlan",
+    "FaultSpec",
+    "FAULT_KINDS",
+    "FAULT_PLAN_ENV",
     "SignatureIndex",
     "SweepPruneStats",
     "SWEEP_MODES",

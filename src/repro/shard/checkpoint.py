@@ -1,0 +1,218 @@
+"""Per-shard checkpoints: crash-resume without rebuilding finished work.
+
+A :class:`ShardCheckpointStore` persists every completed shard of a
+sharded session under one session directory::
+
+    <root>/
+      shard-0000/
+        manifest.json     # config fingerprints, seeds, payload sha256
+        artifacts.pkl     # pickled (BuildArtifacts, RowSignatures | None)
+      shard-0001/
+        ...
+
+The manifest is the commit record: the payload is written first (to a
+temp file, then atomically renamed), the manifest last, so a session
+killed mid-write leaves either no manifest (checkpoint ignored) or a
+complete, verifiable pair.  :meth:`ShardCheckpointStore.load` verifies
+both the payload's sha256 and the shard's *base config fingerprint* —
+the fingerprint of the config the plan assigned the shard, not of the
+config that ultimately built it.  The distinction matters for retried
+shards: a corner-selection retry respawns the shard's seeds, so the
+config that produced the artifacts differs from the planned one, but the
+respawn chain is a deterministic function of ``(session_seed, shard,
+attempt)`` — the checkpoint is still *the* canonical outcome of the
+planned shard and resuming must accept it.  Both fingerprints are
+recorded (``base_fingerprint`` gates the load, ``config_fingerprint``
+documents what actually built the payload).
+
+A checkpoint that fails any verification is treated as missing (the
+shard is rebuilt) unless ``strict=True``, which raises
+:class:`~repro.errors.CheckpointError` naming what mismatched — the mode
+for callers that need to *know* a resume will be exact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pickle
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.core.builder import BuildConfig
+from repro.errors import CheckpointError
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "ShardCheckpointStore",
+    "config_fingerprint",
+]
+
+CHECKPOINT_SCHEMA = 1
+
+_MANIFEST = "manifest.json"
+_PAYLOAD = "artifacts.pkl"
+
+
+def _jsonable(value: Any) -> Any:
+    """A stable, JSON-serializable projection of a config value tree."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if isinstance(value, (tuple, list)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    return value
+
+
+def config_fingerprint(config: BuildConfig) -> str:
+    """sha256 over the config's stable JSON projection.
+
+    Two configs fingerprint equally iff every field (nested dataclasses,
+    enums and tuples included) is equal — the identity a checkpoint is
+    keyed on.
+    """
+    payload = json.dumps(_jsonable(config), sort_keys=True).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+class ShardCheckpointStore:
+    """Directory-backed store of completed shard artifacts."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def shard_dir(self, shard: int) -> Path:
+        return self.root / f"shard-{shard:04d}"
+
+    def manifest_path(self, shard: int) -> Path:
+        return self.shard_dir(shard) / _MANIFEST
+
+    def payload_path(self, shard: int) -> Path:
+        return self.shard_dir(shard) / _PAYLOAD
+
+    # ------------------------------------------------------------------ #
+    def save(
+        self,
+        shard: int,
+        artifacts,
+        summary,
+        *,
+        base_config: BuildConfig,
+        built_config: BuildConfig | None = None,
+        attempt: int = 1,
+        elapsed: float = 0.0,
+    ) -> Path:
+        """Persist one completed shard; returns the manifest path.
+
+        ``base_config`` is the plan's config for this shard (the resume
+        key); ``built_config`` the config that actually produced the
+        artifacts (defaults to ``base_config`` — differs only after a
+        reseeded retry).
+        """
+        built = built_config if built_config is not None else base_config
+        directory = self.shard_dir(shard)
+        directory.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(
+            (artifacts, summary), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        payload_path = self.payload_path(shard)
+        temp_path = payload_path.with_suffix(".pkl.tmp")
+        temp_path.write_bytes(payload)
+        os.replace(temp_path, payload_path)
+        manifest = {
+            "schema": CHECKPOINT_SCHEMA,
+            "shard": shard,
+            "base_fingerprint": config_fingerprint(base_config),
+            "config_fingerprint": config_fingerprint(built),
+            "build_seed": built.seed,
+            "corpus_seed": built.corpus.seed,
+            "payload_sha256": hashlib.sha256(payload).hexdigest(),
+            "payload_bytes": len(payload),
+            "attempt": attempt,
+            "elapsed_seconds": elapsed,
+            "created_at": time.time(),
+        }
+        manifest_path = self.manifest_path(shard)
+        temp_manifest = manifest_path.with_suffix(".json.tmp")
+        temp_manifest.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+        os.replace(temp_manifest, manifest_path)
+        return manifest_path
+
+    # ------------------------------------------------------------------ #
+    def _verify(
+        self, shard: int, base_config: BuildConfig
+    ) -> tuple[dict, bytes] | str:
+        """The verified (manifest, payload) pair, or a rejection reason."""
+        manifest_path = self.manifest_path(shard)
+        if not manifest_path.exists():
+            return "no manifest"
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return "manifest unreadable or truncated"
+        if manifest.get("schema") != CHECKPOINT_SCHEMA:
+            return (
+                f"manifest schema {manifest.get('schema')!r} != "
+                f"{CHECKPOINT_SCHEMA}"
+            )
+        expected = config_fingerprint(base_config)
+        if manifest.get("base_fingerprint") != expected:
+            return (
+                "base config fingerprint mismatch (checkpoint belongs to "
+                "a different plan/config)"
+            )
+        try:
+            payload = self.payload_path(shard).read_bytes()
+        except OSError:
+            return "payload missing"
+        if hashlib.sha256(payload).hexdigest() != manifest.get(
+            "payload_sha256"
+        ):
+            return "payload sha256 mismatch (truncated or corrupt)"
+        return manifest, payload
+
+    def load(
+        self,
+        shard: int,
+        *,
+        base_config: BuildConfig,
+        strict: bool = False,
+    ):
+        """``(artifacts, summary, manifest)`` or ``None``.
+
+        ``None`` means "no usable checkpoint — rebuild the shard": the
+        checkpoint is absent, truncated, from another config, or its
+        payload fails the sha256.  With ``strict=True`` a present-but-
+        unverifiable checkpoint raises :class:`CheckpointError` instead
+        of silently rebuilding.
+        """
+        verified = self._verify(shard, base_config)
+        if isinstance(verified, str):
+            if strict and verified != "no manifest":
+                raise CheckpointError(
+                    f"shard {shard} checkpoint at {self.shard_dir(shard)} "
+                    f"failed verification: {verified}"
+                )
+            return None
+        manifest, payload = verified
+        artifacts, summary = pickle.loads(payload)
+        return artifacts, summary, manifest
+
+    def completed_shards(self, configs) -> list[int]:
+        """Shards of ``configs`` with a verifiable checkpoint on disk."""
+        return [
+            shard
+            for shard, config in enumerate(configs)
+            if not isinstance(self._verify(shard, config), str)
+        ]

@@ -249,6 +249,8 @@ def _merge_multiclass(
 
 def merge_benchmarks(
     benchmarks: Sequence[WDCProductsBenchmark],
+    *,
+    shard_ids: Sequence[int] | None = None,
 ) -> WDCProductsBenchmark:
     """Concatenate per-shard benchmarks into one namespaced benchmark.
 
@@ -257,9 +259,22 @@ def merge_benchmarks(
     shard order with ``s<i>:``-prefixed offer/pair ids and multi-class
     labels, producing ``merged-``-named datasets an
     :class:`~repro.eval.runner.ExperimentRunner` trains on unchanged.
+
+    ``shard_ids`` names the shard behind each benchmark (default: the
+    positional ``0..n-1``).  A degraded session passes the *surviving*
+    shard ids here, so namespaces in the merged view always refer to the
+    plan's shard numbering, never to a compacted survivor index.
     """
     if not benchmarks:
         raise ValueError("merge_benchmarks needs at least one benchmark")
+    if shard_ids is None:
+        shard_ids = range(len(benchmarks))
+    shard_ids = list(shard_ids)
+    if len(shard_ids) != len(benchmarks):
+        raise ValueError(
+            f"shard_ids covers {len(shard_ids)} shards but "
+            f"{len(benchmarks)} benchmarks were given"
+        )
     reference = benchmarks[0]
     for other in benchmarks[1:]:
         for attribute in (
@@ -284,7 +299,7 @@ def merge_benchmarks(
             target[key] = _merge_pair_datasets(
                 [
                     (shard, getattr(benchmark, attribute)[key])
-                    for shard, benchmark in enumerate(benchmarks)
+                    for shard, benchmark in zip(shard_ids, benchmarks)
                 ],
                 name=f"merged-{dataset.name}",
             )
@@ -294,7 +309,7 @@ def merge_benchmarks(
             target[key] = _merge_multiclass(
                 [
                     (shard, getattr(benchmark, attribute)[key])
-                    for shard, benchmark in enumerate(benchmarks)
+                    for shard, benchmark in zip(shard_ids, benchmarks)
                 ],
                 name=f"merged-{dataset.name}",
             )
@@ -303,16 +318,27 @@ def merge_benchmarks(
 
 def merge_corpora(
     corpora: Sequence[SyntheticCorpus],
+    *,
+    shard_ids: Sequence[int] | None = None,
 ) -> SyntheticCorpus:
     """One namespaced corpus over every shard's cleansed offers.
 
     Cluster metadata (category / family) carries over with namespaced
     cluster and family ids, so cluster-level consumers (pre-training
     cluster extraction, profiling) see the same structure they would on a
-    single corpus.
+    single corpus.  ``shard_ids`` names the shard behind each corpus
+    (default positional) — degraded sessions pass survivor ids.
     """
+    if shard_ids is None:
+        shard_ids = range(len(corpora))
+    shard_ids = list(shard_ids)
+    if len(shard_ids) != len(corpora):
+        raise ValueError(
+            f"shard_ids covers {len(shard_ids)} shards but "
+            f"{len(corpora)} corpora were given"
+        )
     merged = SyntheticCorpus()
-    for shard, corpus in enumerate(corpora):
+    for shard, corpus in zip(shard_ids, corpora):
         merged.extend(namespace_offers(corpus.offers, shard))
         for cluster_id, (category, family_id) in corpus._cluster_meta.items():
             merged.register_cluster_meta(

@@ -19,18 +19,32 @@ shard count and ordering), worker results are collected in plan order,
 and the sweep visits shard pairs lexicographically — a seeded session is
 byte-identical across worker counts, process-vs-serial execution and
 shard completion order (pinned in ``tests/shard/test_session.py``).
+
+Fault tolerance: shard builds run under a
+:class:`~repro.shard.supervisor.ShardSupervisor` — wall-clock timeouts,
+a per-shard retry budget with exponential backoff, process-pool recovery
+and (with ``checkpoint_dir``) crash-resume from per-shard checkpoints.
+Transient failures retry the same config (deterministic builds make the
+retry reproduce the lost attempt byte-for-byte), corner-selection
+exhaustion retries with seeds respawned from ``(session_seed, shard,
+attempt)``, and ``failure_policy="degrade"`` lets the session complete
+over the surviving shards with a :class:`SessionHealth` report naming
+every failed shard and every shard pair the sweep consequently skipped.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import time
 from dataclasses import dataclass, field
-from functools import cached_property, partial
+from functools import cached_property
+from pathlib import Path
 
 from repro.blocking.candidates import BlockedPairSet
 from repro.core.benchmark import WDCProductsBenchmark
-from repro.core.builder import BuildArtifacts, BuildConfig, build_one_corpus
+from repro.core.builder import BuildArtifacts
 from repro.corpus.schema import SyntheticCorpus
+from repro.shard.checkpoint import ShardCheckpointStore
+from repro.shard.faults import FaultPlan
 from repro.shard.merge import (
     MergedCandidates,
     merge_benchmarks,
@@ -40,6 +54,12 @@ from repro.shard.merge import (
 from repro.shard.plan import ShardPlan
 from repro.shard.namespace import namespace_id
 from repro.shard.signature_index import SignatureIndex, SweepPruneStats
+from repro.shard.supervisor import (
+    FAILURE_POLICIES,
+    RetryPolicy,
+    SessionHealth,
+    ShardSupervisor,
+)
 from repro.shard.sweep import (
     CROSS_SHARD_METRICS,
     cross_shard_candidates,
@@ -57,6 +77,7 @@ __all__ = [
     "MergedArtifacts",
     "DEFAULT_SIGNATURE_THRESHOLD",
     "SWEEP_MODES",
+    "FAILURE_POLICIES",
 ]
 
 _EXECUTORS = ("process", "thread", "serial")
@@ -74,23 +95,6 @@ SWEEP_MODES = ("signature", "exhaustive")
 # sweep time — the merged recall floors are measured on within-shard
 # ground truth and cannot move.
 DEFAULT_SIGNATURE_THRESHOLD = 0.97
-
-
-def _build_one_shard(
-    config: BuildConfig, *, with_signatures: bool
-) -> tuple[BuildArtifacts, RowSignatures | None]:
-    """One shard's build plus (optionally) its signature summary.
-
-    Module-level so process pools can pickle it.  Building the summary
-    *here* means worker processes summarize the engines they just built;
-    the parent only merges summaries — it never re-walks N incidence
-    matrices before the sweep can start.
-    """
-    artifacts = build_one_corpus(config)
-    summary = None
-    if with_signatures and artifacts.engine is not None:
-        summary = RowSignatures.from_engine(artifacts.engine)
-    return artifacts, summary
 
 
 def _sweep_universes(
@@ -250,7 +254,9 @@ class MergedArtifacts:
     def pretraining_clusters(self, serializer=None):
         """Namespaced union of every shard's pre-training clusters."""
         clusters = []
-        for shard, artifacts in enumerate(self.session.shards):
+        for shard, artifacts in zip(
+            self.session.shard_ids, self.session.shards
+        ):
             clusters.extend(
                 (
                     namespace_id(shard, cluster_id),
@@ -267,11 +273,15 @@ class MergedArtifacts:
 class ShardedArtifacts:
     """Everything a sharded session built.
 
-    ``shards[i]`` is shard ``i``'s complete single-corpus artifact set;
-    ``merged_candidates`` is the deduplicated per-shard + cross-shard
-    candidate set in its training shape (ground-truth group positives
-    completed) and ``merged_join_candidates`` the raw top-k join (the
-    shape blocking-recall floors gate).  The merged benchmark / corpus /
+    ``shards[i]`` is the complete single-corpus artifact set of shard
+    ``shard_ids[i]`` — for a healthy session the identity mapping, for a
+    degraded one the surviving subset of the plan (``health`` then
+    records who failed, with the full attempt ledger, and which shard
+    pairs the sweep consequently skipped).  ``merged_candidates`` is the
+    deduplicated per-shard + cross-shard candidate set in its training
+    shape (ground-truth group positives completed) and
+    ``merged_join_candidates`` the raw top-k join (the shape
+    blocking-recall floors gate).  The merged benchmark / corpus /
     engine views build lazily and are cached.
     """
 
@@ -288,9 +298,22 @@ class ShardedArtifacts:
         sweep_mode: str = "signature",
         signature_threshold: float | None = DEFAULT_SIGNATURE_THRESHOLD,
         sweep_stats: SweepPruneStats | None = None,
+        shard_ids: tuple[int, ...] | None = None,
+        health: SessionHealth | None = None,
     ) -> None:
         self.plan = plan
         self.shards = shards
+        self.shard_ids = (
+            tuple(shard_ids)
+            if shard_ids is not None
+            else tuple(range(len(shards)))
+        )
+        if len(self.shard_ids) != len(shards):
+            raise ValueError(
+                f"shard_ids names {len(self.shard_ids)} shards but "
+                f"{len(shards)} artifact sets were given"
+            )
+        self.health = health
         self.merged_candidates = merged_candidates
         self.merged_join_candidates = merged_join_candidates
         self.sweep_k = sweep_k
@@ -302,7 +325,16 @@ class ShardedArtifacts:
 
     @property
     def n_shards(self) -> int:
+        """Surviving shards (equals ``planned_shards`` unless degraded)."""
         return len(self.shards)
+
+    @property
+    def planned_shards(self) -> int:
+        return len(self.plan.shard_configs)
+
+    @property
+    def degraded(self) -> bool:
+        return self.health.degraded if self.health is not None else False
 
     def total_offers(self) -> int:
         """Cleansed offers across all shards (the merged universe size)."""
@@ -310,11 +342,17 @@ class ShardedArtifacts:
 
     @cached_property
     def merged_benchmark(self) -> WDCProductsBenchmark:
-        return merge_benchmarks([shard.benchmark for shard in self.shards])
+        return merge_benchmarks(
+            [shard.benchmark for shard in self.shards],
+            shard_ids=self.shard_ids,
+        )
 
     @cached_property
     def merged_corpus(self) -> SyntheticCorpus:
-        return merge_corpora([shard.cleansed for shard in self.shards])
+        return merge_corpora(
+            [shard.cleansed for shard in self.shards],
+            shard_ids=self.shard_ids,
+        )
 
     @cached_property
     def merged_engine(self) -> SimilarityEngine:
@@ -372,7 +410,7 @@ class ShardedArtifacts:
                 shard,
                 artifacts.splits[corner_cases].train_offers(dev_size),
             )
-            for shard, artifacts in enumerate(self.shards)
+            for shard, artifacts in zip(self.shard_ids, self.shards)
         ]
         completed, join_only, _ = _sweep_universes(
             universes,
@@ -390,7 +428,16 @@ class ShardedArtifacts:
 
 
 class ShardedBenchmarkSession:
-    """Schedules shard builds and shard-pair joins for one plan."""
+    """Schedules supervised shard builds and shard-pair joins for one plan.
+
+    The fault-tolerance knobs map straight onto the supervisor:
+    ``max_attempts`` / ``retry_backoff`` / ``backoff_cap`` /
+    ``shard_timeout`` form the :class:`RetryPolicy`, ``failure_policy``
+    chooses between surfacing the first exhausted shard (``"raise"``,
+    the default) and completing over the survivors (``"degrade"``),
+    ``checkpoint_dir`` enables per-shard crash-resume checkpoints, and
+    ``fault_plan`` / ``sleep`` are test-only injection points.
+    """
 
     def __init__(
         self,
@@ -403,6 +450,14 @@ class ShardedBenchmarkSession:
         signature_threshold: float = DEFAULT_SIGNATURE_THRESHOLD,
         executor: str = "process",
         max_workers: int | None = None,
+        max_attempts: int = 3,
+        shard_timeout: float | None = None,
+        retry_backoff: float = 0.5,
+        backoff_cap: float = 8.0,
+        failure_policy: str = "raise",
+        checkpoint_dir: Path | str | None = None,
+        fault_plan: FaultPlan | None = None,
+        sleep=time.sleep,
     ) -> None:
         if executor not in _EXECUTORS:
             raise ValueError(
@@ -412,6 +467,24 @@ class ShardedBenchmarkSession:
             raise ValueError(
                 f"sweep_mode must be one of {SWEEP_MODES}, got {sweep_mode!r}"
             )
+        if failure_policy not in FAILURE_POLICIES:
+            raise ValueError(
+                f"failure_policy must be one of {FAILURE_POLICIES}, got "
+                f"{failure_policy!r}"
+            )
+        # Fail fast on a bad budget/timeout/backoff combination.
+        self.retry_policy = RetryPolicy(
+            max_attempts=max_attempts,
+            backoff_base=retry_backoff,
+            backoff_cap=backoff_cap,
+            timeout=shard_timeout,
+        )
+        self.failure_policy = failure_policy
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self.fault_plan = fault_plan
+        self.sleep = sleep
         # Validates the threshold range once, at construction time.
         overlap_lower_bound(signature_threshold)
         # Cross-shard universes have no common embedding space, so the
@@ -450,38 +523,64 @@ class ShardedBenchmarkSession:
     # ------------------------------------------------------------------ #
     def _build_shards(
         self,
-    ) -> tuple[list[BuildArtifacts], list[RowSignatures | None]]:
-        """Run every shard's stage pipeline; collect in plan order.
+    ) -> tuple[
+        list[int],
+        list[BuildArtifacts],
+        list[RowSignatures | None],
+        SessionHealth,
+        dict[str, float],
+    ]:
+        """Run every shard's stage pipeline under supervision.
 
-        Worker scheduling never reaches the results: futures are gathered
-        in submission (= plan) order whatever the completion order, and
-        each shard's streams derive from its own spawned seed.  In
-        signature mode every worker also summarizes its freshly built
-        engine into :class:`RowSignatures` — the parent receives
-        ready-made summaries and only merges them.
+        Worker scheduling never reaches the results: outcomes come back
+        in plan order whatever the completion order, and each shard's
+        streams derive from its own spawned seed.  In signature mode
+        every worker also summarizes its freshly built engine into
+        :class:`RowSignatures` — the parent receives ready-made summaries
+        and only merges them.  Returns the surviving shard ids, their
+        artifacts and summaries, the session health report and the
+        supervisor's timing rows (``shard:retries``, ``checkpoint:*``).
         """
         configs = list(self.plan.shard_configs)
-        build = partial(
-            _build_one_shard,
-            with_signatures=self.sweep_mode == "signature",
+        store = (
+            ShardCheckpointStore(self.checkpoint_dir)
+            if self.checkpoint_dir is not None
+            else None
         )
-        if self.executor == "serial" or len(configs) == 1:
-            results = [build(config) for config in configs]
-        else:
-            workers = self.max_workers or len(configs)
-            pool_cls = (
-                ProcessPoolExecutor
-                if self.executor == "process"
-                else ThreadPoolExecutor
-            )
-            with pool_cls(max_workers=workers) as pool:
-                results = list(pool.map(build, configs))
-        shards = [artifacts for artifacts, _ in results]
-        summaries = [summary for _, summary in results]
-        return shards, summaries
+        supervisor = ShardSupervisor(
+            configs,
+            session_seed=self.plan.seed,
+            executor=self.executor,
+            max_workers=self.max_workers,
+            policy=self.retry_policy,
+            failure_policy=self.failure_policy,
+            fault_plan=self.fault_plan,
+            checkpoint_store=store,
+            with_signatures=self.sweep_mode == "signature",
+            sleep=self.sleep,
+        )
+        outcomes = supervisor.run()
+        survivors = [outcome for outcome in outcomes if outcome.ok]
+        shard_ids = [outcome.shard for outcome in survivors]
+        surviving = set(shard_ids)
+        missing_pairs = tuple(
+            (i, j)
+            for i in range(len(configs))
+            for j in range(i + 1, len(configs))
+            if i not in surviving or j not in surviving
+        )
+        health = supervisor.health(outcomes, missing_pairs=missing_pairs)
+        return (
+            shard_ids,
+            [outcome.artifacts for outcome in survivors],
+            [outcome.summary for outcome in survivors],
+            health,
+            dict(supervisor.stage_timings),
+        )
 
     def _sweep(
         self,
+        shard_ids: list[int],
         shards: list[BuildArtifacts],
         timings: dict[str, float],
         summaries: list[RowSignatures | None] | None = None,
@@ -489,7 +588,7 @@ class ShardedBenchmarkSession:
         """Per-shard joins + cross-shard pair sweeps, merged both ways."""
         universes = [
             shard_universe(artifacts, shard)
-            for shard, artifacts in enumerate(shards)
+            for shard, artifacts in zip(shard_ids, shards)
         ]
         return _sweep_universes(
             universes,
@@ -505,18 +604,30 @@ class ShardedBenchmarkSession:
 
     # ------------------------------------------------------------------ #
     def build(self) -> ShardedArtifacts:
-        """Build all shards, sweep all shard pairs, merge the results."""
+        """Build all shards, sweep all shard pairs, merge the results.
+
+        Under ``failure_policy="degrade"`` the sweep runs over the
+        surviving shards only; the returned artifacts' ``health`` names
+        every failed shard and every skipped shard pair.
+        """
         timings: dict[str, float] = {}
         with Timer() as timer:
-            shards, summaries = self._build_shards()
+            shard_ids, shards, summaries, health, supervisor_timings = (
+                self._build_shards()
+            )
         timings["shards"] = timer.elapsed
-        for shard, artifacts in enumerate(shards):
+        timings.update(supervisor_timings)
+        for shard, artifacts in zip(shard_ids, shards):
+            # Checkpoint-loaded shards spent no build time this session;
+            # their historical stage rows would only distort budgets.
+            if health.statuses.get(shard) == "checkpoint":
+                continue
             for stage, seconds in artifacts.stage_timings.items():
                 timings[f"shard:{shard}:{stage}"] = seconds
 
         with Timer() as timer:
             merged, merged_join, stats = self._sweep(
-                shards, timings, summaries
+                shard_ids, shards, timings, summaries
             )
         timings["sweep"] = timer.elapsed
 
@@ -535,4 +646,6 @@ class ShardedBenchmarkSession:
                 else None
             ),
             sweep_stats=stats,
+            shard_ids=tuple(shard_ids),
+            health=health,
         )

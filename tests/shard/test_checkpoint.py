@@ -1,0 +1,126 @@
+"""Shard checkpoints: atomic commit, verification, fingerprint gating."""
+
+import json
+
+import pytest
+
+from repro.core import BuildConfig
+from repro.errors import CheckpointError
+from repro.shard import (
+    CHECKPOINT_SCHEMA,
+    ShardCheckpointStore,
+    config_fingerprint,
+    respawn_config,
+)
+
+
+@pytest.fixture
+def base_config():
+    return BuildConfig.small(n_products=30)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ShardCheckpointStore(tmp_path / "ckpt")
+
+
+ARTIFACTS = {"rows": [1, 2, 3], "label": "shard payload"}
+SUMMARY = ("signature", "summary")
+
+
+class TestConfigFingerprint:
+    def test_equal_configs_fingerprint_equally(self, base_config):
+        assert config_fingerprint(base_config) == config_fingerprint(
+            BuildConfig.small(n_products=30)
+        )
+
+    def test_any_seed_change_changes_the_fingerprint(self, base_config):
+        respawned = respawn_config(
+            base_config, session_seed=42, shard=0, attempt=2
+        )
+        assert config_fingerprint(respawned) != config_fingerprint(
+            base_config
+        )
+
+
+class TestSaveLoad:
+    def test_round_trip(self, store, base_config):
+        store.save(3, ARTIFACTS, SUMMARY, base_config=base_config)
+        loaded = store.load(3, base_config=base_config)
+        assert loaded is not None
+        artifacts, summary, manifest = loaded
+        assert artifacts == ARTIFACTS
+        assert summary == SUMMARY
+        assert manifest["schema"] == CHECKPOINT_SCHEMA
+        assert manifest["shard"] == 3
+        assert manifest["attempt"] == 1
+        assert manifest["base_fingerprint"] == manifest["config_fingerprint"]
+
+    def test_reseeded_retry_checkpoint_loads_under_the_plan_config(
+        self, store, base_config
+    ):
+        built = respawn_config(
+            base_config, session_seed=42, shard=0, attempt=2
+        )
+        store.save(
+            0,
+            ARTIFACTS,
+            None,
+            base_config=base_config,
+            built_config=built,
+            attempt=2,
+        )
+        loaded = store.load(0, base_config=base_config)
+        assert loaded is not None
+        _, _, manifest = loaded
+        assert manifest["attempt"] == 2
+        assert manifest["base_fingerprint"] != manifest["config_fingerprint"]
+        assert manifest["build_seed"] == built.seed
+        assert manifest["corpus_seed"] == built.corpus.seed
+
+    def test_absent_checkpoint_is_missing_even_in_strict_mode(
+        self, store, base_config
+    ):
+        assert store.load(7, base_config=base_config) is None
+        assert store.load(7, base_config=base_config, strict=True) is None
+
+
+class TestVerification:
+    def test_foreign_config_is_rejected(self, store, base_config):
+        store.save(0, ARTIFACTS, None, base_config=base_config)
+        other = BuildConfig.small(n_products=40)
+        assert store.load(0, base_config=other) is None
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            store.load(0, base_config=other, strict=True)
+
+    def test_truncated_payload_is_rejected(self, store, base_config):
+        store.save(0, ARTIFACTS, None, base_config=base_config)
+        payload_path = store.payload_path(0)
+        payload_path.write_bytes(payload_path.read_bytes()[:-7])
+        assert store.load(0, base_config=base_config) is None
+        with pytest.raises(CheckpointError, match="sha256"):
+            store.load(0, base_config=base_config, strict=True)
+
+    def test_garbage_manifest_is_rejected(self, store, base_config):
+        store.save(0, ARTIFACTS, None, base_config=base_config)
+        store.manifest_path(0).write_text("{ not json")
+        assert store.load(0, base_config=base_config) is None
+        with pytest.raises(CheckpointError, match="unreadable"):
+            store.load(0, base_config=base_config, strict=True)
+
+    def test_future_schema_is_rejected(self, store, base_config):
+        store.save(0, ARTIFACTS, None, base_config=base_config)
+        manifest = json.loads(store.manifest_path(0).read_text())
+        manifest["schema"] = CHECKPOINT_SCHEMA + 1
+        store.manifest_path(0).write_text(json.dumps(manifest))
+        assert store.load(0, base_config=base_config) is None
+
+    def test_completed_shards_reports_only_verifiable_ones(
+        self, store, base_config
+    ):
+        configs = [base_config] * 4
+        store.save(0, ARTIFACTS, None, base_config=base_config)
+        store.save(2, ARTIFACTS, None, base_config=base_config)
+        store.save(3, ARTIFACTS, None, base_config=base_config)
+        store.payload_path(3).write_bytes(b"corrupt")
+        assert store.completed_shards(configs) == [0, 2]

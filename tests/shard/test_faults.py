@@ -1,0 +1,72 @@
+"""The fault-injection harness: specs, plans, env transport, injection."""
+
+import pytest
+
+from repro.errors import CornerSelectionError, ShardCrashError
+from repro.shard import FAULT_PLAN_ENV, FaultPlan, FaultSpec
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec(shard=0, attempt=1, kind="meteor")
+
+    def test_attempts_are_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            FaultSpec(shard=0, attempt=0, kind="crash")
+
+
+class TestFaultPlan:
+    def test_spec_for_matches_shard_and_attempt(self):
+        crash = FaultSpec(shard=1, attempt=2, kind="crash")
+        plan = FaultPlan((crash,))
+        assert plan.spec_for(1, 2) is crash
+        assert plan.spec_for(1, 1) is None
+        assert plan.spec_for(0, 2) is None
+
+    def test_sleep_fault_uses_injected_clock(self):
+        plan = FaultPlan(
+            (FaultSpec(shard=0, attempt=1, kind="sleep", seconds=26.0),)
+        )
+        slept = []
+        plan.inject(0, 1, sleep=slept.append)
+        assert slept == [26.0]
+        plan.inject(0, 2, sleep=slept.append)  # retried attempt: no fault
+        assert slept == [26.0]
+
+    def test_crash_fault_raises_in_parent_process(self):
+        plan = FaultPlan((FaultSpec(shard=2, attempt=1, kind="crash"),))
+        with pytest.raises(ShardCrashError) as excinfo:
+            plan.inject(2, 1)
+        assert excinfo.value.shard == 2
+        assert excinfo.value.attempt == 1
+
+    def test_corner_selection_fault_carries_counts(self):
+        plan = FaultPlan(
+            (FaultSpec(shard=0, attempt=1, kind="corner_selection"),)
+        )
+        with pytest.raises(CornerSelectionError) as excinfo:
+            plan.inject(0, 1)
+        assert excinfo.value.needed == 800
+        assert excinfo.value.found == 795
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            (
+                FaultSpec(shard=1, attempt=1, kind="crash"),
+                FaultSpec(shard=2, attempt=1, kind="sleep", seconds=26.0),
+            )
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_from_json_rejects_non_lists(self):
+        with pytest.raises(ValueError, match="list"):
+            FaultPlan.from_json('{"shard": 0}')
+
+    def test_from_env(self):
+        assert FaultPlan.from_env(environ={}) is None
+        plan = FaultPlan((FaultSpec(shard=0, attempt=1, kind="crash"),))
+        assert (
+            FaultPlan.from_env(environ={FAULT_PLAN_ENV: plan.to_json()})
+            == plan
+        )

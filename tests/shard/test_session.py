@@ -9,14 +9,21 @@ the style of ``TestCrossRevisionIdentity``.
 """
 
 import hashlib
+import shutil
 
 import pytest
 
 from repro.blocking import blocking_recall
 from repro.core import BuildConfig
 from repro.core.dimensions import CornerCaseRatio, DevSetSize, UnseenRatio
+from repro.errors import ShardCrashError, ShardRetriesExhaustedError
 from repro.eval.runner import EvalSettings, ExperimentRunner
-from repro.shard import ShardPlan, ShardedBenchmarkSession
+from repro.shard import (
+    FaultPlan,
+    FaultSpec,
+    ShardPlan,
+    ShardedBenchmarkSession,
+)
 
 N_SHARDS = 3
 SWEEP_K = 10
@@ -313,6 +320,155 @@ class TestRunnerFromSession:
         assert all(":" in cluster_id for cluster_id, _, _ in clusters)
 
 
+def _crash_forever(shard, attempts=(1, 2, 3)):
+    return FaultPlan(
+        tuple(
+            FaultSpec(shard=shard, attempt=attempt, kind="crash")
+            for attempt in attempts
+        )
+    )
+
+
+def _faulty_session(executor="serial", **overrides):
+    kwargs = dict(sweep_k=SWEEP_K, executor=executor, retry_backoff=0.0)
+    kwargs.update(overrides)
+    return ShardedBenchmarkSession(_plan(), **kwargs)
+
+
+@pytest.fixture(scope="module")
+def interrupted_checkpoints(tmp_path_factory):
+    """A session 'killed' with 2 of 3 shards done, checkpoints on disk.
+
+    Shard 2 crashes on every attempt under ``failure_policy="degrade"``,
+    so the session completes having checkpointed exactly shards 0 and 1 —
+    the on-disk state a genuinely interrupted session would leave behind.
+    """
+    root = tmp_path_factory.mktemp("interrupted") / "ckpt"
+    session = _faulty_session(
+        fault_plan=_crash_forever(shard=2),
+        failure_policy="degrade",
+        checkpoint_dir=root,
+    ).build()
+    assert session.health.failed_shards == (2,)
+    assert session.shard_ids == (0, 1)
+    return root
+
+
+class TestFaultTolerantSessions:
+    """Acceptance: retries, degraded sweeps and checkpoint resume keep
+    (or knowingly shrink) the pinned byte-identical merged results."""
+
+    def test_crash_retry_reproduces_the_no_fault_session(self):
+        """A crashed shard retries with the same config: the recovered
+        session is byte-identical to one that never crashed."""
+        session = _faulty_session(
+            fault_plan=FaultPlan(
+                (FaultSpec(shard=1, attempt=1, kind="crash"),)
+            )
+        ).build()
+        health = session.health
+        assert health.retries == 1
+        records = health.attempts[1]
+        assert [record.ok for record in records] == [False, True]
+        assert records[0].error == "ShardCrashError"
+        assert not records[1].reseeded
+        assert not session.degraded
+        assert session.stage_timings["shard:retries"] == 1.0
+        assert (
+            _candidates_fingerprint(session.merged_candidates)
+            == TestSessionDeterminism.EXPECTED_MERGED_SHA256
+        )
+        assert (
+            _benchmark_fingerprint(session.merged_benchmark)
+            == TestSessionDeterminism.EXPECTED_BENCHMARK_SHA256
+        )
+
+    def test_exhausted_budget_raises_by_default(self):
+        with pytest.raises(ShardRetriesExhaustedError) as excinfo:
+            _faulty_session(
+                fault_plan=_crash_forever(shard=1, attempts=(1, 2)),
+                max_attempts=2,
+            ).build()
+        assert excinfo.value.shard == 1
+        assert isinstance(excinfo.value.__cause__, ShardCrashError)
+
+    def test_degraded_sweep_covers_exactly_the_surviving_pairs(self):
+        session = _faulty_session(
+            fault_plan=_crash_forever(shard=1),
+            failure_policy="degrade",
+        ).build()
+        assert session.degraded
+        health = session.health
+        assert health.failed_shards == (1,)
+        assert health.surviving_shards == (0, 2)
+        assert health.missing_pairs == ((0, 1), (1, 2))
+        assert len(health.attempts[1]) == 3
+        assert session.shard_ids == (0, 2)
+        assert session.n_shards == 2
+        assert session.planned_shards == N_SHARDS
+        timings = session.stage_timings
+        assert "sweep:0→2" in timings
+        assert "sweep:0→1" not in timings and "sweep:1→2" not in timings
+        # Merged views keep the plan's shard numbering for survivors ...
+        tags = {
+            offer.offer_id.split(":", 1)[0]
+            for offer in session.merged_corpus.offers
+        }
+        assert tags == {"s0", "s2"}
+        # ... and no candidate can mention the failed shard.
+        for pair in session.merged_candidates:
+            _, direction, _ = pair.provenance.split(":")
+            assert "1" not in direction.split("→")
+
+    @pytest.mark.parametrize("executor", ["serial", "process"])
+    def test_resume_rebuilds_only_the_missing_shard(
+        self, interrupted_checkpoints, tmp_path, executor
+    ):
+        """Kill-then-resume: verified checkpoints short-circuit shards 0
+        and 1, shard 2 rebuilds, and the merged results land byte-for-
+        byte on the session-determinism pins — in both execution modes."""
+        checkpoint_dir = tmp_path / "resume"
+        shutil.copytree(interrupted_checkpoints, checkpoint_dir)
+        session = _faulty_session(
+            executor=executor, checkpoint_dir=checkpoint_dir
+        ).build()
+        health = session.health
+        assert health.statuses == {
+            0: "checkpoint", 1: "checkpoint", 2: "built",
+        }
+        assert health.checkpoints_loaded == 2
+        assert health.retries == 0
+        timings = session.stage_timings
+        assert "checkpoint:load" in timings and "checkpoint:save" in timings
+        assert "shard:2:corpus" in timings
+        assert "shard:0:corpus" not in timings  # loaded, not rebuilt
+        assert (
+            _candidates_fingerprint(session.merged_candidates)
+            == TestSessionDeterminism.EXPECTED_MERGED_SHA256
+        )
+        assert (
+            _benchmark_fingerprint(session.merged_benchmark)
+            == TestSessionDeterminism.EXPECTED_BENCHMARK_SHA256
+        )
+
+    def test_corner_selection_fault_reseeds_deterministically(self):
+        """Data-exhaustion retries respawn the shard's seeds — the result
+        deliberately differs from the no-fault pin but is reproducible."""
+        fault = FaultPlan(
+            (FaultSpec(shard=0, attempt=1, kind="corner_selection"),)
+        )
+        first = _faulty_session(fault_plan=fault).build()
+        second = _faulty_session(fault_plan=fault).build()
+        records = first.health.attempts[0]
+        assert records[0].error == "CornerSelectionError"
+        assert records[1].ok and records[1].reseeded
+        first_print = _candidates_fingerprint(first.merged_candidates)
+        assert first_print == _candidates_fingerprint(
+            second.merged_candidates
+        )
+        assert first_print != TestSessionDeterminism.EXPECTED_MERGED_SHA256
+
+
 class TestSessionValidation:
     def test_unknown_executor_rejected(self):
         with pytest.raises(ValueError, match="executor"):
@@ -334,3 +490,11 @@ class TestSessionValidation:
     def test_nonpositive_sweep_k_rejected(self):
         with pytest.raises(ValueError, match="sweep_k"):
             ShardedBenchmarkSession(_plan(), sweep_k=0)
+
+    def test_unknown_failure_policy_rejected(self):
+        with pytest.raises(ValueError, match="failure_policy"):
+            ShardedBenchmarkSession(_plan(), failure_policy="panic")
+
+    def test_zero_attempt_budget_rejected(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            ShardedBenchmarkSession(_plan(), max_attempts=0)
