@@ -1,0 +1,53 @@
+"""repro-lint: AST-based invariant checker for the reproduction's spine.
+
+Everything the repository pins — byte-identical shard builds across
+worker counts, crash-retries reproducing exact sha256s, checkpoint
+fingerprints — rests on source-level invariants that a runtime test only
+catches when it happens to exercise the broken path.  This package
+checks them statically:
+
+* **RNG discipline** (``RNG001``–``RNG004``): no ambient
+  ``random.*`` / legacy ``np.random.*`` state, no unseeded generator
+  construction, no wall-clock/``os.environ`` reads outside justified
+  allowlist suppressions.
+* **Pickle safety** (``PKL001``–``PKL003``): classes and exceptions
+  crossing the process-pool boundary stay module-level, lambda-free and
+  ``__reduce__``-compatible.
+* **Lock discipline** (``LCK001``): attributes a class mutates under
+  ``with self._lock`` are never mutated without it.
+* **Ordering hazards** (``ORD001``–``ORD002``): sets and directory
+  listings are ``sorted(...)`` before order can leak into output.
+* **Meta** (``SUP001``): every inline suppression carries a
+  justification.
+
+Run it as ``python -m repro.analysis src/ --baseline
+analysis/baseline.json`` — see :mod:`repro.analysis.cli`.  The package
+is stdlib-only by design: the CI lint job needs no numpy/scipy.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineMatch
+from repro.analysis.engine import (
+    AnalysisConfig,
+    AnalysisResult,
+    analyze_paths,
+    analyze_source,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.module import ModuleInfo, parse_module, parse_source
+from repro.analysis.rules import REGISTRY, Rule, all_rules
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisResult",
+    "Baseline",
+    "BaselineMatch",
+    "Finding",
+    "ModuleInfo",
+    "REGISTRY",
+    "Rule",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "parse_module",
+    "parse_source",
+]

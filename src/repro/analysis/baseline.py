@@ -1,0 +1,96 @@
+"""Baseline: freeze pre-existing findings so CI fails only on new ones.
+
+A baseline file is a JSON list of finding records.  Matching is by
+``(rule, path, snippet)`` as a *multiset* — two identical violations on
+different lines of the same file need two baseline entries, but moving
+a baselined line up or down the file (the common case: unrelated edits
+above it) does not un-freeze it.
+
+Workflow:
+
+* ``python -m repro.analysis src/ --write-baseline`` regenerates the
+  file from the current tree (run it when deliberately accepting
+  findings, then commit the diff for review);
+* ``--baseline analysis/baseline.json`` splits findings into
+  *baselined* (frozen, reported but not failing) and *new* (exit 1);
+* entries whose finding no longer exists are reported as *stale* so the
+  baseline shrinks over time instead of fossilizing.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+__all__ = ["BASELINE_SCHEMA", "Baseline", "BaselineMatch"]
+
+BASELINE_SCHEMA = 1
+
+
+@dataclass
+class BaselineMatch:
+    """The split of a finding list against a baseline."""
+
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale: list[tuple[str, str, str]] = field(default_factory=list)
+
+
+@dataclass
+class Baseline:
+    """An immutable multiset of frozen finding identities."""
+
+    entries: list[Finding] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise ValueError(
+                f"baseline {path} is not a repro-lint baseline (no "
+                "'entries' key); regenerate with --write-baseline"
+            )
+        schema = payload.get("schema")
+        if schema != BASELINE_SCHEMA:
+            raise ValueError(
+                f"baseline {path} has schema {schema!r}, this tool reads "
+                f"{BASELINE_SCHEMA}; regenerate with --write-baseline"
+            )
+        return cls(
+            entries=[Finding.from_dict(entry) for entry in payload["entries"]]
+        )
+
+    def save(self, path: Path | str) -> None:
+        records = [
+            finding.to_dict()
+            for finding in sorted(self.entries)
+        ]
+        payload = {
+            "schema": BASELINE_SCHEMA,
+            "tool": "repro-lint",
+            "entries": records,
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def match(self, findings: list[Finding]) -> BaselineMatch:
+        """Split ``findings`` into new vs baselined, and report stale keys."""
+        budget = Counter(entry.baseline_key for entry in self.entries)
+        result = BaselineMatch()
+        for finding in sorted(findings):
+            key = finding.baseline_key
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                result.baselined.append(finding)
+            else:
+                result.new.append(finding)
+        result.stale = sorted(
+            key for key, remaining in budget.items() if remaining > 0
+        )
+        return result

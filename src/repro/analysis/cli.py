@@ -1,0 +1,201 @@
+"""``python -m repro.analysis`` — the repro-lint command line.
+
+Exit codes: ``0`` clean (or every finding frozen in the baseline),
+``1`` new findings or parse errors, ``2`` usage error.
+
+Typical invocations::
+
+    python -m repro.analysis src/
+    python -m repro.analysis src/ --baseline analysis/baseline.json
+    python -m repro.analysis src/ --baseline analysis/baseline.json \
+        --write-baseline          # accept current findings
+    python -m repro.analysis src/ --report repro-lint-report.json
+    python -m repro.analysis --list-rules
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline, BaselineMatch
+from repro.analysis.engine import AnalysisConfig, analyze_paths
+from repro.analysis.rules import REGISTRY, all_rules
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "repro-lint: AST-based invariant checker for determinism, "
+            "pickle-safety, lock discipline and ordering hazards"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to analyze"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline JSON freezing pre-existing findings; only new "
+        "findings fail the run",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write every current finding to --baseline (default "
+        "analysis/baseline.json) and exit 0",
+    )
+    parser.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        help="write a JSON findings report (the CI artifact)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--boundary-glob",
+        action="append",
+        default=None,
+        metavar="GLOB",
+        help="override pickle-boundary module globs (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog"
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="print only the summary line and new findings",
+    )
+    return parser
+
+
+def _list_rules() -> int:
+    for rule in all_rules():
+        print(f"{rule.rule_id}  {rule.title}")
+        if rule.hint:
+            print(f"        fix: {rule.hint}")
+    return 0
+
+
+def _write_report(
+    path: Path, result, match: BaselineMatch | None
+) -> None:
+    payload = {
+        "schema": 1,
+        "tool": "repro-lint",
+        "files_analyzed": result.files_analyzed,
+        "rules": sorted(REGISTRY),
+        "findings": [finding.to_dict() for finding in result.findings],
+        "suppressed": [finding.to_dict() for finding in result.suppressed],
+        "parse_errors": [
+            finding.to_dict() for finding in result.parse_errors
+        ],
+    }
+    if match is not None:
+        payload["new"] = [finding.to_dict() for finding in match.new]
+        payload["baselined"] = [
+            finding.to_dict() for finding in match.baselined
+        ]
+        payload["stale_baseline_entries"] = [
+            list(key) for key in match.stale
+        ]
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        return _list_rules()
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print(
+            "error: at least one path to analyze is required", file=sys.stderr
+        )
+        return 2
+
+    select = None
+    if args.select:
+        select = tuple(
+            part.strip() for part in args.select.split(",") if part.strip()
+        )
+    config = AnalysisConfig(select=select)
+    if args.boundary_glob:
+        config = AnalysisConfig(
+            boundary_globs=tuple(args.boundary_glob), select=select
+        )
+
+    try:
+        result = analyze_paths(args.paths, config)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline or Path("analysis/baseline.json")
+    if args.write_baseline:
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        Baseline(entries=list(result.findings)).save(baseline_path)
+        print(
+            f"wrote {len(result.findings)} finding(s) to {baseline_path}"
+        )
+        return 0
+
+    match: BaselineMatch | None = None
+    failing = list(result.findings)
+    if args.baseline is not None:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except FileNotFoundError:
+            print(
+                f"error: baseline {args.baseline} not found; create it "
+                "with --write-baseline",
+                file=sys.stderr,
+            )
+            return 2
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        match = baseline.match(result.findings)
+        failing = match.new
+
+    if args.report is not None:
+        _write_report(args.report, result, match)
+
+    for finding in result.parse_errors:
+        print(finding.render())
+    shown = failing if args.quiet else result.findings
+    new_keys = {id(finding) for finding in failing}
+    for finding in shown:
+        marker = "" if id(finding) in new_keys else " [baselined]"
+        print(finding.render() + marker)
+    if match is not None and match.stale and not args.quiet:
+        for rule, path, snippet in match.stale:
+            print(
+                f"stale baseline entry: {rule} {path} ({snippet!r}) — "
+                "finding no longer exists; regenerate with --write-baseline"
+            )
+
+    baselined = len(match.baselined) if match is not None else 0
+    print(
+        f"repro-lint: {result.files_analyzed} file(s), "
+        f"{len(result.findings)} finding(s) "
+        f"({baselined} baselined, {len(failing)} new, "
+        f"{len(result.suppressed)} suppressed, "
+        f"{len(result.parse_errors)} parse error(s))"
+    )
+    return 1 if failing or result.parse_errors else 0

@@ -1,0 +1,144 @@
+"""The analysis engine: collect files, run rules, filter suppressions.
+
+``analyze_paths`` is the one entry point: it walks the given files and
+directories (``**/*.py``, sorted — this tool practices the ordering
+discipline it enforces), parses each into a
+:class:`~repro.analysis.module.ModuleInfo`, runs every registered rule,
+and drops findings covered by a *justified* inline suppression.
+
+Boundary selection for the pickle-safety family is configuration, not
+hardcoding: ``AnalysisConfig.boundary_globs`` are ``fnmatch`` patterns
+over posix relpaths, defaulting to the modules whose objects actually
+cross the process-pool boundary today (``repro/errors.py``,
+``repro/core/builder.py``, everything under ``repro/shard/``).  A module
+can also opt in with a ``# repro-lint: boundary`` marker comment —
+that is how rule fixtures declare themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.module import parse_module, parse_source
+from repro.analysis.rules import all_rules
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisResult",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+]
+
+DEFAULT_BOUNDARY_GLOBS = (
+    "*repro/errors.py",
+    "*repro/core/builder.py",
+    "*repro/shard/*.py",
+)
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """What to analyze and with which rules."""
+
+    boundary_globs: tuple[str, ...] = DEFAULT_BOUNDARY_GLOBS
+    select: tuple[str, ...] | None = None  # None = every registered rule
+
+    def is_boundary_path(self, relpath: str) -> bool:
+        return any(fnmatch(relpath, glob) for glob in self.boundary_globs)
+
+
+@dataclass
+class AnalysisResult:
+    """Findings plus bookkeeping the CLI and report artifact surface."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files_analyzed: int = 0
+    parse_errors: list[Finding] = field(default_factory=list)
+
+
+def iter_python_files(paths: Sequence[Path | str]) -> list[Path]:
+    """Every ``.py`` file under ``paths``, deduplicated, sorted."""
+    files: set[Path] = set()
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            files.update(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+def _relpath(path: Path) -> str:
+    """Posix path relative to the CWD when possible, else as given.
+
+    Findings and baselines key on this string, so running from the repo
+    root (as CI does) yields stable ``src/repro/...`` paths.
+    """
+    resolved = path.resolve()
+    cwd = Path.cwd().resolve()
+    try:
+        return resolved.relative_to(cwd).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def analyze_paths(
+    paths: Sequence[Path | str],
+    config: AnalysisConfig | None = None,
+) -> AnalysisResult:
+    """Run every selected rule over every python file under ``paths``."""
+    config = config or AnalysisConfig()
+    rules = all_rules(config.select)
+    result = AnalysisResult()
+    for path in iter_python_files(paths):
+        relpath = _relpath(path)
+        try:
+            module = parse_module(
+                path, relpath, boundary=config.is_boundary_path(relpath)
+            )
+        except SyntaxError as error:
+            result.parse_errors.append(
+                Finding(
+                    path=relpath,
+                    line=error.lineno or 1,
+                    col=error.offset or 0,
+                    rule="PARSE",
+                    message=f"file does not parse: {error.msg}",
+                    hint="repro-lint analyzes source it can parse; fix the "
+                    "syntax error first",
+                )
+            )
+            continue
+        result.files_analyzed += 1
+        for rule in rules:
+            for finding in rule.check(module):
+                if finding.rule in module.suppressed_rules(finding.line):
+                    result.suppressed.append(finding)
+                else:
+                    result.findings.append(finding)
+    result.findings.sort()
+    result.suppressed.sort()
+    return result
+
+
+def analyze_source(
+    source: str,
+    *,
+    filename: str = "<memory>",
+    boundary: bool = False,
+    select: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Analyze an in-memory source string (test/fixture convenience)."""
+    module = parse_source(source, filename, boundary=boundary)
+    findings: list[Finding] = []
+    for rule in all_rules(tuple(select) if select else None):
+        for finding in rule.check(module):
+            if finding.rule not in module.suppressed_rules(finding.line):
+                findings.append(finding)
+    return sorted(findings)

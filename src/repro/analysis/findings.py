@@ -1,0 +1,58 @@
+"""Findings: what a rule reports and how it serializes.
+
+A :class:`Finding` is one violation of one rule at one source location.
+Findings are value objects — hashable, orderable, JSON-round-trippable —
+because everything downstream (suppression filtering, baseline matching,
+the CI report artifact) treats them as data.
+
+The ``snippet`` field carries the stripped source line the finding
+anchors to.  Baseline matching keys on ``(rule, path, snippet)`` rather
+than the line number, so a finding frozen in ``analysis/baseline.json``
+survives unrelated edits that shift it up or down the file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    hint: str = ""
+    snippet: str = field(default="", compare=False)
+
+    @property
+    def baseline_key(self) -> tuple[str, str, str]:
+        """The identity a baseline entry matches on (line-drift stable)."""
+        return (self.rule, self.path, self.snippet)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Finding":
+        return cls(
+            path=payload["path"],
+            line=int(payload["line"]),
+            col=int(payload.get("col", 0)),
+            rule=payload["rule"],
+            message=payload.get("message", ""),
+            hint=payload.get("hint", ""),
+            snippet=payload.get("snippet", ""),
+        )
+
+    def render(self) -> str:
+        """The one-line human form: ``path:line:col: RULE message``."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text

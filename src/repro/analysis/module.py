@@ -1,0 +1,219 @@
+"""Per-module analysis context: AST, symbol table, suppressions.
+
+A :class:`ModuleInfo` is everything a rule needs to judge one source
+file without re-deriving it per rule:
+
+* the parsed ``ast`` tree plus a child→parent map (rules ask "am I
+  inside a ``with self._lock`` block?" by walking ancestors);
+* a lightweight *symbol table* mapping local names to canonical dotted
+  names (``import numpy as np`` makes ``np.random.default_rng`` resolve
+  to ``numpy.random.default_rng``; ``from time import time as now``
+  makes ``now()`` resolve to ``time.time``) so rules match semantics,
+  not spelling;
+* parsed ``# repro-lint: disable=RULE -- justification`` suppression
+  comments, both line-level and file-level;
+* the *boundary* flag: whether this module participates in the
+  process-pool boundary (pickle-safety rules only apply there).
+
+The symbol table is deliberately shallow — it resolves import aliases,
+not assignments or control flow.  That is the right trade for an
+invariant checker: every rule here guards a *determinism or
+pickle-safety contract*, where a false positive costs one justified
+suppression comment and a false negative silently breaks pinned hashes.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "ModuleInfo",
+    "Suppression",
+    "BOUNDARY_MARKER",
+    "parse_module",
+    "parse_source",
+]
+
+# A module containing this comment (anywhere) opts into the pickle-safety
+# boundary rules regardless of path-based configuration — used by rule
+# fixtures and by modules that know they cross the pool boundary.
+BOUNDARY_MARKER = "repro-lint: boundary"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<scope>disable|disable-file)="
+    r"(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+    r"(?:\s+--\s*(?P<why>\S.*?))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``repro-lint: disable`` comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    justification: str
+    file_level: bool = False
+
+    @property
+    def valid(self) -> bool:
+        """Only justified suppressions actually suppress findings."""
+        return bool(self.justification.strip())
+
+
+@dataclass
+class ModuleInfo:
+    """Parsed, indexed context for one analyzed source file."""
+
+    path: Path
+    relpath: str
+    tree: ast.Module
+    lines: list[str]
+    imports: dict[str, str]
+    suppressions: list[Suppression]
+    boundary: bool = False
+    _parents: dict[int, ast.AST] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------ tree --
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST):
+        """Ancestors of ``node``, nearest first, root (Module) last."""
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def enclosing(self, node: ast.AST, kinds: tuple[type, ...]) -> ast.AST | None:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, kinds):
+                return ancestor
+        return None
+
+    def enclosing_function(self, node: ast.AST) -> ast.AST | None:
+        return self.enclosing(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+
+    def enclosing_class(self, node: ast.AST) -> ast.ClassDef | None:
+        found = self.enclosing(node, (ast.ClassDef,))
+        return found if isinstance(found, ast.ClassDef) else None
+
+    # --------------------------------------------------------- symbols --
+    def resolve(self, node: ast.AST) -> str | None:
+        """The canonical dotted name of an attribute chain, or ``None``.
+
+        Only chains rooted at an imported name resolve — a local variable
+        that happens to be called ``random`` never matches the stdlib
+        ``random`` module, because it is not in the import table.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.imports.get(node.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    # ---------------------------------------------------- suppressions --
+    def suppressed_rules(self, line: int) -> set[str]:
+        """Rules validly suppressed at ``line`` (line- or file-level)."""
+        rules: set[str] = set()
+        for suppression in self.suppressions:
+            if not suppression.valid:
+                continue
+            if suppression.file_level or suppression.line == line:
+                rules.update(suppression.rules)
+        return rules
+
+    def source_line(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+
+def _build_imports(tree: ast.Module) -> dict[str, str]:
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    imports[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    imports[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue  # relative imports resolve within this package
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                imports[bound] = f"{node.module}.{alias.name}"
+    return imports
+
+
+def _parse_suppressions(lines: list[str]) -> list[Suppression]:
+    suppressions: list[Suppression] = []
+    for lineno, text in enumerate(lines, start=1):
+        comment_at = text.find("#")
+        if comment_at < 0 or "repro-lint" not in text:
+            continue
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        rules = tuple(
+            part.strip().upper()
+            for part in match.group("rules").split(",")
+            if part.strip()
+        )
+        suppressions.append(
+            Suppression(
+                line=lineno,
+                rules=rules,
+                justification=(match.group("why") or "").strip(),
+                file_level=match.group("scope") == "disable-file",
+            )
+        )
+    return suppressions
+
+
+def parse_source(
+    source: str, relpath: str, *, path: Path | None = None, boundary: bool = False
+) -> ModuleInfo:
+    """Parse source text into a fully-indexed :class:`ModuleInfo`.
+
+    Raises :class:`SyntaxError` for unparseable input — the caller turns
+    that into a finding rather than crashing the run.
+    """
+    tree = ast.parse(source, filename=str(path or relpath))
+    lines = source.splitlines()
+    parents: dict[int, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    info = ModuleInfo(
+        path=path if path is not None else Path(relpath),
+        relpath=relpath,
+        tree=tree,
+        lines=lines,
+        imports=_build_imports(tree),
+        suppressions=_parse_suppressions(lines),
+        boundary=boundary or BOUNDARY_MARKER in source,
+    )
+    info._parents = parents
+    return info
+
+
+def parse_module(
+    path: Path, relpath: str, *, boundary: bool = False
+) -> ModuleInfo:
+    """Parse one source *file* into a :class:`ModuleInfo`."""
+    source = path.read_text(encoding="utf-8")
+    return parse_source(source, relpath, path=path, boundary=boundary)

@@ -1,0 +1,92 @@
+"""The pluggable rule registry.
+
+Every rule is a class with a unique ``rule_id``, registered by the
+:func:`register` decorator at import time.  The engine runs every
+registered rule over every module; a rule that does not apply (e.g. a
+pickle-safety rule on a non-boundary module) returns no findings.
+
+Adding a rule family is: write a module here, decorate the classes,
+import it below, add fixtures under ``tests/analysis/fixtures/`` — the
+meta-test fails until the fixtures exist.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterable, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.module import ModuleInfo
+
+__all__ = ["Rule", "REGISTRY", "register", "all_rules"]
+
+
+class Rule:
+    """Base class: one invariant, one id, one fix hint."""
+
+    rule_id: ClassVar[str]
+    title: ClassVar[str]
+    hint: ClassVar[str] = ""
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        module: ModuleInfo,
+        node: ast.AST | int,
+        message: str,
+        *,
+        hint: str | None = None,
+    ) -> Finding:
+        if isinstance(node, int):
+            line, col = node, 0
+        else:
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+        return Finding(
+            path=module.relpath,
+            line=line,
+            col=col,
+            rule=self.rule_id,
+            message=message,
+            hint=self.hint if hint is None else hint,
+            snippet=module.source_line(line),
+        )
+
+
+REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    rule_id = rule_cls.rule_id
+    if rule_id in REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_id!r}")
+    REGISTRY[rule_id] = rule_cls()
+    return rule_cls
+
+
+def all_rules(select: Iterable[str] | None = None) -> list[Rule]:
+    """Registered rules, id-sorted; ``select`` narrows to a subset."""
+    if select is None:
+        wanted = sorted(REGISTRY)
+    else:
+        wanted = sorted({rule_id.upper() for rule_id in select})
+        unknown = [rule_id for rule_id in wanted if rule_id not in REGISTRY]
+        if unknown:
+            raise KeyError(
+                f"unknown rule ids {unknown}; known: {sorted(REGISTRY)}"
+            )
+    return [REGISTRY[rule_id] for rule_id in wanted]
+
+
+# Importing the rule modules populates the registry.
+from repro.analysis.rules import (  # noqa: E402  (registry must exist first)
+    locks,
+    meta,
+    ordering,
+    pickle_safety,
+    rng,
+)
+
+_ = (rng, pickle_safety, locks, ordering, meta)

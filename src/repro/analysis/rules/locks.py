@@ -1,0 +1,189 @@
+"""Lock discipline: guarded attributes mutate only under their lock.
+
+The contract is *inferred per class* rather than registered centrally: a
+class that assigns ``self.<name> = threading.Lock()`` (or ``RLock``)
+owns that lock, and any instance attribute it mutates at least once
+inside a ``with self.<lock>`` block is considered *guarded* — the
+class's own locked code is the declaration of intent.  Every other
+mutation of a guarded attribute outside a lock block is a finding
+(**LCK001**), except in construction/pickling methods (``__init__``,
+``__new__``, ``__getstate__``, ``__setstate__``, ``__reduce__``) where
+the instance is not yet shared.
+
+This is exactly the invariant ``BoundedPairCache`` relies on: its
+``_data`` LRU map is shared by thread-parallel ratio builds, and one
+unlocked ``self._data[key] = value`` added in a refactor is a data race
+that corrupts cached Generalized-Jaccard scores silently.
+
+Known limitation (documented, deliberate): mutations through a local
+alias (``data = self._data; data[k] = v``) are attributed to the alias,
+not the attribute.  Keep alias-mutation inside the ``with`` block — as
+``BoundedPairCache`` does — and the rule sees the truth.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.module import ModuleInfo
+from repro.analysis.rules import Rule, register
+
+_LOCK_TYPES = {"threading.Lock", "threading.RLock"}
+
+_MUTATOR_METHODS = {
+    "append",
+    "extend",
+    "insert",
+    "add",
+    "update",
+    "setdefault",
+    "pop",
+    "popitem",
+    "remove",
+    "discard",
+    "clear",
+    "sort",
+    "reverse",
+}
+
+_CONSTRUCTION_METHODS = {
+    "__init__",
+    "__new__",
+    "__getstate__",
+    "__setstate__",
+    "__reduce__",
+    "__copy__",
+    "__deepcopy__",
+}
+
+
+def _self_attribute(node: ast.AST) -> str | None:
+    """``self.<attr>`` → attr name, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _mutations(class_node: ast.ClassDef) -> list[tuple[str, ast.AST]]:
+    """All ``(attr, node)`` mutations of ``self.<attr>`` in the class."""
+    found: list[tuple[str, ast.AST]] = []
+    for node in ast.walk(class_node):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                attr = _self_attribute(target)
+                if attr is not None:
+                    found.append((attr, node))
+                elif isinstance(target, ast.Subscript):
+                    attr = _self_attribute(target.value)
+                    if attr is not None:
+                        found.append((attr, node))
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                base = (
+                    target.value
+                    if isinstance(target, ast.Subscript)
+                    else target
+                )
+                attr = _self_attribute(base)
+                if attr is not None:
+                    found.append((attr, node))
+        elif isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATOR_METHODS
+            ):
+                attr = _self_attribute(node.func.value)
+                if attr is not None:
+                    found.append((attr, node))
+    return found
+
+
+@register
+class GuardedMutationRule(Rule):
+    rule_id = "LCK001"
+    title = "guarded attribute mutated outside its lock"
+    hint = (
+        "wrap the mutation in `with self.<lock>:` — the class mutates "
+        "this attribute under the lock elsewhere, so this site races"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(
+        self, module: ModuleInfo, class_node: ast.ClassDef
+    ) -> Iterator[Finding]:
+        lock_names = self._lock_attributes(module, class_node)
+        if not lock_names:
+            return
+        mutations = _mutations(class_node)
+        guarded = {
+            attr
+            for attr, node in mutations
+            if attr not in lock_names
+            and self._under_lock(module, node, lock_names)
+        }
+        if not guarded:
+            return
+        for attr, node in mutations:
+            if attr not in guarded:
+                continue
+            if self._under_lock(module, node, lock_names):
+                continue
+            method = module.enclosing_function(node)
+            if (
+                method is not None
+                and method.name in _CONSTRUCTION_METHODS
+                and module.enclosing_class(method) is class_node
+            ):
+                continue
+            where = method.name if method is not None else "<class body>"
+            yield self.finding(
+                module,
+                node,
+                f"`self.{attr}` is lock-guarded in `{class_node.name}` but "
+                f"mutated without the lock in `{where}`",
+            )
+
+    @staticmethod
+    def _lock_attributes(
+        module: ModuleInfo, class_node: ast.ClassDef
+    ) -> set[str]:
+        locks: set[str] = set()
+        for node in ast.walk(class_node):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not isinstance(node.value, ast.Call):
+                continue
+            if module.resolve(node.value.func) not in _LOCK_TYPES:
+                continue
+            for target in node.targets:
+                attr = _self_attribute(target)
+                if attr is not None:
+                    locks.add(attr)
+        return locks
+
+    @staticmethod
+    def _under_lock(
+        module: ModuleInfo, node: ast.AST, lock_names: set[str]
+    ) -> bool:
+        for ancestor in module.ancestors(node):
+            if not isinstance(ancestor, ast.With):
+                continue
+            for item in ancestor.items:
+                expr = item.context_expr
+                attr = _self_attribute(expr)
+                if attr in lock_names:
+                    return True
+        return False

@@ -1,0 +1,37 @@
+"""Meta rules about the lint machinery itself.
+
+* **SUP001** — an inline ``# repro-lint: disable=RULE`` without a
+  ``-- justification`` trailer.  Unjustified suppressions do not
+  suppress anything (the engine ignores them), and this rule makes the
+  dead comment visible instead of letting it rot as false confidence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.module import ModuleInfo
+from repro.analysis.rules import Rule, register
+
+
+@register
+class SuppressionJustificationRule(Rule):
+    rule_id = "SUP001"
+    title = "suppression missing justification"
+    hint = (
+        "write `# repro-lint: disable=RULE -- <why this is safe>`; "
+        "unjustified suppressions are ignored"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for suppression in module.suppressions:
+            if suppression.valid:
+                continue
+            rules = ",".join(suppression.rules)
+            yield self.finding(
+                module,
+                suppression.line,
+                f"suppression of {rules} has no `-- justification` trailer "
+                "and is ignored",
+            )

@@ -1,0 +1,211 @@
+"""Ordering hazards: unordered iteration feeding ordered consumers.
+
+Set iteration order depends on element hashes, and ``str`` hashing is
+randomized per process (``PYTHONHASHSEED``) — so ``for x in some_set``
+yields a *different order in every worker process*.  Anything that
+flows from such an iteration into output, a hash, id assignment, or RNG
+consumption breaks the byte-identical-build guarantee.  ``dict``
+iteration, by contrast, follows insertion order and is deterministic
+whenever the insertions were — which is why these rules target sets
+(**ORD001**) and filesystem listings (**ORD002**, ``os.listdir`` order
+is whatever the OS returns) but not dicts.
+
+The rules are syntactic on purpose: any set iterated in an
+order-sensitive position must be wrapped in ``sorted(...)``.  Order-free
+reductions (``len``, ``sum``, ``min``, ``max``, ``any``, ``all``,
+membership tests, building another set) are recognized and exempt; a
+site the checker cannot prove order-free but a human can gets an inline
+justified suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.module import ModuleInfo
+from repro.analysis.rules import Rule, register
+
+# Consumers where element order cannot leak into the result.
+_ORDER_FREE_CALLS = {
+    "len",
+    "sum",
+    "min",
+    "max",
+    "any",
+    "all",
+    "set",
+    "frozenset",
+    "sorted",
+    "bool",
+}
+
+# Call results that are directory listings in OS-defined order.
+_LISTING_CALLS = {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+_LISTING_METHODS = {"iterdir", "rglob", "glob"}
+
+
+def _is_set_literalish(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _local_set_names(scope: ast.AST) -> set[str]:
+    """Names assigned a set-typed value (and never rebound otherwise)."""
+    assigned: set[str] = set()
+    rebound: set[str] = set()
+    for node in ast.walk(scope):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node is not scope:
+                continue  # nested scopes tracked separately
+        targets: list[ast.AST] = []
+        value = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if _is_set_literalish(value):
+                assigned.add(target.id)
+            else:
+                rebound.add(target.id)
+    return assigned - rebound
+
+
+@register
+class SetIterationRule(Rule):
+    rule_id = "ORD001"
+    title = "order-sensitive iteration over a set"
+    hint = (
+        "wrap in sorted(...) — set order is hash-randomized per process "
+        "and breaks byte-identical builds"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        scopes: list[ast.AST] = [module.tree] + [
+            node
+            for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for scope in scopes:
+            set_names = _local_set_names(scope)
+            for node in self._scope_walk(scope):
+                yield from self._check_node(module, node, set_names)
+
+    @staticmethod
+    def _scope_walk(scope: ast.AST) -> Iterator[ast.AST]:
+        """Walk a scope without descending into nested function scopes."""
+        stack = list(
+            ast.iter_child_nodes(scope)
+        )
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _is_set_expr(self, node: ast.AST, set_names: set[str]) -> bool:
+        if _is_set_literalish(node):
+            return True
+        return isinstance(node, ast.Name) and node.id in set_names
+
+    def _check_node(
+        self, module: ModuleInfo, node: ast.AST, set_names: set[str]
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            if self._is_set_expr(node.iter, set_names):
+                yield self._report(module, node.iter, "a for loop")
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            for comp in node.generators:
+                if self._is_set_expr(comp.iter, set_names):
+                    yield self._report(module, comp.iter, "a comprehension")
+        elif isinstance(node, ast.Call):
+            yield from self._check_call(module, node, set_names)
+        elif isinstance(node, ast.Starred):
+            if self._is_set_expr(node.value, set_names):
+                yield self._report(module, node.value, "star-unpacking")
+
+    def _check_call(
+        self, module: ModuleInfo, call: ast.Call, set_names: set[str]
+    ) -> Iterator[Finding]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id in _ORDER_FREE_CALLS:
+                return
+            if func.id in ("list", "tuple", "enumerate", "iter"):
+                for arg in call.args[:1]:
+                    if self._is_set_expr(arg, set_names):
+                        yield self._report(module, arg, f"{func.id}(...)")
+        elif isinstance(func, ast.Attribute) and func.attr == "join":
+            for arg in call.args[:1]:
+                if self._is_set_expr(arg, set_names):
+                    yield self._report(module, arg, "str.join")
+
+    def _report(
+        self, module: ModuleInfo, node: ast.AST, context: str
+    ) -> Finding:
+        return self.finding(
+            module,
+            node,
+            f"set iterated in order-sensitive position ({context}); "
+            "iteration order is hash-randomized per process",
+        )
+
+
+@register
+class DirectoryListingRule(Rule):
+    rule_id = "ORD002"
+    title = "unsorted directory listing"
+    hint = (
+        "wrap the listing in sorted(...) — os.listdir/glob/iterdir order "
+        "is filesystem-defined, not stable"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not self._is_listing(module, node):
+                continue
+            if self._order_free_consumer(module, node):
+                continue
+            name = module.resolve(node.func) or (
+                node.func.attr if isinstance(node.func, ast.Attribute) else "?"
+            )
+            yield self.finding(
+                module,
+                node,
+                f"`{name}` returns entries in filesystem order; consumed "
+                "without sorted(...)",
+            )
+
+    @staticmethod
+    def _is_listing(module: ModuleInfo, call: ast.Call) -> bool:
+        qualified = module.resolve(call.func)
+        if qualified in _LISTING_CALLS:
+            return True
+        return (
+            qualified is None
+            and isinstance(call.func, ast.Attribute)
+            and call.func.attr in _LISTING_METHODS
+        )
+
+    @staticmethod
+    def _order_free_consumer(module: ModuleInfo, call: ast.Call) -> bool:
+        parent = module.parent(call)
+        # sorted(listing) — or another order-free reduction — directly.
+        if isinstance(parent, ast.Call) and isinstance(parent.func, ast.Name):
+            return parent.func.id in _ORDER_FREE_CALLS
+        # `x in listing` membership tests are order-free.
+        if isinstance(parent, ast.Compare):
+            return all(
+                isinstance(op, (ast.In, ast.NotIn)) for op in parent.ops
+            )
+        return False

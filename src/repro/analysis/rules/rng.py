@@ -1,0 +1,205 @@
+"""RNG discipline rules.
+
+Every pinned sha256 in this repository — byte-identical shard builds
+across worker counts (PR 5), crash-retry reproducing the no-fault merge
+(PR 7), checkpoint fingerprints — assumes randomness flows exclusively
+from seeded ``numpy.random.Generator`` objects threaded through call
+signatures.  These rules reject every other entry point for entropy:
+
+* **RNG001** — the stdlib ``random`` module's ambient global state.
+* **RNG002** — numpy's legacy module-level convenience API
+  (``np.random.rand``, ``np.random.seed``, …), which mutates a hidden
+  global ``RandomState``.
+* **RNG003** — constructing a generator with no seed
+  (``default_rng()``, ``Generator()``, ``PCG64()``, ``random.Random()``),
+  which pulls OS entropy and is different every run.
+* **RNG004** — ambient nondeterminism reads: ``time.time()``,
+  ``os.urandom``, ``uuid.uuid4``, ``datetime.now`` and any use of
+  ``os.environ``.  Values like these must be passed in by the caller
+  (or justified with an inline suppression, the allowlist mechanism:
+  ``# repro-lint: disable=RNG004 -- <why this read is safe>``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.module import ModuleInfo
+from repro.analysis.rules import Rule, register
+
+# numpy.random attributes that are legitimate, seedable construction
+# surface rather than legacy global-state conveniences.
+_NUMPY_CONSTRUCTION = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "MT19937",
+    "Philox",
+    "SFC64",
+    "RandomState",
+}
+
+# Constructors whose *argless* call means "seed from the OS".
+_SEEDABLE_CONSTRUCTORS = {
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.PCG64",
+    "numpy.random.PCG64DXSM",
+    "numpy.random.MT19937",
+    "numpy.random.Philox",
+    "numpy.random.SFC64",
+    "numpy.random.RandomState",
+    "random.Random",
+}
+
+_AMBIENT_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "os.urandom",
+    "os.getrandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.randbits",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+def _iter_calls(module: ModuleInfo) -> Iterator[tuple[ast.Call, str]]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            qualified = module.resolve(node.func)
+            if qualified is not None:
+                yield node, qualified
+
+
+@register
+class StdlibRandomRule(Rule):
+    rule_id = "RNG001"
+    title = "stdlib random module call"
+    hint = (
+        "thread a seeded numpy.random.Generator (or random.Random(seed)) "
+        "in as a parameter instead of the ambient random module"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for call, qualified in _iter_calls(module):
+            if not qualified.startswith("random."):
+                continue
+            # Seeded random.Random(x) instances are RNG003's concern.
+            if qualified == "random.Random":
+                continue
+            yield self.finding(
+                module,
+                call,
+                f"call to ambient `{qualified}` uses hidden global RNG state",
+            )
+
+
+@register
+class NumpyLegacyRandomRule(Rule):
+    rule_id = "RNG002"
+    title = "numpy legacy module-level random call"
+    hint = (
+        "use a seeded generator: rng = numpy.random.default_rng(seed); "
+        "rng.<method>(...)"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for call, qualified in _iter_calls(module):
+            prefix, _, attribute = qualified.rpartition(".")
+            if prefix != "numpy.random":
+                continue
+            if attribute in _NUMPY_CONSTRUCTION:
+                continue
+            yield self.finding(
+                module,
+                call,
+                f"`{qualified}` mutates numpy's hidden global RandomState",
+            )
+
+
+@register
+class UnseededGeneratorRule(Rule):
+    rule_id = "RNG003"
+    title = "unseeded RNG construction"
+    hint = (
+        "pass an explicit seed or spawn from a SeedSequence: "
+        "default_rng(seed) / SeedSequence(seed).spawn(n)"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for call, qualified in _iter_calls(module):
+            if qualified not in _SEEDABLE_CONSTRUCTORS:
+                continue
+            if self._is_unseeded(call):
+                yield self.finding(
+                    module,
+                    call,
+                    f"`{qualified}` constructed without a seed draws OS "
+                    "entropy and differs every run",
+                )
+
+    @staticmethod
+    def _is_unseeded(call: ast.Call) -> bool:
+        if not call.args and not call.keywords:
+            return True
+        if call.keywords:
+            return False
+        first = call.args[0]
+        return isinstance(first, ast.Constant) and first.value is None
+
+
+@register
+class AmbientNondeterminismRule(Rule):
+    rule_id = "RNG004"
+    title = "ambient nondeterminism read"
+    hint = (
+        "pass the value (clock, environ mapping, id) in from the caller; "
+        "if this read is genuinely safe, suppress with a justification: "
+        "# repro-lint: disable=RNG004 -- <why>"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for call, qualified in _iter_calls(module):
+            if qualified in _AMBIENT_CALLS:
+                yield self.finding(
+                    module,
+                    call,
+                    f"`{qualified}()` is wall-clock/OS entropy — "
+                    "nondeterministic across runs",
+                )
+        yield from self._environ_reads(module)
+
+    def _environ_reads(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            qualified = module.resolve(node)
+            if qualified != "os.environ" and not (
+                qualified or ""
+            ).startswith("os.environ."):
+                continue
+            # Report each chain once, at its outermost os.environ node.
+            parent = module.parent(node)
+            if isinstance(parent, ast.Attribute):
+                parent_qualified = module.resolve(parent)
+                if parent_qualified and parent_qualified.startswith(
+                    "os.environ"
+                ):
+                    continue
+            yield self.finding(
+                module,
+                node,
+                f"`{qualified}` read binds behavior to the ambient "
+                "environment",
+            )

@@ -145,8 +145,12 @@ class CharNgramLanguageIdentifier:
                 column[self._feature_index[feature]] = value
             matrix[:, col] = column
         self._loglik_matrix = matrix
-        self._word_ids = {}
-        self._word_vectors = []
+        # Retraining invalidates the published word-vector cache; take the
+        # lock so concurrent scorers never observe ids from the old model
+        # paired with vectors from the new one.
+        with self._word_lock:
+            self._word_ids = {}
+            self._word_vectors = []
         self._trained = True
         return self
 

@@ -139,8 +139,17 @@ class EvalSettings:
         )
 
     @classmethod
-    def from_env(cls, variable: str = "REPRO_BENCH_SCALE") -> "EvalSettings":
-        scale = os.environ.get(variable, "default").lower()
+    def from_env(
+        cls, variable: str = "REPRO_BENCH_SCALE", environ=None
+    ) -> "EvalSettings":
+        """Settings selected by the ambient scale variable.
+
+        ``environ`` binds at call time so test monkeypatching of
+        ``os.environ`` is always honored.
+        """
+        if environ is None:
+            environ = os.environ  # repro-lint: disable=RNG004 -- from_env is the documented ambient entry point for benchmark scale selection
+        scale = environ.get(variable, "default").lower()
         if scale == "smoke":
             return cls.smoke()
         if scale == "full":

@@ -41,7 +41,7 @@ import os
 import pickle
 import time
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 from repro.core.builder import BuildConfig
 from repro.errors import CheckpointError
@@ -86,11 +86,21 @@ def config_fingerprint(config: BuildConfig) -> str:
 
 
 class ShardCheckpointStore:
-    """Directory-backed store of completed shard artifacts."""
+    """Directory-backed store of completed shard artifacts.
 
-    def __init__(self, root: Path | str) -> None:
+    ``clock`` supplies the manifest's ``created_at`` wall-clock stamp
+    (documentation only — it is deliberately outside the payload sha256
+    and the config fingerprints, so two runs of the same plan produce
+    byte-identical *verifiable* state and merely different timestamps).
+    Injectable so tests can pin it.
+    """
+
+    def __init__(
+        self, root: Path | str, *, clock: Callable[[], float] | None = None
+    ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self._clock = time.time if clock is None else clock
 
     def shard_dir(self, shard: int) -> Path:
         return self.root / f"shard-{shard:04d}"
@@ -141,7 +151,7 @@ class ShardCheckpointStore:
             "payload_bytes": len(payload),
             "attempt": attempt,
             "elapsed_seconds": elapsed,
-            "created_at": time.time(),
+            "created_at": self._clock(),
         }
         manifest_path = self.manifest_path(shard)
         temp_manifest = manifest_path.with_suffix(".json.tmp")

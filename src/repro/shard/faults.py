@@ -138,8 +138,17 @@ class FaultPlan:
         return cls(faults=tuple(FaultSpec(**entry) for entry in entries))
 
     @classmethod
-    def from_env(cls, environ=os.environ) -> "FaultPlan | None":
-        """The ambient :data:`FAULT_PLAN_ENV` plan, or ``None``."""
+    def from_env(cls, environ=None) -> "FaultPlan | None":
+        """The ambient :data:`FAULT_PLAN_ENV` plan, or ``None``.
+
+        ``environ`` binds *at call time*, not import time: a default of
+        ``environ=os.environ`` in the signature would capture the mapping
+        object that existed when this module was imported, so a test
+        replacing ``os.environ`` wholesale (``monkeypatch.setattr``)
+        would be silently ignored.
+        """
+        if environ is None:
+            environ = os.environ  # repro-lint: disable=RNG004 -- from_env is the documented ambient entry point for the CI chaos harness
         payload = environ.get(FAULT_PLAN_ENV)
         if not payload:
             return None

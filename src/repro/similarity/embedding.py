@@ -61,7 +61,7 @@ class LsaEmbeddingModel:
                 cols.append(doc_id)
                 vals.append(1.0)
                 seen.add(col)
-            for col in seen:
+            for col in sorted(seen):
                 doc_freq[col] += 1.0
 
         matrix = csr_matrix(

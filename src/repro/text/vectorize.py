@@ -125,7 +125,7 @@ class TfidfVectorizer:
         lookup = {token: idx for idx, token in enumerate(self.vocabulary)}
         doc_freq = np.zeros(len(self.vocabulary), dtype=np.float64)
         for text in texts:
-            for token in set(tokenize(text)):
+            for token in sorted(set(tokenize(text))):
                 col = lookup.get(token)
                 if col is not None:
                     doc_freq[col] += 1.0

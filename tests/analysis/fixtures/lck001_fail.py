@@ -1,0 +1,19 @@
+"""LCK001 fail: a guarded attribute mutated without its lock."""
+
+import threading
+
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._data = {}
+
+    def put(self, key, value):
+        with self._lock:
+            self._data[key] = value
+
+    def put_fast(self, key, value):
+        self._data[key] = value  # races with put()
+
+    def clear(self):
+        self._data.clear()  # races too

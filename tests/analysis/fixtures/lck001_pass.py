@@ -1,0 +1,37 @@
+"""LCK001 pass: every mutation of the guarded map holds the lock."""
+
+import threading
+
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._data = {}
+        self._hits = 0  # never mutated under the lock => unguarded
+
+    def put(self, key, value):
+        with self._lock:
+            self._data[key] = value
+
+    def get(self, key):
+        with self._lock:
+            value = self._data.get(key)
+        if value is not None:
+            self._hits += 1
+        return value
+
+    def __setstate__(self, state):
+        # Pickle rebuild happens before the instance is shared.
+        self._lock = threading.Lock()
+        self._data = state["data"]
+        self._hits = 0
+
+
+class NoLocks:
+    """Classes without a lock attribute are out of scope."""
+
+    def __init__(self):
+        self._data = {}
+
+    def put(self, key, value):
+        self._data[key] = value

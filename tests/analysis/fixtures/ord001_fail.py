@@ -1,0 +1,19 @@
+"""ORD001 fail: set iteration order leaking into ordered consumers."""
+
+
+def assign_ids(tokens):
+    vocabulary = set(tokens)
+    return {token: idx for idx, token in enumerate(vocabulary)}
+
+
+def first_words(text):
+    return list({word for word in text.split()})
+
+
+def render(flags):
+    return ",".join(set(flags))
+
+
+def visit(items):
+    for item in set(items):
+        yield item

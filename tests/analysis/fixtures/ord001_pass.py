@@ -1,0 +1,26 @@
+"""ORD001 pass: sorted() wrapping and order-free reductions."""
+
+
+def assign_ids(tokens):
+    vocabulary = set(tokens)
+    return {token: idx for idx, token in enumerate(sorted(vocabulary))}
+
+
+def first_words(text):
+    return sorted({word for word in text.split()})
+
+
+def count_unique(items):
+    return len(set(items))
+
+
+def total(values):
+    return sum({abs(value) for value in values})
+
+
+def membership(item, items):
+    return item in set(items)
+
+
+def dict_iteration_is_insertion_ordered(mapping):
+    return [key for key in mapping]

@@ -1,0 +1,18 @@
+"""ORD002 fail: filesystem listings consumed in OS-defined order."""
+
+import glob
+import os
+from pathlib import Path
+
+
+def shard_files(root):
+    return [name for name in os.listdir(root)]
+
+
+def first_checkpoint(root):
+    return glob.glob(f"{root}/shard-*/manifest.json")[0]
+
+
+def walk(root):
+    for entry in Path(root).iterdir():
+        yield entry

@@ -1,0 +1,26 @@
+"""ORD002 pass: listings sorted (or consumed order-free)."""
+
+import glob
+import os
+from pathlib import Path
+
+
+def shard_files(root):
+    return sorted(os.listdir(root))
+
+
+def first_checkpoint(root):
+    return sorted(glob.glob(f"{root}/shard-*/manifest.json"))[0]
+
+
+def walk(root):
+    for entry in sorted(Path(root).iterdir()):
+        yield entry
+
+
+def count(root):
+    return len(os.listdir(root))
+
+
+def has_manifest(root):
+    return "manifest.json" in os.listdir(root)

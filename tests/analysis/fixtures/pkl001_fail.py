@@ -1,0 +1,12 @@
+"""PKL001 fail: function-local class in a pool-boundary module.
+
+# repro-lint: boundary
+"""
+
+
+def build_payload():
+    class Payload:  # cannot be found by pickle in the worker process
+        def __init__(self, value):
+            self.value = value
+
+    return Payload(7)

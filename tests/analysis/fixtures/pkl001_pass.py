@@ -1,0 +1,20 @@
+"""PKL001 pass: boundary classes live at module level.
+
+# repro-lint: boundary
+"""
+
+
+class Payload:
+    def __init__(self, value):
+        self.value = value
+
+
+def build_payload():
+    return Payload(7)
+
+
+def local_class_outside_boundary_is_fine():
+    # Note: this *file* is a boundary module, so a local class here would
+    # fail — the non-boundary case is covered by the engine test that
+    # analyzes this same source without the marker.
+    return Payload(11)

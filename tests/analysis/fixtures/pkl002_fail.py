@@ -1,0 +1,16 @@
+"""PKL002 fail: lambdas stored in picklable state.
+
+# repro-lint: boundary
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Config:
+    scorer = field(default=lambda: 0.0)
+
+
+class Worker:
+    def __init__(self, scale):
+        self.transform = lambda value: value * scale  # captures locals

@@ -1,0 +1,29 @@
+"""PKL002 pass: module-level functions pickle by reference.
+
+# repro-lint: boundary
+"""
+
+from dataclasses import dataclass, field
+
+
+def default_scorer():
+    return 0.0
+
+
+def identity(value):
+    return value
+
+
+@dataclass
+class Config:
+    scorer = field(default_factory=default_scorer)
+
+
+class Worker:
+    def __init__(self, scale):
+        self.scale = scale
+        self.transform = identity
+
+    def apply(self, values):
+        # A lambda passed transiently to sorted() is never pickled.
+        return sorted(values, key=lambda value: value * self.scale)

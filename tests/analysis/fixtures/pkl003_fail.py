@@ -1,0 +1,11 @@
+"""PKL003 fail: keyword-state exception without __reduce__.
+
+# repro-lint: boundary
+"""
+
+
+class ShardFailure(RuntimeError):
+    def __init__(self, message, *, shard=None, attempt=None):
+        super().__init__(message)
+        self.shard = shard
+        self.attempt = attempt

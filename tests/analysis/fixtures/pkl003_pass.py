@@ -1,0 +1,32 @@
+"""PKL003 pass: reducible exceptions, plus benign shapes.
+
+# repro-lint: boundary
+"""
+
+
+def _rebuild_shard_failure(cls, message, shard, attempt):
+    return cls(message, shard=shard, attempt=attempt)
+
+
+class ShardFailure(RuntimeError):
+    def __init__(self, message, *, shard=None, attempt=None):
+        super().__init__(message)
+        self.shard = shard
+        self.attempt = attempt
+
+    def __reduce__(self):
+        return (
+            _rebuild_shard_failure,
+            (type(self), self.args[0], self.shard, self.attempt),
+        )
+
+
+class ShardTimeout(ShardFailure):
+    """Inherits __reduce__ from the in-module base; no own __init__."""
+
+
+class PlainError(RuntimeError):
+    """Message-only exceptions survive the default reduction."""
+
+    def __init__(self, message):
+        super().__init__(message)

@@ -1,0 +1,14 @@
+"""RNG001 fail: ambient stdlib random calls, in several spellings."""
+
+import random
+from random import shuffle
+
+
+def scramble(items):
+    random.shuffle(items)  # global hidden state
+    return items
+
+
+def pick(items):
+    shuffle(items)  # from-import alias of the same global state
+    return random.choice(items)

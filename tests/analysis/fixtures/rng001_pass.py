@@ -1,0 +1,19 @@
+"""RNG001 pass: randomness flows in as a seeded parameter."""
+
+import random
+
+
+def scramble(items, rng: random.Random):
+    rng.shuffle(items)
+    return items
+
+
+def make_rng(seed: int) -> random.Random:
+    # Seeded instance construction is fine (argless is RNG003's case).
+    return random.Random(seed)
+
+
+def method_on_an_instance(items, rng):
+    # Methods on a passed-in generator never match the module.
+    rng.shuffle(items)
+    return rng.choice(items)

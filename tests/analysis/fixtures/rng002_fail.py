@@ -1,0 +1,13 @@
+"""RNG002 fail: numpy legacy module-level random API."""
+
+import numpy as np
+from numpy.random import permutation
+
+
+def sample(n):
+    np.random.seed(7)  # mutates the hidden global RandomState
+    return np.random.rand(n)
+
+
+def reorder(items):
+    return permutation(items)

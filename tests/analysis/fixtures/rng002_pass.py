@@ -1,0 +1,16 @@
+"""RNG002 pass: seeded generator construction and methods."""
+
+import numpy as np
+
+
+def sample(n, seed):
+    rng = np.random.default_rng(seed)
+    return rng.random(n)
+
+
+def spawn(seed, count):
+    return np.random.SeedSequence(seed).spawn(count)
+
+
+def reorder(items, rng: np.random.Generator):
+    return rng.permutation(items)

@@ -1,0 +1,22 @@
+"""RNG003 fail: unseeded generator construction draws OS entropy."""
+
+import random
+
+import numpy as np
+from numpy.random import PCG64, default_rng
+
+
+def fresh():
+    return np.random.default_rng()
+
+
+def explicit_none():
+    return default_rng(None)
+
+
+def bare_bit_generator():
+    return np.random.Generator(PCG64())
+
+
+def stdlib_instance():
+    return random.Random()

@@ -1,0 +1,22 @@
+"""RNG003 pass: every construction carries a seed or SeedSequence."""
+
+import random
+
+import numpy as np
+from numpy.random import PCG64, default_rng
+
+
+def fresh(seed):
+    return np.random.default_rng(seed)
+
+
+def from_sequence(seed):
+    return default_rng(np.random.SeedSequence(seed))
+
+
+def seeded_bit_generator(seed):
+    return np.random.Generator(PCG64(seed))
+
+
+def stdlib_instance(seed):
+    return random.Random(seed)

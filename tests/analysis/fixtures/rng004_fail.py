@@ -1,0 +1,25 @@
+"""RNG004 fail: ambient wall-clock, entropy and environment reads."""
+
+import os
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time()
+
+
+def token():
+    return os.urandom(16)
+
+
+def now():
+    return datetime.now()
+
+
+def scale(environ=os.environ):  # import-time binding is also a read
+    return environ.get("SCALE", "default")
+
+
+def read_scale():
+    return os.environ.get("SCALE")

@@ -1,0 +1,20 @@
+"""RNG004 pass: values flow in from the caller; perf timing is allowed."""
+
+import os
+import time
+
+
+def stamp(clock):
+    return clock()
+
+
+def elapsed():
+    # perf_counter measures durations, it never feeds artifact content.
+    start = time.perf_counter()
+    return time.perf_counter() - start
+
+
+def scale(environ=None):
+    if environ is None:
+        environ = os.environ  # repro-lint: disable=RNG004 -- documented ambient entry point, bound at call time
+    return environ.get("SCALE", "default")

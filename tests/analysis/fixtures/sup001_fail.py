@@ -1,0 +1,12 @@
+"""SUP001 fail: a suppression with no justification trailer.
+
+The unjustified comment below is doubly wrong: it does not suppress the
+RNG001 finding (the engine ignores it), and it earns a SUP001 of its own.
+"""
+
+import random
+
+
+def scramble(items):
+    random.shuffle(items)  # repro-lint: disable=RNG001
+    return items

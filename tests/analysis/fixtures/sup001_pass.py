@@ -1,0 +1,8 @@
+"""SUP001 pass: justified suppressions, which really do suppress."""
+
+import random
+
+
+def scramble(items):
+    random.shuffle(items)  # repro-lint: disable=RNG001 -- fixture demonstrating a justified allowlist entry
+    return items

@@ -1,0 +1,93 @@
+"""Baseline semantics: freeze, match, line-drift stability, staleness."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, Finding
+from repro.analysis.baseline import BASELINE_SCHEMA
+
+
+def _finding(rule="RNG001", path="src/x.py", line=10, snippet="x = 1"):
+    return Finding(
+        path=path,
+        line=line,
+        col=0,
+        rule=rule,
+        message="m",
+        hint="h",
+        snippet=snippet,
+    )
+
+
+class TestMatching:
+    def test_empty_baseline_everything_is_new(self):
+        match = Baseline().match([_finding()])
+        assert len(match.new) == 1
+        assert match.baselined == []
+        assert match.stale == []
+
+    def test_frozen_finding_is_baselined(self):
+        finding = _finding()
+        match = Baseline(entries=[finding]).match([finding])
+        assert match.new == []
+        assert len(match.baselined) == 1
+
+    def test_line_drift_still_matches(self):
+        frozen = _finding(line=10)
+        drifted = _finding(line=42)
+        match = Baseline(entries=[frozen]).match([drifted])
+        assert match.new == []
+        assert len(match.baselined) == 1
+
+    def test_snippet_change_is_new(self):
+        frozen = _finding(snippet="x = 1")
+        edited = _finding(snippet="x = compute()")
+        match = Baseline(entries=[frozen]).match([edited])
+        assert len(match.new) == 1
+        assert match.stale == [frozen.baseline_key]
+
+    def test_multiset_semantics(self):
+        # Two identical violations need two baseline entries.
+        frozen = _finding()
+        twice = [_finding(line=5), _finding(line=9)]
+        match = Baseline(entries=[frozen]).match(twice)
+        assert len(match.baselined) == 1
+        assert len(match.new) == 1
+
+    def test_stale_entries_reported(self):
+        match = Baseline(entries=[_finding()]).match([])
+        assert match.stale == [_finding().baseline_key]
+
+
+class TestRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        entries = [_finding(), _finding(rule="ORD001", line=3)]
+        Baseline(entries=entries).save(path)
+        loaded = Baseline.load(path)
+        assert sorted(loaded.entries) == sorted(entries)
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == BASELINE_SCHEMA
+        assert payload["tool"] == "repro-lint"
+
+    def test_schema_mismatch_refused(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"schema": 999, "entries": []}))
+        with pytest.raises(ValueError, match="schema"):
+            Baseline.load(path)
+
+    def test_non_baseline_json_refused(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ValueError, match="entries"):
+            Baseline.load(path)
+
+    def test_save_is_deterministically_sorted(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        entries = [_finding(line=9), _finding(rule="ORD001"), _finding(line=5)]
+        Baseline(entries=list(entries)).save(a)
+        Baseline(entries=list(reversed(entries))).save(b)
+        assert a.read_text() == b.read_text()

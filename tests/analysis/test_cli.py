@@ -1,0 +1,155 @@
+"""CLI behavior: exit codes, baseline gating, report artifact — and the
+acceptance criterion itself: ``python -m repro.analysis src/`` exits 0
+against the committed baseline on a clean tree.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+CLEAN = "def add(a, b):\n    return a + b\n"
+DIRTY = "import random\n\n\ndef roll():\n    return random.random()\n"
+
+
+@pytest.fixture()
+def in_tmp(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, in_tmp, capsys):
+        (in_tmp / "mod.py").write_text(CLEAN)
+        assert main(["mod.py"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_findings_exit_one(self, in_tmp, capsys):
+        (in_tmp / "mod.py").write_text(DIRTY)
+        assert main(["mod.py"]) == 1
+        out = capsys.readouterr().out
+        assert "RNG001" in out
+        assert "hint:" in out
+
+    def test_no_paths_is_usage_error(self, capsys):
+        assert main([]) == 2
+
+    def test_unknown_rule_select_is_usage_error(self, in_tmp, capsys):
+        (in_tmp / "mod.py").write_text(CLEAN)
+        assert main(["mod.py", "--select", "NOPE99"]) == 2
+
+    def test_missing_baseline_is_usage_error(self, in_tmp, capsys):
+        (in_tmp / "mod.py").write_text(CLEAN)
+        assert main(["mod.py", "--baseline", "absent.json"]) == 2
+
+    def test_parse_error_exits_one(self, in_tmp, capsys):
+        (in_tmp / "mod.py").write_text("def broken(:\n")
+        assert main(["mod.py"]) == 1
+        assert "PARSE" in capsys.readouterr().out
+
+
+class TestBaselineWorkflow:
+    def test_write_then_gate_then_new_finding(self, in_tmp, capsys):
+        (in_tmp / "mod.py").write_text(DIRTY)
+        baseline = in_tmp / "baseline.json"
+
+        # Freeze the pre-existing finding.
+        assert main(["mod.py", "--write-baseline", "--baseline", str(baseline)]) == 0
+        assert baseline.exists()
+
+        # Gated run: the frozen finding no longer fails.
+        assert main(["mod.py", "--baseline", str(baseline)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+        # A *new* violation fails even though the old one is frozen.
+        (in_tmp / "mod.py").write_text(
+            DIRTY + "\n\ndef roll2():\n    return random.randint(1, 6)\n"
+        )
+        assert main(["mod.py", "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "1 new" in out
+
+    def test_stale_entries_surface(self, in_tmp, capsys):
+        (in_tmp / "mod.py").write_text(DIRTY)
+        baseline = in_tmp / "baseline.json"
+        assert main(["mod.py", "--write-baseline", "--baseline", str(baseline)]) == 0
+        (in_tmp / "mod.py").write_text(CLEAN)
+        assert main(["mod.py", "--baseline", str(baseline)]) == 0
+        assert "stale baseline entry" in capsys.readouterr().out
+
+    def test_select_narrows_rules(self, in_tmp, capsys):
+        (in_tmp / "mod.py").write_text(DIRTY)
+        assert main(["mod.py", "--select", "ORD001"]) == 0
+        assert main(["mod.py", "--select", "RNG001"]) == 1
+
+
+class TestReportArtifact:
+    def test_report_written_with_findings_and_baseline_split(self, in_tmp):
+        (in_tmp / "mod.py").write_text(DIRTY)
+        baseline = in_tmp / "baseline.json"
+        report = in_tmp / "report.json"
+        main(["mod.py", "--write-baseline", "--baseline", str(baseline)])
+        main(
+            [
+                "mod.py",
+                "--baseline",
+                str(baseline),
+                "--report",
+                str(report),
+            ]
+        )
+        payload = json.loads(report.read_text())
+        assert payload["tool"] == "repro-lint"
+        assert payload["files_analyzed"] == 1
+        assert len(payload["findings"]) == 1
+        assert payload["new"] == []
+        assert len(payload["baselined"]) == 1
+        assert "RNG001" in payload["rules"]
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RNG001", "PKL001", "LCK001", "ORD001", "SUP001"):
+            assert rule_id in out
+
+
+class TestAcceptance:
+    """The CI gate, run exactly as the workflow runs it."""
+
+    def test_real_tree_exits_zero_against_committed_baseline(self):
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH")
+            else src
+        )
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.analysis",
+                "src/",
+                "--baseline",
+                "analysis/baseline.json",
+            ],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, (
+            "repro-lint found new violations in src/ — fix them or "
+            f"justify/baseline them:\n{proc.stdout}\n{proc.stderr}"
+        )

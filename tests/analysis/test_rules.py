@@ -1,0 +1,204 @@
+"""Per-rule fixture tests plus the registry meta-test.
+
+The contract: every registered rule ships at least one failing and one
+passing fixture under ``tests/analysis/fixtures/`` named
+``<ruleid>_fail*.py`` / ``<ruleid>_pass*.py``.  The meta-test fails the
+moment someone registers a rule without fixtures, and the parametrized
+tests fail the moment a rule stops firing on its own counterexample.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import REGISTRY, analyze_source
+from repro.analysis.module import parse_module
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+RULE_IDS = sorted(REGISTRY)
+
+
+def _fixtures_for(rule_id: str, kind: str) -> list[Path]:
+    return sorted(FIXTURES.glob(f"{rule_id.lower()}_{kind}*.py"))
+
+
+def _analyze_fixture(path: Path) -> list:
+    # Fixtures opt into the pickle boundary via the marker comment; the
+    # engine path does the same thing, this goes through analyze_source
+    # to keep the fixture tests hermetic.
+    return analyze_source(path.read_text(encoding="utf-8"), filename=path.name)
+
+
+class TestRegistryMeta:
+    def test_every_rule_has_fail_and_pass_fixtures(self):
+        missing = []
+        for rule_id in RULE_IDS:
+            if not _fixtures_for(rule_id, "fail"):
+                missing.append(f"{rule_id}: no *_fail fixture")
+            if not _fixtures_for(rule_id, "pass"):
+                missing.append(f"{rule_id}: no *_pass fixture")
+        assert not missing, (
+            "every registered rule needs fixtures under "
+            f"tests/analysis/fixtures/: {missing}"
+        )
+
+    def test_rule_ids_are_unique_and_well_formed(self):
+        for rule_id, rule in REGISTRY.items():
+            assert rule.rule_id == rule_id
+            assert rule_id == rule_id.upper()
+            assert rule.title
+            assert rule.hint, f"{rule_id} must carry a fix hint"
+
+    def test_fixture_files_all_belong_to_a_rule(self):
+        known = {rule_id.lower() for rule_id in RULE_IDS}
+        for path in sorted(FIXTURES.glob("*.py")):
+            prefix = path.stem.split("_")[0]
+            assert prefix in known, (
+                f"fixture {path.name} names no registered rule"
+            )
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+class TestRuleFixtures:
+    def test_fail_fixture_triggers_rule(self, rule_id):
+        for path in _fixtures_for(rule_id, "fail"):
+            findings = _analyze_fixture(path)
+            hits = [f for f in findings if f.rule == rule_id]
+            assert hits, (
+                f"{path.name} is a counterexample for {rule_id} but the "
+                f"rule reported nothing (all findings: {findings})"
+            )
+            for finding in hits:
+                assert finding.line > 0
+                assert finding.message
+                assert finding.hint
+
+    def test_pass_fixture_is_clean_for_rule(self, rule_id):
+        for path in _fixtures_for(rule_id, "pass"):
+            findings = _analyze_fixture(path)
+            hits = [f for f in findings if f.rule == rule_id]
+            assert not hits, (
+                f"{path.name} should be clean for {rule_id}, got {hits}"
+            )
+
+
+class TestBoundaryGating:
+    """Pickle rules apply only to boundary modules."""
+
+    def test_marker_comment_opts_in(self):
+        source = Path(FIXTURES / "pkl001_fail.py").read_text(encoding="utf-8")
+        assert any(
+            f.rule == "PKL001"
+            for f in analyze_source(source, filename="pkl001_fail.py")
+        )
+
+    def test_without_marker_no_pickle_findings(self):
+        source = Path(FIXTURES / "pkl001_fail.py").read_text(encoding="utf-8")
+        stripped = source.replace("# repro-lint: boundary", "")
+        findings = analyze_source(stripped, filename="not_boundary.py")
+        assert not [f for f in findings if f.rule.startswith("PKL")]
+
+    def test_engine_boundary_globs_opt_in(self, tmp_path):
+        from repro.analysis import AnalysisConfig, analyze_paths
+
+        source = Path(FIXTURES / "pkl003_fail.py").read_text(encoding="utf-8")
+        stripped = source.replace("# repro-lint: boundary", "")
+        target = tmp_path / "shard" / "worker.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(stripped, encoding="utf-8")
+        result = analyze_paths(
+            [tmp_path], AnalysisConfig(boundary_globs=("*shard/*.py",))
+        )
+        assert any(f.rule == "PKL003" for f in result.findings)
+        result = analyze_paths(
+            [tmp_path], AnalysisConfig(boundary_globs=("*nowhere/*.py",))
+        )
+        assert not any(f.rule.startswith("PKL") for f in result.findings)
+
+
+class TestSuppressions:
+    def test_justified_suppression_suppresses(self):
+        findings = analyze_source(
+            "import random\n"
+            "x = random.random()  "
+            "# repro-lint: disable=RNG001 -- test fixture\n"
+        )
+        assert not [f for f in findings if f.rule == "RNG001"]
+
+    def test_unjustified_suppression_does_not_suppress(self):
+        findings = analyze_source(
+            "import random\n"
+            "x = random.random()  # repro-lint: disable=RNG001\n"
+        )
+        rules = {f.rule for f in findings}
+        assert "RNG001" in rules
+        assert "SUP001" in rules
+
+    def test_file_level_suppression(self):
+        findings = analyze_source(
+            "# repro-lint: disable-file=RNG001 -- generated module\n"
+            "import random\n"
+            "x = random.random()\n"
+            "y = random.random()\n"
+        )
+        assert not [f for f in findings if f.rule == "RNG001"]
+
+    def test_suppression_only_covers_named_rule(self):
+        findings = analyze_source(
+            "import random, os\n"
+            "x = random.random()  "
+            "# repro-lint: disable=RNG004 -- wrong rule named\n"
+        )
+        assert [f for f in findings if f.rule == "RNG001"]
+
+
+class TestSymbolResolution:
+    """Aliased imports resolve to canonical names; locals do not."""
+
+    def test_aliased_numpy_import(self):
+        findings = analyze_source(
+            "import numpy as xyz\nxyz.random.seed(3)\n"
+        )
+        assert [f for f in findings if f.rule == "RNG002"]
+
+    def test_from_import_alias(self):
+        findings = analyze_source(
+            "from time import time as now\nstamp = now()\n"
+        )
+        assert [f for f in findings if f.rule == "RNG004"]
+
+    def test_local_variable_never_matches_module(self):
+        findings = analyze_source(
+            "def f(random):\n    return random.shuffle([1, 2])\n"
+        )
+        assert not findings
+
+    def test_seeded_default_rng_is_clean(self):
+        findings = analyze_source(
+            "import numpy as np\nrng = np.random.default_rng(42)\n"
+        )
+        assert not findings
+
+
+class TestOnRealTree:
+    """The analyzer parses and judges the actual shipped modules."""
+
+    def test_bounded_pair_cache_is_lock_clean(self):
+        root = Path(__file__).resolve().parents[2]
+        module = parse_module(
+            root / "src/repro/similarity/features.py",
+            "src/repro/similarity/features.py",
+        )
+        findings = list(REGISTRY["LCK001"].check(module))
+        assert findings == []
+
+    def test_errors_module_is_pickle_clean(self):
+        root = Path(__file__).resolve().parents[2]
+        module = parse_module(
+            root / "src/repro/errors.py", "src/repro/errors.py", boundary=True
+        )
+        for rule_id in ("PKL001", "PKL002", "PKL003"):
+            assert list(REGISTRY[rule_id].check(module)) == []

@@ -52,6 +52,21 @@ class TestEvalSettings:
         monkeypatch.delenv("REPRO_BENCH_SCALE")
         assert EvalSettings.from_env().seeds == (0,)
 
+    def test_from_env_binds_environ_at_call_time(self, monkeypatch):
+        # Wholesale replacement of os.environ (not just setenv) must be
+        # honored: the environ default binds inside the call, never in
+        # the signature at import time.
+        import os
+
+        monkeypatch.setattr(os, "environ", {"REPRO_BENCH_SCALE": "smoke"})
+        assert EvalSettings.from_env().mlm_steps == EvalSettings.smoke().mlm_steps
+
+    def test_from_env_explicit_mapping(self):
+        settings = EvalSettings.from_env(
+            environ={"REPRO_BENCH_SCALE": "full"}
+        )
+        assert len(settings.seeds) == 3
+
 
 class TestRunnerFactories:
     @pytest.fixture(scope="class")

@@ -124,3 +124,41 @@ class TestVerification:
         store.save(3, ARTIFACTS, None, base_config=base_config)
         store.payload_path(3).write_bytes(b"corrupt")
         assert store.completed_shards(configs) == [0, 2]
+
+
+class TestInjectableClock:
+    """`created_at` comes from the injected clock, not ambient time.time.
+
+    The manifest timestamp is documentation-only (outside the payload
+    sha256 and both config fingerprints); the injectable clock keeps the
+    store free of ambient wall-clock reads (repro-lint RNG004) and lets
+    this test pin the stamp exactly.
+    """
+
+    def test_manifest_uses_injected_clock(self, tmp_path, base_config):
+        store = ShardCheckpointStore(tmp_path / "ckpt", clock=lambda: 1234.5)
+        store.save(0, ARTIFACTS, SUMMARY, base_config=base_config)
+        manifest = json.loads(store.manifest_path(0).read_text())
+        assert manifest["created_at"] == 1234.5
+
+    def test_clock_does_not_affect_verification(self, tmp_path, base_config):
+        writer = ShardCheckpointStore(tmp_path / "ckpt", clock=lambda: 7.0)
+        writer.save(0, ARTIFACTS, SUMMARY, base_config=base_config)
+        # A store with a different clock still verifies and loads the
+        # checkpoint — the stamp is outside every integrity check.
+        reader = ShardCheckpointStore(tmp_path / "ckpt", clock=lambda: 99.0)
+        loaded = reader.load(0, base_config=base_config, strict=True)
+        assert loaded is not None
+        artifacts, summary, manifest = loaded
+        assert artifacts == ARTIFACTS
+        assert summary == SUMMARY
+        assert manifest["created_at"] == 7.0
+
+    def test_default_clock_is_wall_clock(self, tmp_path, base_config):
+        import time
+
+        before = time.time()
+        store = ShardCheckpointStore(tmp_path / "ckpt")
+        store.save(0, ARTIFACTS, SUMMARY, base_config=base_config)
+        manifest = json.loads(store.manifest_path(0).read_text())
+        assert before <= manifest["created_at"] <= time.time()

@@ -70,3 +70,41 @@ class TestFaultPlan:
             FaultPlan.from_env(environ={FAULT_PLAN_ENV: plan.to_json()})
             == plan
         )
+
+
+class TestFromEnvLazyBinding:
+    """`environ` must bind at call time, not import time (regression).
+
+    The old signature `from_env(cls, environ=os.environ)` captured the
+    mapping object that existed when faults.py was imported — a test
+    replacing os.environ wholesale (monkeypatch.setattr) was silently
+    ignored.  setenv-style in-place mutation happened to work, which is
+    why the bug survived; both paths are pinned here.
+    """
+
+    def test_wholesale_environ_replacement_is_honored(self, monkeypatch):
+        import os
+
+        plan = FaultPlan((FaultSpec(shard=3, attempt=2, kind="sleep", seconds=1.0),))
+        monkeypatch.setattr(os, "environ", {FAULT_PLAN_ENV: plan.to_json()})
+        assert FaultPlan.from_env() == plan
+
+    def test_wholesale_replacement_with_empty_mapping(self, monkeypatch):
+        import os
+
+        monkeypatch.setattr(os, "environ", {})
+        assert FaultPlan.from_env() is None
+
+    def test_in_place_setenv_still_honored(self, monkeypatch):
+        plan = FaultPlan((FaultSpec(shard=0, attempt=1, kind="crash"),))
+        monkeypatch.setenv(FAULT_PLAN_ENV, plan.to_json())
+        assert FaultPlan.from_env() == plan
+
+    def test_explicit_mapping_still_wins_over_ambient(self, monkeypatch):
+        ambient = FaultPlan((FaultSpec(shard=0, attempt=1, kind="crash"),))
+        explicit = FaultPlan((FaultSpec(shard=1, attempt=1, kind="sleep", seconds=2.0),))
+        monkeypatch.setenv(FAULT_PLAN_ENV, ambient.to_json())
+        assert (
+            FaultPlan.from_env(environ={FAULT_PLAN_ENV: explicit.to_json()})
+            == explicit
+        )
