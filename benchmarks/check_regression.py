@@ -26,6 +26,13 @@ worker crash and an injected over-budget hang must have completed
 through supervised retries (at least one retry per injected fault),
 undegraded, with the merged recall floors intact.
 
+Schema-7 baselines with a ``store`` section gate the out-of-core
+economics *within the current recording* (same machine, same run, so no
+tolerance): the store-backed session's peak RSS must be strictly below
+the in-memory session's at the same recorded scale, with identical
+candidate counts — lazy worker opens and SQL-windowed merges have to
+actually save memory, not just move it.
+
 Baselines with a ``sweep_scaling`` section gate the sweep-scaling
 economics *within the current recording* (machine-independent, so no
 tolerance is involved): the N-shard signature sweep must beat the
@@ -48,11 +55,11 @@ import json
 import sys
 from pathlib import Path
 
-# Oldest recording schema this gate understands.  Schema 6 added the
-# chaos section and the shard:retries / checkpoint:* stage rows; older
-# recordings are missing the fields the gates below read, so they fail
-# up front with a regenerate message instead of a KeyError mid-compare.
-MIN_SCHEMA = 6
+# Oldest recording schema this gate understands.  Schema 7 added the
+# store section (out-of-core vs in-memory peak RSS); older recordings
+# are missing the fields the gates below read, so they fail up front
+# with a regenerate message instead of a KeyError mid-compare.
+MIN_SCHEMA = 7
 
 
 def _load_recording(path: Path, role: str) -> dict | str:
@@ -65,7 +72,7 @@ def _load_recording(path: Path, role: str) -> dict | str:
     regenerate = (
         "regenerate it with: PYTHONPATH=src python "
         "benchmarks/record_timings.py --shards 2 --sweep-scaling 8 "
-        f"--chaos 3 --output {path}"
+        f"--chaos 3 --store-rss 8 --output {path}"
     )
     if not path.exists():
         return f"{role} recording {path} does not exist — {regenerate}"
@@ -240,6 +247,51 @@ def _chaos_failures(section: dict | None, *, recall_floors: dict) -> list[str]:
     return failures
 
 
+def _store_failures(section: dict | None) -> list[str]:
+    """The out-of-core assertions, evaluated on the current recording.
+
+    Intra-recording comparisons (both modes ran on this machine in this
+    run, in their own spawned subprocesses), so they are strict: the
+    store-backed session must use strictly less peak RSS than the
+    in-memory one, and must have produced the identical candidate sets
+    — a memory win bought by dropping candidates is a correctness bug,
+    not an optimization.
+    """
+    if section is None:
+        return [
+            "store: missing from the current recording "
+            "(run record_timings.py --store-rss N)"
+        ]
+    memory = section.get("in_memory")
+    sqlite = section.get("sqlite")
+    if memory is None or sqlite is None:
+        return ["store: probe modes missing from the recording"]
+    failures: list[str] = []
+    for mode, probe in (("in_memory", memory), ("sqlite", sqlite)):
+        if probe.get("degraded"):
+            failures.append(
+                f"store: the {mode} probe session completed degraded"
+            )
+    memory_peak = memory.get("peak_rss_kb", 0)
+    sqlite_peak = sqlite.get("peak_rss_kb", 0)
+    if sqlite_peak >= memory_peak:
+        failures.append(
+            f"store: store-backed peak RSS {sqlite_peak} KB is not below "
+            f"the in-memory session's {memory_peak} KB at "
+            f"{section.get('n_shards')} shards ({section.get('scale')} "
+            "scale) — the out-of-core path no longer saves memory"
+        )
+    for count in ("candidates", "join_candidates", "positives"):
+        if memory.get(count) != sqlite.get(count):
+            failures.append(
+                f"store: {count} differ between modes "
+                f"(in_memory={memory.get(count)}, "
+                f"sqlite={sqlite.get(count)}) — the store-backed merge "
+                "is not byte-equivalent"
+            )
+    return failures
+
+
 def compare(
     baseline: dict,
     current: dict,
@@ -320,6 +372,8 @@ def compare(
                 current.get("chaos"), recall_floors=recall_floors
             )
         )
+    if "store" in baseline:
+        failures.extend(_store_failures(current.get("store")))
     return failures
 
 
@@ -428,6 +482,16 @@ def main() -> int:
             f"{chaos.get('retries', '?')} retries for "
             f"{chaos.get('injected_faults', '?')} injected faults, "
             f"undegraded, {recall_summary})"
+        )
+    if "store" in baseline:
+        store = current.get("store", {})
+        memory_peak = store.get("in_memory", {}).get("peak_rss_kb", 0)
+        sqlite_peak = store.get("sqlite", {}).get("peak_rss_kb", 0)
+        ratio = sqlite_peak / memory_peak if memory_peak else float("nan")
+        print(
+            "checked out-of-core store (peak RSS "
+            f"{sqlite_peak} KB vs {memory_peak} KB in-memory, "
+            f"{ratio:.2f}x, identical candidate counts)"
         )
     print("all checks passed")
     return 0

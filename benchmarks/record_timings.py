@@ -42,6 +42,18 @@ retry per fault, undegraded, with checkpoints written and the merged
 recall floors intact — which CI asserts on every push, not only when a
 fault happens to occur in the wild.
 
+``--store-rss N`` runs the out-of-core memory probe (the ``store``
+section, gated by ``check_regression.py``): the same N-shard
+default-scale session twice — once in-memory (workers return whole
+``BuildArtifacts``), once store-backed (``store_backend="sqlite"``:
+workers persist into the artifact store and return path handles, the
+parent opens shards lazily over mmap and streams merged candidates into
+SQLite).  Each run happens in its own spawned subprocess so
+``resource.getrusage`` peak-RSS readings are clean per mode, with
+per-phase deltas around build / sweep / merged access.  The gate:
+store-backed peak RSS strictly below in-memory at the same scale, with
+identical candidate counts.
+
 ``--shard-scaling N`` additionally runs the default-scale scaling probe
 and stores it under ``shard_scaling`` (informational: CI smoke runs never
 record it, so it is compared by humans, not gated).  The probe records
@@ -363,6 +375,122 @@ def _record_chaos(n_shards: int, seed: int) -> dict:
     return section
 
 
+def _store_rss_probe(
+    mode: str, n_shards: int, seed: int, store_dir: str | None, queue
+) -> None:
+    """Child-process body of the out-of-core memory probe.
+
+    Runs one session end to end (build, sweep, merged access) and
+    reports this process's ``ru_maxrss`` after each phase.  ``ru_maxrss``
+    is a high-water mark, so the phase deltas say how much *new* peak
+    each phase added; the pool workers' RSS is theirs alone — exactly
+    the accounting the store is supposed to win: in-memory mode ships
+    every shard's artifact graph back into this process, store-backed
+    mode ships path handles and mmaps.
+    """
+    import resource
+
+    def peak_kb() -> int:
+        # Linux reports ru_maxrss in KB (macOS in bytes; the baseline
+        # records both modes on one machine, so the *comparison* holds
+        # either way).
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+    # Not every kernel resets the peak-RSS watermark across exec — some
+    # sandbox kernels hand the spawned child the parent's ru_maxrss,
+    # which would mask every measurement below it.  Writing "5" to
+    # clear_refs resets VmHWM/ru_maxrss to the current RSS; where the
+    # file is absent (non-Linux) the fresh spawn watermark is already
+    # correct.
+    try:
+        with open("/proc/self/clear_refs", "w") as handle:
+            handle.write("5")
+    except OSError:
+        pass
+
+    plan = ShardPlan.create(
+        n_shards, base_config=BuildConfig(seed=seed), seed=seed
+    )
+    kwargs: dict = {}
+    if mode == "sqlite":
+        kwargs = {"store_dir": store_dir, "store_backend": "sqlite"}
+    session = ShardedBenchmarkSession(plan, executor="process", **kwargs)
+    phases: dict[str, int] = {}
+    baseline = peak_kb()
+    timings: dict[str, float] = {}
+    shard_ids, shards, summaries, health, _ = session._build_shards()
+    after_build = peak_kb()
+    phases["build"] = after_build - baseline
+    merged, merged_join, _ = session._sweep(
+        shard_ids, shards, timings, summaries
+    )
+    after_sweep = peak_kb()
+    phases["sweep"] = after_sweep - after_build
+    # Merged access: counting + summarizing walks every candidate — the
+    # in-memory path over Python lists, the store path over windowed
+    # SQL queries.
+    candidates = len(merged)
+    join_candidates = len(merged_join)
+    summary = merged.summary()
+    after_merge = peak_kb()
+    phases["merge"] = after_merge - after_sweep
+    queue.put(
+        {
+            "mode": mode,
+            "degraded": health.degraded,
+            "peak_rss_kb": after_merge,
+            "baseline_rss_kb": baseline,
+            "phases": phases,
+            "candidates": candidates,
+            "join_candidates": join_candidates,
+            "positives": summary["pos"],
+        }
+    )
+
+
+def _record_store_rss(n_shards: int, seed: int) -> dict:
+    """The out-of-core probe: in-memory vs store-backed peak RSS.
+
+    Each mode runs in its own *spawned* subprocess: spawn (not fork)
+    keeps the child's baseline RSS independent of whatever the parent
+    has already materialized, and per-process ``ru_maxrss`` high-water
+    marks never bleed between modes.  ``check_regression.py`` gates the
+    comparison: store-backed peak strictly below in-memory, identical
+    candidate counts.
+    """
+    import tempfile
+
+    context = multiprocessing.get_context("spawn")
+    section: dict = {
+        "n_shards": n_shards,
+        "scale": "default",
+        "cpu_count": os.cpu_count(),
+    }
+    for mode in ("in_memory", "sqlite"):
+        with tempfile.TemporaryDirectory() as scratch:
+            store_dir = (
+                str(Path(scratch) / "store") if mode == "sqlite" else None
+            )
+            queue = context.SimpleQueue()
+            child = context.Process(
+                target=_store_rss_probe,
+                args=(mode, n_shards, seed, store_dir, queue),
+            )
+            child.start()
+            # Join before get: the payload is a tiny dict (no pipe-full
+            # deadlock), and a crashed child must raise here instead of
+            # leaving the parent blocked on an empty queue forever.
+            child.join()
+            if child.exitcode:
+                raise RuntimeError(
+                    f"store-rss probe ({mode}) exited with "
+                    f"{child.exitcode}"
+                )
+            payload = queue.get()
+        section[payload.pop("mode")] = payload
+    return section
+
+
 def _scaled_config(base: BuildConfig, factor: int) -> BuildConfig:
     from dataclasses import replace
 
@@ -435,8 +563,11 @@ def record(
     shard_scaling: int = 0,
     sweep_scaling: int = 0,
     chaos: int = 0,
+    store_rss: int = 0,
 ) -> dict:
     record: dict = {
+        # 7: out-of-core — the store section (in-memory vs sqlite-backed
+        #    session peak RSS with per-phase deltas, gated)
         # 6: fault tolerance — the chaos smoke section (fault-injected
         #    session that must self-heal via supervised retries, gated),
         #    and sessions record shard:retries (+ checkpoint:load/save
@@ -449,7 +580,7 @@ def record(
         #    merged recall, sharded-vs-single build wall-clock)
         # 3: build runs the blocking stage; blocking recall is recorded
         # 2: featurize/fit stages are additive (no double work)
-        "schema": 6,
+        "schema": 7,
         "scale": "small",
         "seed": seed,
         "python": platform.python_version(),
@@ -473,6 +604,8 @@ def record(
         record["shard_scaling"] = _record_shard_scaling(shard_scaling, seed)
     if chaos > 0:
         record["chaos"] = _record_chaos(chaos, seed)
+    if store_rss > 0:
+        record["store"] = _record_store_rss(store_rss, seed)
     # Drop the pool sections' object graphs before the serial phases so
     # their allocations don't skew the single-build measurement either.
     gc.collect()
@@ -569,6 +702,15 @@ def main() -> None:
         "must self-heal via supervised retries ('chaos' section, gated by "
         "check_regression)",
     )
+    parser.add_argument(
+        "--store-rss",
+        type=int,
+        default=0,
+        help="run the out-of-core memory probe: the same N-shard "
+        "default-scale session in-memory and store-backed, each in its "
+        "own spawned subprocess, recording peak RSS with per-phase "
+        "deltas ('store' section, gated by check_regression)",
+    )
     args = parser.parse_args()
 
     result = record(
@@ -577,6 +719,7 @@ def main() -> None:
         shard_scaling=args.shard_scaling,
         sweep_scaling=args.sweep_scaling,
         chaos=args.chaos,
+        store_rss=args.store_rss,
     )
     args.output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.output}")
@@ -642,6 +785,25 @@ def main() -> None:
             )
         else:
             print(f"  chaos: session FAILED — {chaos.get('error')}")
+    if "store" in result:
+        store = result["store"]
+        memory, sqlite = store["in_memory"], store["sqlite"]
+        ratio = sqlite["peak_rss_kb"] / memory["peak_rss_kb"]
+        print(
+            f"  store: {store['n_shards']} shards ({store['scale']} scale) "
+            f"peak RSS sqlite {sqlite['peak_rss_kb'] / 1024:.0f}MB vs "
+            f"in-memory {memory['peak_rss_kb'] / 1024:.0f}MB "
+            f"({ratio:.2f}x), candidates {sqlite['candidates']} vs "
+            f"{memory['candidates']}"
+        )
+        for mode, section in (("in_memory", memory), ("sqlite", sqlite)):
+            phases = section["phases"]
+            print(
+                f"    {mode:9s} phase deltas: build "
+                f"{phases['build'] / 1024:.0f}MB sweep "
+                f"{phases['sweep'] / 1024:.0f}MB merge "
+                f"{phases['merge'] / 1024:.0f}MB"
+            )
     if "shard_scaling" in result:
         scaling = result["shard_scaling"]
         _print_sharding("shard_scaling (partitioned)", scaling["partitioned"])

@@ -85,11 +85,27 @@ class BuildConfig:
     # matcher training and blocking-recall evaluation.
     blocking_top_k: int = 0
     blocking_metrics: tuple[str, ...] = ("cosine",)
+    # Out-of-core artifact store.  With ``store_backend="sqlite"`` and a
+    # ``store_dir``, the build runs a final timed ``store`` stage that
+    # persists the artifacts into an SQLite + mmap-sidecar store at that
+    # directory (see :mod:`repro.io.store`) — the layout shard workers
+    # hand back by path instead of pickling artifacts through the pool.
+    # The default ``"pickle"`` backend keeps the historical in-memory
+    # behaviour (whole-object payloads, no store stage).
+    store_dir: str | None = None
+    store_backend: str = "pickle"
 
     def __post_init__(self) -> None:
         validate_metric_names(
             self.blocking_metrics, context="BuildConfig.blocking_metrics"
         )
+        if self.store_backend not in ("pickle", "sqlite"):
+            raise ValueError(
+                f"store_backend must be 'pickle' or 'sqlite', got "
+                f"{self.store_backend!r}"
+            )
+        if self.store_backend == "sqlite" and not self.store_dir:
+            raise ValueError("store_backend='sqlite' requires store_dir")
 
     @classmethod
     def small(cls, *, seed: int = 42, **overrides) -> "BuildConfig":
@@ -477,6 +493,16 @@ def build_one_corpus(config: BuildConfig) -> BuildArtifacts:
     for result in ratio_results:
         _merge_ratio(artifacts, result)
         timings[f"ratio:{result.corner_cases.label}"] = result.elapsed
+
+    if config.store_dir and config.store_backend == "sqlite":
+        # Deferred import: repro.core.__init__ imports this module, and
+        # repro.io.store imports core submodules — a module-level import
+        # here would make the cycle real.
+        from repro.io.store import write_store
+
+        with Timer() as timer:
+            write_store(config.store_dir, artifacts)
+        timings["store"] = timer.elapsed
     return artifacts
 
 

@@ -24,6 +24,9 @@ hierarchy encodes those three classes:
 * :class:`CheckpointError` — a shard checkpoint that exists but cannot
   be trusted (manifest/payload fingerprint mismatch) when the caller
   asked for strict verification.
+* :class:`StoreError` — an on-disk artifact store that refuses to open:
+  truncated sidecar, schema-version mismatch, manifest/sha mismatch, or
+  a concurrent second writer holding the store's write lock.
 
 All shard errors cross process boundaries: worker exceptions are
 pickled back to the parent by ``concurrent.futures``, so every class
@@ -40,6 +43,7 @@ __all__ = [
     "ShardTimeoutError",
     "ShardRetriesExhaustedError",
     "CheckpointError",
+    "StoreError",
 ]
 
 
@@ -183,3 +187,14 @@ class ShardRetriesExhaustedError(ShardBuildError):
 
 class CheckpointError(ReproError):
     """A shard checkpoint exists but failed verification."""
+
+
+class StoreError(ReproError):
+    """An on-disk artifact store cannot be opened (or written) safely.
+
+    Raised by :mod:`repro.io.store` when a store is truncated, carries a
+    different schema version, fails its streamed sha256 verification, or
+    is locked by a concurrent writer.  Session-level callers treat an
+    unverifiable store like a missing checkpoint (rebuild the shard);
+    strict callers surface this error instead.
+    """

@@ -1,4 +1,4 @@
-"""Persistence: JSONL serialization of corpora and benchmark datasets."""
+"""Persistence: JSONL serialization and the out-of-core artifact store."""
 
 from repro.io.jsonl import read_jsonl, write_jsonl
 from repro.io.datasets import (
@@ -10,6 +10,18 @@ from repro.io.datasets import (
     save_corpus,
     save_multiclass_dataset,
     save_pair_dataset,
+)
+from repro.io.store import (
+    STORE_SCHEMA,
+    ArtifactStore,
+    StoredShard,
+    StoredShardHandle,
+    StoredSplit,
+    amend_manifest,
+    config_fingerprint,
+    open_store,
+    verify_store,
+    write_store,
 )
 
 __all__ = [
@@ -23,4 +35,14 @@ __all__ = [
     "load_multiclass_dataset",
     "save_benchmark",
     "load_benchmark",
+    "STORE_SCHEMA",
+    "ArtifactStore",
+    "StoredShard",
+    "StoredShardHandle",
+    "StoredSplit",
+    "write_store",
+    "verify_store",
+    "open_store",
+    "amend_manifest",
+    "config_fingerprint",
 ]

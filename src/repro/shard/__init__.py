@@ -20,6 +20,7 @@ restores the historical full bipartite sweep.
 """
 
 from repro.shard.checkpoint import (
+    CHECKPOINT_BACKENDS,
     CHECKPOINT_SCHEMA,
     ShardCheckpointStore,
     config_fingerprint,
@@ -31,8 +32,12 @@ from repro.shard.faults import (
     FaultSpec,
 )
 from repro.shard.merge import (
+    MERGED_SCHEMA,
     MergedCandidate,
     MergedCandidates,
+    MergedCandidateStore,
+    StoredMergedCandidates,
+    iter_merged_candidates,
     merge_benchmarks,
     merge_candidate_sets,
     merge_corpora,
@@ -89,6 +94,7 @@ __all__ = [
     "ShardCheckpointStore",
     "config_fingerprint",
     "CHECKPOINT_SCHEMA",
+    "CHECKPOINT_BACKENDS",
     "FaultPlan",
     "FaultSpec",
     "FAULT_KINDS",
@@ -99,6 +105,10 @@ __all__ = [
     "DEFAULT_SIGNATURE_THRESHOLD",
     "MergedCandidate",
     "MergedCandidates",
+    "MergedCandidateStore",
+    "StoredMergedCandidates",
+    "MERGED_SCHEMA",
+    "iter_merged_candidates",
     "merge_benchmarks",
     "merge_candidate_sets",
     "merge_corpora",

@@ -1,105 +1,114 @@
 """Per-shard checkpoints: crash-resume without rebuilding finished work.
 
 A :class:`ShardCheckpointStore` persists every completed shard of a
-sharded session under one session directory::
+sharded session under one session directory, in one of two backends:
+
+``backend="pickle"`` (historical)::
 
     <root>/
       shard-0000/
         manifest.json     # config fingerprints, seeds, payload sha256
         artifacts.pkl     # pickled (BuildArtifacts, RowSignatures | None)
-      shard-0001/
-        ...
 
-The manifest is the commit record: the payload is written first (to a
-temp file, then atomically renamed), the manifest last, so a session
-killed mid-write leaves either no manifest (checkpoint ignored) or a
-complete, verifiable pair.  :meth:`ShardCheckpointStore.load` verifies
-both the payload's sha256 and the shard's *base config fingerprint* —
-the fingerprint of the config the plan assigned the shard, not of the
-config that ultimately built it.  The distinction matters for retried
-shards: a corner-selection retry respawns the shard's seeds, so the
-config that produced the artifacts differs from the planned one, but the
-respawn chain is a deterministic function of ``(session_seed, shard,
-attempt)`` — the checkpoint is still *the* canonical outcome of the
-planned shard and resuming must accept it.  Both fingerprints are
-recorded (``base_fingerprint`` gates the load, ``config_fingerprint``
-documents what actually built the payload).
+``backend="sqlite"`` (out-of-core)::
+
+    <root>/
+      shard-0000/
+        manifest.json     # commit point of the artifact store
+        shard.db          # queryable schema (see repro.io.store)
+        *.npy             # mmap sidecars: incidence matrix, signatures
+
+Both share the same commit protocol: payload files are written first
+(temp file, then atomic rename), the manifest last, so a session killed
+mid-write leaves either no manifest (checkpoint ignored) or a complete,
+verifiable state.  Verification is *streamed* — the payload's sha256 is
+hashed in fixed-size chunks against the manifest record before anything
+is deserialized, so verifying a multi-GB shard never doubles peak RSS.
+
+:meth:`ShardCheckpointStore.load` verifies the shard's *base config
+fingerprint* — the fingerprint of the config the plan assigned the
+shard, not of the config that ultimately built it.  The distinction
+matters for retried shards: a corner-selection retry respawns the
+shard's seeds, so the config that produced the artifacts differs from
+the planned one, but the respawn chain is a deterministic function of
+``(session_seed, shard, attempt)`` — the checkpoint is still *the*
+canonical outcome of the planned shard and resuming must accept it.
+Both fingerprints are recorded (``base_fingerprint`` gates the load,
+``config_fingerprint`` documents what actually built the payload).
 
 A checkpoint that fails any verification is treated as missing (the
 shard is rebuilt) unless ``strict=True``, which raises
-:class:`~repro.errors.CheckpointError` naming what mismatched — the mode
-for callers that need to *know* a resume will be exact.
+:class:`~repro.errors.CheckpointError` (pickle backend) or
+:class:`~repro.errors.StoreError` (sqlite backend) naming what
+mismatched — the mode for callers that need to *know* a resume will be
+exact.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import enum
 import hashlib
 import json
 import os
 import pickle
 import time
 from pathlib import Path
-from typing import Any, Callable
+from typing import Callable
 
 from repro.core.builder import BuildConfig
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, StoreError
+from repro.io.store import (
+    StoredShard,
+    _jsonable,  # noqa: F401  (re-exported for backward compatibility)
+    amend_manifest,
+    config_fingerprint,
+    stream_sha256,
+    verify_store,
+    write_store,
+)
 
 __all__ = [
     "CHECKPOINT_SCHEMA",
+    "CHECKPOINT_BACKENDS",
     "ShardCheckpointStore",
     "config_fingerprint",
 ]
 
 CHECKPOINT_SCHEMA = 1
+CHECKPOINT_BACKENDS = ("pickle", "sqlite")
 
 _MANIFEST = "manifest.json"
 _PAYLOAD = "artifacts.pkl"
 
 
-def _jsonable(value: Any) -> Any:
-    """A stable, JSON-serializable projection of a config value tree."""
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return {
-            field.name: _jsonable(getattr(value, field.name))
-            for field in dataclasses.fields(value)
-        }
-    if isinstance(value, enum.Enum):
-        return f"{type(value).__name__}.{value.name}"
-    if isinstance(value, (tuple, list)):
-        return [_jsonable(item) for item in value]
-    if isinstance(value, dict):
-        return {str(key): _jsonable(item) for key, item in value.items()}
-    return value
-
-
-def config_fingerprint(config: BuildConfig) -> str:
-    """sha256 over the config's stable JSON projection.
-
-    Two configs fingerprint equally iff every field (nested dataclasses,
-    enums and tuples included) is equal — the identity a checkpoint is
-    keyed on.
-    """
-    payload = json.dumps(_jsonable(config), sort_keys=True).encode()
-    return hashlib.sha256(payload).hexdigest()
-
-
 class ShardCheckpointStore:
     """Directory-backed store of completed shard artifacts.
 
-    ``clock`` supplies the manifest's ``created_at`` wall-clock stamp
-    (documentation only — it is deliberately outside the payload sha256
-    and the config fingerprints, so two runs of the same plan produce
-    byte-identical *verifiable* state and merely different timestamps).
-    Injectable so tests can pin it.
+    ``backend`` selects the payload format: ``"pickle"`` persists the
+    whole ``(artifacts, summary)`` object graph, ``"sqlite"`` delegates
+    to the queryable artifact store of :mod:`repro.io.store` (whose
+    shards workers can open lazily by path).  ``clock`` supplies the
+    manifest's ``created_at`` wall-clock stamp (documentation only — it
+    is deliberately outside the payload sha256 and the config
+    fingerprints, so two runs of the same plan produce byte-identical
+    *verifiable* state and merely different timestamps).  Injectable so
+    tests can pin it.
     """
 
     def __init__(
-        self, root: Path | str, *, clock: Callable[[], float] | None = None
+        self,
+        root: Path | str,
+        *,
+        clock: Callable[[], float] | None = None,
+        backend: str = "pickle",
     ) -> None:
+        if backend not in CHECKPOINT_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {CHECKPOINT_BACKENDS}, got "
+                f"{backend!r}"
+            )
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.backend = backend
         self._clock = time.time if clock is None else clock
 
     def shard_dir(self, shard: int) -> Path:
@@ -129,8 +138,22 @@ class ShardCheckpointStore:
         key); ``built_config`` the config that actually produced the
         artifacts (defaults to ``base_config`` — differs only after a
         reseeded retry).
+
+        Under the sqlite backend an *adopted* :class:`StoredShard` (a
+        worker already wrote the store into this shard's directory) is
+        committed by amending its manifest with the plan's resume key —
+        no payload is rewritten; anything else is written out as a fresh
+        store.
         """
         built = built_config if built_config is not None else base_config
+        if self.backend == "sqlite":
+            return self._save_sqlite(
+                shard,
+                artifacts,
+                base_config=base_config,
+                attempt=attempt,
+                elapsed=elapsed,
+            )
         directory = self.shard_dir(shard)
         directory.mkdir(parents=True, exist_ok=True)
         payload = pickle.dumps(
@@ -159,11 +182,52 @@ class ShardCheckpointStore:
         os.replace(temp_manifest, manifest_path)
         return manifest_path
 
+    def _save_sqlite(
+        self,
+        shard: int,
+        artifacts,
+        *,
+        base_config: BuildConfig,
+        attempt: int,
+        elapsed: float,
+    ) -> Path:
+        directory = self.shard_dir(shard)
+        base_fingerprint = config_fingerprint(base_config)
+        if isinstance(artifacts, StoredShard):
+            if artifacts.directory.resolve() != directory.resolve():
+                raise StoreError(
+                    f"cannot adopt shard {shard} store at "
+                    f"{artifacts.directory}: checkpoint expects it at "
+                    f"{directory}"
+                )
+            amend_manifest(
+                directory,
+                shard=shard,
+                base_fingerprint=base_fingerprint,
+                attempt=attempt,
+                elapsed=elapsed,
+            )
+            return directory / _MANIFEST
+        return write_store(
+            directory,
+            artifacts,
+            shard=shard,
+            base_fingerprint=base_fingerprint,
+            attempt=attempt,
+            elapsed=elapsed,
+            clock=self._clock,
+        )
+
     # ------------------------------------------------------------------ #
     def _verify(
         self, shard: int, base_config: BuildConfig
-    ) -> tuple[dict, bytes] | str:
-        """The verified (manifest, payload) pair, or a rejection reason."""
+    ) -> tuple[dict, Path] | str:
+        """The verified (manifest, payload path) pair, or a rejection reason.
+
+        The payload's sha256 is streamed in chunks — verification never
+        loads the payload whole; :meth:`load` deserializes from the
+        returned path only after the hash matches.
+        """
         manifest_path = self.manifest_path(shard)
         if not manifest_path.exists():
             return "no manifest"
@@ -182,15 +246,13 @@ class ShardCheckpointStore:
                 "base config fingerprint mismatch (checkpoint belongs to "
                 "a different plan/config)"
             )
-        try:
-            payload = self.payload_path(shard).read_bytes()
-        except OSError:
+        payload_path = self.payload_path(shard)
+        digest = stream_sha256(payload_path)
+        if digest is None:
             return "payload missing"
-        if hashlib.sha256(payload).hexdigest() != manifest.get(
-            "payload_sha256"
-        ):
+        if digest != manifest.get("payload_sha256"):
             return "payload sha256 mismatch (truncated or corrupt)"
-        return manifest, payload
+        return manifest, payload_path
 
     def load(
         self,
@@ -204,9 +266,28 @@ class ShardCheckpointStore:
         ``None`` means "no usable checkpoint — rebuild the shard": the
         checkpoint is absent, truncated, from another config, or its
         payload fails the sha256.  With ``strict=True`` a present-but-
-        unverifiable checkpoint raises :class:`CheckpointError` instead
-        of silently rebuilding.
+        unverifiable checkpoint raises (:class:`CheckpointError` for the
+        pickle backend, :class:`~repro.errors.StoreError` for sqlite)
+        instead of silently rebuilding.
+
+        The sqlite backend returns a lazily-opened
+        :class:`~repro.io.store.StoredShard` as ``artifacts`` and ``None``
+        as the summary — signature summaries are rebuilt on demand off
+        the store's mmap engine by the sweep.
         """
+        if self.backend == "sqlite":
+            verified = verify_store(
+                self.shard_dir(shard),
+                base_fingerprint=config_fingerprint(base_config),
+            )
+            if isinstance(verified, str):
+                if strict and verified != "no manifest":
+                    raise StoreError(
+                        f"shard {shard} store at {self.shard_dir(shard)} "
+                        f"failed verification: {verified}"
+                    )
+                return None
+            return StoredShard(self.shard_dir(shard), verified), None, verified
         verified = self._verify(shard, base_config)
         if isinstance(verified, str):
             if strict and verified != "no manifest":
@@ -215,12 +296,25 @@ class ShardCheckpointStore:
                     f"failed verification: {verified}"
                 )
             return None
-        manifest, payload = verified
-        artifacts, summary = pickle.loads(payload)
+        manifest, payload_path = verified
+        with open(payload_path, "rb") as handle:
+            artifacts, summary = pickle.load(handle)
         return artifacts, summary, manifest
 
     def completed_shards(self, configs) -> list[int]:
         """Shards of ``configs`` with a verifiable checkpoint on disk."""
+        if self.backend == "sqlite":
+            return [
+                shard
+                for shard, config in enumerate(configs)
+                if not isinstance(
+                    verify_store(
+                        self.shard_dir(shard),
+                        base_fingerprint=config_fingerprint(config),
+                    ),
+                    str,
+                )
+            ]
         return [
             shard
             for shard, config in enumerate(configs)

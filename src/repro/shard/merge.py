@@ -17,12 +17,28 @@ Two merges happen at the end of a sharded session:
   benchmark view: per-variant pair/multi-class datasets concatenated
   across shards in shard order with namespaced offers, which a plain
   :class:`~repro.eval.runner.ExperimentRunner` consumes unchanged.
+
+Both merges exist in two physical shapes.  The historical in-memory
+shape materializes python lists (:class:`MergedCandidates`).  The
+out-of-core shape streams the *same* candidate iterator into a
+self-contained SQLite file (:class:`MergedCandidateStore` →
+``merged.db``) whose dedup is an ``INSERT OR IGNORE`` over canonical
+unordered pair keys, and serves the result back as
+:class:`StoredMergedCandidates` — a lazy query view with windowed
+iteration and SQL aggregates, duck-type compatible with
+:class:`MergedCandidates` so recall and dataset consumers run unchanged
+without a merged copy in RAM.  One shared generator feeds both shapes,
+so python-set dedup and SQL first-win dedup see identical insertion
+order and keep byte-identical survivors.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterator, Sequence
+import json
+import sqlite3
+from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -30,15 +46,22 @@ from repro.blocking.candidates import BlockedPairSet
 from repro.core.benchmark import WDCProductsBenchmark
 from repro.core.datasets import LabeledPair, MulticlassDataset, PairDataset
 from repro.corpus.schema import ProductOffer, SyntheticCorpus
+from repro.io.store import OFFER_COLUMNS, offer_to_row, row_to_offer
 from repro.shard.namespace import namespace_id, namespace_offer, namespace_offers
 
 __all__ = [
     "MergedCandidate",
     "MergedCandidates",
+    "MergedCandidateStore",
+    "StoredMergedCandidates",
+    "MERGED_SCHEMA",
+    "iter_merged_candidates",
     "merge_candidate_sets",
     "merge_benchmarks",
     "merge_corpora",
 ]
+
+MERGED_SCHEMA = 1
 
 
 @dataclass(frozen=True)
@@ -141,16 +164,18 @@ def provenance_tag(query_shard: int, candidate_shard: int, metric: str) -> str:
     return f"shard:{int(query_shard)}→{int(candidate_shard)}:{metric}"
 
 
-def _blocked_to_merged(
+def _iter_blocked(
     blocked: BlockedPairSet,
     shard_of_row: np.ndarray | int,
-    seen: set[tuple[str, str]],
-    out: list[MergedCandidate],
-) -> None:
-    """Append ``blocked``'s pairs (already namespaced) to the merge.
+    seen: set[tuple[str, str]] | None,
+) -> Iterator[MergedCandidate]:
+    """Yield ``blocked``'s pairs (already namespaced) as merged candidates.
 
     ``shard_of_row`` maps engine rows to shard ids — a scalar for a
     within-shard set, the partition array for a cross-shard sweep.
+    ``seen`` enables python-set dedup; ``None`` yields every occurrence
+    in the same order (a SQL sink dedups downstream on the identical
+    canonical keys, so both consumers keep the same first-win survivors).
     """
     offers = blocked.blocker.offers
     labels = blocked.blocker.group_labels
@@ -159,11 +184,12 @@ def _blocked_to_merged(
     scalar_shard = shard_of_row if isinstance(shard_of_row, int) else None
     for pair in blocked.pairs:
         offer_a, offer_b = offers[pair.row_a], offers[pair.row_b]
-        a, b = offer_a.offer_id, offer_b.offer_id
-        key = (a, b) if a <= b else (b, a)
-        if key in seen:
-            continue
-        seen.add(key)
+        if seen is not None:
+            a, b = offer_a.offer_id, offer_b.offer_id
+            key = (a, b) if a <= b else (b, a)
+            if key in seen:
+                continue
+            seen.add(key)
         if scalar_shard is not None:
             query_shard = candidate_shard = scalar_shard
         else:
@@ -172,18 +198,37 @@ def _blocked_to_merged(
                 pair.row_b if pair.row_a == pair.query_row else pair.row_a
             )
             candidate_shard = int(shard_of_row[candidate])
-        out.append(
-            MergedCandidate(
-                offer_a=offer_a,
-                offer_b=offer_b,
-                label=int(labels[pair.row_a] == labels[pair.row_b]),
-                score=pair.score,
-                metric=pair.metric,
-                provenance=provenance_tag(
-                    query_shard, candidate_shard, pair.metric
-                ),
-            )
+        yield MergedCandidate(
+            offer_a=offer_a,
+            offer_b=offer_b,
+            label=int(labels[pair.row_a] == labels[pair.row_b]),
+            score=pair.score,
+            metric=pair.metric,
+            provenance=provenance_tag(
+                query_shard, candidate_shard, pair.metric
+            ),
         )
+
+
+def iter_merged_candidates(
+    shard_sets: Sequence[tuple[int, BlockedPairSet]],
+    cross_sets: Sequence[tuple[tuple[int, int], BlockedPairSet, np.ndarray]],
+    *,
+    dedup: bool = True,
+) -> Iterator[MergedCandidate]:
+    """Stream the session's merged candidates in canonical merge order.
+
+    Consumes ``shard_sets`` then ``cross_sets`` in the given order (the
+    session passes shard order, then lexicographic pair order).  With
+    ``dedup=True`` the stream is the exact in-memory merged set; with
+    ``dedup=False`` duplicates ride along for a downstream first-win
+    sink (``INSERT OR IGNORE`` over the same canonical keys).
+    """
+    seen: set[tuple[str, str]] | None = set() if dedup else None
+    for shard, blocked in shard_sets:
+        yield from _iter_blocked(blocked, int(shard), seen)
+    for _, blocked, partition in cross_sets:
+        yield from _iter_blocked(blocked, partition, seen)
 
 
 def merge_candidate_sets(
@@ -199,20 +244,321 @@ def merge_candidate_sets(
     ``shard_sets`` holds ``(shard, blocked)`` per shard; ``cross_sets``
     holds ``((i, j), blocked, partition)`` per shard pair, with
     ``partition`` mapping the combined engine's rows to shard ids.  Both
-    are consumed in the given order (the session passes shard order, then
-    lexicographic pair order), and all blockers must carry namespaced
-    offers/labels, so dedup keys are globally unique and the merge is
-    deterministic by construction.
+    are consumed in the given order, and all blockers must carry
+    namespaced offers/labels, so dedup keys are globally unique and the
+    merge is deterministic by construction.
     """
-    seen: set[tuple[str, str]] = set()
-    pairs: list[MergedCandidate] = []
-    for shard, blocked in shard_sets:
-        _blocked_to_merged(blocked, int(shard), seen, pairs)
-    for _, blocked, partition in cross_sets:
-        _blocked_to_merged(blocked, partition, seen, pairs)
     return MergedCandidates(
-        pairs, k=k, metrics=tuple(metrics), n_shards=n_shards
+        list(iter_merged_candidates(shard_sets, cross_sets, dedup=True)),
+        k=k,
+        metrics=tuple(metrics),
+        n_shards=n_shards,
     )
+
+
+# --------------------------------------------------------------------- #
+# Out-of-core merged views (merged.db)
+# --------------------------------------------------------------------- #
+_MERGED_TABLES = {
+    "completed": "candidates_completed",
+    "join_only": "candidates_join_only",
+}
+
+_MERGED_OFFER_SQL = ", ".join(
+    f"{name} {'REAL' if name == 'price' else 'TEXT'}"
+    + (" PRIMARY KEY" if name == "offer_id" else "")
+    for name in OFFER_COLUMNS
+)
+
+_MERGED_DDL = [
+    "CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL)",
+    f"CREATE TABLE offers ({_MERGED_OFFER_SQL})",
+    *(
+        f"""CREATE TABLE {table} (
+            key_a TEXT NOT NULL,
+            key_b TEXT NOT NULL,
+            offer_a TEXT NOT NULL REFERENCES offers (offer_id),
+            offer_b TEXT NOT NULL REFERENCES offers (offer_id),
+            label INTEGER NOT NULL,
+            score REAL NOT NULL,
+            metric TEXT NOT NULL,
+            provenance TEXT NOT NULL,
+            UNIQUE (key_a, key_b)
+        )"""
+        for table in _MERGED_TABLES.values()
+    ),
+]
+
+_OFFER_PLACEHOLDERS = ", ".join("?" for _ in OFFER_COLUMNS)
+
+
+class MergedCandidateStore:
+    """Write side of ``merged.db`` — the session-level candidate sink.
+
+    Self-contained by design: the merged file carries its own
+    (namespaced) offers table, so reading merged candidates back never
+    touches a per-shard store.  Dedup happens *in* the database — the
+    candidate tables are unique over canonical unordered pair keys and
+    rows arrive via ``INSERT OR IGNORE`` in canonical merge order, so
+    the surviving rows equal the in-memory python-set dedup exactly.
+    """
+
+    def __init__(self, path: Path | str) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Recreate from scratch: the sink is derived data, rebuilt by
+        # every sweep, so a stale file must never contribute rows.
+        if self.path.exists():
+            self.path.unlink()
+        self._connection = sqlite3.connect(self.path)
+        self._connection.execute("PRAGMA journal_mode=MEMORY")
+        self._connection.execute("PRAGMA synchronous=OFF")
+        with self._connection:
+            for statement in _MERGED_DDL:
+                self._connection.execute(statement)
+            self._connection.execute(
+                "INSERT INTO meta VALUES ('schema', ?)", (str(MERGED_SCHEMA),)
+            )
+
+    def write(
+        self,
+        table_key: str,
+        candidates: Iterable[MergedCandidate],
+        *,
+        k: int,
+        metrics: Sequence[str],
+        n_shards: int,
+    ) -> "StoredMergedCandidates":
+        """Stream one candidate table and return its lazy query view."""
+        table = _MERGED_TABLES[table_key]
+        connection = self._connection
+        with connection:
+            for candidate in candidates:
+                a = candidate.offer_a.offer_id
+                b = candidate.offer_b.offer_id
+                key_a, key_b = (a, b) if a <= b else (b, a)
+                inserted = connection.execute(
+                    f"INSERT OR IGNORE INTO {table} "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        key_a,
+                        key_b,
+                        a,
+                        b,
+                        candidate.label,
+                        candidate.score,
+                        candidate.metric,
+                        candidate.provenance,
+                    ),
+                ).rowcount
+                if inserted:
+                    connection.executemany(
+                        "INSERT OR IGNORE INTO offers "
+                        f"VALUES ({_OFFER_PLACEHOLDERS})",
+                        (
+                            offer_to_row(candidate.offer_a),
+                            offer_to_row(candidate.offer_b),
+                        ),
+                    )
+            for key, value in (
+                (f"{table_key}:k", str(int(k))),
+                (f"{table_key}:metrics", json.dumps(list(metrics))),
+                (f"{table_key}:n_shards", str(int(n_shards))),
+            ):
+                connection.execute(
+                    "INSERT OR REPLACE INTO meta VALUES (?, ?)", (key, value)
+                )
+        return StoredMergedCandidates(
+            self.path,
+            table_key,
+            k=int(k),
+            metrics=tuple(metrics),
+            n_shards=int(n_shards),
+        )
+
+    def close(self) -> None:
+        self._connection.close()
+
+
+def _reopen_stored_merged(path: str, table_key: str) -> "StoredMergedCandidates":
+    return StoredMergedCandidates.open(path, table_key)
+
+
+class StoredMergedCandidates:
+    """Lazy, windowed query view over one ``merged.db`` candidate table.
+
+    Duck-type compatible with :class:`MergedCandidates` (``pair_keys`` /
+    ``k`` / ``metrics`` / ``__len__`` / ``__iter__`` / ``summary`` /
+    ``per_provenance_counts`` / ``to_dataset``), but nothing is resident:
+    iteration pages through the table in rowid order ``window`` rows at a
+    time (offers resolved per window from the merged file's own offers
+    table), and the aggregates are SQL.  ``.pairs`` exists as an explicit
+    materialization escape hatch for callers that genuinely need a list.
+    """
+
+    def __init__(
+        self,
+        path: Path | str,
+        table_key: str,
+        *,
+        k: int,
+        metrics: tuple[str, ...],
+        n_shards: int,
+        window: int = 2048,
+    ) -> None:
+        if table_key not in _MERGED_TABLES:
+            raise ValueError(
+                f"table_key must be one of {sorted(_MERGED_TABLES)}, got "
+                f"{table_key!r}"
+            )
+        self.path = Path(path)
+        self.table_key = table_key
+        self.k = k
+        self.metrics = metrics
+        self.n_shards = n_shards
+        self.window = window
+        self._table = _MERGED_TABLES[table_key]
+        self._connection_cache: sqlite3.Connection | None = None
+        self._length: int | None = None
+
+    @classmethod
+    def open(cls, path: Path | str, table_key: str) -> "StoredMergedCandidates":
+        """Reopen a view from the metadata persisted beside the table."""
+        connection = sqlite3.connect(f"file:{Path(path)}?mode=ro", uri=True)
+        try:
+            meta = dict(connection.execute("SELECT key, value FROM meta"))
+        finally:
+            connection.close()
+        if meta.get("schema") != str(MERGED_SCHEMA):
+            raise ValueError(
+                f"merged store {path} has schema {meta.get('schema')!r}, "
+                f"expected {MERGED_SCHEMA}"
+            )
+        return cls(
+            path,
+            table_key,
+            k=int(meta[f"{table_key}:k"]),
+            metrics=tuple(json.loads(meta[f"{table_key}:metrics"])),
+            n_shards=int(meta[f"{table_key}:n_shards"]),
+        )
+
+    def __reduce__(self):
+        return (_reopen_stored_merged, (str(self.path), self.table_key))
+
+    @property
+    def _connection(self) -> sqlite3.Connection:
+        if self._connection_cache is None:
+            self._connection_cache = sqlite3.connect(
+                f"file:{self.path}?mode=ro", uri=True, check_same_thread=False
+            )
+        return self._connection_cache
+
+    def close(self) -> None:
+        if self._connection_cache is not None:
+            self._connection_cache.close()
+            self._connection_cache = None
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        if self._length is None:
+            (self._length,) = self._connection.execute(
+                f"SELECT COUNT(*) FROM {self._table}"
+            ).fetchone()
+        return self._length
+
+    def _window_offers(
+        self, rows: list[tuple]
+    ) -> dict[str, ProductOffer]:
+        wanted = sorted({row[1] for row in rows} | {row[2] for row in rows})
+        offers: dict[str, ProductOffer] = {}
+        for start in range(0, len(wanted), 512):
+            chunk = wanted[start : start + 512]
+            marks = ", ".join("?" for _ in chunk)
+            for values in self._connection.execute(
+                f"SELECT {', '.join(OFFER_COLUMNS)} FROM offers "
+                f"WHERE offer_id IN ({marks})",
+                chunk,
+            ):
+                offer = row_to_offer(values)
+                offers[offer.offer_id] = offer
+        return offers
+
+    def __iter__(self) -> Iterator[MergedCandidate]:
+        last_rowid = 0
+        while True:
+            rows = self._connection.execute(
+                f"SELECT rowid, offer_a, offer_b, label, score, metric, "
+                f"provenance FROM {self._table} WHERE rowid > ? "
+                f"ORDER BY rowid LIMIT ?",
+                (last_rowid, self.window),
+            ).fetchall()
+            if not rows:
+                return
+            offers = self._window_offers(rows)
+            for rowid, a, b, label, score, metric, provenance in rows:
+                yield MergedCandidate(
+                    offer_a=offers[a],
+                    offer_b=offers[b],
+                    label=label,
+                    score=score,
+                    metric=metric,
+                    provenance=provenance,
+                )
+            last_rowid = rows[-1][0]
+
+    @property
+    def pairs(self) -> list[MergedCandidate]:
+        """Materialized list — the explicit opt-out from laziness."""
+        return list(self)
+
+    def pair_keys(self) -> set[tuple[str, str]]:
+        return {
+            (key_a, key_b)
+            for key_a, key_b in self._connection.execute(
+                f"SELECT key_a, key_b FROM {self._table}"
+            )
+        }
+
+    def to_dataset(self, name: str) -> PairDataset:
+        dataset = PairDataset(name=name)
+        dataset.pairs = [
+            LabeledPair(
+                pair_id=f"{name}-{position:07d}",
+                offer_a=pair.offer_a,
+                offer_b=pair.offer_b,
+                label=pair.label,
+                provenance=pair.provenance,
+            )
+            for position, pair in enumerate(self)
+        ]
+        return dataset
+
+    def summary(self) -> dict[str, int]:
+        total, positives = self._connection.execute(
+            f"SELECT COUNT(*), COALESCE(SUM(label), 0) FROM {self._table}"
+        ).fetchone()
+        cross = sum(
+            count
+            for provenance, count in self._connection.execute(
+                f"SELECT provenance, COUNT(*) FROM {self._table} "
+                "GROUP BY provenance"
+            )
+            if not _is_within_shard(provenance)
+        )
+        return {
+            "all": total,
+            "pos": positives,
+            "neg": total - positives,
+            "cross_shard": cross,
+        }
+
+    def per_provenance_counts(self) -> dict[str, int]:
+        return dict(
+            self._connection.execute(
+                f"SELECT provenance, COUNT(*) FROM {self._table} "
+                "GROUP BY provenance ORDER BY MIN(rowid)"
+            )
+        )
 
 
 # --------------------------------------------------------------------- #

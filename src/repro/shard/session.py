@@ -35,7 +35,7 @@ every failed shard and every shard pair the sweep consequently skipped.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import cached_property
 from pathlib import Path
 
@@ -47,6 +47,8 @@ from repro.shard.checkpoint import ShardCheckpointStore
 from repro.shard.faults import FaultPlan
 from repro.shard.merge import (
     MergedCandidates,
+    MergedCandidateStore,
+    iter_merged_candidates,
     merge_benchmarks,
     merge_candidate_sets,
     merge_corpora,
@@ -108,6 +110,7 @@ def _sweep_universes(
     sweep_mode: str = "signature",
     signature_threshold: float = DEFAULT_SIGNATURE_THRESHOLD,
     summaries: list[RowSignatures | None] | None = None,
+    sink: MergedCandidateStore | None = None,
 ) -> tuple[MergedCandidates, MergedCandidates, SweepPruneStats]:
     """Join every universe and every universe pair; merge both shapes.
 
@@ -129,6 +132,13 @@ def _sweep_universes(
     given) receives one ``sweep:<i>→<j>`` row per executed join plus the
     aggregate ``sweep:signatures`` / ``sweep:prune`` / ``sweep:rescore``
     rows.
+
+    With a ``sink`` (a :class:`~repro.shard.merge.MergedCandidateStore`)
+    the merged sets are streamed into its SQLite tables instead of being
+    materialized as Python lists — dedup happens in SQL over canonical
+    pair keys, and the returned pair of
+    :class:`~repro.shard.merge.StoredMergedCandidates` iterates windowed
+    query results lazily.
     """
     completed_sets: list[tuple[int, BlockedPairSet]] = []
     join_sets: list[tuple[int, BlockedPairSet]] = []
@@ -225,6 +235,18 @@ def _sweep_universes(
         timings["sweep:prune"] = prune_seconds
         timings["sweep:rescore"] = rescore_seconds
     kwargs = dict(k=k, metrics=tuple(used_metrics), n_shards=n_shards)
+    if sink is not None:
+        completed = sink.write(
+            "completed",
+            iter_merged_candidates(completed_sets, cross_sets, dedup=False),
+            **kwargs,
+        )
+        join_only = sink.write(
+            "join_only",
+            iter_merged_candidates(join_sets, cross_sets, dedup=False),
+            **kwargs,
+        )
+        return completed, join_only, stats
     return (
         merge_candidate_sets(completed_sets, cross_sets, **kwargs),
         merge_candidate_sets(join_sets, cross_sets, **kwargs),
@@ -437,6 +459,16 @@ class ShardedBenchmarkSession:
     the default) and completing over the survivors (``"degrade"``),
     ``checkpoint_dir`` enables per-shard crash-resume checkpoints, and
     ``fault_plan`` / ``sleep`` are test-only injection points.
+
+    ``store_dir`` + ``store_backend="sqlite"`` switch the session
+    out-of-core: each worker persists its shard into the queryable
+    artifact store (:mod:`repro.io.store`) and returns only a path
+    handle + signature summary across the pool boundary — the parent
+    opens shards lazily (mmap engine, SQL-backed benchmark/splits) and
+    the sweep streams merged candidates into ``<store_dir>/merged.db``
+    instead of materializing them.  The store doubles as the
+    crash-resume checkpoint, so ``checkpoint_dir``, when also given,
+    must name the same directory.
     """
 
     def __init__(
@@ -456,6 +488,8 @@ class ShardedBenchmarkSession:
         backoff_cap: float = 8.0,
         failure_policy: str = "raise",
         checkpoint_dir: Path | str | None = None,
+        store_dir: Path | str | None = None,
+        store_backend: str = "pickle",
         fault_plan: FaultPlan | None = None,
         sleep=time.sleep,
     ) -> None:
@@ -480,9 +514,34 @@ class ShardedBenchmarkSession:
             timeout=shard_timeout,
         )
         self.failure_policy = failure_policy
+        if store_backend not in ("pickle", "sqlite"):
+            raise ValueError(
+                "store_backend must be one of ('pickle', 'sqlite'), got "
+                f"{store_backend!r}"
+            )
+        if store_backend == "sqlite" and store_dir is None:
+            raise ValueError("store_backend='sqlite' requires store_dir")
+        if store_dir is not None and store_backend != "sqlite":
+            raise ValueError(
+                "store_dir requires store_backend='sqlite' (the pickle "
+                "backend persists via checkpoint_dir)"
+            )
+        self.store_backend = store_backend
+        self.store_dir = Path(store_dir) if store_dir is not None else None
         self.checkpoint_dir = (
             Path(checkpoint_dir) if checkpoint_dir is not None else None
         )
+        if self.store_dir is not None:
+            if (
+                self.checkpoint_dir is not None
+                and self.checkpoint_dir.resolve() != self.store_dir.resolve()
+            ):
+                raise ValueError(
+                    "store_dir and checkpoint_dir must agree: the sqlite "
+                    "store is itself the crash-resume checkpoint"
+                )
+            # The store doubles as the checkpoint root.
+            self.checkpoint_dir = self.store_dir
         self.fault_plan = fault_plan
         self.sleep = sleep
         # Validates the threshold range once, at construction time.
@@ -542,11 +601,24 @@ class ShardedBenchmarkSession:
         supervisor's timing rows (``shard:retries``, ``checkpoint:*``).
         """
         configs = list(self.plan.shard_configs)
-        store = (
-            ShardCheckpointStore(self.checkpoint_dir)
-            if self.checkpoint_dir is not None
-            else None
-        )
+        store = None
+        if self.checkpoint_dir is not None:
+            store = ShardCheckpointStore(
+                self.checkpoint_dir, backend=self.store_backend
+            )
+        if self.store_dir is not None:
+            # Out-of-core mode: each worker writes its shard store into
+            # its own directory and returns a path handle — the rewrite
+            # happens *before* supervision so retries, checkpoints and
+            # config fingerprints all see the store-backed config.
+            configs = [
+                replace(
+                    config,
+                    store_dir=str(store.shard_dir(shard)),
+                    store_backend="sqlite",
+                )
+                for shard, config in enumerate(configs)
+            ]
         supervisor = ShardSupervisor(
             configs,
             session_seed=self.plan.seed,
@@ -585,22 +657,35 @@ class ShardedBenchmarkSession:
         timings: dict[str, float],
         summaries: list[RowSignatures | None] | None = None,
     ) -> tuple[MergedCandidates, MergedCandidates, SweepPruneStats]:
-        """Per-shard joins + cross-shard pair sweeps, merged both ways."""
+        """Per-shard joins + cross-shard pair sweeps, merged both ways.
+
+        In store-backed mode the merged sets are streamed into
+        ``<store_dir>/merged.db`` and come back as lazy
+        :class:`~repro.shard.merge.StoredMergedCandidates` query views.
+        """
         universes = [
             shard_universe(artifacts, shard)
             for shard, artifacts in zip(shard_ids, shards)
         ]
-        return _sweep_universes(
-            universes,
-            k=self.sweep_k,
-            cross_metrics=self.sweep_metrics,
-            shard_metrics=self.shard_metrics,
-            n_shards=len(shards),
-            timings=timings,
-            sweep_mode=self.sweep_mode,
-            signature_threshold=self.signature_threshold,
-            summaries=summaries,
-        )
+        sink = None
+        if self.store_dir is not None:
+            sink = MergedCandidateStore(self.store_dir / "merged.db")
+        try:
+            return _sweep_universes(
+                universes,
+                k=self.sweep_k,
+                cross_metrics=self.sweep_metrics,
+                shard_metrics=self.shard_metrics,
+                n_shards=len(shards),
+                timings=timings,
+                sweep_mode=self.sweep_mode,
+                signature_threshold=self.signature_threshold,
+                summaries=summaries,
+                sink=sink,
+            )
+        finally:
+            if sink is not None:
+                sink.close()
 
     # ------------------------------------------------------------------ #
     def build(self) -> ShardedArtifacts:

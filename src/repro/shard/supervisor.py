@@ -40,6 +40,8 @@ a killed session resumes by rebuilding only what is missing.
 from __future__ import annotations
 
 import time
+from pathlib import Path
+
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
@@ -55,6 +57,7 @@ from repro.errors import (
     ShardRetriesExhaustedError,
     ShardTimeoutError,
 )
+from repro.io.store import StoredShardHandle
 from repro.shard.checkpoint import ShardCheckpointStore
 from repro.shard.faults import FaultPlan
 from repro.similarity.signatures import RowSignatures
@@ -238,10 +241,32 @@ def _build_one_shard(
     plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
     if plan is not None:
         plan.inject(shard, attempt)
+    store_backed = (
+        config.store_dir is not None and config.store_backend == "sqlite"
+    )
+    if store_backed:
+        # This worker owns the shard's store directory exclusively (the
+        # supervisor never runs two attempts of one shard concurrently),
+        # so a present writer.lock can only be stale debris from a
+        # killed prior attempt — clear it or the rebuild refuses itself.
+        stale_lock = Path(config.store_dir) / "writer.lock"
+        try:
+            stale_lock.unlink()
+        except OSError:
+            pass
     artifacts = build_one_corpus(config)
     summary = None
     if with_signatures and artifacts.engine is not None:
         summary = RowSignatures.from_engine(artifacts.engine)
+    if store_backed:
+        # Lazy-open contract: only the summary and a two-field handle
+        # cross the pool boundary back to the parent — never the built
+        # artifact graph (build_one_corpus already persisted the store).
+        return (
+            StoredShardHandle(str(config.store_dir), shard),
+            summary,
+            time.perf_counter() - start,
+        )
     return artifacts, summary, time.perf_counter() - start
 
 
@@ -515,6 +540,12 @@ class ShardSupervisor:
                     error: BaseException | None = None
                     if ok:
                         artifacts, summary, build_elapsed = payload
+                        if isinstance(artifacts, StoredShardHandle):
+                            # Adopt the worker's store by path: the open
+                            # verifies the manifest + streamed sha256s,
+                            # and a failure here is a code bug (the
+                            # worker just reported success), so strict.
+                            artifacts = artifacts.open(strict=True)
                         if (
                             self.policy.timeout is not None
                             and build_elapsed > self.policy.timeout

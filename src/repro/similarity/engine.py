@@ -139,6 +139,42 @@ class SimilarityEngine:
         return engine
 
     @classmethod
+    def open(cls, store, shard: int | None = None) -> "SimilarityEngine":
+        """An engine over a shard's on-disk artifact store, memory-mapped.
+
+        ``store`` is anything exposing ``engine_parts()`` — a
+        :class:`~repro.io.store.StoredShard`, or a multi-shard
+        :class:`~repro.io.store.ArtifactStore` root together with the
+        ``shard`` index to open.  The incidence matrix's CSR arrays, the
+        set sizes, token-set keys and embeddings come back as read-only
+        memory maps over the store's sidecar files, so opening costs
+        page-table setup, not a deserialized copy; everything else
+        (``view()``, ``concat``, scoring) works unchanged on top.
+        """
+        if shard is not None:
+            store = store.open_shard(shard, strict=True)
+        parts = store.engine_parts()
+        if parts is None:
+            raise ValueError(
+                f"store {store!r} holds no engine (built without one?)"
+            )
+        engine = cls._from_parts(
+            titles=parts["titles"],
+            token_sets=parts["token_sets"],
+            matrix=parts["matrix"],
+            set_sizes=parts["set_sizes"],
+            embeddings=parts["embeddings"],
+            prefilter=parts["prefilter"],
+            token_keys=parts["token_keys"],
+            gj_cache=parts["gj_cache"],
+        )
+        # _from_parts leaves the vocabulary empty (views share the
+        # parent's); a store-opened engine is a root engine, so restore
+        # the token → column map in sidecar column order.
+        engine.vocabulary = parts["vocabulary"]
+        return engine
+
+    @classmethod
     def concat(
         cls,
         engines: Sequence["SimilarityEngine"],

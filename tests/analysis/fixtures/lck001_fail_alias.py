@@ -1,0 +1,37 @@
+"""LCK001 fail: guarded attribute mutated through a local alias.
+
+The laundering pattern: the alias is taken (even under the lock), then
+mutated after the ``with`` block ends — the mutation races exactly like
+a direct ``self._data[...] = ...`` would.
+"""
+
+import threading
+
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._data = {}
+        self._order = []
+
+    def put(self, key, value):
+        with self._lock:
+            self._data[key] = value
+            self._order.append(key)
+
+    def put_fast(self, key, value):
+        data = self._data
+        data[key] = value  # alias mutation outside the lock
+
+    def merge(self, other):
+        with self._lock:
+            data = self._data
+        data.update(other)  # alias escaped the with block
+
+    def drop(self, key):
+        data = self._data
+        del data[key]  # alias subscript delete, unlocked
+
+    def grow(self, keys):
+        order = self._order
+        order += keys  # augmented assign through the alias

@@ -1,0 +1,42 @@
+"""LCK001 pass: alias mutations that hold the lock, or are no alias at all.
+
+Aliases mutated inside the ``with`` block are as guarded as the
+attribute itself; a name rebound away from the attribute before the
+mutation is an ordinary local; aliases never leak across function
+scopes.
+"""
+
+import threading
+
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._data = {}
+
+    def put(self, key, value):
+        with self._lock:
+            data = self._data
+            data[key] = value  # alias mutation under the lock
+
+    def evict(self, key):
+        with self._lock:
+            data = self._data
+            data.pop(key, None)
+
+    def rebound(self, key, value):
+        data = self._data
+        data = {}  # rebind: no longer the attribute
+        data[key] = value
+
+    def ended(self, key):
+        data = self._data
+        del data  # unbinds the local, not the attribute
+        data = {}
+        data[key] = None
+
+    def scoped(self, key, value):
+        def helper(data):
+            data[key] = value  # parameter, not this scope's alias
+
+        helper({})

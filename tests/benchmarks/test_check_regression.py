@@ -182,3 +182,87 @@ class TestCompareChaosGate:
             baseline, current, tolerance=2.5, floor=0.05
         )
         assert any(line.startswith("chaos: missing") for line in failures)
+
+
+def _healthy_store() -> dict:
+    probe = {
+        "degraded": False,
+        "phases": {"build": 100, "sweep": 100, "merge": 100},
+        "candidates": 1000,
+        "join_candidates": 2000,
+        "positives": 150,
+    }
+    return {
+        "n_shards": 8,
+        "scale": "default",
+        "in_memory": {**probe, "peak_rss_kb": 900_000},
+        "sqlite": {**probe, "peak_rss_kb": 400_000},
+    }
+
+
+class TestStoreFailures:
+    def test_missing_section_is_a_failure(self):
+        failures = check_regression._store_failures(None)
+        assert failures
+        assert "--store-rss" in failures[0] or "store-rss" in failures[0]
+
+    def test_healthy_probe_passes(self):
+        assert check_regression._store_failures(_healthy_store()) == []
+
+    def test_store_peak_must_be_strictly_below_in_memory(self):
+        section = _healthy_store()
+        section["sqlite"]["peak_rss_kb"] = section["in_memory"][
+            "peak_rss_kb"
+        ]
+        failures = check_regression._store_failures(section)
+        assert any("not below" in line for line in failures)
+
+    def test_candidate_counts_must_match(self):
+        section = _healthy_store()
+        section["sqlite"]["candidates"] -= 1
+        failures = check_regression._store_failures(section)
+        assert any("candidates differ" in line for line in failures)
+
+    def test_degraded_probe_session_fails(self):
+        section = _healthy_store()
+        section["in_memory"]["degraded"] = True
+        failures = check_regression._store_failures(section)
+        assert any("degraded" in line for line in failures)
+
+    def test_missing_modes_fail(self):
+        failures = check_regression._store_failures({"n_shards": 8})
+        assert any("probe modes missing" in line for line in failures)
+
+
+class TestCompareStoreGate:
+    def _recording(self, store=None) -> dict:
+        record = {
+            "schema": check_regression.MIN_SCHEMA,
+            "build_stages": {"corpus": 1.0},
+        }
+        if store is not None:
+            record["store"] = store
+        return record
+
+    def test_store_gated_only_when_baseline_has_the_section(self):
+        failures = check_regression.compare(
+            self._recording(), self._recording(), tolerance=2.5, floor=0.05
+        )
+        assert failures == []
+
+    def test_baseline_store_requires_current_store(self):
+        baseline = self._recording(store=_healthy_store())
+        failures = check_regression.compare(
+            baseline, self._recording(), tolerance=2.5, floor=0.05
+        )
+        assert any(line.startswith("store: missing") for line in failures)
+
+    def test_healthy_store_passes_compare(self):
+        baseline = self._recording(store=_healthy_store())
+        current = self._recording(store=_healthy_store())
+        assert (
+            check_regression.compare(
+                baseline, current, tolerance=2.5, floor=0.05
+            )
+            == []
+        )

@@ -162,3 +162,87 @@ class TestInjectableClock:
         store.save(0, ARTIFACTS, SUMMARY, base_config=base_config)
         manifest = json.loads(store.manifest_path(0).read_text())
         assert before <= manifest["created_at"] <= time.time()
+
+
+class TestSqliteBackend:
+    """The sqlite backend: real artifacts, adoption, typed refusal."""
+
+    @pytest.fixture(scope="class")
+    def artifacts(self):
+        from repro.core.builder import BenchmarkBuilder
+
+        return BenchmarkBuilder(BuildConfig.small(n_products=30)).build()
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="backend"):
+            ShardCheckpointStore(tmp_path, backend="parquet")
+
+    def test_round_trip_returns_stored_shard(self, tmp_path, artifacts):
+        from repro.io.store import StoredShard
+
+        store = ShardCheckpointStore(tmp_path / "ckpt", backend="sqlite")
+        store.save(0, artifacts, None, base_config=artifacts.config)
+        loaded = store.load(0, base_config=artifacts.config, strict=True)
+        assert loaded is not None
+        stored, summary, manifest = loaded
+        assert isinstance(stored, StoredShard)
+        # Summaries are rebuilt on demand from the mmap engine, not
+        # persisted alongside the payload.
+        assert summary is None
+        assert len(stored.cleansed.offers) == len(artifacts.cleansed.offers)
+        assert store.completed_shards([artifacts.config]) == [0]
+
+    def test_adoption_amends_in_place(self, tmp_path, artifacts):
+        from repro.io.store import write_store, open_store
+
+        store = ShardCheckpointStore(tmp_path / "ckpt", backend="sqlite")
+        # A worker already wrote the store into the shard's directory.
+        write_store(store.shard_dir(2), artifacts)
+        stored = open_store(store.shard_dir(2), strict=True)
+        store.save(
+            2, stored, None, base_config=artifacts.config, attempt=2
+        )
+        manifest = json.loads(
+            (store.shard_dir(2) / "manifest.json").read_text()
+        )
+        assert manifest["shard"] == 2
+        assert manifest["attempt"] == 2
+        assert manifest["base_fingerprint"] == config_fingerprint(
+            artifacts.config
+        )
+        assert store.load(2, base_config=artifacts.config) is not None
+
+    def test_foreign_directory_adoption_refused(self, tmp_path, artifacts):
+        from repro.errors import StoreError
+        from repro.io.store import write_store, open_store
+
+        store = ShardCheckpointStore(tmp_path / "ckpt", backend="sqlite")
+        write_store(tmp_path / "elsewhere", artifacts)
+        stored = open_store(tmp_path / "elsewhere", strict=True)
+        with pytest.raises(StoreError, match="cannot adopt"):
+            store.save(1, stored, None, base_config=artifacts.config)
+
+    def test_corruption_is_typed_store_error(self, tmp_path, artifacts):
+        from repro.errors import StoreError
+
+        store = ShardCheckpointStore(tmp_path / "ckpt", backend="sqlite")
+        store.save(0, artifacts, None, base_config=artifacts.config)
+        db = store.shard_dir(0) / "shard.db"
+        db.write_bytes(db.read_bytes()[:-32])
+        assert store.load(0, base_config=artifacts.config) is None
+        with pytest.raises(StoreError, match="sha256 mismatch"):
+            store.load(0, base_config=artifacts.config, strict=True)
+
+    def test_streamed_verify_never_deserializes_bad_payload(
+        self, tmp_path, base_config
+    ):
+        # Pickle backend counterpart of the streamed-sha satellite: a
+        # corrupt payload is rejected by the chunked hash alone — the
+        # pickle is never loaded (a poisoned payload would throw).
+        store = ShardCheckpointStore(tmp_path / "ckpt")
+        store.save(0, ARTIFACTS, SUMMARY, base_config=base_config)
+        payload = store.payload_path(0)
+        payload.write_bytes(b"\x80\x04poisoned-not-the-payload")
+        assert store.load(0, base_config=base_config) is None
+        with pytest.raises(CheckpointError, match="sha256 mismatch"):
+            store.load(0, base_config=base_config, strict=True)

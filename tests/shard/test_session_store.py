@@ -1,0 +1,269 @@
+"""The store-backed session: parity, lazy worker opens, resume, fallback.
+
+The acceptance contract of the out-of-core refactor: a
+``store_backend="sqlite"`` session must be *byte-identical* to the
+in-memory pickle path — same merged candidate fingerprint, same merged
+benchmark fingerprint, across serial and process execution — while
+never shipping a ``BuildArtifacts`` across the pool boundary (workers
+return :class:`~repro.io.store.StoredShardHandle` path handles), and a
+corrupted shard store must fall back to a rebuild in session mode while
+strict opens raise :class:`~repro.errors.StoreError`.
+"""
+
+import hashlib
+import json
+import sqlite3
+
+import pytest
+
+from repro.core import BuildConfig
+from repro.errors import StoreError
+from repro.io.store import StoredShard, StoredShardHandle
+from repro.shard import (
+    MergedCandidates,
+    ShardPlan,
+    ShardedBenchmarkSession,
+    StoredMergedCandidates,
+)
+from repro.shard.supervisor import _build_one_shard
+
+# The same geometry and sha256 pins as tests/shard/test_session.py: the
+# store-backed path must land on the byte-identical merged results the
+# in-memory pickle path is pinned to.
+N_SHARDS = 3
+SWEEP_K = 10
+EXPECTED_MERGED_SHA256 = (
+    "b0c44624ccefda206ee7d7e2a74bb838a1a071f441b4cbd8a6ea4380738186f6"
+)
+EXPECTED_BENCHMARK_SHA256 = (
+    "113d9e1f2a3759440167dbce87d5c2b298693af433dffcea02009b84ff926b1f"
+)
+
+
+def _plan():
+    return ShardPlan.create(
+        N_SHARDS, base_config=BuildConfig.small(n_products=30), seed=42
+    )
+
+
+def _candidates_fingerprint(merged) -> str:
+    digest = hashlib.sha256()
+    for pair in merged.pairs:
+        digest.update(
+            f"{pair.offer_a.offer_id}|{pair.offer_b.offer_id}|{pair.label}|"
+            f"{pair.metric}|{pair.provenance}|{pair.score:.9f}\n".encode()
+        )
+    return digest.hexdigest()
+
+
+def _benchmark_fingerprint(benchmark) -> str:
+    digest = hashlib.sha256()
+    for attribute in ("train_sets", "valid_sets", "test_sets"):
+        for dataset in getattr(benchmark, attribute).values():
+            digest.update(dataset.name.encode())
+            for pair in dataset.pairs:
+                digest.update(
+                    f"{pair.pair_id}|{pair.offer_a.offer_id}|"
+                    f"{pair.offer_b.offer_id}|{pair.label}|"
+                    f"{pair.provenance}\n".encode()
+                )
+    return digest.hexdigest()
+
+
+def _store_session(store_dir, executor="serial", **kwargs):
+    return ShardedBenchmarkSession(
+        _plan(),
+        sweep_k=SWEEP_K,
+        executor=executor,
+        store_dir=store_dir,
+        store_backend="sqlite",
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def store_root(tmp_path_factory):
+    return tmp_path_factory.mktemp("store")
+
+
+@pytest.fixture(scope="module")
+def store_session(store_root):
+    return _store_session(store_root / "serial").build()
+
+
+class TestParity:
+    def test_merged_candidates_pinned(self, store_session):
+        assert (
+            _candidates_fingerprint(store_session.merged_candidates)
+            == EXPECTED_MERGED_SHA256
+        )
+
+    def test_merged_benchmark_pinned(self, store_session):
+        assert (
+            _benchmark_fingerprint(store_session.merged_benchmark)
+            == EXPECTED_BENCHMARK_SHA256
+        )
+
+    def test_process_executor_identical(self, store_root):
+        session = _store_session(
+            store_root / "process", executor="process"
+        ).build()
+        assert (
+            _candidates_fingerprint(session.merged_candidates)
+            == EXPECTED_MERGED_SHA256
+        )
+        assert (
+            _benchmark_fingerprint(session.merged_benchmark)
+            == EXPECTED_BENCHMARK_SHA256
+        )
+
+    def test_shards_are_stored_not_in_memory(self, store_session):
+        assert all(
+            isinstance(shard, StoredShard) for shard in store_session.shards
+        )
+
+    def test_merged_views_are_lazy_queries(self, store_session):
+        assert isinstance(
+            store_session.merged_candidates, StoredMergedCandidates
+        )
+        assert isinstance(
+            store_session.merged_join_candidates, StoredMergedCandidates
+        )
+        # Iteration is windowed SQL, not a cached list: two passes agree.
+        first = _candidates_fingerprint(store_session.merged_candidates)
+        second = _candidates_fingerprint(store_session.merged_candidates)
+        assert first == second
+        assert len(store_session.merged_candidates) == sum(
+            1 for _ in store_session.merged_candidates
+        )
+
+    def test_merged_db_on_disk(self, store_root, store_session):
+        merged = store_root / "serial" / "merged.db"
+        assert merged.exists()
+        with sqlite3.connect(f"file:{merged}?mode=ro", uri=True) as db:
+            tables = {
+                row[0]
+                for row in db.execute(
+                    "SELECT name FROM sqlite_master WHERE type='table'"
+                )
+            }
+        assert {"candidates_completed", "candidates_join_only"} <= tables
+
+    def test_split_candidates_stay_in_memory(self, store_session):
+        from repro.core.dimensions import CornerCaseRatio, DevSetSize
+
+        completed, join_only = store_session.split_candidates(
+            CornerCaseRatio.CC50, DevSetSize.MEDIUM, k=10
+        )
+        assert isinstance(completed, MergedCandidates)
+        assert isinstance(join_only, MergedCandidates)
+
+
+class TestLazyWorkerOpens:
+    def test_worker_returns_handle_not_artifacts(self, tmp_path):
+        from dataclasses import replace
+
+        config = replace(
+            _plan().shard_configs[0],
+            store_dir=str(tmp_path / "shard-0000"),
+            store_backend="sqlite",
+        )
+        artifacts, summary, elapsed = _build_one_shard(
+            config, shard=0, attempt=1, with_signatures=True
+        )
+        assert isinstance(artifacts, StoredShardHandle)
+        assert summary is not None
+        assert elapsed > 0
+        opened = artifacts.open(strict=True)
+        assert isinstance(opened, StoredShard)
+
+    def test_no_build_artifacts_cross_pool_boundary(self, store_root):
+        # The handle is the *entire* worker payload for artifacts: its
+        # pickled form is a path + shard index, orders of magnitude
+        # smaller than any artifact graph.
+        import pickle
+
+        handle = StoredShardHandle(str(store_root / "anywhere"), 0)
+        assert len(pickle.dumps(handle)) < 512
+
+
+class TestResumeAndFallback:
+    def test_second_session_resumes_from_store(self, store_root):
+        session = _store_session(store_root / "serial").build()
+        assert all(
+            status == "checkpoint"
+            for status in session.health.statuses.values()
+        )
+        assert (
+            _candidates_fingerprint(session.merged_candidates)
+            == EXPECTED_MERGED_SHA256
+        )
+
+    def test_corrupted_store_falls_back_to_rebuild(self, tmp_path):
+        root = tmp_path / "store"
+        _store_session(root).build()
+        # Corrupt one shard's sidecar: the next session must rebuild
+        # that shard (not crash, not trust the torn store) and still
+        # land on the pinned fingerprint.
+        sidecar = root / "shard-0001" / "incidence_data.npy"
+        sidecar.write_bytes(sidecar.read_bytes()[:-8])
+        session = _store_session(root).build()
+        statuses = session.health.statuses
+        assert statuses[1] == "built"
+        assert statuses[0] == statuses[2] == "checkpoint"
+        assert (
+            _candidates_fingerprint(session.merged_candidates)
+            == EXPECTED_MERGED_SHA256
+        )
+
+    def test_strict_open_of_corrupted_store_raises(self, tmp_path):
+        from repro.io.store import open_store
+
+        root = tmp_path / "store"
+        _store_session(root).build()
+        manifest_path = root / "shard-0000" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["files"]["shard.db"]["sha256"] = "0" * 64
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(StoreError, match="sha256 mismatch"):
+            open_store(root / "shard-0000", strict=True)
+
+
+class TestValidation:
+    def test_sqlite_requires_store_dir(self):
+        with pytest.raises(ValueError, match="requires store_dir"):
+            ShardedBenchmarkSession(_plan(), store_backend="sqlite")
+
+    def test_store_dir_requires_sqlite(self, tmp_path):
+        with pytest.raises(ValueError, match="store_backend='sqlite'"):
+            ShardedBenchmarkSession(_plan(), store_dir=tmp_path)
+
+    def test_conflicting_checkpoint_dir(self, tmp_path):
+        with pytest.raises(ValueError, match="must agree"):
+            ShardedBenchmarkSession(
+                _plan(),
+                store_dir=tmp_path / "store",
+                store_backend="sqlite",
+                checkpoint_dir=tmp_path / "elsewhere",
+            )
+
+    def test_matching_checkpoint_dir_accepted(self, tmp_path):
+        session = ShardedBenchmarkSession(
+            _plan(),
+            store_dir=tmp_path / "store",
+            store_backend="sqlite",
+            checkpoint_dir=tmp_path / "store",
+        )
+        assert session.checkpoint_dir == session.store_dir
+
+    def test_unknown_backend(self, tmp_path):
+        with pytest.raises(ValueError, match="store_backend"):
+            ShardedBenchmarkSession(
+                _plan(), store_dir=tmp_path, store_backend="parquet"
+            )
+
+    def test_build_config_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="store_dir"):
+            BuildConfig.small(store_backend="sqlite")
+        with pytest.raises(ValueError, match="store_backend"):
+            BuildConfig.small(store_dir=str(tmp_path), store_backend="csv")
