@@ -33,6 +33,15 @@ the in-memory session's at the same recorded scale, with identical
 candidate counts — lazy worker opens and SQL-windowed merges have to
 actually save memory, not just move it.
 
+Schema-8 baselines with a ``serve`` section gate the online serving
+layer: delta-determinism parity (the mutated live shards must equal a
+cold rebuild — an exactness claim checked *within* the current
+recording) and bounded admission (the overload burst must shed with the
+typed error) are strict; the sustained p99 latency and QPS compare
+against the baseline under the same generous ``tolerance`` as the stage
+budgets, with sub-floor baseline p99s held to a 50ms floor so scheduler
+noise on loaded runners cannot trip the gate.
+
 Baselines with a ``sweep_scaling`` section gate the sweep-scaling
 economics *within the current recording* (machine-independent, so no
 tolerance is involved): the N-shard signature sweep must beat the
@@ -55,11 +64,17 @@ import json
 import sys
 from pathlib import Path
 
-# Oldest recording schema this gate understands.  Schema 7 added the
-# store section (out-of-core vs in-memory peak RSS); older recordings
-# are missing the fields the gates below read, so they fail up front
-# with a regenerate message instead of a KeyError mid-compare.
-MIN_SCHEMA = 7
+# Oldest recording schema this gate understands.  Schema 8 added the
+# serve section (online match-serving QPS/p99 with delta-determinism
+# parity); older recordings are missing the fields the gates below
+# read, so they fail up front with a regenerate message instead of a
+# KeyError mid-compare.
+MIN_SCHEMA = 8
+
+# Baselines below this p99 are held to the floor instead: sub-floor
+# latencies are scheduler noise, and gating 2.5x of a 3ms baseline
+# would fail healthy runs on any loaded CI machine.
+SERVE_P99_FLOOR_MS = 50.0
 
 
 def _load_recording(path: Path, role: str) -> dict | str:
@@ -72,7 +87,7 @@ def _load_recording(path: Path, role: str) -> dict | str:
     regenerate = (
         "regenerate it with: PYTHONPATH=src python "
         "benchmarks/record_timings.py --shards 2 --sweep-scaling 8 "
-        f"--chaos 3 --store-rss 8 --output {path}"
+        f"--chaos 3 --store-rss 8 --serve 400 --output {path}"
     )
     if not path.exists():
         return f"{role} recording {path} does not exist — {regenerate}"
@@ -292,6 +307,71 @@ def _store_failures(section: dict | None) -> list[str]:
     return failures
 
 
+def _serve_failures(
+    section: dict | None,
+    baseline_section: dict,
+    *,
+    tolerance: float,
+) -> list[str]:
+    """The online-serving gates: parity outright, QPS/p99 vs baseline.
+
+    The structural claims are intra-recording and strict — the mutated
+    shards must equal their cold rebuilds (delta determinism) and the
+    overload burst must shed with the typed error (bounded admission
+    works).  The performance claims compare against the baseline with
+    the same generous ``tolerance`` as the stage budgets: p99 no worse
+    than ``tolerance``× the (floored) baseline p99, sustained QPS no
+    lower than baseline/``tolerance``.
+    """
+    if section is None:
+        return [
+            "serve: missing from the current recording "
+            "(run record_timings.py --serve N)"
+        ]
+    failures: list[str] = []
+    parity = section.get("parity", {})
+    for claim in ("clusters_equal", "scores_equal"):
+        if parity.get(claim) is not True:
+            failures.append(
+                f"serve: delta-determinism parity broken — {claim} is "
+                f"{parity.get(claim)!r}; live mutated shards no longer "
+                "equal a cold rebuild"
+            )
+    if not section.get("completed_queries"):
+        failures.append("serve: no queries completed during the workload")
+    if section.get("shed"):
+        failures.append(
+            f"serve: {section['shed']} operations shed during the "
+            "sustained workload — with concurrency below max_pending the "
+            "admission queue must never fill"
+        )
+    burst = section.get("overload_burst", {})
+    if not burst.get("shed"):
+        failures.append(
+            "serve: the overload burst shed nothing — bounded admission "
+            "is not applying backpressure"
+        )
+    baseline_p99 = max(
+        float(baseline_section.get("p99_ms", 0.0)), SERVE_P99_FLOOR_MS
+    )
+    current_p99 = float(section.get("p99_ms", 0.0))
+    if current_p99 > tolerance * baseline_p99:
+        failures.append(
+            f"serve: p99 latency {current_p99:.1f}ms exceeds "
+            f"{tolerance}x the baseline's {baseline_p99:.1f}ms "
+            "(floored) — the query path regressed"
+        )
+    baseline_qps = float(baseline_section.get("qps", 0.0))
+    current_qps = float(section.get("qps", 0.0))
+    if current_qps * tolerance < baseline_qps:
+        failures.append(
+            f"serve: sustained throughput {current_qps:.0f} QPS fell "
+            f"below baseline {baseline_qps:.0f} QPS / {tolerance} — "
+            "the micro-batching path regressed"
+        )
+    return failures
+
+
 def compare(
     baseline: dict,
     current: dict,
@@ -374,6 +454,14 @@ def compare(
         )
     if "store" in baseline:
         failures.extend(_store_failures(current.get("store")))
+    if "serve" in baseline:
+        failures.extend(
+            _serve_failures(
+                current.get("serve"),
+                baseline["serve"],
+                tolerance=tolerance,
+            )
+        )
     return failures
 
 
@@ -492,6 +580,14 @@ def main() -> int:
             "checked out-of-core store (peak RSS "
             f"{sqlite_peak} KB vs {memory_peak} KB in-memory, "
             f"{ratio:.2f}x, identical candidate counts)"
+        )
+    if "serve" in baseline:
+        serve = current.get("serve", {})
+        print(
+            "checked online serving "
+            f"({serve.get('qps', 0):.0f} QPS, "
+            f"p99 {serve.get('p99_ms', 0):.1f}ms, "
+            "delta-determinism parity, overload sheds)"
         )
     print("all checks passed")
     return 0

@@ -54,6 +54,18 @@ per-phase deltas around build / sweep / merged access.  The gate:
 store-backed peak RSS strictly below in-memory at the same scale, with
 identical candidate counts.
 
+``--serve N`` runs the online-serving probe (the ``serve`` section,
+schema 8, gated by ``check_regression.py``): two live shards over a
+cleansed small corpus serve N mixed operations — matches, appends,
+retires — from 32 concurrent clients through one async
+:class:`~repro.serve.MatchService`, recording sustained QPS, per-query
+p50/p99 latency and the shed rate, then asserting the serving layer's
+two structural claims in the same run: *delta determinism* (every
+mutated shard's clusters and scores equal a cold rebuild of its
+surviving offers) and *typed backpressure* (a deliberate overload burst
+against a tiny admission queue must shed with
+:class:`~repro.errors.ServiceOverloadError`).
+
 ``--shard-scaling N`` additionally runs the default-scale scaling probe
 and stores it under ``shard_scaling`` (informational: CI smoke runs never
 record it, so it is compared by humans, not gated).  The probe records
@@ -263,7 +275,9 @@ def _record_sweep_scaling(n_shards: int, seed: int) -> dict:
     paired = [
         ShardUniverse(
             shard=first.shard,
-            engine=SimilarityEngine.concat([first.engine, second.engine]),
+            engine=SimilarityEngine.concat(
+                [first.engine, second.engine], strict_embeddings=False
+            ),
             offers=first.offers + second.offers,
             labels=first.labels + second.labels,
         )
@@ -391,17 +405,27 @@ def _store_rss_probe(
     import resource
 
     def peak_kb() -> int:
-        # Linux reports ru_maxrss in KB (macOS in bytes; the baseline
-        # records both modes on one machine, so the *comparison* holds
-        # either way).
+        # Prefer VmHWM from /proc/self/status: some sandbox kernels keep
+        # struct-rusage maxrss as a separate counter that neither exec
+        # nor clear_refs resets, so getrusage would report the *parent's*
+        # watermark forever.  VmHWM honors the clear_refs reset below.
+        # Fall back to ru_maxrss where /proc is absent (non-Linux; Linux
+        # reports KB, macOS bytes — both modes record on one machine, so
+        # the comparison holds either way).
+        try:
+            with open("/proc/self/status") as status:
+                for line in status:
+                    if line.startswith("VmHWM:"):
+                        return int(line.split()[1])
+        except OSError:
+            pass
         return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
 
     # Not every kernel resets the peak-RSS watermark across exec — some
-    # sandbox kernels hand the spawned child the parent's ru_maxrss,
+    # sandbox kernels hand the spawned child the parent's watermark,
     # which would mask every measurement below it.  Writing "5" to
-    # clear_refs resets VmHWM/ru_maxrss to the current RSS; where the
-    # file is absent (non-Linux) the fresh spawn watermark is already
-    # correct.
+    # clear_refs resets VmHWM to the current RSS; where the file is
+    # absent (non-Linux) the fresh spawn watermark is already correct.
     try:
         with open("/proc/self/clear_refs", "w") as handle:
             handle.write("5")
@@ -491,6 +515,167 @@ def _record_store_rss(n_shards: int, seed: int) -> dict:
     return section
 
 
+def _serve_cold_parity(shards) -> dict:
+    """Live-vs-cold parity of each mutated shard, pinned exactly.
+
+    After the workload, every shard's live state (incremental clusters +
+    external cosine scores over probe queries) must equal a cold rebuild
+    over its surviving offers — the delta-determinism claim, asserted in
+    the benchmark itself so CI re-proves it at workload scale on every
+    push.
+    """
+    from repro.serve import LiveShard
+    from repro.similarity.engine import SimilarityEngine
+    from repro.text.tokenize import tokenize
+
+    clusters_equal = True
+    scores_equal = True
+    for shard in shards:
+        offers = shard.live_offers()
+        cold = LiveShard(
+            SimilarityEngine([offer.title for offer in offers]), offers
+        )
+        if shard.clusters_sha() != cold.clusters_sha():
+            clusters_equal = False
+        probe = [set(tokenize(offer.title)) for offer in offers[:8]]
+        alive = [int(row) for row in shard.engine.live_rows()]
+        live_scores = shard.engine.external_scores_batch(probe, "cosine")
+        cold_scores = cold.engine.external_scores_batch(probe, "cosine")
+        if not (live_scores[:, alive] == cold_scores).all():
+            scores_equal = False
+    return {"clusters_equal": clusters_equal, "scores_equal": scores_equal}
+
+
+def _record_serve(n_ops: int, seed: int) -> dict:
+    """The online-serving probe: sustained mixed match/append/retire load.
+
+    Two live shards over a cleansed small corpus serve ``n_ops``
+    operations from 32 concurrent clients — mostly ``match`` queries,
+    with an append every 8th operation and a retire (of an earlier
+    append) every 16th — through one :class:`MatchService`.  Recorded:
+    sustained QPS, per-query p50/p99 latency, shed/deadline counters,
+    micro-batch count, then the delta-determinism parity booleans (live
+    mutated shards vs cold rebuilds) and a deliberate overload burst
+    against a ``max_pending=2`` service proving typed backpressure
+    sheds.  ``check_regression.py`` gates p99 and QPS against the
+    baseline and requires parity + shedding outright.
+    """
+    import asyncio
+    import random
+
+    from repro.cleansing import CleansingPipeline
+    from repro.corpus import CorpusConfig, CorpusGenerator
+    from repro.errors import ServiceOverloadError
+    from repro.serve import LiveShard, MatchService
+    from repro.similarity.engine import SimilarityEngine
+
+    corpus = CleansingPipeline().run(
+        CorpusGenerator(CorpusConfig.small(seed=seed)).generate().corpus
+    )
+    offers = list(corpus.offers)
+    half = len(offers) // 2
+    shards = [
+        LiveShard(
+            SimilarityEngine([offer.title for offer in offers[:half]]),
+            offers[:half],
+            shard=0,
+        ),
+        LiveShard(
+            SimilarityEngine([offer.title for offer in offers[half:]]),
+            offers[half:],
+            shard=1,
+        ),
+    ]
+    rng = random.Random(seed)
+    titles = [offer.title for offer in offers]
+    concurrency = 32
+
+    async def workload() -> dict:
+        from repro.corpus.schema import ProductOffer
+
+        service = MatchService(
+            shards, max_batch=64, max_pending=4 * concurrency
+        )
+        latencies: list[float] = []
+        appended: list[str] = []
+        counters = {"queries": 0, "appends": 0, "retires": 0, "shed": 0}
+        next_op = iter(range(n_ops))
+
+        async def client() -> None:
+            loop = asyncio.get_running_loop()
+            for op in next_op:
+                try:
+                    if op % 16 == 15 and appended:
+                        await service.retire([appended.pop(0)])
+                        counters["retires"] += 1
+                    elif op % 8 == 7:
+                        fresh = ProductOffer(
+                            offer_id=f"srv-{op}",
+                            cluster_id=f"srvc-{op}",
+                            title=rng.choice(titles),
+                        )
+                        await service.append([fresh])
+                        appended.append(fresh.offer_id)
+                        counters["appends"] += 1
+                    else:
+                        started = loop.time()
+                        await service.match(
+                            [rng.choice(titles)], k=10
+                        )
+                        latencies.append(loop.time() - started)
+                        counters["queries"] += 1
+                except ServiceOverloadError:
+                    counters["shed"] += 1
+
+        async with service:
+            started = time.perf_counter()
+            await asyncio.gather(*[client() for _ in range(concurrency)])
+            wall = time.perf_counter() - started
+            stats = service.stats()
+
+        # The overload burst: a deliberately tiny admission queue must
+        # shed with the typed error rather than queueing without bound.
+        burst_service = MatchService(shards, max_pending=2, max_batch=1)
+        async with burst_service:
+            burst = await asyncio.gather(
+                *[
+                    burst_service.match([titles[0]], k=1)
+                    for _ in range(64)
+                ],
+                return_exceptions=True,
+            )
+        burst_shed = sum(
+            isinstance(result, ServiceOverloadError) for result in burst
+        )
+
+        ordered = sorted(latencies)
+        def quantile(q: float) -> float:
+            return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+        return {
+            "n_ops": n_ops,
+            "n_shards": len(shards),
+            "concurrency": concurrency,
+            "corpus_offers": len(offers),
+            "wall_seconds": wall,
+            "completed_queries": counters["queries"],
+            "appends": counters["appends"],
+            "retires": counters["retires"],
+            "shed": counters["shed"],
+            "shed_rate": counters["shed"] / n_ops,
+            "deadline_expired": stats.deadline_expired,
+            "batches": stats.batches,
+            "qps": counters["queries"] / wall if wall else 0.0,
+            "p50_ms": quantile(0.50) * 1000.0,
+            "p99_ms": quantile(0.99) * 1000.0,
+            "overload_burst": {"attempted": 64, "shed": burst_shed},
+        }
+
+    section = asyncio.run(workload())
+    section["parity"] = _serve_cold_parity(shards)
+    return section
+
+
 def _scaled_config(base: BuildConfig, factor: int) -> BuildConfig:
     from dataclasses import replace
 
@@ -564,8 +749,12 @@ def record(
     sweep_scaling: int = 0,
     chaos: int = 0,
     store_rss: int = 0,
+    serve: int = 0,
 ) -> dict:
     record: dict = {
+        # 8: online serving — the serve section (sustained mixed
+        #    match/append/retire workload over live shards: QPS,
+        #    p50/p99, shed rate, delta-determinism parity, gated)
         # 7: out-of-core — the store section (in-memory vs sqlite-backed
         #    session peak RSS with per-phase deltas, gated)
         # 6: fault tolerance — the chaos smoke section (fault-injected
@@ -580,7 +769,7 @@ def record(
         #    merged recall, sharded-vs-single build wall-clock)
         # 3: build runs the blocking stage; blocking recall is recorded
         # 2: featurize/fit stages are additive (no double work)
-        "schema": 7,
+        "schema": 8,
         "scale": "small",
         "seed": seed,
         "python": platform.python_version(),
@@ -606,6 +795,8 @@ def record(
         record["chaos"] = _record_chaos(chaos, seed)
     if store_rss > 0:
         record["store"] = _record_store_rss(store_rss, seed)
+    if serve > 0:
+        record["serve"] = _record_serve(serve, seed)
     # Drop the pool sections' object graphs before the serial phases so
     # their allocations don't skew the single-build measurement either.
     gc.collect()
@@ -711,6 +902,16 @@ def main() -> None:
         "own spawned subprocess, recording peak RSS with per-phase "
         "deltas ('store' section, gated by check_regression)",
     )
+    parser.add_argument(
+        "--serve",
+        type=int,
+        default=0,
+        help="run the online-serving probe: N mixed match/append/retire "
+        "operations from 32 concurrent clients against two live shards, "
+        "recording QPS, p50/p99 latency, shed rate and the "
+        "delta-determinism parity booleans ('serve' section, gated by "
+        "check_regression)",
+    )
     args = parser.parse_args()
 
     result = record(
@@ -720,6 +921,7 @@ def main() -> None:
         sweep_scaling=args.sweep_scaling,
         chaos=args.chaos,
         store_rss=args.store_rss,
+        serve=args.serve,
     )
     args.output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.output}")
@@ -804,6 +1006,23 @@ def main() -> None:
                 f"{phases['sweep'] / 1024:.0f}MB merge "
                 f"{phases['merge'] / 1024:.0f}MB"
             )
+    if "serve" in result:
+        serve = result["serve"]
+        parity = serve["parity"]
+        print(
+            f"  serve: {serve['completed_queries']} queries over "
+            f"{serve['n_shards']} shards in {serve['wall_seconds']:.2f}s "
+            f"({serve['qps']:.0f} QPS, p50 {serve['p50_ms']:.1f}ms, "
+            f"p99 {serve['p99_ms']:.1f}ms), {serve['appends']} appends, "
+            f"{serve['retires']} retires, shed rate "
+            f"{serve['shed_rate']:.1%}"
+        )
+        print(
+            f"    delta parity: clusters={parity['clusters_equal']} "
+            f"scores={parity['scores_equal']}; overload burst shed "
+            f"{serve['overload_burst']['shed']}/"
+            f"{serve['overload_burst']['attempted']}"
+        )
     if "shard_scaling" in result:
         scaling = result["shard_scaling"]
         _print_sharding("shard_scaling (partitioned)", scaling["partitioned"])

@@ -82,6 +82,7 @@ def all_rules(select: Iterable[str] | None = None) -> list[Rule]:
 
 # Importing the rule modules populates the registry.
 from repro.analysis.rules import (  # noqa: E402  (registry must exist first)
+    async_blocking,
     locks,
     meta,
     ordering,
@@ -89,4 +90,4 @@ from repro.analysis.rules import (  # noqa: E402  (registry must exist first)
     rng,
 )
 
-_ = (rng, pickle_safety, locks, ordering, meta)
+_ = (rng, pickle_safety, locks, ordering, meta, async_blocking)

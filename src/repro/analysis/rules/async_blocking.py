@@ -1,0 +1,181 @@
+"""Async discipline: no blocking calls inside ``async def`` bodies.
+
+The serving layer's contract is that the event loop never blocks: one
+stalled coroutine freezes every pending ``match()`` and turns the p99
+gate red.  The dangerous pattern is invisible at review time — a
+``time.sleep`` in a helper, a synchronous ``sqlite3`` query while a
+store opens, a ``queue.Queue.get()`` that waits forever — because the
+code *works*, it just serializes the loop.
+
+**ASY001** flags, inside the body of an ``async def`` (nested ``def``\\ s
+excluded — they run wherever they are called, typically an executor):
+
+* calls resolving to known blocking stdlib entry points
+  (``time.sleep``, ``sqlite3.connect``, ``subprocess.run`` and friends,
+  ``urllib.request.urlopen``, ``socket.create_connection``);
+* blocking methods on locals assigned from ``queue.Queue(...)`` (and
+  Lifo/Priority variants): ``.get()`` / ``.put()`` without
+  ``block=False``, and ``.join()`` — ``asyncio.Queue`` is the loop-safe
+  replacement;
+* synchronous statements on locals assigned from ``sqlite3.connect(...)``
+  (``execute`` / ``executemany`` / ``executescript`` / ``commit``).
+
+Resolution goes through the module's import table, so an unrelated
+local named ``time`` never matches, and alias tracking is scope-local
+in document order (a rebind ends the alias), mirroring LCK001.  The
+fix is always the same shape: move the blocking work into
+``loop.run_in_executor`` (or use the asyncio-native equivalent).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.module import ModuleInfo
+from repro.analysis.rules import Rule, register
+
+_BLOCKING_CALLS = {
+    "time.sleep",
+    "sqlite3.connect",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "urllib.request.urlopen",
+    "socket.create_connection",
+}
+
+_QUEUE_TYPES = {
+    "queue.Queue",
+    "queue.LifoQueue",
+    "queue.PriorityQueue",
+    "queue.SimpleQueue",
+}
+
+_QUEUE_BLOCKING_METHODS = {"get", "put", "join"}
+
+_SQLITE_BLOCKING_METHODS = {
+    "execute",
+    "executemany",
+    "executescript",
+    "commit",
+}
+
+_SCOPE_BOUNDARIES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _iter_scope(root: ast.AST) -> Iterator[ast.AST]:
+    """Document-order nodes of one function scope, nested scopes excluded."""
+    for child in ast.iter_child_nodes(root):
+        if isinstance(child, _SCOPE_BOUNDARIES):
+            continue
+        yield child
+        yield from _iter_scope(child)
+
+
+def _is_nonblocking_queue_call(node: ast.Call) -> bool:
+    """``.get(block=False)`` / ``.put(item, block=False)`` don't block."""
+    for keyword in node.keywords:
+        if keyword.arg == "block" and isinstance(keyword.value, ast.Constant):
+            if keyword.value.value is False:
+                return True
+    return False
+
+
+@register
+class AsyncBlockingCallRule(Rule):
+    rule_id = "ASY001"
+    title = "blocking call inside an async function body"
+    hint = (
+        "move the blocking work off the event loop — "
+        "`await loop.run_in_executor(...)` for CPU/IO calls, "
+        "`asyncio.sleep` for delays, `asyncio.Queue` for queues"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_async_body(module, node)
+
+    def _check_async_body(
+        self, module: ModuleInfo, function: ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        # local name -> "queue" | "sqlite" while the alias is live
+        aliases: dict[str, str] = {}
+        for node in _iter_scope(function):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, function, node, aliases)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                kind = self._alias_kind(module, node.value)
+                for target in targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    if kind is None:
+                        aliases.pop(target.id, None)
+                    else:
+                        aliases[target.id] = kind
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if isinstance(node.target, ast.Name):
+                    aliases.pop(node.target.id, None)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        aliases.pop(target.id, None)
+
+    def _check_call(
+        self,
+        module: ModuleInfo,
+        function: ast.AsyncFunctionDef,
+        node: ast.Call,
+        aliases: dict[str, str],
+    ) -> Iterator[Finding]:
+        resolved = module.resolve(node.func)
+        if resolved in _BLOCKING_CALLS:
+            yield self.finding(
+                module,
+                node,
+                f"`{resolved}` blocks the event loop inside "
+                f"`async def {function.name}`",
+            )
+            return
+        if not isinstance(node.func, ast.Attribute):
+            return
+        base = node.func.value
+        if not isinstance(base, ast.Name):
+            return
+        kind = aliases.get(base.id)
+        method = node.func.attr
+        if kind == "queue" and method in _QUEUE_BLOCKING_METHODS:
+            if not _is_nonblocking_queue_call(node):
+                yield self.finding(
+                    module,
+                    node,
+                    f"`{base.id}.{method}()` on a `queue.Queue` blocks "
+                    f"the event loop inside `async def {function.name}` "
+                    "— use `asyncio.Queue`",
+                )
+        elif kind == "sqlite" and method in _SQLITE_BLOCKING_METHODS:
+            yield self.finding(
+                module,
+                node,
+                f"synchronous sqlite3 `{base.id}.{method}(...)` inside "
+                f"`async def {function.name}`",
+            )
+
+    @staticmethod
+    def _alias_kind(module: ModuleInfo, value: ast.AST | None) -> str | None:
+        if not isinstance(value, ast.Call):
+            return None
+        resolved = module.resolve(value.func)
+        if resolved in _QUEUE_TYPES:
+            return "queue"
+        if resolved == "sqlite3.connect":
+            return "sqlite"
+        return None

@@ -27,10 +27,24 @@ hierarchy encodes those three classes:
 * :class:`StoreError` — an on-disk artifact store that refuses to open:
   truncated sidecar, schema-version mismatch, manifest/sha mismatch, or
   a concurrent second writer holding the store's write lock.
+* :class:`ServiceError` — the serving layer's family:
+  :class:`ServiceOverloadError` (admission queue full — the typed shed
+  signal callers are expected to catch and back off on),
+  :class:`ServiceDeadlineError` (the request aged past its deadline
+  while queued) and :class:`ServiceClosedError` (submitted to a service
+  that is not running).
 
 All shard errors cross process boundaries: worker exceptions are
 pickled back to the parent by ``concurrent.futures``, so every class
-with keyword state defines ``__reduce__``.
+with keyword state defines ``__reduce__``.  The service errors carry
+their context in the message only, so default pickling suffices.
+
+:class:`EmbeddingsDroppedWarning` rides along here as the typed signal
+for :meth:`SimilarityEngine.concat`'s embedding-dropping behaviour —
+the LSA spaces of the input engines are not comparable, so the combined
+engine cannot serve ``lsa_embedding``; serving-layer callers either
+acknowledge the drop (``strict_embeddings=False``) or turn it into an
+error (``strict_embeddings=True``).
 """
 
 from __future__ import annotations
@@ -44,6 +58,11 @@ __all__ = [
     "ShardRetriesExhaustedError",
     "CheckpointError",
     "StoreError",
+    "ServiceError",
+    "ServiceOverloadError",
+    "ServiceDeadlineError",
+    "ServiceClosedError",
+    "EmbeddingsDroppedWarning",
 ]
 
 
@@ -197,4 +216,44 @@ class StoreError(ReproError):
     is locked by a concurrent writer.  Session-level callers treat an
     unverifiable store like a missing checkpoint (rebuild the shard);
     strict callers surface this error instead.
+    """
+
+
+class ServiceError(ReproError):
+    """Base class of the online match-serving layer's typed errors."""
+
+
+class ServiceOverloadError(ServiceError):
+    """The service's bounded admission queue is full.
+
+    The typed shed signal of :class:`~repro.serve.MatchService`: rather
+    than queueing unboundedly (and letting every request's latency grow
+    without limit), the service rejects new work at admission once the
+    queue is at capacity.  Callers back off and retry; the benchmark's
+    shed-rate counter counts exactly these.
+    """
+
+
+class ServiceDeadlineError(ServiceError):
+    """The request exceeded its deadline while waiting to be served.
+
+    Raised into the caller's future when the worker dequeues a request
+    whose per-query deadline has already passed — stale work is dropped
+    instead of scored, so a backlog burns down instead of serving
+    answers nobody is waiting for anymore.
+    """
+
+
+class ServiceClosedError(ServiceError):
+    """The service is not running (never started, stopping, or stopped)."""
+
+
+class EmbeddingsDroppedWarning(UserWarning):
+    """``SimilarityEngine.concat`` dropped the input engines' embeddings.
+
+    Each input engine's LSA model is fitted on its own corpus, so their
+    vectors are not comparable and the combined engine serves the token
+    metrics only.  Warned by default; callers silence it by passing
+    ``strict_embeddings=False`` (an acknowledged drop) or escalate it to
+    a :class:`ValueError` with ``strict_embeddings=True``.
     """

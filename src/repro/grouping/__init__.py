@@ -5,10 +5,18 @@ produces coarse groups of similar products; the groups are split into a
 *seen* part (products with at least 7 offers) and an *unseen* part
 (products with 2-6 offers) and finally curated by simulated domain experts
 who annotate each group as useful or avoid.
+
+:mod:`repro.grouping.incremental` adds the serving-layer counterpart:
+an indexed, exact DBSCAN kept coherent under engine append/retire.
 """
 
 from repro.grouping.features import cluster_feature_texts, cluster_feature_matrix
 from repro.grouping.dbscan import DBSCAN
+from repro.grouping.incremental import (
+    IncrementalDBSCAN,
+    canonical_assignments,
+    partition_sha,
+)
 from repro.grouping.curation import (
     CurationPolicy,
     GroupedCorpus,
@@ -21,6 +29,9 @@ __all__ = [
     "cluster_feature_texts",
     "cluster_feature_matrix",
     "DBSCAN",
+    "IncrementalDBSCAN",
+    "canonical_assignments",
+    "partition_sha",
     "ProductGroup",
     "GroupedCorpus",
     "CurationPolicy",

@@ -18,6 +18,7 @@ from repro.io.store import (
     StoredShardHandle,
     StoredSplit,
     amend_manifest,
+    append_store,
     config_fingerprint,
     open_store,
     verify_store,
@@ -41,6 +42,7 @@ __all__ = [
     "StoredShardHandle",
     "StoredSplit",
     "write_store",
+    "append_store",
     "verify_store",
     "open_store",
     "amend_manifest",

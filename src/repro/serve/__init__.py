@@ -1,0 +1,15 @@
+"""Online match serving: live shards + async micro-batched query API.
+
+The batch pipeline builds a corpus once and sweeps it; this package
+keeps that corpus *live*.  :class:`LiveShard` binds one shard's mutable
+:class:`~repro.similarity.engine.SimilarityEngine` to its offers and an
+exact :class:`~repro.grouping.incremental.IncrementalDBSCAN`;
+:class:`MatchService` fronts one or more live shards with a bounded,
+deadline-aware ``await service.match(offers, k)`` API that micro-batches
+concurrent queries and serializes mutations with them in arrival order.
+"""
+
+from repro.serve.live import LiveShard
+from repro.serve.service import Match, MatchService, ServiceStats
+
+__all__ = ["LiveShard", "Match", "MatchService", "ServiceStats"]

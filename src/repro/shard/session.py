@@ -380,7 +380,8 @@ class ShardedArtifacts:
     def merged_engine(self) -> SimilarityEngine:
         """One engine over all shards' rows (token metrics only)."""
         return SimilarityEngine.concat(
-            [shard.engine for shard in self.shards]
+            [shard.engine for shard in self.shards],
+            strict_embeddings=False,
         )
 
     def merged_artifacts(self) -> MergedArtifacts:
@@ -391,6 +392,16 @@ class ShardedArtifacts:
             cleansed=self.merged_corpus,
             engine=self.merged_engine,
         )
+
+    def serve(self, **kwargs) -> "MatchService":
+        """An online :class:`~repro.serve.service.MatchService` over the
+        session's shards — one live shard per surviving build, ready for
+        ``async with artifacts.serve() as service``.  Keyword arguments
+        pass through to :meth:`MatchService.from_session`.
+        """
+        from repro.serve import MatchService
+
+        return MatchService.from_session(self, **kwargs)
 
     def split_candidates(
         self,

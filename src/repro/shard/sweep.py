@@ -166,7 +166,8 @@ def cross_shard_blocker(
     join.
     """
     combined = SimilarityEngine.concat(
-        [universe_i.engine, universe_j.engine]
+        [universe_i.engine, universe_j.engine],
+        strict_embeddings=False,
     )
     partition = np.concatenate(
         [

@@ -25,15 +25,31 @@ NumPy/SciPy kernels:
 
 The sparse/dense kernels release the GIL, so independent corner-case-ratio
 builds can share one engine across worker threads.
+
+Since the serving layer landed, a *root* engine is also mutable:
+
+* ``append`` / ``retire`` — amortized-O(delta) row-block appends into
+  capacity-doubling CSR buffers (the vocabulary grows append-only, so
+  existing column ids never move) and tombstone retirement.  Embeddings
+  are invalidated lazily (``refresh_embeddings``), the canonical
+  token-set keys keep the shared :class:`BoundedPairCache` coherent
+  across mutations, and ``row_signatures`` serves a per-delta-version
+  cached :class:`~repro.similarity.signatures.RowSignatures` summary.
+* ``external_scores_batch`` / ``external_top_k_batch`` — scoring of
+  query token sets that are *not* part of the universe, numerically
+  identical to append-then-score-then-retire (out-of-vocabulary query
+  tokens count toward set sizes but intersect nothing).
 """
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Mapping, Sequence
 
 import numpy as np
 from scipy.sparse import csr_matrix
 
+from repro.errors import EmbeddingsDroppedWarning
 from repro.similarity.embedding import LsaEmbeddingModel
 from repro.similarity.features import (
     TOKEN_METRICS,
@@ -41,6 +57,7 @@ from repro.similarity.features import (
     BoundedPairCache,
     generalized_jaccard_batch,
 )
+from repro.similarity.signatures import RowSignatures
 from repro.text.tokenize import tokenize
 
 __all__ = ["SimilarityEngine"]
@@ -48,6 +65,71 @@ __all__ = ["SimilarityEngine"]
 _GEN_JACCARD_PREFILTER = 48
 _BATCH_ROWS = 256  # cap on dense (queries x universe) score blocks
 _GJ_CACHE_ENTRIES = 1 << 20  # per-corpus Generalized-Jaccard pair cache bound
+
+
+def _grow(buffer: np.ndarray, used: int, extra: int) -> np.ndarray:
+    """``buffer`` with room for ``used + extra`` rows, doubling to amortize."""
+    needed = used + extra
+    if buffer.shape[0] >= needed:
+        return buffer
+    capacity = max(needed, 2 * buffer.shape[0], 16)
+    grown = np.empty((capacity, *buffer.shape[1:]), dtype=buffer.dtype)
+    grown[:used] = buffer[:used]
+    return grown
+
+
+class _RowBuffers:
+    """Capacity-doubling CSR row storage behind a mutable engine.
+
+    ``csr_matrix`` arrays are fixed-length, so the first mutation copies
+    them into these buffers once (this also lifts store-opened engines
+    out of their read-only memory maps); every further append writes
+    into spare capacity, which makes N row-block appends amortized
+    O(total rows appended) rather than O(N × corpus).
+    """
+
+    __slots__ = (
+        "data", "indices", "indptr", "sizes", "keys", "retired",
+        "rows", "nnz", "n_retired",
+    )
+
+    def __init__(
+        self, matrix: csr_matrix, set_sizes: np.ndarray, token_keys: np.ndarray
+    ) -> None:
+        self.rows = int(matrix.shape[0])
+        self.nnz = int(matrix.indptr[self.rows])
+        self.data = np.array(matrix.data[: self.nnz], dtype=np.float64)
+        self.indices = np.array(matrix.indices[: self.nnz], dtype=np.int64)
+        self.indptr = np.array(matrix.indptr[: self.rows + 1], dtype=np.int64)
+        self.sizes = np.array(set_sizes[: self.rows], dtype=np.float64)
+        self.keys = np.array(token_keys[: self.rows], dtype=np.intp)
+        self.retired = np.zeros(self.rows, dtype=bool)
+        self.n_retired = 0
+
+    def append_rows(
+        self,
+        row_columns: Sequence[np.ndarray],
+        keys: Sequence[int],
+        sizes: Sequence[float],
+    ) -> None:
+        extra_rows = len(row_columns)
+        extra_nnz = int(sum(columns.size for columns in row_columns))
+        self.data = _grow(self.data, self.nnz, extra_nnz)
+        self.indices = _grow(self.indices, self.nnz, extra_nnz)
+        self.indptr = _grow(self.indptr, self.rows + 1, extra_rows)
+        self.sizes = _grow(self.sizes, self.rows, extra_rows)
+        self.keys = _grow(self.keys, self.rows, extra_rows)
+        self.retired = _grow(self.retired, self.rows, extra_rows)
+        for columns, key, size in zip(row_columns, keys, sizes):
+            end = self.nnz + columns.size
+            self.data[self.nnz : end] = 1.0
+            self.indices[self.nnz : end] = columns
+            self.sizes[self.rows] = size
+            self.keys[self.rows] = key
+            self.retired[self.rows] = False
+            self.rows += 1
+            self.nnz = end
+            self.indptr[self.rows] = end
 
 
 class SimilarityEngine:
@@ -111,6 +193,19 @@ class SimilarityEngine:
             dtype=np.intp,
         )
         self._gj_cache = BoundedPairCache(gj_cache_entries)
+        self._init_mutation_state(embedding_model=embedding_model)
+
+    def _init_mutation_state(
+        self, *, embedding_model: LsaEmbeddingModel | None = None
+    ) -> None:
+        self._embedding_model = embedding_model
+        self._embeddings_stale = False
+        self._retired: np.ndarray | None = None
+        self._canon: dict[frozenset, int] | None = None
+        self._is_view = False
+        self._growable: _RowBuffers | None = None
+        self._signature_cache: tuple[int, RowSignatures] | None = None
+        self.delta_version = 0
 
     @classmethod
     def _from_parts(
@@ -136,6 +231,7 @@ class SimilarityEngine:
         engine._gj_cache = gj_cache
         engine._attributes = {}
         engine._attribute_views = {}
+        engine._init_mutation_state()
         return engine
 
     @classmethod
@@ -181,6 +277,7 @@ class SimilarityEngine:
         *,
         prefilter: int | None = None,
         gj_cache_entries: int = _GJ_CACHE_ENTRIES,
+        strict_embeddings: bool | None = None,
     ) -> "SimilarityEngine":
         """One combined engine over several engines' universes, in order.
 
@@ -196,10 +293,35 @@ class SimilarityEngine:
         Embeddings are dropped: each input engine's LSA model is fitted on
         its own corpus, so their vectors are not comparable — the combined
         engine serves the token metrics only (``metric_names`` reflects
-        that).
+        that).  ``strict_embeddings`` controls how the drop surfaces when
+        any input actually carries embeddings: ``None`` (default) emits
+        :class:`~repro.errors.EmbeddingsDroppedWarning`, ``True`` raises
+        :class:`ValueError`, and ``False`` acknowledges the drop silently.
         """
         if not engines:
             raise ValueError("concat needs at least one engine")
+        if any(engine._embeddings is not None for engine in engines):
+            if strict_embeddings:
+                raise ValueError(
+                    "concat drops embeddings (per-corpus LSA spaces are "
+                    "not comparable); pass strict_embeddings=False to "
+                    "acknowledge the drop"
+                )
+            if strict_embeddings is None:
+                warnings.warn(
+                    EmbeddingsDroppedWarning(
+                        "SimilarityEngine.concat drops the input engines' "
+                        "embeddings; the combined engine serves token "
+                        "metrics only (pass strict_embeddings=False to "
+                        "acknowledge, strict_embeddings=True to forbid)"
+                    ),
+                    stacklevel=2,
+                )
+        if any(engine._retired is not None for engine in engines):
+            raise ValueError(
+                "cannot concat an engine with retired rows; concat "
+                "engine.view(engine.live_rows()) instead"
+            )
         titles = [title for engine in engines for title in engine.titles]
         token_sets = [
             tokens for engine in engines for tokens in engine.token_sets
@@ -253,17 +375,26 @@ class SimilarityEngine:
         than rebuilt.
         """
         rows = np.asarray(list(indices), dtype=np.intp)
+        usable_embeddings = (
+            None
+            if self._embeddings is None or self._embeddings_stale
+            else self._embeddings[rows]
+        )
         engine = SimilarityEngine._from_parts(
             titles=[self.titles[int(i)] for i in rows],
             token_sets=[self.token_sets[int(i)] for i in rows],
             matrix=self._matrix[rows],
             set_sizes=self._set_sizes[rows],
-            embeddings=None if self._embeddings is None else self._embeddings[rows],
+            embeddings=usable_embeddings,
             prefilter=self.prefilter,
             token_keys=self._token_keys[rows],
             gj_cache=self._gj_cache,
         )
         engine.vocabulary = self.vocabulary
+        engine._is_view = True
+        if self._retired is not None:
+            sliced = self._retired[rows]
+            engine._retired = sliced if sliced.any() else None
         engine._attributes = {
             name: [texts[int(i)] for i in rows]
             for name, texts in self._attributes.items()
@@ -278,9 +409,198 @@ class SimilarityEngine:
 
     @property
     def metric_names(self) -> tuple[str, ...]:
-        if self._embeddings is None:
+        if self._embeddings is None or self._embeddings_stale:
             return ("cosine", "dice", "generalized_jaccard")
         return self.METRICS
+
+    # ------------------------------------------------------------------ #
+    # Live deltas: append / retire on a root engine
+    # ------------------------------------------------------------------ #
+    def _require_mutable(self) -> None:
+        if self._is_view:
+            raise ValueError(
+                "views are immutable; append/retire on the root engine"
+            )
+        if self._attributes:
+            raise ValueError(
+                "cannot mutate an engine with registered attributes; "
+                "attribute rows cannot be extended incrementally"
+            )
+
+    def _canonical_keys(self) -> dict[frozenset, int]:
+        """The ``frozenset(tokens) -> canonical key`` map, rebuilt lazily.
+
+        ``__init__``/``concat`` discard this dict after assigning keys;
+        the first mutation reconstructs it so appended duplicate titles
+        keep sharing keys (and therefore shared
+        :class:`BoundedPairCache` entries) with their existing rows.
+        """
+        if self._canon is None:
+            canon: dict[frozenset, int] = {}
+            for tokens, key in zip(self.token_sets, self._token_keys):
+                canon.setdefault(frozenset(tokens), int(key))
+            self._canon = canon
+        return self._canon
+
+    def _ensure_growable(self) -> None:
+        if self._growable is None:
+            self._growable = _RowBuffers(
+                self._matrix, self._set_sizes, self._token_keys
+            )
+
+    def _refresh_from_buffers(self) -> None:
+        buffers = self._growable
+        self._matrix = csr_matrix(
+            (
+                buffers.data[: buffers.nnz],
+                buffers.indices[: buffers.nnz],
+                buffers.indptr[: buffers.rows + 1],
+            ),
+            shape=(buffers.rows, max(len(self.vocabulary), 1)),
+            copy=False,
+        )
+        self._set_sizes = buffers.sizes[: buffers.rows]
+        self._token_keys = buffers.keys[: buffers.rows]
+        self._retired = (
+            buffers.retired[: buffers.rows] if buffers.n_retired else None
+        )
+        self.delta_version += 1
+        self._signature_cache = None
+        # The cached title view wraps the pre-mutation matrix.
+        self._attribute_views.pop("title", None)
+
+    def append(self, titles: Sequence[str]) -> np.ndarray:
+        """Append new title rows; returns their row indices.
+
+        Amortized O(delta): rows land in capacity-doubling CSR buffers,
+        the vocabulary grows append-only (existing column ids never
+        move, so prior scores are unaffected), and canonical token-set
+        keys extend the existing numbering so the shared
+        Generalized-Jaccard pair cache stays coherent.  Embeddings are
+        *invalidated*, not recomputed — ``lsa_embedding`` disappears
+        from ``metric_names`` until :meth:`refresh_embeddings`.
+        """
+        self._require_mutable()
+        new_titles = [str(title) for title in titles]
+        if not new_titles:
+            return np.empty(0, dtype=np.intp)
+        new_sets = [set(tokenize(title)) for title in new_titles]
+        canon = self._canonical_keys()
+        next_key = (max(canon.values()) + 1) if canon else 0
+        new_keys: list[int] = []
+        for tokens in new_sets:
+            frozen = frozenset(tokens)
+            key = canon.get(frozen)
+            if key is None:
+                key = next_key
+                canon[frozen] = key
+                next_key += 1
+            new_keys.append(key)
+        # Column ids for new tokens are assigned in lexicographic token
+        # order, so the grown vocabulary is deterministic regardless of
+        # set iteration order.
+        vocabulary = self.vocabulary
+        row_columns = [
+            np.array(
+                sorted(
+                    vocabulary.setdefault(token, len(vocabulary))
+                    for token in sorted(tokens)
+                ),
+                dtype=np.int64,
+            )
+            for tokens in new_sets
+        ]
+        start = len(self.titles)
+        self._ensure_growable()
+        self._growable.append_rows(
+            row_columns,
+            new_keys,
+            [float(len(tokens)) for tokens in new_sets],
+        )
+        self.titles.extend(new_titles)
+        self.token_sets.extend(new_sets)
+        if self._embeddings is not None:
+            self._embeddings_stale = True
+        self._refresh_from_buffers()
+        return np.arange(start, len(self.titles), dtype=np.intp)
+
+    def retire(self, rows: Sequence[int]) -> np.ndarray:
+        """Tombstone rows: excluded from every top-k, never re-indexed.
+
+        Row numbering is stable (``len(self)`` counts total rows ever
+        appended), so retirement is O(delta) and existing row references
+        stay valid.  Retiring an unknown or already-retired row raises.
+        """
+        self._require_mutable()
+        row_array = np.unique(np.asarray(list(rows), dtype=np.intp))
+        if row_array.size == 0:
+            return row_array
+        if row_array[0] < 0 or row_array[-1] >= len(self):
+            raise IndexError(
+                f"retire rows out of range for engine of {len(self)} rows"
+            )
+        self._ensure_growable()
+        buffers = self._growable
+        already = buffers.retired[row_array]
+        if already.any():
+            raise ValueError(
+                f"rows already retired: {row_array[already].tolist()}"
+            )
+        buffers.retired[row_array] = True
+        buffers.n_retired += int(row_array.size)
+        self._refresh_from_buffers()
+        return row_array
+
+    def live_rows(self) -> np.ndarray:
+        """Row indices that have not been retired, ascending."""
+        if self._retired is None:
+            return np.arange(len(self), dtype=np.intp)
+        return np.flatnonzero(~self._retired).astype(np.intp)
+
+    @property
+    def live_count(self) -> int:
+        if self._retired is None:
+            return len(self)
+        return int(len(self) - np.count_nonzero(self._retired))
+
+    def is_retired(self, row: int) -> bool:
+        if self._retired is None:
+            return False
+        return bool(self._retired[int(row)])
+
+    def refresh_embeddings(
+        self, model: LsaEmbeddingModel | None = None
+    ) -> None:
+        """Re-embed every title after appends invalidated the LSA space.
+
+        Appends only mark embeddings stale (the paper's LSA space is
+        corpus-fitted, so per-delta incremental updates would change its
+        semantics); this is the explicit, whole-corpus refresh point.
+        """
+        if model is None:
+            model = self._embedding_model
+        if model is None:
+            raise ValueError(
+                "no embedding model to refresh with; pass one explicitly"
+            )
+        self._embedding_model = model
+        self._embeddings = model.embed_many(self.titles)
+        self._embeddings_stale = False
+
+    def row_signatures(self) -> RowSignatures:
+        """Signature summary over the live rows, cached per delta version.
+
+        The cross-shard signature index consumes these; caching on
+        ``delta_version`` keeps the summary coherent across mutations
+        without recomputing it per query.
+        """
+        cached = self._signature_cache
+        if cached is not None and cached[0] == self.delta_version:
+            return cached[1]
+        base = self if self._retired is None else self.view(self.live_rows())
+        signatures = RowSignatures.from_engine(base)
+        self._signature_cache = (self.delta_version, signatures)
+        return signatures
 
     # ------------------------------------------------------------------ #
     # Per-attribute featurization views
@@ -349,6 +669,11 @@ class SimilarityEngine:
     def _require_embeddings(self) -> np.ndarray:
         if self._embeddings is None:
             raise ValueError("engine built without an embedding model")
+        if self._embeddings_stale:
+            raise ValueError(
+                "embeddings are stale after append(); call "
+                "refresh_embeddings() to rebuild the LSA space"
+            )
         return self._embeddings
 
     def _intersections_batch(self, query_rows: np.ndarray) -> np.ndarray:
@@ -433,7 +758,12 @@ class SimilarityEngine:
         cosine = intersections / np.sqrt(
             np.maximum(sizes[None, :] * query_sizes, 1e-12)
         )
-        prefilter = min(self.prefilter, len(self))
+        # Retired rows never occupy prefilter slots: a cold rebuild of
+        # the live corpus has no such columns, and the delta-parity pin
+        # requires both paths to rescore the same candidate set.
+        if self._retired is not None:
+            cosine = np.where(self._retired[None, :], -np.inf, cosine)
+        prefilter = min(self.prefilter, self.live_count)
         if prefilter <= 0:
             return scores
         # Exact rescoring of each query's strongest candidates.  The
@@ -549,6 +879,8 @@ class SimilarityEngine:
         for start in range(0, len(queries), _BATCH_ROWS):
             chunk = queries[start : start + _BATCH_ROWS]
             block = self.scores_batch(chunk, metric)
+            if self._retired is not None:
+                block[:, self._retired] = -np.inf
             if universe_groups is not None:
                 group_mask = (
                     query_groups[start : start + _BATCH_ROWS, None]
@@ -574,6 +906,143 @@ class SimilarityEngine:
     ) -> list[int]:
         """Indices of the ``k`` most similar titles under ``metric``."""
         return self.top_k_batch([query_index], metric, k=k, exclude=exclude)[0]
+
+    # ------------------------------------------------------------------ #
+    # External queries: token sets outside the universe
+    # ------------------------------------------------------------------ #
+    def _external_matrix(
+        self, token_sets: Sequence[set[str]]
+    ) -> tuple[csr_matrix, np.ndarray]:
+        """Query rows in this engine's column space plus full set sizes.
+
+        Out-of-vocabulary query tokens intersect no corpus row but still
+        count toward the query's set size, so external scores equal what
+        ``append()`` → score → ``retire()`` would produce — the identity
+        the serving layer's parity pin rests on.
+        """
+        vocabulary = self.vocabulary
+        rows: list[int] = []
+        cols: list[int] = []
+        sizes = np.empty(len(token_sets), dtype=np.float64)
+        for row, tokens in enumerate(token_sets):
+            sizes[row] = len(tokens)
+            for token in tokens:
+                col = vocabulary.get(token)
+                if col is not None:
+                    rows.append(row)
+                    cols.append(col)
+        matrix = csr_matrix(
+            (np.ones(len(rows)), (rows, cols)),
+            shape=(len(token_sets), self._matrix.shape[1]),
+            dtype=np.float64,
+        )
+        return matrix, sizes
+
+    def external_scores_batch(
+        self, token_sets: Sequence[set[str]], metric: str
+    ) -> np.ndarray:
+        """``(len(queries), len(universe))`` scores for external token sets.
+
+        Same semantics as :meth:`scores_batch` for the token metrics
+        (Generalized Jaccard rescored exactly on the cosine prefilter,
+        Jaccard fallback elsewhere); ``lsa_embedding`` is unsupported —
+        external titles have no vector in the corpus-fitted LSA space.
+        Retired rows keep their scores here (exclusion happens in
+        :meth:`external_top_k_batch`) but never occupy prefilter slots.
+        """
+        queries = [set(tokens) for tokens in token_sets]
+        if not queries:
+            return np.zeros((0, len(self)), dtype=np.float64)
+        if metric == "lsa_embedding":
+            raise ValueError(
+                "external queries serve token metrics only (no external "
+                "title has a vector in the corpus-fitted LSA space)"
+            )
+        if metric not in ("cosine", "dice", "generalized_jaccard"):
+            raise ValueError(f"unknown metric: {metric!r}")
+        query_matrix, all_sizes = self._external_matrix(queries)
+        out = np.empty((len(queries), len(self)), dtype=np.float64)
+        sizes = self._set_sizes
+        for start in range(0, len(queries), _BATCH_ROWS):
+            chunk = query_matrix[start : start + _BATCH_ROWS]
+            intersections = np.asarray((chunk @ self._matrix.T).todense())
+            query_sizes = all_sizes[start : start + _BATCH_ROWS][:, None]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                if metric == "cosine":
+                    scores = intersections / np.sqrt(
+                        np.maximum(sizes[None, :] * query_sizes, 1e-12)
+                    )
+                elif metric == "dice":
+                    denominator = sizes[None, :] + query_sizes
+                    scores = 2.0 * intersections / np.maximum(denominator, 1e-12)
+                    # Reference semantics: two empty token sets are identical.
+                    scores = np.where(denominator == 0.0, 1.0, scores)
+                else:
+                    scores = self._external_generalized_jaccard_block(
+                        queries[start : start + _BATCH_ROWS],
+                        intersections,
+                        query_sizes,
+                    )
+            out[start : start + _BATCH_ROWS] = np.nan_to_num(scores, nan=0.0)
+        return out
+
+    def _external_generalized_jaccard_block(
+        self,
+        chunk_sets: Sequence[set[str]],
+        intersections: np.ndarray,
+        query_sizes: np.ndarray,
+    ) -> np.ndarray:
+        sizes = self._set_sizes
+        union = np.maximum(sizes[None, :] + query_sizes - intersections, 1e-12)
+        scores = intersections / union
+        cosine = intersections / np.sqrt(
+            np.maximum(sizes[None, :] * query_sizes, 1e-12)
+        )
+        if self._retired is not None:
+            cosine = np.where(self._retired[None, :], -np.inf, cosine)
+        prefilter = min(self.prefilter, self.live_count)
+        if prefilter <= 0:
+            return scores
+        if prefilter < cosine.shape[1]:
+            top_block = np.argpartition(-cosine, prefilter - 1, axis=1)[:, :prefilter]
+        else:
+            top_block = np.broadcast_to(
+                np.arange(cosine.shape[1]), cosine.shape
+            )
+        n_queries, width = top_block.shape
+        candidates = np.ascontiguousarray(top_block).ravel()
+        corpus_sets = self.token_sets
+        # Uncached exact rescoring: external queries have no canonical
+        # key (assigning one would mutate shared cache state from the
+        # read path), and the values are exact either way.
+        values = generalized_jaccard_batch(
+            [chunk_sets[int(q)] for q in np.repeat(np.arange(n_queries), width)],
+            [corpus_sets[int(row)] for row in candidates],
+        )
+        scores[np.repeat(np.arange(n_queries), width), candidates] = values
+        return scores
+
+    def external_top_k_batch(
+        self, token_sets: Sequence[set[str]], metric: str, *, k: int
+    ) -> list[tuple[list[int], np.ndarray]]:
+        """Per-query ``(indices, scores)`` over the live universe.
+
+        The serving-layer entry point: queries are token sets of titles
+        *not* in the universe, so there is no self-exclusion — an exact
+        duplicate of a corpus title scores 1.0 and is returned.  Retired
+        rows are excluded.
+        """
+        queries = [set(tokens) for tokens in token_sets]
+        results: list[tuple[list[int], np.ndarray]] = []
+        for start in range(0, len(queries), _BATCH_ROWS):
+            chunk = queries[start : start + _BATCH_ROWS]
+            block = self.external_scores_batch(chunk, metric)
+            if self._retired is not None:
+                block[:, self._retired] = -np.inf
+            for row in range(len(chunk)):
+                chosen = self._select_top_k(block[row], k)
+                results.append((chosen, block[row][chosen]))
+        return results
 
     # ------------------------------------------------------------------ #
     # Exact subset scoring (selection and splitting)

@@ -1,0 +1,34 @@
+"""ASY001 counterexamples: blocking calls on the event loop."""
+
+import queue
+import sqlite3
+import time
+from time import sleep as snooze
+
+
+async def sleeps_on_the_loop():
+    time.sleep(0.1)  # ASY001: time.sleep in async body
+
+
+async def aliased_sleep():
+    snooze(1)  # ASY001: resolves to time.sleep through the import alias
+
+
+async def opens_sqlite_inline(path):
+    connection = sqlite3.connect(path)  # ASY001: sqlite3.connect
+    rows = connection.execute("SELECT 1").fetchall()  # ASY001: sync query
+    connection.commit()  # ASY001: sync commit
+    return rows
+
+
+async def blocking_queue_wait(jobs):
+    backlog = queue.Queue()
+    for job in jobs:
+        backlog.put(job)  # ASY001: queue.Queue.put blocks when bounded
+    return backlog.get()  # ASY001: unbounded blocking get
+
+
+async def shells_out():
+    import_free = None
+    del import_free
+    return time.sleep  # not a call: clean — but the next line is not

@@ -1,0 +1,53 @@
+"""ASY001-clean async code: blocking work stays off the event loop."""
+
+import asyncio
+import queue
+import sqlite3
+import time
+
+
+def sync_helper_may_block(path):
+    # Blocking is fine outside async def — this runs in an executor.
+    time.sleep(0.01)
+    connection = sqlite3.connect(path)
+    try:
+        return connection.execute("SELECT 1").fetchall()
+    finally:
+        connection.close()
+
+
+async def delegates_to_executor(path):
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, sync_helper_may_block, path)
+
+
+async def asyncio_native_waits():
+    await asyncio.sleep(0.01)
+    channel = asyncio.Queue()
+    await channel.put("job")
+    return await channel.get()
+
+
+async def nonblocking_queue_peek(backlog: queue.Queue):
+    # block=False raises Empty/Full instead of stalling the loop.
+    try:
+        return backlog.get(block=False)
+    except queue.Empty:
+        return None
+
+
+async def nested_sync_def_is_its_own_scope(path):
+    def worker():
+        time.sleep(0.01)  # runs on the executor thread, not the loop
+        return sqlite3.connect(path)
+
+    loop = asyncio.get_running_loop()
+    connection = await loop.run_in_executor(None, worker)
+    return connection
+
+
+async def rebound_alias_is_not_a_queue(items):
+    backlog = queue.Queue()
+    backlog = list(items)  # alias ends here: plain list
+    backlog.append("x")
+    return backlog.pop()

@@ -266,3 +266,102 @@ class TestCompareStoreGate:
             )
             == []
         )
+
+
+def _healthy_serve() -> dict:
+    return {
+        "n_ops": 400,
+        "completed_queries": 350,
+        "shed": 0,
+        "deadline_expired": 0,
+        "qps": 1300.0,
+        "p50_ms": 19.0,
+        "p99_ms": 30.0,
+        "overload_burst": {"attempted": 64, "shed": 62},
+        "parity": {"clusters_equal": True, "scores_equal": True},
+    }
+
+
+class TestServeFailures:
+    def _gate(self, section, baseline=None, tolerance=2.5):
+        return check_regression._serve_failures(
+            section, baseline or _healthy_serve(), tolerance=tolerance
+        )
+
+    def test_missing_section_is_a_failure(self):
+        failures = self._gate(None)
+        assert failures
+        assert "--serve" in failures[0]
+
+    def test_healthy_section_passes(self):
+        assert self._gate(_healthy_serve()) == []
+
+    def test_broken_parity_fails(self):
+        section = _healthy_serve()
+        section["parity"]["clusters_equal"] = False
+        failures = self._gate(section)
+        assert any("parity" in line and "clusters_equal" in line
+                   for line in failures)
+
+    def test_sustained_shed_fails(self):
+        section = _healthy_serve()
+        section["shed"] = 3
+        assert any("shed" in line for line in self._gate(section))
+
+    def test_burst_that_never_sheds_fails(self):
+        section = _healthy_serve()
+        section["overload_burst"]["shed"] = 0
+        failures = self._gate(section)
+        assert any("backpressure" in line for line in failures)
+
+    def test_p99_gated_with_floor(self):
+        # baseline p99 is below the 50ms floor, so 2.5 x 50ms = 125ms
+        # is the budget — 100ms passes, 200ms fails.
+        fast, slow = _healthy_serve(), _healthy_serve()
+        fast["p99_ms"], slow["p99_ms"] = 100.0, 200.0
+        assert self._gate(fast) == []
+        assert any("p99" in line for line in self._gate(slow))
+
+    def test_qps_floor_gated(self):
+        section = _healthy_serve()
+        section["qps"] = 100.0  # 100 * 2.5 < 1300 baseline
+        assert any("QPS" in line for line in self._gate(section))
+
+    def test_zero_completed_queries_fails(self):
+        section = _healthy_serve()
+        section["completed_queries"] = 0
+        assert any("no queries" in line for line in self._gate(section))
+
+
+class TestCompareServeGate:
+    def _recording(self, serve=None) -> dict:
+        record = {
+            "schema": check_regression.MIN_SCHEMA,
+            "build_stages": {"corpus": 1.0},
+        }
+        if serve is not None:
+            record["serve"] = serve
+        return record
+
+    def test_serve_gated_only_when_baseline_has_the_section(self):
+        failures = check_regression.compare(
+            self._recording(), self._recording(), tolerance=2.5, floor=0.05
+        )
+        assert failures == []
+
+    def test_baseline_serve_requires_current_serve(self):
+        baseline = self._recording(serve=_healthy_serve())
+        failures = check_regression.compare(
+            baseline, self._recording(), tolerance=2.5, floor=0.05
+        )
+        assert any(line.startswith("serve: missing") for line in failures)
+
+    def test_healthy_serve_passes_compare(self):
+        baseline = self._recording(serve=_healthy_serve())
+        current = self._recording(serve=_healthy_serve())
+        assert (
+            check_regression.compare(
+                baseline, current, tolerance=2.5, floor=0.05
+            )
+            == []
+        )

@@ -1,0 +1,152 @@
+"""``append_store``: incremental persistence under the manifest contract.
+
+The append path must keep every guarantee the full write path makes —
+streamed sha256 verification, foreign-manifest refusal, single-writer
+locking, manifest-last commit — while rewriting only the engine
+sidecars and inserting (never rewriting) DB rows.  Parity is pinned the
+same way the store's own round-trip tests pin it: a reopened appended
+store scores exactly like a cold engine over the extended corpus.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.builder import BenchmarkBuilder, BuildConfig
+from repro.corpus.schema import ProductOffer
+from repro.errors import StoreError
+from repro.io.store import (
+    _writer_lock,
+    append_store,
+    open_store,
+    verify_store,
+    write_store,
+)
+from repro.similarity.engine import SimilarityEngine
+
+
+@pytest.fixture(scope="module")
+def artifacts():
+    return BenchmarkBuilder(
+        BuildConfig.small(seed=42, blocking_top_k=5)
+    ).build()
+
+
+@pytest.fixture()
+def store_dir(tmp_path, artifacts):
+    directory = tmp_path / "shard-0000"
+    write_store(directory, artifacts, shard=0)
+    return directory
+
+
+def _new_offers(n: int, prefix: str = "late") -> list[ProductOffer]:
+    return [
+        ProductOffer(
+            offer_id=f"{prefix}-{i}",
+            cluster_id=f"{prefix}c-{i}",
+            title=f"appended {prefix} widget {i} deluxe edition",
+        )
+        for i in range(n)
+    ]
+
+
+class TestAppend:
+    def test_rows_extend_and_store_reverifies(self, store_dir):
+        before = verify_store(store_dir)
+        n0 = before["engine"]["rows"]
+        rows = append_store(store_dir, _new_offers(3))
+        assert list(rows) == [n0, n0 + 1, n0 + 2]
+        after = verify_store(store_dir)
+        assert isinstance(after, dict), after
+        assert after["engine"]["rows"] == n0 + 3
+        assert after["appends"] == 1
+        assert after["appended_offers"] == 3
+
+    def test_reopened_engine_matches_cold_build(self, store_dir):
+        append_store(store_dir, _new_offers(4))
+        stored = open_store(store_dir, strict=True)
+        titles = [offer.title for offer in stored.cleansed.offers]
+        assert titles[-1].startswith("appended late widget 3")
+        cold = SimilarityEngine(titles)
+        query = list(range(0, len(titles), 97)) + [len(titles) - 1]
+        for metric in ("cosine", "dice", "generalized_jaccard"):
+            np.testing.assert_array_equal(
+                stored.engine.scores_batch(query, metric),
+                cold.scores_batch(query, metric),
+            )
+        stored.close()
+
+    def test_untouched_payloads_keep_their_bytes(self, store_dir):
+        manifest_before = json.loads(
+            (store_dir / "manifest.json").read_text()
+        )
+        append_store(store_dir, _new_offers(2))
+        manifest_after = json.loads((store_dir / "manifest.json").read_text())
+        # datasets/splits/candidates live in shard.db which is rewritten,
+        # but the append must not disturb the fingerprints the session
+        # keys resume identity on.
+        for key in ("base_fingerprint", "config_fingerprint", "shard"):
+            assert manifest_after[key] == manifest_before[key]
+        stored = open_store(store_dir, strict=True)
+        assert stored.benchmark.train_sets  # datasets still readable
+        stored.close()
+
+    def test_embeddings_are_dropped(self, store_dir):
+        assert (store_dir / "embeddings.npy").exists()
+        append_store(store_dir, _new_offers(1))
+        manifest = verify_store(store_dir)
+        assert manifest["engine"]["has_embeddings"] is False
+        assert "embeddings.npy" not in manifest["files"]
+        assert not (store_dir / "embeddings.npy").exists()
+        stored = open_store(store_dir, strict=True)
+        assert "lsa_embedding" not in stored.engine.metric_names
+        stored.close()
+
+    def test_second_append_accumulates(self, store_dir):
+        append_store(store_dir, _new_offers(2, prefix="one"))
+        append_store(store_dir, _new_offers(2, prefix="two"))
+        manifest = verify_store(store_dir)
+        assert manifest["appends"] == 2
+        assert manifest["appended_offers"] == 4
+
+    def test_empty_append_is_a_no_op(self, store_dir):
+        before = (store_dir / "manifest.json").read_bytes()
+        assert append_store(store_dir, []).size == 0
+        assert (store_dir / "manifest.json").read_bytes() == before
+
+
+class TestRefusal:
+    def test_duplicate_offer_ids_refused(self, store_dir):
+        offers = _new_offers(2)
+        append_store(store_dir, offers)
+        with pytest.raises(StoreError, match="already present"):
+            append_store(store_dir, offers[:1])
+
+    def test_intra_batch_duplicates_refused(self, store_dir):
+        offer = _new_offers(1)[0]
+        with pytest.raises(StoreError, match="repeated"):
+            append_store(store_dir, [offer, offer])
+
+    def test_foreign_fingerprint_refused(self, store_dir):
+        with pytest.raises(StoreError, match="fingerprint mismatch"):
+            append_store(
+                store_dir, _new_offers(1), base_fingerprint="not-this-store"
+            )
+
+    def test_unverifiable_store_refused(self, tmp_path):
+        with pytest.raises(StoreError, match="no manifest"):
+            append_store(tmp_path / "nowhere", _new_offers(1))
+
+    def test_concurrent_writer_refused(self, store_dir):
+        with _writer_lock(store_dir):
+            with pytest.raises(StoreError, match="lock"):
+                append_store(store_dir, _new_offers(1))
+
+    def test_failed_append_leaves_store_verifiable(self, store_dir):
+        before = verify_store(store_dir)
+        with pytest.raises(StoreError):
+            append_store(store_dir, _new_offers(1), base_fingerprint="nope")
+        after = verify_store(store_dir)
+        assert isinstance(after, dict)
+        assert after["files"] == before["files"]

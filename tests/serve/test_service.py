@@ -1,0 +1,348 @@
+"""The online serving layer: LiveShard + MatchService behavior.
+
+Covers the three serving contracts: *exactness* (served matches equal
+direct engine queries, and a shard mutated through the async API equals
+a cold rebuild — serially and under concurrent ``match()`` load),
+*backpressure* (bounded admission sheds with a typed error; stale
+queued queries expire), and *ordering* (a query enqueued after an
+append observes it).
+
+No pytest-asyncio here: every test drives its own loop via
+``asyncio.run`` so the suite stays dependency-free.
+"""
+
+import asyncio
+import random
+
+import numpy as np
+import pytest
+
+from repro.corpus.schema import ProductOffer
+from repro.errors import (
+    ServiceClosedError,
+    ServiceDeadlineError,
+    ServiceOverloadError,
+)
+from repro.grouping.incremental import partition_sha
+from repro.serve import LiveShard, Match, MatchService
+from repro.similarity.engine import SimilarityEngine
+from repro.text.tokenize import tokenize
+
+_VOCAB = [
+    "exatron", "vortexdisk", "veltrix", "stormrider", "soniq", "tranquil",
+    "lumora", "photon", "graphics", "card", "drive", "internal", "wireless",
+    "headphones", "smartphone", "2tb", "4tb", "8gb", "12gb", "128gb",
+]
+
+
+def _offers(n: int, seed: int, prefix: str = "o") -> list[ProductOffer]:
+    rng = random.Random(seed)
+    return [
+        ProductOffer(
+            offer_id=f"{prefix}{seed}-{i}",
+            cluster_id=f"c{seed}-{i}",
+            title=" ".join(rng.choices(_VOCAB, k=rng.randint(2, 6))),
+        )
+        for i in range(n)
+    ]
+
+
+def _shard(offers: list[ProductOffer], shard: int = 0, **kwargs) -> LiveShard:
+    engine = SimilarityEngine([offer.title for offer in offers])
+    return LiveShard(engine, offers, shard=shard, **kwargs)
+
+
+class TestLiveShard:
+    def test_append_retire_roundtrip(self):
+        shard = _shard(_offers(10, seed=1))
+        extra = _offers(3, seed=2, prefix="x")
+        rows = shard.append(extra)
+        assert len(shard) == 13
+        assert shard.has_offer(extra[0].offer_id)
+        shard.retire([extra[0].offer_id])
+        assert len(shard) == 12
+        assert not shard.has_offer(extra[0].offer_id)
+        assert shard.offer_at(int(rows[1])) == extra[1]
+
+    def test_duplicate_offer_id_rejected_before_mutation(self):
+        shard = _shard(_offers(5, seed=3))
+        dupe = shard.live_offers()[0]
+        with pytest.raises(ValueError, match="duplicate"):
+            shard.append([dupe])
+        assert len(shard) == 5
+
+    def test_unknown_retire_raises(self):
+        shard = _shard(_offers(5, seed=4))
+        with pytest.raises(KeyError, match="unknown"):
+            shard.retire(["nope"])
+
+    def test_assignments_keyed_by_offer_id(self):
+        shard = _shard(_offers(12, seed=5))
+        assignments = shard.assignments()
+        assert set(assignments) == {
+            offer.offer_id for offer in shard.live_offers()
+        }
+        assert len(shard.clusters_sha()) == 64
+
+    def test_grouping_disabled_raises_on_cluster_surfaces(self):
+        shard = _shard(_offers(4, seed=6), grouping=False)
+        with pytest.raises(ValueError, match="grouping"):
+            shard.assignments()
+
+    def test_lazy_handle_opens_on_first_use(self):
+        class FakeStored:
+            def __init__(self, offers):
+                self.engine = SimilarityEngine([o.title for o in offers])
+
+                class _Corpus:
+                    pass
+
+                self.cleansed = _Corpus()
+                self.cleansed.offers = offers
+
+        class FakeHandle:
+            shard = 3
+
+            def __init__(self):
+                self.opened = 0
+
+            def open(self, *, strict):
+                assert strict
+                self.opened += 1
+                return FakeStored(_offers(6, seed=7))
+
+        handle = FakeHandle()
+        shard = LiveShard.from_handle(handle)
+        assert not shard.is_open
+        assert handle.opened == 0
+        assert len(shard) == 6  # first use triggers the open
+        assert shard.is_open and handle.opened == 1
+        assert shard.shard == 3
+
+
+class TestMatchParity:
+    def test_served_matches_equal_direct_queries(self):
+        shards = [_shard(_offers(15, seed=8), 0), _shard(_offers(12, seed=9), 1)]
+        queries = ["exatron soniq drive", "wireless headphones 128gb"]
+
+        async def scenario():
+            async with MatchService(shards) as service:
+                return await service.match(queries, k=4)
+
+        results = asyncio.run(scenario())
+        token_sets = [set(tokenize(q)) for q in queries]
+        direct = [shard.top_k(token_sets, "cosine", k=4) for shard in shards]
+        for position, matches in enumerate(results):
+            merged = sorted(
+                (-float(score), shard_pos, int(row))
+                for shard_pos, shard_hits in enumerate(direct)
+                for row, score in zip(*shard_hits[position])
+            )[:4]
+            assert [(-m.score, m.shard, m.row) for m in matches] == merged
+            for m in matches:
+                assert isinstance(m, Match)
+                assert shards[m.shard].offer_at(m.row).offer_id == m.offer_id
+
+    def test_concurrent_queries_micro_batch(self):
+        shards = [_shard(_offers(20, seed=10))]
+
+        async def scenario():
+            async with MatchService(shards, max_batch=32) as service:
+                results = await asyncio.gather(
+                    *[
+                        service.match([offer.title], k=3)
+                        for offer in shards[0].live_offers()[:16]
+                    ]
+                )
+                return results, service.stats()
+
+        results, stats = asyncio.run(scenario())
+        assert all(len(r) == 1 and len(r[0]) == 3 for r in results)
+        assert stats.completed == 16
+        # coalescing must beat one-batch-per-query
+        assert stats.batches < 16
+
+    def test_query_after_append_observes_it(self):
+        shards = [_shard(_offers(6, seed=11))]
+        fresh = ProductOffer(
+            offer_id="fresh", cluster_id="f", title="zephyrion quantumblade"
+        )
+
+        async def scenario():
+            async with MatchService(shards) as service:
+                await service.append([fresh])
+                return await service.match(["zephyrion quantumblade"], k=1)
+
+        results = asyncio.run(scenario())
+        assert results[0][0].offer_id == "fresh"
+
+    def test_retired_offers_leave_results(self):
+        offers = _offers(8, seed=12)
+        shards = [_shard(offers)]
+
+        async def scenario():
+            async with MatchService(shards) as service:
+                victim = offers[0].offer_id
+                retired = await service.retire([victim])
+                hits = await service.match([offers[0].title], k=8)
+                return victim, retired, hits
+
+        victim, retired, hits = asyncio.run(scenario())
+        assert retired == {0: [0]}
+        assert all(m.offer_id != victim for m in hits[0])
+
+    def test_append_routes_to_least_loaded_shard(self):
+        shards = [_shard(_offers(10, seed=13), 0), _shard(_offers(2, seed=14), 1)]
+
+        async def scenario():
+            async with MatchService(shards) as service:
+                return await service.append(_offers(1, seed=15, prefix="n"))
+
+        shard_id, rows = asyncio.run(scenario())
+        assert shard_id == 1 and rows == [2]
+
+
+class TestBackpressure:
+    def test_overload_sheds_with_typed_error(self):
+        shards = [_shard(_offers(10, seed=16))]
+
+        async def scenario():
+            async with MatchService(
+                shards, max_pending=1, max_batch=1
+            ) as service:
+                attempts = [
+                    asyncio.ensure_future(service.match(["exatron"], k=1))
+                    for _ in range(12)
+                ]
+                settled = await asyncio.gather(
+                    *attempts, return_exceptions=True
+                )
+                return settled, service.stats()
+
+        settled, stats = asyncio.run(scenario())
+        shed = [r for r in settled if isinstance(r, ServiceOverloadError)]
+        served = [r for r in settled if not isinstance(r, Exception)]
+        assert shed and served
+        assert not [
+            r
+            for r in settled
+            if isinstance(r, Exception)
+            and not isinstance(r, ServiceOverloadError)
+        ]
+        assert stats.shed == len(shed)
+
+    def test_expired_queries_fail_with_deadline_error(self):
+        shards = [_shard(_offers(10, seed=17))]
+
+        async def scenario():
+            async with MatchService(shards) as service:
+                blocker = asyncio.ensure_future(
+                    service.append(_offers(60, seed=18, prefix="bulk"))
+                )
+                doomed = asyncio.ensure_future(
+                    service.match(["exatron"], k=1, timeout=0.0)
+                )
+                await asyncio.sleep(0)
+                outcome = await asyncio.gather(doomed, return_exceptions=True)
+                await blocker
+                return outcome[0], service.stats()
+
+        outcome, stats = asyncio.run(scenario())
+        assert isinstance(outcome, ServiceDeadlineError)
+        assert stats.deadline_expired == 1
+
+    def test_closed_service_refuses(self):
+        shards = [_shard(_offers(4, seed=19))]
+        service = MatchService(shards)
+
+        async def closed_call():
+            await service.match(["exatron"], k=1)
+
+        with pytest.raises(ServiceClosedError):
+            asyncio.run(closed_call())
+
+    def test_mutation_errors_forward_to_awaiter(self):
+        offers = _offers(5, seed=20)
+        shards = [_shard(offers)]
+
+        async def scenario():
+            async with MatchService(shards) as service:
+                with pytest.raises(KeyError):
+                    await service.retire(["does-not-exist"])
+                # the worker survives the error
+                return await service.match([offers[0].title], k=1)
+
+        assert asyncio.run(scenario())
+
+
+class TestDeltaDeterminism:
+    """N appends + M retires == cold batch rebuild, serial and loaded."""
+
+    def _cold_reference(self, shard: LiveShard) -> tuple[str, np.ndarray]:
+        offers = shard.live_offers()
+        cold = LiveShard(
+            SimilarityEngine([offer.title for offer in offers]), offers
+        )
+        probe = [set(tokenize(offer.title)) for offer in offers[:5]]
+        scores = cold.engine.external_scores_batch(probe, "cosine")
+        return cold.clusters_sha(), scores
+
+    def _live_state(self, shard: LiveShard) -> tuple[str, np.ndarray]:
+        offers = shard.live_offers()
+        probe = [set(tokenize(offer.title)) for offer in offers[:5]]
+        alive = [int(row) for row in shard.engine.live_rows()]
+        scores = shard.engine.external_scores_batch(probe, "cosine")[:, alive]
+        return shard.clusters_sha(), scores
+
+    def test_serial_deltas_equal_cold_rebuild(self):
+        rng = random.Random(21)
+        shard = _shard(_offers(20, seed=21))
+        for wave in range(4):
+            shard.append(_offers(5, seed=100 + wave, prefix="w"))
+            victims = rng.sample(
+                [offer.offer_id for offer in shard.live_offers()], 3
+            )
+            shard.retire(victims)
+        live_sha, live_scores = self._live_state(shard)
+        cold_sha, cold_scores = self._cold_reference(shard)
+        assert live_sha == cold_sha
+        np.testing.assert_array_equal(live_scores, cold_scores)
+
+    def test_deltas_under_concurrent_match_load(self):
+        rng = random.Random(22)
+        shard = _shard(_offers(20, seed=22))
+
+        async def scenario():
+            async with MatchService([shard], max_pending=512) as service:
+                async def mutate():
+                    for wave in range(4):
+                        appended = _offers(5, seed=200 + wave, prefix="m")
+                        await service.append(appended)
+                        victims = rng.sample(
+                            [offer.offer_id for offer in appended], 2
+                        )
+                        await service.retire(victims)
+
+                async def query_storm():
+                    for _ in range(20):
+                        hits = await service.match(["exatron soniq"], k=3)
+                        assert hits and hits[0]
+                        await asyncio.sleep(0)
+
+                await asyncio.gather(mutate(), query_storm(), query_storm())
+
+        asyncio.run(scenario())
+        live_sha, live_scores = self._live_state(shard)
+        cold_sha, cold_scores = self._cold_reference(shard)
+        assert live_sha == cold_sha
+        np.testing.assert_array_equal(live_scores, cold_scores)
+
+    def test_partition_sha_is_offer_id_stable(self):
+        shard = _shard(_offers(10, seed=23))
+        direct = partition_sha(
+            {
+                shard.offer_at(row).offer_id: label
+                for row, label in shard.clusterer.assignments().items()
+            }
+        )
+        assert shard.clusters_sha() == direct
